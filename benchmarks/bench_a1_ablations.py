@@ -1,0 +1,68 @@
+"""A1 — Ablation study of the collaborative search's design choices.
+
+DESIGN.md calls out three ingredients of the collaborative search; each has
+a registered ablation:
+
+- ``collaborative-rr``  — margin-heuristic scheduling replaced by round-robin,
+- ``collaborative-nr``  — direct candidate refinement disabled (pure
+  expansion resolves every blocked candidate),
+- ``spatial-first``     — textual similarities removed from the bounds.
+
+Claim checked: each removed ingredient costs performance somewhere in the
+(lambda, |O|) grid — text bounds matter most at small lambda, refinement
+matters when strong text candidates sit far from the query locations.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from common import SMOKE, battery, bundle_for, paper_profile
+from repro.bench.harness import sweep
+from repro.bench.reporting import format_sweep, print_header
+from repro.bench.workloads import WorkloadConfig, make_queries
+from repro.core.engine import make_searcher
+
+VARIANTS = ["collaborative", "collaborative-rr", "collaborative-nr",
+            "spatial-first"]
+
+
+@pytest.mark.benchmark(group="a1-ablations")
+@pytest.mark.parametrize("variant", VARIANTS)
+def test_a1_variant_cost(benchmark, variant):
+    bundle = bundle_for(SMOKE)
+    queries = make_queries(
+        bundle, WorkloadConfig(num_queries=SMOKE.queries, lam=0.3, seed=12)
+    )
+    searcher = make_searcher(bundle.database, variant)
+    results = benchmark.pedantic(
+        lambda: [searcher.search(q) for q in queries],
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    assert all(len(r.items) > 0 for r in results)
+
+
+def run_experiment() -> None:
+    """Ablation grid over lambda on the BRN-like dataset."""
+    profile = paper_profile()
+    bundle = bundle_for(profile)
+    print_header("A1  Ablations of the collaborative search", bundle.describe())
+
+    def runner(lam):
+        return battery(
+            bundle,
+            WorkloadConfig(num_queries=profile.queries, lam=lam, seed=12),
+            VARIANTS,
+        )
+
+    rows = sweep([0.1, 0.3, 0.5, 0.7, 0.9], runner)
+    print("\nMean runtime per query (ms):")
+    print(format_sweep("lambda", rows, VARIANTS, metric="mean_ms"))
+    print("\nMean visited trajectories per query:")
+    print(format_sweep("lambda", rows, VARIANTS, metric="mean_visited"))
+
+
+if __name__ == "__main__":
+    sys.exit(run_experiment())

@@ -1,0 +1,63 @@
+"""E2 — Effect of the number of query locations |O|.
+
+Claim checked: cost (runtime, visited trajectories) grows with |O| for every
+algorithm; the collaborative search stays well below brute force across the
+sweep (the paper family reports roughly an order of magnitude at scale).
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from common import ALGOS, SMOKE, SMOKE_ALGOS, battery, bundle_for, paper_profile
+from repro.bench.harness import sweep
+from repro.bench.reporting import format_sweep, print_header
+from repro.bench.workloads import WorkloadConfig, make_queries
+from repro.core.engine import make_searcher
+
+SWEEP = [2, 4, 6, 8, 10]
+
+
+@pytest.mark.benchmark(group="e2-num-locations")
+@pytest.mark.parametrize("num_locations", [2, 8])
+@pytest.mark.parametrize("algorithm", SMOKE_ALGOS)
+def test_e2_query_cost(benchmark, num_locations, algorithm):
+    bundle = bundle_for(SMOKE)
+    queries = make_queries(
+        bundle,
+        WorkloadConfig(num_queries=SMOKE.queries, num_locations=num_locations,
+                       seed=2),
+    )
+    searcher = make_searcher(bundle.database, algorithm)
+    benchmark.pedantic(
+        lambda: [searcher.search(q) for q in queries],
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+
+
+def run_experiment() -> None:
+    """Full sweep over |O| on the BRN-like dataset."""
+    profile = paper_profile()
+    bundle = bundle_for(profile)
+    print_header("E2  Effect of |O| (number of query locations)",
+                 bundle.describe())
+
+    def runner(num_locations):
+        return battery(
+            bundle,
+            WorkloadConfig(num_queries=profile.queries,
+                           num_locations=num_locations, seed=2),
+            ALGOS,
+        )
+
+    rows = sweep(SWEEP, runner)
+    print("\nMean runtime per query (ms):")
+    print(format_sweep("|O|", rows, ALGOS, metric="mean_ms"))
+    print("\nMean visited trajectories per query:")
+    print(format_sweep("|O|", rows, ALGOS, metric="mean_visited"))
+
+
+if __name__ == "__main__":
+    sys.exit(run_experiment())

@@ -1,0 +1,61 @@
+"""E3 — Effect of the preference parameter lambda.
+
+Claim checked: the spatial domain needs more search effort than the textual
+domain, so cost rises with lambda for the expansion-based algorithms; the
+collaborative search dominates the baselines at every lambda; at lambda = 0
+it degenerates to the (cheap) text ranking.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from common import ALGOS, SMOKE, SMOKE_ALGOS, battery, bundle_for, paper_profile
+from repro.bench.harness import sweep
+from repro.bench.reporting import format_sweep, print_header
+from repro.bench.workloads import WorkloadConfig, make_queries
+from repro.core.engine import make_searcher
+
+SWEEP = [0.1, 0.3, 0.5, 0.7, 0.9]
+
+
+@pytest.mark.benchmark(group="e3-lambda")
+@pytest.mark.parametrize("lam", [0.1, 0.9])
+@pytest.mark.parametrize("algorithm", SMOKE_ALGOS)
+def test_e3_query_cost(benchmark, lam, algorithm):
+    bundle = bundle_for(SMOKE)
+    queries = make_queries(
+        bundle, WorkloadConfig(num_queries=SMOKE.queries, lam=lam, seed=3)
+    )
+    searcher = make_searcher(bundle.database, algorithm)
+    benchmark.pedantic(
+        lambda: [searcher.search(q) for q in queries],
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+
+
+def run_experiment() -> None:
+    """Full sweep over lambda on the BRN-like dataset."""
+    profile = paper_profile()
+    bundle = bundle_for(profile)
+    print_header("E3  Effect of lambda (spatial vs textual preference)",
+                 bundle.describe())
+
+    def runner(lam):
+        return battery(
+            bundle,
+            WorkloadConfig(num_queries=profile.queries, lam=lam, seed=3),
+            ALGOS,
+        )
+
+    rows = sweep(SWEEP, runner)
+    print("\nMean runtime per query (ms):")
+    print(format_sweep("lambda", rows, ALGOS, metric="mean_ms"))
+    print("\nMean visited trajectories per query:")
+    print(format_sweep("lambda", rows, ALGOS, metric="mean_visited"))
+
+
+if __name__ == "__main__":
+    sys.exit(run_experiment())

@@ -1,0 +1,59 @@
+"""E4 — Effect of the result size k.
+
+Claim checked: the k-th best score falls as k grows, weakening the
+termination bound, so the expansion algorithms' cost rises mildly with k;
+brute force is flat by construction.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from common import ALGOS, SMOKE, SMOKE_ALGOS, battery, bundle_for, paper_profile
+from repro.bench.harness import sweep
+from repro.bench.reporting import format_sweep, print_header
+from repro.bench.workloads import WorkloadConfig, make_queries
+from repro.core.engine import make_searcher
+
+SWEEP = [1, 5, 10, 20, 50]
+
+
+@pytest.mark.benchmark(group="e4-topk")
+@pytest.mark.parametrize("k", [1, 20])
+@pytest.mark.parametrize("algorithm", SMOKE_ALGOS)
+def test_e4_query_cost(benchmark, k, algorithm):
+    bundle = bundle_for(SMOKE)
+    queries = make_queries(
+        bundle, WorkloadConfig(num_queries=SMOKE.queries, k=k, seed=4)
+    )
+    searcher = make_searcher(bundle.database, algorithm)
+    benchmark.pedantic(
+        lambda: [searcher.search(q) for q in queries],
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+
+
+def run_experiment() -> None:
+    """Full sweep over k on the BRN-like dataset."""
+    profile = paper_profile()
+    bundle = bundle_for(profile)
+    print_header("E4  Effect of k (result size)", bundle.describe())
+
+    def runner(k):
+        return battery(
+            bundle,
+            WorkloadConfig(num_queries=profile.queries, k=k, seed=4),
+            ALGOS,
+        )
+
+    rows = sweep(SWEEP, runner)
+    print("\nMean runtime per query (ms):")
+    print(format_sweep("k", rows, ALGOS, metric="mean_ms"))
+    print("\nMean visited trajectories per query:")
+    print(format_sweep("k", rows, ALGOS, metric="mean_visited"))
+
+
+if __name__ == "__main__":
+    sys.exit(run_experiment())

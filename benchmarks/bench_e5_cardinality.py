@@ -1,0 +1,64 @@
+"""E5 — Scalability in the trajectory cardinality |P|.
+
+Claim checked: brute-force cost grows linearly with |P|; the collaborative
+search's visited set grows sub-linearly (the expansion radius needed to
+certify the top-k shrinks as good matches densify), so its advantage widens
+with the dataset.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from common import ALGOS, SMOKE, SMOKE_ALGOS, bundle_for, paper_profile
+from repro.bench.datasets import build_bundle
+from repro.bench.harness import run_battery, sweep
+from repro.bench.reporting import format_sweep, print_header
+from repro.bench.workloads import WorkloadConfig, make_queries
+from repro.core.engine import make_searcher
+
+
+@pytest.mark.benchmark(group="e5-cardinality")
+@pytest.mark.parametrize("cardinality", [150, 600])
+@pytest.mark.parametrize("algorithm", SMOKE_ALGOS)
+def test_e5_query_cost(benchmark, cardinality, algorithm):
+    bundle = build_bundle("brn", num_trajectories=cardinality,
+                          scale=SMOKE.scale, seed=0)
+    queries = make_queries(bundle, WorkloadConfig(num_queries=SMOKE.queries, seed=5))
+    searcher = make_searcher(bundle.database, algorithm)
+    benchmark.pedantic(
+        lambda: [searcher.search(q) for q in queries],
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+
+
+def run_experiment() -> None:
+    """Full sweep over |P| on the BRN-like network (fixed graph size)."""
+    profile = paper_profile()
+    cardinalities = [
+        profile.trajectories // 4,
+        profile.trajectories // 2,
+        profile.trajectories,
+        profile.trajectories * 2,
+    ]
+    print_header("E5  Scalability in |P| (trajectory cardinality)")
+
+    def runner(cardinality):
+        bundle = build_bundle("brn", num_trajectories=cardinality,
+                              scale=profile.scale, seed=0)
+        queries = make_queries(
+            bundle, WorkloadConfig(num_queries=profile.queries, seed=5)
+        )
+        return run_battery(bundle, queries, ALGOS)
+
+    rows = sweep(cardinalities, runner)
+    print("\nMean runtime per query (ms):")
+    print(format_sweep("|P|", rows, ALGOS, metric="mean_ms"))
+    print("\nMean visited trajectories per query:")
+    print(format_sweep("|P|", rows, ALGOS, metric="mean_visited"))
+
+
+if __name__ == "__main__":
+    sys.exit(run_experiment())

@@ -1,0 +1,64 @@
+"""E6 — Effect of the number of preference keywords |q.T|.
+
+Claim checked: more keywords widen the text-candidate set (union of
+postings) but sharpen the score separation, strengthening textual pruning
+for the algorithms that use it; the spatial-first baseline, blind to text,
+is flat (and pays for it).
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from common import ALGOS, SMOKE, SMOKE_ALGOS, battery, bundle_for, paper_profile
+from repro.bench.harness import sweep
+from repro.bench.reporting import format_sweep, print_header
+from repro.bench.workloads import WorkloadConfig, make_queries
+from repro.core.engine import make_searcher
+
+SWEEP = [1, 2, 4, 8]
+
+
+@pytest.mark.benchmark(group="e6-keywords")
+@pytest.mark.parametrize("num_keywords", [1, 8])
+@pytest.mark.parametrize("algorithm", SMOKE_ALGOS)
+def test_e6_query_cost(benchmark, num_keywords, algorithm):
+    bundle = bundle_for(SMOKE)
+    queries = make_queries(
+        bundle,
+        WorkloadConfig(num_queries=SMOKE.queries, num_keywords=num_keywords,
+                       seed=6),
+    )
+    searcher = make_searcher(bundle.database, algorithm)
+    benchmark.pedantic(
+        lambda: [searcher.search(q) for q in queries],
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+
+
+def run_experiment() -> None:
+    """Full sweep over |q.T| on the BRN-like dataset."""
+    profile = paper_profile()
+    bundle = bundle_for(profile)
+    print_header("E6  Effect of |q.T| (number of preference keywords)",
+                 bundle.describe())
+
+    def runner(num_keywords):
+        return battery(
+            bundle,
+            WorkloadConfig(num_queries=profile.queries,
+                           num_keywords=num_keywords, seed=6),
+            ALGOS,
+        )
+
+    rows = sweep(SWEEP, runner)
+    print("\nMean runtime per query (ms):")
+    print(format_sweep("|q.T|", rows, ALGOS, metric="mean_ms"))
+    print("\nMean visited trajectories per query:")
+    print(format_sweep("|q.T|", rows, ALGOS, metric="mean_visited"))
+
+
+if __name__ == "__main__":
+    sys.exit(run_experiment())

@@ -1,0 +1,53 @@
+"""E7 — Both road networks (BRN-like ring-radial vs NRN-like grid).
+
+Claim checked: the relative ordering of the algorithms (E1/E2's shapes)
+holds on both network topologies, as in the paper's two-dataset evaluation.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from common import ALGOS, SMOKE, SMOKE_ALGOS, battery, bundle_for, paper_profile
+from repro.bench.reporting import format_table, print_header
+from repro.bench.workloads import WorkloadConfig, make_queries
+from repro.core.engine import make_searcher
+
+
+@pytest.mark.benchmark(group="e7-networks")
+@pytest.mark.parametrize("dataset", ["brn", "nrn"])
+@pytest.mark.parametrize("algorithm", SMOKE_ALGOS)
+def test_e7_query_cost(benchmark, dataset, algorithm):
+    bundle = bundle_for(SMOKE, dataset)
+    queries = make_queries(bundle, WorkloadConfig(num_queries=SMOKE.queries, seed=7))
+    searcher = make_searcher(bundle.database, algorithm)
+    benchmark.pedantic(
+        lambda: [searcher.search(q) for q in queries],
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+
+
+def run_experiment() -> None:
+    """The default battery on both network topologies."""
+    profile = paper_profile()
+    for dataset in ("brn", "nrn"):
+        bundle = bundle_for(profile, dataset)
+        print_header(f"E7  Algorithm battery on {dataset.upper()}-like network",
+                     bundle.describe())
+        metrics = battery(
+            bundle, WorkloadConfig(num_queries=profile.queries, seed=7), ALGOS
+        )
+        rows = [
+            (name, f"{m.mean_ms:.1f}", f"{m.mean_visited:.1f}",
+             f"{m.candidate_ratio(len(bundle.database)):.4f}")
+            for name, m in metrics.items()
+        ]
+        print(format_table(
+            ["algorithm", "ms/query", "visited/query", "candidate ratio"], rows
+        ))
+
+
+if __name__ == "__main__":
+    sys.exit(run_experiment())

@@ -1,0 +1,88 @@
+"""E8 — Effectiveness: what the textual domain buys the traveler.
+
+Claim checked (the paper's motivation): compared with a purely spatial
+ranking (lambda = 1), the user-oriented ranking returns trips with much
+higher preference (textual) similarity at a modest spatial sacrifice, and
+the two rankings genuinely differ (overlap well below 100%).
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from common import SMOKE, bundle_for, paper_profile
+from repro.bench.reporting import format_table, print_header
+from repro.bench.workloads import WorkloadConfig, make_queries
+from repro.core.query import UOTSQuery
+from repro.core.search import CollaborativeSearcher
+
+SWEEP = [0.1, 0.3, 0.5, 0.7, 0.9, 1.0]
+
+
+def _requery(query: UOTSQuery, lam: float) -> UOTSQuery:
+    return UOTSQuery(
+        locations=query.locations, keywords=query.keywords, lam=lam, k=query.k,
+        text_measure=query.text_measure,
+    )
+
+
+def _effectiveness(bundle, num_queries: int, seed: int) -> list[tuple]:
+    searcher = CollaborativeSearcher(bundle.database)
+    queries = make_queries(
+        bundle, WorkloadConfig(num_queries=num_queries, num_keywords=4, seed=seed)
+    )
+    rows = []
+    for lam in SWEEP:
+        overlap = text_sum = spatial_sum = 0.0
+        count = 0
+        for query in queries:
+            ranked = searcher.search(_requery(query, lam)).items
+            spatial_only = searcher.search(_requery(query, 1.0)).items
+            spatial_ids = {item.trajectory_id for item in spatial_only}
+            shared = sum(
+                1 for item in ranked if item.trajectory_id in spatial_ids
+            )
+            overlap += shared / max(1, len(ranked))
+            text_sum += sum(i.text_similarity for i in ranked) / max(1, len(ranked))
+            spatial_sum += sum(
+                i.spatial_similarity for i in ranked
+            ) / max(1, len(ranked))
+            count += 1
+        rows.append(
+            (lam, f"{overlap / count:.3f}", f"{text_sum / count:.3f}",
+             f"{spatial_sum / count:.3f}")
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="e8-effectiveness")
+def test_e8_ranking_quality(benchmark):
+    bundle = bundle_for(SMOKE)
+    rows = benchmark.pedantic(
+        lambda: _effectiveness(bundle, 4, seed=8),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    # Invariant behind the paper's motivation: lowering lambda must not
+    # lower the mean preference similarity of the results.
+    text_scores = [float(row[2]) for row in rows]
+    assert text_scores[0] >= text_scores[-1]
+
+
+def run_experiment() -> None:
+    """Effectiveness table over lambda."""
+    profile = paper_profile()
+    bundle = bundle_for(profile)
+    print_header("E8  Effectiveness of user-oriented ranking",
+                 bundle.describe())
+    rows = _effectiveness(bundle, profile.queries, seed=8)
+    print(format_table(
+        ["lambda", "overlap@k with spatial-only", "mean SimT of results",
+         "mean SimS of results"],
+        rows,
+    ))
+
+
+if __name__ == "__main__":
+    sys.exit(run_experiment())

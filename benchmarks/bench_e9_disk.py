@@ -1,0 +1,105 @@
+"""E9 — Disk-resident vs memory-resident processing (the paper's Figure 5).
+
+The paper also evaluates a disk-resident configuration: indexes in memory,
+trajectory payloads on disk behind an LRU buffer.  Claims checked:
+
+- the performance *pattern* of the disk variant matches the memory variant
+  (identical results; same relative ordering across algorithms),
+- the disk variant pays extra CPU proportional to its buffer misses, so a
+  warm/large buffer converges toward memory speed while a cold/small one
+  degrades gracefully,
+- the number of visited trajectories is independent of where data lives.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+import pytest
+
+from common import SMOKE, bundle_for, paper_profile
+from repro.bench.harness import run_battery
+from repro.bench.reporting import format_table, print_header
+from repro.bench.workloads import WorkloadConfig, make_queries
+from repro.core.search import CollaborativeSearcher
+from repro.storage.database import DiskTrajectoryDatabase
+
+
+def _disk_twin(bundle, directory: Path, buffer_capacity: int) -> DiskTrajectoryDatabase:
+    return DiskTrajectoryDatabase.build(
+        directory / f"trips-{buffer_capacity}.pages",
+        bundle.graph,
+        bundle.trajectories,
+        sigma=bundle.database.sigma,
+        buffer_capacity=buffer_capacity,
+    )
+
+
+@pytest.mark.benchmark(group="e9-disk")
+@pytest.mark.parametrize("resident", ["memory", "disk"])
+def test_e9_query_cost(benchmark, resident, tmp_path):
+    bundle = bundle_for(SMOKE)
+    queries = make_queries(bundle, WorkloadConfig(num_queries=SMOKE.queries, seed=13))
+    if resident == "memory":
+        database = bundle.database
+    else:
+        database = _disk_twin(bundle, tmp_path, buffer_capacity=64)
+    searcher = CollaborativeSearcher(database)
+    results = benchmark.pedantic(
+        lambda: [searcher.search(q) for q in queries],
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    reference = [
+        CollaborativeSearcher(bundle.database).search(q).ids for q in queries
+    ]
+    assert [r.ids for r in results] == reference
+
+
+def run_experiment() -> None:
+    """Memory vs disk with a buffer-capacity sweep."""
+    profile = paper_profile()
+    bundle = bundle_for(profile)
+    print_header("E9  Disk-resident vs memory-resident", bundle.describe())
+    queries = make_queries(
+        bundle, WorkloadConfig(num_queries=profile.queries, seed=13)
+    )
+
+    memory = run_battery(bundle, queries, ["collaborative"])["collaborative"]
+    rows = [("memory", "-", f"{memory.mean_ms:.1f}",
+             f"{memory.mean_visited:.1f}", "-", "-")]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        for capacity in (16, 128, 1024):
+            disk = _disk_twin(bundle, Path(tmp), capacity)
+            try:
+                searcher = CollaborativeSearcher(disk)
+                disk.store.buffer.stats.reset()
+                import time
+
+                total = 0.0
+                visited = 0
+                for query in queries:
+                    started = time.perf_counter()
+                    result = searcher.search(query)
+                    total += time.perf_counter() - started
+                    visited += result.stats.visited_trajectories
+                stats = disk.store.buffer.stats
+                rows.append(
+                    (f"disk", capacity, f"{total / len(queries) * 1000:.1f}",
+                     f"{visited / len(queries):.1f}", stats.misses,
+                     f"{stats.hit_ratio:.3f}")
+                )
+            finally:
+                disk.close()
+
+    print(format_table(
+        ["variant", "buffer pages", "ms/query", "visited/query",
+         "page misses", "hit ratio"],
+        rows,
+    ))
+
+
+if __name__ == "__main__":
+    sys.exit(run_experiment())

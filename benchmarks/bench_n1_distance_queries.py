@@ -1,0 +1,115 @@
+"""N1 — Point-to-point distance engines on the road-network substrate.
+
+The library ships five exact distance engines (plain Dijkstra,
+bidirectional Dijkstra, A* with a scaled Euclidean heuristic, ALT, and
+contraction hierarchies).  Claims checked: all five agree; the
+goal-directed and preprocessing-based engines settle less and answer
+faster, with CH fastest per query at the cost of a preprocessing phase.
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+import time
+
+import pytest
+
+from common import SMOKE, bundle_for, paper_profile
+from repro.bench.reporting import format_table, print_header
+from repro.network.astar import admissible_scale, astar_path_length, euclidean_heuristic
+from repro.network.bidirectional import bidirectional_path_length
+from repro.network.contraction import ContractionHierarchy
+from repro.network.dijkstra import shortest_path_length
+from repro.network.landmarks import LandmarkIndex
+
+
+def _pairs(graph, count, seed=0):
+    rng = random.Random(seed)
+    return [
+        (rng.randrange(graph.num_vertices), rng.randrange(graph.num_vertices))
+        for __ in range(count)
+    ]
+
+
+@pytest.mark.benchmark(group="n1-distance")
+@pytest.mark.parametrize("engine", ["dijkstra", "bidirectional", "astar", "ch"])
+def test_n1_engine_cost(benchmark, engine):
+    graph = bundle_for(SMOKE).graph
+    pairs = _pairs(graph, 20)
+    if engine == "ch":
+        hierarchy = ContractionHierarchy.build(graph)
+        fn = lambda: [hierarchy.distance(u, v) for u, v in pairs]
+    elif engine == "bidirectional":
+        fn = lambda: [bidirectional_path_length(graph, u, v) for u, v in pairs]
+    elif engine == "astar":
+        fn = lambda: [astar_path_length(graph, u, v) for u, v in pairs]
+    else:
+        fn = lambda: [shortest_path_length(graph, u, v) for u, v in pairs]
+    benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def run_experiment() -> None:
+    """Engine comparison on the BRN-like network."""
+    profile = paper_profile()
+    graph = bundle_for(profile).graph
+    pairs = _pairs(graph, 60)
+    print_header(
+        "N1  Point-to-point distance engines",
+        f"BRN-like |V|={graph.num_vertices}, 60 random pairs",
+    )
+
+    reference = [shortest_path_length(graph, u, v) for u, v in pairs]
+
+    def timed(fn):
+        started = time.perf_counter()
+        values = fn()
+        elapsed = (time.perf_counter() - started) / len(pairs) * 1000
+        exact = all(abs(a - b) < 1e-6 for a, b in zip(values, reference))
+        return elapsed, "yes" if exact else "NO"
+
+    rows = []
+    ms, ok = timed(lambda: [shortest_path_length(graph, u, v) for u, v in pairs])
+    rows.append(("dijkstra", "-", f"{ms:.2f}", ok))
+    ms, ok = timed(
+        lambda: [bidirectional_path_length(graph, u, v) for u, v in pairs]
+    )
+    rows.append(("bidirectional", "-", f"{ms:.2f}", ok))
+    scale = admissible_scale(graph)  # computed once, as a real user would
+    ms, ok = timed(
+        lambda: [
+            astar_path_length(
+                graph, u, v, heuristic=euclidean_heuristic(graph, v, scale)
+            )
+            for u, v in pairs
+        ]
+    )
+    rows.append(("a* (euclidean)", "-", f"{ms:.2f}", ok))
+
+    started = time.perf_counter()
+    landmarks = LandmarkIndex.build(graph, num_landmarks=8, seed=0)
+    alt_build = time.perf_counter() - started
+    ms, ok = timed(
+        lambda: [
+            astar_path_length(graph, u, v, heuristic=landmarks.heuristic(v))
+            for u, v in pairs
+        ]
+    )
+    rows.append(("alt (8 landmarks)", f"{alt_build:.1f}", f"{ms:.2f}", ok))
+
+    started = time.perf_counter()
+    hierarchy = ContractionHierarchy.build(graph)
+    ch_build = time.perf_counter() - started
+    ms, ok = timed(lambda: [hierarchy.distance(u, v) for u, v in pairs])
+    rows.append(
+        (f"ch ({hierarchy.num_shortcuts} shortcuts)", f"{ch_build:.1f}",
+         f"{ms:.2f}", ok)
+    )
+
+    print(format_table(
+        ["engine", "preprocess s", "ms/query", "exact"], rows
+    ))
+
+
+if __name__ == "__main__":
+    sys.exit(run_experiment())

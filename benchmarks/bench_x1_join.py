@@ -1,0 +1,113 @@
+"""X1 (extension) — Trajectory similarity join: two-phase vs temporal-first.
+
+Claims checked (the TS-Join follow-up's shapes, at Python scale):
+- both algorithms return identical pair sets (exactness);
+- a larger theta shrinks the two-phase search space sharply (its pruning is
+  theta-sensitive) while the temporal-first baseline's pair enumeration is
+  quadratic in |P| regardless;
+- the candidate-pair count of the two-phase join stays below the baseline's
+  exact-evaluation count as |P| grows.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+import pytest
+
+from common import SMOKE, paper_profile
+from repro.bench.datasets import build_bundle
+from repro.bench.reporting import format_table, print_header
+from repro.join.tfmatch import TemporalFirstJoin
+from repro.join.tsjoin import TopKJoin, TwoPhaseJoin
+
+THETA_SWEEP = [1.8, 1.85, 1.9, 1.95]
+
+
+def _join_bundle(num_trajectories: int, scale: float):
+    return build_bundle("brn", num_trajectories=num_trajectories, scale=scale,
+                        seed=0)
+
+
+@pytest.mark.benchmark(group="x1-join")
+@pytest.mark.parametrize("theta", [1.85, 1.95])
+def test_x1_two_phase(benchmark, theta):
+    bundle = _join_bundle(120, SMOKE.scale)
+    join = TwoPhaseJoin(bundle.database)
+    benchmark.pedantic(
+        lambda: join.self_join(theta), rounds=1, iterations=1, warmup_rounds=0
+    )
+
+
+@pytest.mark.benchmark(group="x1-join")
+@pytest.mark.parametrize("theta", [1.85, 1.95])
+def test_x1_temporal_first(benchmark, theta):
+    bundle = _join_bundle(120, SMOKE.scale)
+    join = TemporalFirstJoin(bundle.database)
+    benchmark.pedantic(
+        lambda: join.self_join(theta), rounds=1, iterations=1, warmup_rounds=0
+    )
+
+
+def run_experiment() -> None:
+    """theta sweep and |P| sweep for the self join."""
+    profile = paper_profile()
+    base_p = max(150, profile.trajectories // 8)
+
+    bundle = _join_bundle(base_p, profile.scale)
+    print_header("X1  Self join: effect of theta", bundle.describe())
+    rows = []
+    for theta in THETA_SWEEP:
+        started = time.perf_counter()
+        two = TwoPhaseJoin(bundle.database).self_join(theta)
+        two_s = time.perf_counter() - started
+        started = time.perf_counter()
+        tf = TemporalFirstJoin(bundle.database).self_join(theta)
+        tf_s = time.perf_counter() - started
+        agree = "yes" if two.pair_set() == tf.pair_set() else "NO"
+        rows.append(
+            (theta, len(two), agree, f"{two_s:.2f}", two.candidate_pairs,
+             f"{tf_s:.2f}", tf.candidate_pairs)
+        )
+    print(format_table(
+        ["theta", "pairs", "agree", "two-phase s", "tp candidates",
+         "temporal-first s", "tf candidates"],
+        rows,
+    ))
+
+    print_header("X1  Self join: effect of |P| (theta = 1.9)")
+    rows = []
+    for cardinality in (base_p, base_p * 2, base_p * 4):
+        b = _join_bundle(cardinality, profile.scale)
+        started = time.perf_counter()
+        two = TwoPhaseJoin(b.database).self_join(1.9)
+        two_s = time.perf_counter() - started
+        started = time.perf_counter()
+        tf = TemporalFirstJoin(b.database).self_join(1.9)
+        tf_s = time.perf_counter() - started
+        rows.append(
+            (cardinality, len(two), f"{two_s:.2f}", two.candidate_pairs,
+             f"{tf_s:.2f}", tf.candidate_pairs)
+        )
+    print(format_table(
+        ["|P|", "pairs", "two-phase s", "tp candidates",
+         "temporal-first s", "tf candidates"],
+        rows,
+    ))
+
+    print_header("X1  Top-k join (future-work extension, no threshold)")
+    rows = []
+    for k in (1, 5, 20):
+        started = time.perf_counter()
+        top = TopKJoin(bundle.database).top_k(k)
+        elapsed = time.perf_counter() - started
+        kth = top.pairs[-1][2] if top.pairs else 0.0
+        rows.append((k, f"{elapsed:.2f}", f"{kth:.3f}", top.candidate_pairs))
+    print(format_table(
+        ["k", "seconds", "k-th pair score", "pairs scored"], rows
+    ))
+
+
+if __name__ == "__main__":
+    sys.exit(run_experiment())

@@ -1,0 +1,86 @@
+"""X2 (extension) — Parallel fan-out of independent searches.
+
+Claim checked: per-query (and per-trajectory, for the join) searches are
+independent, so batch throughput scales with workers while results stay
+identical, and the join's merge phase is worker-independent.
+
+Honesty note: the measured speedup is a property of the host.  On a
+single-core machine (like some CI sandboxes) fork overhead makes the
+multi-worker rows *slower* — the bench reports whatever the hardware gives;
+the correctness assertion (identical results) is the portable part.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+import pytest
+
+from common import SMOKE, bundle_for, paper_profile
+from repro.bench.reporting import format_table, print_header
+from repro.bench.workloads import WorkloadConfig, make_queries
+from repro.parallel.executor import fork_available, parallel_search, parallel_self_join
+
+WORKERS = [1, 2, 4, 8]
+
+
+@pytest.mark.benchmark(group="x2-parallel")
+@pytest.mark.parametrize("workers", [1, 2])
+def test_x2_batch_search(benchmark, workers):
+    if workers > 1 and not fork_available():
+        pytest.skip("fork not available")
+    bundle = bundle_for(SMOKE)
+    queries = make_queries(bundle, WorkloadConfig(num_queries=8, seed=10))
+    results = benchmark.pedantic(
+        lambda: parallel_search(bundle.database, queries, workers=workers),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    assert len(results) == len(queries)
+
+
+def run_experiment() -> None:
+    """Worker sweep for batch queries and the self join."""
+    profile = paper_profile()
+    bundle = bundle_for(profile)
+    print_header(
+        "X2  Parallel batch search",
+        f"{bundle.describe()}  (host CPUs: {os.cpu_count()})",
+    )
+    queries = make_queries(
+        bundle, WorkloadConfig(num_queries=profile.queries * 2, seed=10)
+    )
+    reference = None
+    rows = []
+    for workers in WORKERS:
+        started = time.perf_counter()
+        results = parallel_search(bundle.database, queries, workers=workers)
+        elapsed = time.perf_counter() - started
+        scores = [tuple(r.scores) for r in results]
+        if reference is None:
+            reference, base = scores, elapsed
+        identical = "yes" if scores == reference else "NO"
+        rows.append((workers, f"{elapsed:.2f}", f"{base / elapsed:.2f}", identical))
+    print(format_table(["workers", "seconds", "speedup", "identical"], rows))
+
+    print_header("X2  Parallel self join (phase 1 fan-out)")
+    small = bundle_for(
+        type(profile)(scale=profile.scale, trajectories=profile.trajectories // 8,
+                      queries=profile.queries)
+    )
+    reference_pairs = None
+    rows = []
+    for workers in WORKERS:
+        started = time.perf_counter()
+        result = parallel_self_join(small.database, 1.9, workers=workers)
+        elapsed = time.perf_counter() - started
+        if reference_pairs is None:
+            reference_pairs, base = result.pair_set(), elapsed
+        identical = "yes" if result.pair_set() == reference_pairs else "NO"
+        rows.append((workers, f"{elapsed:.2f}", f"{base / elapsed:.2f}", identical))
+    print(format_table(["workers", "seconds", "speedup", "identical"], rows))
+
+
+if __name__ == "__main__":
+    sys.exit(run_experiment())

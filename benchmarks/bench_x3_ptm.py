@@ -1,0 +1,87 @@
+"""X3 (extension) — Personalized trajectory matching (PTM).
+
+Claim checked: the filter-and-refine expansion matcher returns exactly the
+brute-force top-k while evaluating far fewer trajectories, and its advantage
+grows with the database (brute force pays |q| full Dijkstras per query).
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from common import SMOKE, paper_profile
+from repro.bench.datasets import build_bundle
+from repro.bench.harness import AlgoMetrics
+from repro.bench.reporting import format_table, print_header
+from repro.bench.workloads import make_ptm_queries
+from repro.matching.ptm import BruteForcePTMMatcher, PTMMatcher
+
+
+@pytest.mark.benchmark(group="x3-ptm")
+@pytest.mark.parametrize("matcher_name", ["expansion", "brute-force"])
+def test_x3_matching(benchmark, matcher_name):
+    bundle = build_bundle("brn", num_trajectories=200, scale=SMOKE.scale, seed=0)
+    queries = make_ptm_queries(bundle, 3, k=5, seed=11)
+    if matcher_name == "expansion":
+        matcher = PTMMatcher(bundle.database)
+    else:
+        matcher = BruteForcePTMMatcher(bundle.database)
+    benchmark.pedantic(
+        lambda: [matcher.match(q) for q in queries],
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+
+
+def _run_matcher(matcher, queries) -> AlgoMetrics:
+    import time
+
+    metrics = AlgoMetrics(algorithm=type(matcher).__name__)
+    for query in queries:
+        started = time.perf_counter()
+        result = matcher.match(query)
+        metrics.total_seconds += time.perf_counter() - started
+        metrics.queries += 1
+        metrics.visited_trajectories += result.stats.visited_trajectories
+        metrics.similarity_evaluations += result.stats.similarity_evaluations
+    return metrics
+
+
+def run_experiment() -> None:
+    """PTM battery over |P| with an exactness cross-check."""
+    profile = paper_profile()
+    print_header("X3  Personalized trajectory matching")
+    rows = []
+    for cardinality in (profile.trajectories // 4, profile.trajectories // 2,
+                        profile.trajectories):
+        bundle = build_bundle("brn", num_trajectories=cardinality,
+                              scale=profile.scale, seed=0)
+        queries = make_ptm_queries(bundle, max(5, profile.queries // 3),
+                                   k=10, seed=11)
+        fast = PTMMatcher(bundle.database)
+        oracle = BruteForcePTMMatcher(bundle.database)
+        fast_metrics = _run_matcher(fast, queries)
+        oracle_metrics = _run_matcher(oracle, queries)
+        mismatches = sum(
+            1
+            for q in queries[:3]
+            if [round(s, 7) for s in fast.match(q).scores]
+            != [round(s, 7) for s in oracle.match(q).scores]
+        )
+        rows.append(
+            (cardinality,
+             f"{fast_metrics.mean_ms:.1f}", f"{fast_metrics.mean_visited:.0f}",
+             f"{oracle_metrics.mean_ms:.1f}",
+             f"{oracle_metrics.mean_visited:.0f}",
+             "yes" if mismatches == 0 else "NO")
+        )
+    print(format_table(
+        ["|P|", "expansion ms", "expansion visited", "brute ms",
+         "brute visited", "exact"],
+        rows,
+    ))
+
+
+if __name__ == "__main__":
+    sys.exit(run_experiment())

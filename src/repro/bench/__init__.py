@@ -1,0 +1,21 @@
+"""Benchmark substrate: dataset bundles, workloads, harness, reporting."""
+
+from repro.bench.datasets import DatasetBundle, bench_scale, build_bundle
+from repro.bench.harness import AlgoMetrics, run_battery, sweep
+from repro.bench.reporting import format_sweep, format_table, print_header
+from repro.bench.workloads import WorkloadConfig, make_ptm_queries, make_queries
+
+__all__ = [
+    "AlgoMetrics",
+    "DatasetBundle",
+    "WorkloadConfig",
+    "bench_scale",
+    "build_bundle",
+    "format_sweep",
+    "format_table",
+    "make_ptm_queries",
+    "make_queries",
+    "print_header",
+    "run_battery",
+    "sweep",
+]

@@ -1,0 +1,89 @@
+"""Benchmark harness: run algorithm batteries, aggregate paper-style metrics.
+
+Each experiment sweeps one parameter and, per parameter value, runs the same
+query batch through every algorithm, aggregating the paper's two main
+metrics — CPU time and number of visited trajectories — plus the pruning
+counters needed for the pruning-effectiveness table.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.bench.datasets import DatasetBundle
+from repro.core.engine import make_searcher
+from repro.core.query import UOTSQuery
+
+__all__ = ["AlgoMetrics", "run_battery", "sweep"]
+
+
+@dataclass
+class AlgoMetrics:
+    """Aggregated per-algorithm metrics over a query batch."""
+
+    algorithm: str
+    queries: int = 0
+    total_seconds: float = 0.0
+    visited_trajectories: int = 0
+    expanded_vertices: int = 0
+    similarity_evaluations: int = 0
+    pruned_trajectories: int = 0
+
+    @property
+    def mean_ms(self) -> float:
+        """Mean per-query runtime in milliseconds."""
+        return 1000.0 * self.total_seconds / max(1, self.queries)
+
+    @property
+    def mean_visited(self) -> float:
+        """Mean visited trajectories per query."""
+        return self.visited_trajectories / max(1, self.queries)
+
+    def candidate_ratio(self, database_size: int) -> float:
+        """Fraction of the database that received an exact evaluation."""
+        return self.similarity_evaluations / max(1, self.queries * database_size)
+
+
+def run_battery(
+    bundle: DatasetBundle,
+    queries: Sequence[UOTSQuery],
+    algorithms: Sequence[str],
+) -> dict[str, AlgoMetrics]:
+    """Run every algorithm over every query; aggregate per algorithm.
+
+    Fresh searcher per algorithm (they are stateless across queries apart
+    from shared indexes, which belong to the bundle's database).
+    """
+    results: dict[str, AlgoMetrics] = {}
+    for algorithm in algorithms:
+        searcher = make_searcher(bundle.database, algorithm)
+        metrics = AlgoMetrics(algorithm=algorithm)
+        for query in queries:
+            started = time.perf_counter()
+            result = searcher.search(query)
+            metrics.total_seconds += time.perf_counter() - started
+            metrics.queries += 1
+            metrics.visited_trajectories += result.stats.visited_trajectories
+            metrics.expanded_vertices += result.stats.expanded_vertices
+            metrics.similarity_evaluations += result.stats.similarity_evaluations
+            metrics.pruned_trajectories += result.stats.pruned_trajectories
+        results[algorithm] = metrics
+    return results
+
+
+@dataclass
+class SweepRow:
+    """One sweep point: the parameter value and per-algorithm metrics."""
+
+    value: object
+    metrics: dict[str, AlgoMetrics] = field(default_factory=dict)
+
+
+def sweep(
+    values: Sequence[object],
+    runner: Callable[[object], dict[str, AlgoMetrics]],
+) -> list[SweepRow]:
+    """Run ``runner`` for each parameter value, collecting rows."""
+    return [SweepRow(value=value, metrics=runner(value)) for value in values]

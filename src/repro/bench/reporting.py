@@ -1,0 +1,71 @@
+"""Paper-style table rendering for benchmark output.
+
+Plain monospace tables like the ones in the paper's experimental section,
+printed to stdout so ``python benchmarks/bench_*.py`` output can be pasted
+straight into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_sweep", "print_header"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned monospace table."""
+    cells = [[_fmt(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in cells:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_sweep(
+    parameter: str,
+    rows,
+    algorithms: Sequence[str],
+    metric: str = "mean_ms",
+) -> str:
+    """Render a sweep (one row per parameter value, one column per algorithm).
+
+    ``metric`` is an :class:`AlgoMetrics` attribute or property name.
+    """
+    headers = [parameter] + list(algorithms)
+    table_rows = []
+    for row in rows:
+        cells = [row.value]
+        for algorithm in algorithms:
+            metrics = row.metrics.get(algorithm)
+            cells.append(getattr(metrics, metric) if metrics else "-")
+        table_rows.append(cells)
+    return format_table(headers, table_rows)
+
+
+def print_header(title: str, subtitle: str = "") -> None:
+    """Print an experiment banner."""
+    print()
+    print("=" * 72)
+    print(title)
+    if subtitle:
+        print(subtitle)
+    print("=" * 72)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,86 @@
+"""Seeded query workloads for the benchmarks.
+
+A UOTS query asks for places visitable in *one trip* plus a preference, so
+the workload samples each query around an **anchor trajectory** drawn from
+the dataset: the intended places are (a subset of) the anchor's vertices and
+the preference mixes the anchor's keywords with popular vocabulary terms —
+the "a traveler like the ones in the data" model.  A fraction of queries
+use uniformly random locations instead (the stress case where no trajectory
+matches well).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.bench.datasets import DatasetBundle
+from repro.core.query import UOTSQuery
+from repro.errors import DatasetError
+from repro.matching.ptm import PTMQuery
+
+__all__ = ["WorkloadConfig", "make_queries", "make_ptm_queries"]
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Parameters of a query workload."""
+
+    num_queries: int = 40
+    num_locations: int = 4
+    num_keywords: int = 4
+    lam: float = 0.5
+    k: int = 10
+    anchored_fraction: float = 0.9
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.num_queries < 1 or self.num_locations < 1:
+            raise DatasetError("need >= 1 query and >= 1 location")
+        if self.num_keywords < 0 or self.k < 1:
+            raise DatasetError("need num_keywords >= 0 and k >= 1")
+        if not (0.0 <= self.anchored_fraction <= 1.0):
+            raise DatasetError("anchored_fraction must be in [0, 1]")
+
+
+def make_queries(bundle: DatasetBundle, config: WorkloadConfig) -> list[UOTSQuery]:
+    """Generate a seeded batch of UOTS queries over ``bundle``."""
+    rng = random.Random(config.seed)
+    graph = bundle.graph
+    ids = bundle.trajectories.ids()
+    queries = []
+    for __ in range(config.num_queries):
+        anchored = rng.random() < config.anchored_fraction
+        locations: list[int] = []
+        keywords: list[str] = []
+        if anchored:
+            anchor = bundle.database.get(rng.choice(ids))
+            vertices = list(dict.fromkeys(anchor.vertices()))
+            locations = rng.sample(
+                vertices, min(config.num_locations, len(vertices))
+            )
+            keywords = list(anchor.keywords)[: config.num_keywords]
+        while len(locations) < config.num_locations:
+            candidate = rng.randrange(graph.num_vertices)
+            if candidate not in locations:
+                locations.append(candidate)
+        while len(keywords) < config.num_keywords:
+            term = bundle.vocabulary.sample(1, rng)[0]
+            if term not in keywords:
+                keywords.append(term)
+        queries.append(
+            UOTSQuery.create(locations, keywords, lam=config.lam, k=config.k)
+        )
+    return queries
+
+
+def make_ptm_queries(
+    bundle: DatasetBundle, count: int, lam: float = 0.5, k: int = 10, seed: int = 0
+) -> list[PTMQuery]:
+    """Matching queries: existing trajectories replayed as intents."""
+    rng = random.Random(seed)
+    ids = bundle.trajectories.ids()
+    return [
+        PTMQuery(bundle.database.get(rng.choice(ids)), lam=lam, k=k)
+        for __ in range(count)
+    ]

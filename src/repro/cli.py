@@ -1,0 +1,191 @@
+"""Command-line interface.
+
+``repro generate`` builds a synthetic dataset on disk, ``repro query`` runs
+one UOTS query against it, ``repro join`` runs a similarity self join, and
+``repro bench`` prints a quick benchmark battery — enough to exercise the
+whole system without writing Python.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.bench.datasets import build_bundle
+from repro.bench.harness import run_battery
+from repro.bench.reporting import format_table
+from repro.bench.workloads import WorkloadConfig, make_queries
+from repro.core.engine import ALGORITHMS, make_searcher
+from repro.core.query import UOTSQuery
+from repro.errors import ReproError
+from repro.index.database import TrajectoryDatabase
+from repro.join.tsjoin import TwoPhaseJoin
+from repro.network import io as network_io
+from repro.network.generators import grid_network, ring_radial_network
+from repro.text.assignment import annotate_trajectories, assign_vertex_keywords
+from repro.text.vocabulary import Vocabulary
+from repro.trajectory import io as trajectory_io
+from repro.trajectory.generator import generate_trips
+
+__all__ = ["main"]
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.topology == "grid":
+        side = max(2, int(round(args.vertices**0.5)))
+        graph = grid_network(side, side, seed=args.seed)
+    else:
+        radials = 24
+        rings = max(1, args.vertices // radials)
+        graph = ring_radial_network(rings, radials, seed=args.seed)
+    trips = generate_trips(graph, args.trajectories, seed=args.seed + 1)
+    vocabulary = Vocabulary.build(args.vocabulary, seed=args.seed + 2)
+    vertex_keywords = assign_vertex_keywords(graph, vocabulary, seed=args.seed + 3)
+    trips = annotate_trajectories(trips, vertex_keywords, seed=args.seed + 4)
+
+    out = Path(args.output)
+    out.mkdir(parents=True, exist_ok=True)
+    network_io.save_json(graph, out / "network.json")
+    trajectory_io.save_jsonl(trips, out / "trajectories.jsonl")
+    print(f"wrote {out / 'network.json'} (|V|={graph.num_vertices})")
+    print(f"wrote {out / 'trajectories.jsonl'} (|P|={len(trips)})")
+    return 0
+
+
+def _load_database(directory: str) -> TrajectoryDatabase:
+    base = Path(directory)
+    graph = network_io.load_json(base / "network.json")
+    trips = trajectory_io.load_jsonl(base / "trajectories.jsonl")
+    return TrajectoryDatabase(graph, trips)
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    database = _load_database(args.data)
+    query = UOTSQuery.create(
+        locations=[int(v) for v in args.locations.split(",")],
+        preference=args.preference,
+        lam=args.lam,
+        k=args.k,
+    )
+    searcher = make_searcher(database, args.algorithm)
+    result = searcher.search(query)
+    rows = [
+        (item.trajectory_id, f"{item.score:.4f}",
+         f"{item.spatial_similarity:.4f}", f"{item.text_similarity:.4f}")
+        for item in result.items
+    ]
+    print(format_table(["trajectory", "score", "spatial", "text"], rows))
+    print(
+        f"visited={result.stats.visited_trajectories} "
+        f"expanded={result.stats.expanded_vertices} "
+        f"time={result.stats.elapsed_seconds * 1000:.1f}ms"
+    )
+    return 0
+
+
+def _cmd_join(args: argparse.Namespace) -> int:
+    database = _load_database(args.data)
+    result = TwoPhaseJoin(database, lam=args.lam).self_join(args.theta)
+    for id1, id2, score in result.pairs[:50]:
+        print(f"({id1}, {id2})  SimST={score:.4f}")
+    print(f"{len(result.pairs)} pairs, candidates={result.candidate_pairs}, "
+          f"time={result.stats.elapsed_seconds:.2f}s")
+    return 0
+
+
+def _cmd_visualize(args: argparse.Namespace) -> int:
+    from repro.viz.maps import draw_search_result
+
+    database = _load_database(args.data)
+    query = UOTSQuery.create(
+        locations=[int(v) for v in args.locations.split(",")],
+        preference=args.preference,
+        lam=args.lam,
+        k=args.k,
+    )
+    result = make_searcher(database, "collaborative").search(query)
+    canvas = draw_search_result(
+        database.graph, query.locations, result, database.get
+    )
+    canvas.save(args.output)
+    print(f"wrote {args.output} ({len(result.items)} result trajectories)")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    bundle = build_bundle(args.dataset, seed=args.seed)
+    print(bundle.describe())
+    queries = make_queries(bundle, WorkloadConfig(num_queries=args.queries))
+    battery = run_battery(bundle, queries, list(ALGORITHMS))
+    rows = [
+        (name, f"{m.mean_ms:.1f}", f"{m.mean_visited:.0f}",
+         f"{m.candidate_ratio(len(bundle.database)):.3f}")
+        for name, m in battery.items()
+    ]
+    print(format_table(["algorithm", "mean ms", "visited", "cand. ratio"], rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="User-oriented trajectory search for trip recommendation",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="generate a synthetic dataset")
+    p.add_argument("--output", required=True, help="output directory")
+    p.add_argument("--topology", choices=["grid", "ring"], default="ring")
+    p.add_argument("--vertices", type=int, default=2000)
+    p.add_argument("--trajectories", type=int, default=1000)
+    p.add_argument("--vocabulary", type=int, default=120)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_generate)
+
+    p = sub.add_parser("query", help="run one UOTS query")
+    p.add_argument("--data", required=True, help="dataset directory")
+    p.add_argument("--locations", required=True, help="comma-separated vertex ids")
+    p.add_argument("--preference", default="", help="free-text preference")
+    p.add_argument("--lam", type=float, default=0.5)
+    p.add_argument("--k", type=int, default=5)
+    p.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="collaborative")
+    p.set_defaults(func=_cmd_query)
+
+    p = sub.add_parser("join", help="run a trajectory similarity self join")
+    p.add_argument("--data", required=True, help="dataset directory")
+    p.add_argument("--theta", type=float, default=1.9)
+    p.add_argument("--lam", type=float, default=0.5)
+    p.set_defaults(func=_cmd_join)
+
+    p = sub.add_parser("visualize", help="render a query result to SVG")
+    p.add_argument("--data", required=True, help="dataset directory")
+    p.add_argument("--locations", required=True, help="comma-separated vertex ids")
+    p.add_argument("--preference", default="", help="free-text preference")
+    p.add_argument("--lam", type=float, default=0.5)
+    p.add_argument("--k", type=int, default=3)
+    p.add_argument("--output", required=True, help="SVG file to write")
+    p.set_defaults(func=_cmd_visualize)
+
+    p = sub.add_parser("bench", help="quick algorithm battery")
+    p.add_argument("--dataset", choices=["brn", "nrn"], default="brn")
+    p.add_argument("--queries", type=int, default=20)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_bench)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for the ``repro`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

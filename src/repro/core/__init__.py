@@ -1,0 +1,52 @@
+"""The UOTS core: query model, similarity, bounds, schedulers, searchers."""
+
+from repro.core.baselines import BruteForceSearcher, TextFirstSearcher
+from repro.core.bounds import BoundTracker, SourceRadiiWeights
+from repro.core.engine import ALGORITHMS, Recommendation, TripRecommender, make_searcher
+from repro.core.query import UOTSQuery
+from repro.core.results import ScoredTrajectory, SearchResult, SearchStats, TopK
+from repro.core.scheduler import (
+    HeuristicScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+    make_scheduler,
+)
+from repro.core.search import CollaborativeSearcher, SpatialFirstSearcher
+from repro.core.similarity import (
+    ExactScorer,
+    combine,
+    nearest_trajectory_distance,
+    spatial_similarity,
+    text_similarity,
+)
+from repro.core.sources import QuerySource, current_radii_weights, make_sources
+
+__all__ = [
+    "ALGORITHMS",
+    "BoundTracker",
+    "BruteForceSearcher",
+    "CollaborativeSearcher",
+    "ExactScorer",
+    "HeuristicScheduler",
+    "QuerySource",
+    "Recommendation",
+    "RoundRobinScheduler",
+    "Scheduler",
+    "ScoredTrajectory",
+    "SearchResult",
+    "SearchStats",
+    "SourceRadiiWeights",
+    "SpatialFirstSearcher",
+    "TextFirstSearcher",
+    "TopK",
+    "TripRecommender",
+    "UOTSQuery",
+    "combine",
+    "current_radii_weights",
+    "make_scheduler",
+    "make_searcher",
+    "make_sources",
+    "nearest_trajectory_distance",
+    "spatial_similarity",
+    "text_similarity",
+]

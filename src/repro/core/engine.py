@@ -1,0 +1,95 @@
+"""High-level facade: the trip recommender.
+
+Wraps a :class:`TrajectoryDatabase` and a searcher behind the interface the
+paper's motivating application needs: "here are the places I want to pass
+and what I like — recommend me trips".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.baselines import BruteForceSearcher, TextFirstSearcher
+from repro.core.query import UOTSQuery
+from repro.core.results import SearchResult
+from repro.core.search import CollaborativeSearcher, SpatialFirstSearcher
+from repro.errors import QueryError
+from repro.index.database import TrajectoryDatabase
+from repro.trajectory.model import Trajectory
+
+__all__ = ["Recommendation", "TripRecommender", "make_searcher", "ALGORITHMS"]
+
+#: Algorithm registry: name -> searcher factory.
+ALGORITHMS = {
+    "collaborative": lambda db: CollaborativeSearcher(db, scheduler="heuristic"),
+    "collaborative-rr": lambda db: CollaborativeSearcher(db, scheduler="round-robin"),
+    "collaborative-nr": lambda db: CollaborativeSearcher(db, refinement=False),
+    "spatial-first": SpatialFirstSearcher,
+    "text-first": TextFirstSearcher,
+    "brute-force": BruteForceSearcher,
+}
+
+
+def make_searcher(database: TrajectoryDatabase, algorithm: str = "collaborative"):
+    """Instantiate a registered searcher by name."""
+    try:
+        factory = ALGORITHMS[algorithm]
+    except KeyError:
+        raise QueryError(
+            f"unknown algorithm {algorithm!r}; choose from {sorted(ALGORITHMS)}"
+        ) from None
+    return factory(database)
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """A recommended trip, hydrated with the trajectory object."""
+
+    trajectory: Trajectory
+    score: float
+    spatial_similarity: float
+    text_similarity: float
+
+
+class TripRecommender:
+    """User-facing trip recommendation over a trajectory database."""
+
+    def __init__(self, database: TrajectoryDatabase, algorithm: str = "collaborative"):
+        self._database = database
+        self._searcher = make_searcher(database, algorithm)
+
+    @property
+    def database(self) -> TrajectoryDatabase:
+        """The underlying trajectory database."""
+        return self._database
+
+    def recommend(
+        self,
+        locations: Iterable[int],
+        preference: Iterable[str] | str = (),
+        lam: float = 0.5,
+        k: int = 3,
+        text_measure: str = "jaccard",
+    ) -> list[Recommendation]:
+        """Recommend ``k`` trips passing near ``locations`` matching ``preference``.
+
+        ``preference`` accepts free-form text ("lakeside walk then seafood")
+        or an iterable of keywords.
+        """
+        result = self.search(
+            UOTSQuery.create(locations, preference, lam=lam, k=k, text_measure=text_measure)
+        )
+        return [
+            Recommendation(
+                trajectory=self._database.get(item.trajectory_id),
+                score=item.score,
+                spatial_similarity=item.spatial_similarity,
+                text_similarity=item.text_similarity,
+            )
+            for item in result.items
+        ]
+
+    def search(self, query: UOTSQuery) -> SearchResult:
+        """Run a fully specified :class:`UOTSQuery`."""
+        return self._searcher.search(query)

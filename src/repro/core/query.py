@@ -1,0 +1,102 @@
+"""The UOTS query model.
+
+A user-oriented trajectory search query combines the traveler's *intended
+places* (vertices of the spatial network they want their trip to pass near)
+with their *textual preference* (keywords describing the kind of trip), a
+preference weight ``lam`` between the two domains, and a result size ``k``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.errors import QueryError
+from repro.network.graph import SpatialNetwork
+from repro.text.analysis import normalize_keywords
+from repro.text.similarity import get_measure
+
+__all__ = ["UOTSQuery"]
+
+
+@dataclass(frozen=True)
+class UOTSQuery:
+    """A user-oriented trajectory search query ``q = (O, T, lam, k)``.
+
+    Attributes
+    ----------
+    locations:
+        The intended places ``q.O`` — vertex ids of the spatial network.
+        At least one; duplicates are rejected (they would double-count a
+        place in the spatial similarity).
+    keywords:
+        The preference keywords ``q.T`` (may be empty: a purely spatial
+        query).
+    lam:
+        Weight of the spatial domain; ``1 - lam`` weighs the textual domain.
+    k:
+        Number of trajectories to return.
+    text_measure:
+        Name of the textual similarity ("jaccard", "dice", "overlap",
+        "cosine").
+    """
+
+    locations: tuple[int, ...]
+    keywords: frozenset[str] = frozenset()
+    lam: float = 0.5
+    k: int = 1
+    text_measure: str = "jaccard"
+
+    def __post_init__(self):
+        if not self.locations:
+            raise QueryError("a query needs at least one intended location")
+        if len(set(self.locations)) != len(self.locations):
+            raise QueryError(f"duplicate query locations in {self.locations}")
+        if not (0.0 <= self.lam <= 1.0):
+            raise QueryError(f"lam must be in [0, 1], got {self.lam}")
+        if self.k < 1:
+            raise QueryError(f"k must be >= 1, got {self.k}")
+        get_measure(self.text_measure)  # validates the name eagerly
+
+    @classmethod
+    def create(
+        cls,
+        locations: Iterable[int],
+        preference: Iterable[str] | str = (),
+        lam: float = 0.5,
+        k: int = 1,
+        text_measure: str = "jaccard",
+    ) -> "UOTSQuery":
+        """Build a query from user-level inputs.
+
+        ``preference`` accepts either a keyword iterable or a free-form
+        string ("quiet lakeside walk then seafood"), which is tokenised and
+        stop-word filtered.
+        """
+        return cls(
+            locations=tuple(locations),
+            keywords=normalize_keywords(preference),
+            lam=lam,
+            k=k,
+            text_measure=text_measure,
+        )
+
+    def validate_against(self, graph: SpatialNetwork) -> None:
+        """Check that every query location exists in ``graph``."""
+        for location in self.locations:
+            if not (0 <= location < graph.num_vertices):
+                raise QueryError(
+                    f"query location {location} is not a vertex of the network "
+                    f"(|V|={graph.num_vertices})"
+                )
+
+    @property
+    def num_locations(self) -> int:
+        """``|q.O|`` — the number of intended places."""
+        return len(self.locations)
+
+    def __repr__(self) -> str:
+        return (
+            f"UOTSQuery(|O|={len(self.locations)}, T={sorted(self.keywords)!r}, "
+            f"lam={self.lam}, k={self.k}, measure={self.text_measure})"
+        )

@@ -1,0 +1,129 @@
+"""Result and statistics types shared by all searchers."""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+__all__ = ["ScoredTrajectory", "SearchStats", "SearchResult", "TopK"]
+
+
+@dataclass(frozen=True, slots=True)
+class ScoredTrajectory:
+    """One recommended trajectory with its similarity decomposition."""
+
+    trajectory_id: int
+    score: float
+    spatial_similarity: float
+    text_similarity: float
+
+    def __lt__(self, other: "ScoredTrajectory") -> bool:
+        # Higher score first; ties broken by lower id for determinism.
+        if self.score != other.score:
+            return self.score > other.score
+        return self.trajectory_id < other.trajectory_id
+
+
+@dataclass
+class SearchStats:
+    """Work counters, the paper's efficiency metrics.
+
+    ``visited_trajectories`` counts distinct trajectories whose similarity
+    state was materialised during the search (the paper's "number of visited
+    trajectories", a proxy for data accesses); ``expanded_vertices`` counts
+    Dijkstra settle operations across all query sources;
+    ``similarity_evaluations`` counts exact spatiotemporal/spatial-textual
+    scoring calls; ``pruned_trajectories`` counts trajectories eliminated by
+    bounds without exact evaluation.
+    """
+
+    visited_trajectories: int = 0
+    expanded_vertices: int = 0
+    similarity_evaluations: int = 0
+    pruned_trajectories: int = 0
+    text_candidates: int = 0
+    elapsed_seconds: float = 0.0
+
+    def merge(self, other: "SearchStats") -> None:
+        """Accumulate another stats record into this one (for batch runs)."""
+        self.visited_trajectories += other.visited_trajectories
+        self.expanded_vertices += other.expanded_vertices
+        self.similarity_evaluations += other.similarity_evaluations
+        self.pruned_trajectories += other.pruned_trajectories
+        self.text_candidates += other.text_candidates
+        self.elapsed_seconds += other.elapsed_seconds
+
+
+@dataclass
+class SearchResult:
+    """Ranked output of one search plus its work counters."""
+
+    items: list[ScoredTrajectory]
+    stats: SearchStats = field(default_factory=SearchStats)
+
+    @property
+    def ids(self) -> list[int]:
+        """Result trajectory ids, best first."""
+        return [item.trajectory_id for item in self.items]
+
+    @property
+    def scores(self) -> list[float]:
+        """Result scores, best first."""
+        return [item.score for item in self.items]
+
+    def best(self) -> ScoredTrajectory | None:
+        """The top-ranked item, or ``None`` for an empty result."""
+        return self.items[0] if self.items else None
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+class TopK:
+    """A bounded max-result collector with a monotone admission threshold.
+
+    Keeps the ``k`` best :class:`ScoredTrajectory` items seen so far.  Ties
+    at the admission boundary are broken toward lower trajectory ids so that
+    every correct algorithm returns an identical ranking.
+    """
+
+    def __init__(self, k: int):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self._k = k
+        # Min-heap on (score, -id): the worst kept item sits at heap[0].
+        self._heap: list[tuple[float, int, ScoredTrajectory]] = []
+
+    def offer(self, item: ScoredTrajectory) -> bool:
+        """Consider an item; returns whether it was admitted."""
+        entry = (item.score, -item.trajectory_id, item)
+        if len(self._heap) < self._k:
+            heapq.heappush(self._heap, entry)
+            return True
+        if entry > self._heap[0]:
+            heapq.heapreplace(self._heap, entry)
+            return True
+        return False
+
+    @property
+    def full(self) -> bool:
+        """Whether ``k`` items have been collected."""
+        return len(self._heap) >= self._k
+
+    @property
+    def threshold(self) -> float:
+        """Score of the current k-th best item (``-inf`` until full).
+
+        A candidate whose upper bound is below (or ties, losing on id) this
+        threshold can never enter the result.
+        """
+        if not self.full:
+            return float("-inf")
+        return self._heap[0][0]
+
+    def ranked(self) -> list[ScoredTrajectory]:
+        """The kept items, best first."""
+        return sorted((entry[2] for entry in self._heap))
+
+    def __len__(self) -> int:
+        return len(self._heap)

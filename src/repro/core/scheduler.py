@@ -1,0 +1,127 @@
+"""Query-source scheduling strategies.
+
+The search interleaves expansions from several query sources; *which* source
+expands next matters.  The paper's heuristic gives each source a priority
+label equal to the summed similarity upper bounds of the partly scanned
+trajectories that source has *not yet* reached — expanding the top-labelled
+source is the fastest way to turn partly scanned trajectories into fully
+scanned ones (whose exact score can then tighten the termination test).
+The round-robin strategy is kept as the ablation ("w/o-h" in the paper
+family's plots).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.core.bounds import BoundTracker, SourceRadiiWeights
+from repro.core.sources import QuerySource
+from repro.errors import QueryError
+
+__all__ = ["Scheduler", "RoundRobinScheduler", "HeuristicScheduler", "make_scheduler"]
+
+
+class Scheduler(Protocol):
+    """Strategy interface: pick the next source to expand."""
+
+    def select(
+        self,
+        sources: list[QuerySource],
+        tracker: BoundTracker,
+        radii_weights: SourceRadiiWeights,
+    ) -> QuerySource | None:
+        """The next source to expand, or ``None`` when all are exhausted."""
+
+
+class RoundRobinScheduler:
+    """Cycle through the non-exhausted sources in index order."""
+
+    def __init__(self):
+        self._next = 0
+
+    def select(
+        self,
+        sources: list[QuerySource],
+        tracker: BoundTracker,
+        radii_weights: SourceRadiiWeights,
+    ) -> QuerySource | None:
+        for offset in range(len(sources)):
+            source = sources[(self._next + offset) % len(sources)]
+            if not source.exhausted:
+                self._next = (source.index + 1) % len(sources)
+                return source
+        return None
+
+
+class HeuristicScheduler:
+    """The paper's margin heuristic.
+
+    ``label(q) = sum of SimST-upper-bounds of partly scanned trajectories
+    not yet scanned from q``: a high label means many promising trajectories
+    are one hit away from completion via this source.  Falls back to the
+    least-advanced (smallest-radius) source when nothing is partly scanned,
+    which keeps the global radii bound shrinking evenly.
+
+    Labels are recomputed every ``refresh_every`` selections (the chosen
+    source is kept in between) and estimated from at most ``sample_cap``
+    partly scanned trajectories; both knobs trade scheduling fidelity for
+    bookkeeping cost and affect only efficiency, never correctness.
+    """
+
+    def __init__(self, refresh_every: int = 4, sample_cap: int = 512):
+        if refresh_every < 1 or sample_cap < 1:
+            raise QueryError("refresh_every and sample_cap must be >= 1")
+        self._refresh_every = refresh_every
+        self._sample_cap = sample_cap
+        self._calls = 0
+        self._cached: QuerySource | None = None
+
+    def select(
+        self,
+        sources: list[QuerySource],
+        tracker: BoundTracker,
+        radii_weights: SourceRadiiWeights,
+    ) -> QuerySource | None:
+        cached = self._cached
+        if (
+            cached is not None
+            and not cached.exhausted
+            and self._calls % self._refresh_every != 0
+        ):
+            self._calls += 1
+            return cached
+        self._calls += 1
+
+        alive = [s for s in sources if not s.exhausted]
+        if not alive:
+            self._cached = None
+            return None
+        labels = {s.index: 0.0 for s in alive}
+        alive_indexes = set(labels)
+        examined = 0
+        for __, known_sources, known_weight, text in tracker.active_items():
+            if examined >= self._sample_cap:
+                break
+            examined += 1
+            missing = alive_indexes - known_sources
+            if not missing:
+                continue
+            bound = tracker.upper_bound_given(
+                known_sources, known_weight, text, radii_weights
+            )
+            for index in missing:
+                labels[index] += bound
+        best = max(alive, key=lambda s: (labels[s.index], -s.radius, -s.index))
+        if labels[best.index] <= 0.0:
+            best = min(alive, key=lambda s: (s.radius, s.index))
+        self._cached = best
+        return best
+
+
+def make_scheduler(name: str) -> Scheduler:
+    """Scheduler factory: ``"heuristic"`` or ``"round-robin"``."""
+    if name == "heuristic":
+        return HeuristicScheduler()
+    if name == "round-robin":
+        return RoundRobinScheduler()
+    raise QueryError(f"unknown scheduler {name!r}; choose 'heuristic' or 'round-robin'")

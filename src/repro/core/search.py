@@ -1,0 +1,316 @@
+"""The collaborative spatial-textual expansion search (the UOTS algorithm).
+
+The search explores the spatial and textual domains together:
+
+1. the textual domain is resolved up front from the keyword inverted index
+   (exact ``SimT`` for every trajectory sharing a keyword; zero elsewhere);
+2. the spatial domain is explored by interleaved incremental expansions from
+   the query locations, under a scheduling strategy;
+3. similarity upper bounds over partly scanned and unseen trajectories
+   (:mod:`repro.core.bounds`) drive the termination test: once the k-th best
+   exact score dominates the global bound, everything not fully scanned is
+   pruned wholesale.
+
+``SpatialFirstSearcher`` is the ablation that refuses to use text during
+search (text enters only at refinement), which demonstrates the value of the
+textual collaboration; the round-robin scheduler option is the ablation for
+the scheduling heuristic.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+from repro.core.bounds import BoundTracker
+from repro.core.query import UOTSQuery
+from repro.core.results import ScoredTrajectory, SearchResult, SearchStats, TopK
+from repro.core.scheduler import Scheduler, make_scheduler
+from repro.core.similarity import (
+    combine,
+    spatial_similarity,
+    trajectory_to_locations_distances,
+)
+from repro.core.sources import current_radii_weights, make_sources
+from repro.index.database import TrajectoryDatabase
+from repro.text.similarity import get_measure
+
+__all__ = ["CollaborativeSearcher", "SpatialFirstSearcher"]
+
+_EPS = 1e-9
+
+
+class CollaborativeSearcher:
+    """Top-k UOTS search with spatial-textual pruning.
+
+    Parameters
+    ----------
+    database:
+        The indexed trajectory database to search.
+    scheduler:
+        ``"heuristic"`` (the paper's strategy, default), ``"round-robin"``
+        (the w/o-h ablation), or a custom :class:`Scheduler`.
+    batch_size:
+        Expansion steps granted to the selected source between scheduler and
+        termination re-evaluations.
+    """
+
+    #: Whether textual similarities participate in the search bounds.
+    use_text_in_bounds: bool = True
+
+    #: Whether blocked candidates are resolved by direct refinement (one
+    #: distance-transform Dijkstra) instead of waiting for every expansion
+    #: to reach them.  The spatial-first ablation turns this off.
+    use_refinement: bool = True
+
+    def __init__(
+        self,
+        database: TrajectoryDatabase,
+        scheduler: str | Scheduler = "heuristic",
+        batch_size: int = 16,
+        refinement: bool | None = None,
+    ):
+        """``refinement=None`` keeps the class default (on for the
+        collaborative search, off for the spatial-first ablation)."""
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self._database = database
+        self._scheduler_spec = scheduler
+        self._batch_size = batch_size
+        if refinement is not None:
+            self.use_refinement = refinement
+
+    # ----------------------------------------------------------------- API
+    def search(self, query: UOTSQuery) -> SearchResult:
+        """Run the query and return the exact top-k with work counters."""
+        database = self._database
+        query.validate_against(database.graph)
+        started = time.perf_counter()
+        stats = SearchStats()
+
+        if self.use_text_in_bounds or query.lam == 0.0:
+            text_scores = self._exact_text_scores(query, stats)
+        else:
+            text_scores = {}  # spatial-first defers all text evaluation
+        if query.lam == 0.0:
+            result = self._text_only(query, text_scores, stats)
+            result.stats.elapsed_seconds = time.perf_counter() - started
+            return result
+
+        scheduler = (
+            make_scheduler(self._scheduler_spec)
+            if isinstance(self._scheduler_spec, str)
+            else self._scheduler_spec
+        )
+        tracker = self._make_tracker(query, text_scores)
+        sources = make_sources(database.graph, query.locations)
+        topk = TopK(query.k)
+        measure = get_measure(query.text_measure)
+
+        lam = query.lam
+        alpha = lam / query.num_locations  # per-source score weight
+
+        def finalize_exact(trajectory_id: int, spatial: float, text_hint: float) -> None:
+            if self.use_text_in_bounds:
+                text = text_hint
+            else:  # spatial-first: text evaluated only now, at refinement
+                text = measure(
+                    query.keywords, database.get(trajectory_id).keywords
+                )
+            stats.similarity_evaluations += 1
+            topk.offer(
+                ScoredTrajectory(
+                    trajectory_id=trajectory_id,
+                    score=combine(lam, spatial, text),
+                    spatial_similarity=spatial,
+                    text_similarity=text,
+                )
+            )
+
+        def finalize(trajectory_id: int, weight_sum: float, text_from_tracker: float) -> None:
+            finalize_exact(trajectory_id, weight_sum / lam, text_from_tracker)
+
+        def refine(trajectory_id: int, text_hint: float) -> None:
+            """Resolve one blocked candidate exactly: a single multi-source
+            Dijkstra from the candidate's vertices prices every query
+            location at once (stopping as soon as all are settled)."""
+            tracker.finish(trajectory_id)
+            distances = trajectory_to_locations_distances(
+                database.graph,
+                database.get(trajectory_id).vertex_set,
+                query.locations,
+            )
+            finalize_exact(
+                trajectory_id,
+                spatial_similarity(distances, query.num_locations, sigma),
+                text_hint,
+            )
+
+        vertex_index = database.vertex_index
+        sigma = database.sigma
+        terminated_early = False
+        while True:
+            radii_weights = current_radii_weights(sources, sigma, alpha)
+            if topk.full:
+                threshold = topk.threshold
+                unseen = tracker.unseen_upper_bound(radii_weights)
+                best_bound, best_id = tracker.best_active_bound(radii_weights)
+                if max(unseen, best_bound) <= threshold + _EPS:
+                    terminated_early = True
+                    break
+                if self.use_refinement:
+                    # A candidate whose irreducible bound (known + text)
+                    # already beats the threshold can never be pruned by
+                    # more expansion — evaluate it exactly instead.
+                    if (
+                        best_id is not None
+                        and tracker.irreducible_bound_of(best_id) > threshold + _EPS
+                    ):
+                        refine(best_id, tracker.text_score(best_id))
+                        continue
+                    text_score, text_id = tracker.best_unseen_text_candidate()
+                    if (
+                        text_id is not None
+                        and (1.0 - lam) * text_score > threshold + _EPS
+                    ):
+                        refine(text_id, text_score)
+                        continue
+            source = scheduler.select(sources, tracker, radii_weights)
+            if source is None:
+                break  # every component fully settled
+            for __ in range(self._batch_size):
+                step = source.expand()
+                if step is None:
+                    for item in tracker.mark_source_exhausted(source.index):
+                        finalize(*item)
+                    break
+                vertex, distance = step
+                stats.expanded_vertices += 1
+                hit_weight = alpha * math.exp(-distance / sigma)
+                for trajectory_id in vertex_index.trajectories_at(vertex):
+                    completed = tracker.record_hit(
+                        trajectory_id, source.index, hit_weight, radii_weights
+                    )
+                    if completed is not None:
+                        finalize(trajectory_id, *completed)
+
+        if not terminated_early:
+            self._drain_at_exhaustion(query, tracker, text_scores, finalize, topk)
+
+        stats.visited_trajectories = tracker.num_seen
+        stats.pruned_trajectories = len(database) - stats.similarity_evaluations
+        stats.elapsed_seconds = time.perf_counter() - started
+        return SearchResult(items=topk.ranked(), stats=stats)
+
+    # -------------------------------------------------------------- pieces
+    def _exact_text_scores(
+        self, query: UOTSQuery, stats: SearchStats
+    ) -> dict[int, float]:
+        """Exact textual similarity for every keyword-sharing trajectory."""
+        index = self._database.keyword_index
+        measure = get_measure(query.text_measure)
+        scores = {}
+        for trajectory_id in index.candidates(query.keywords):
+            score = measure(query.keywords, index.keywords_of(trajectory_id))
+            if score > 0.0:
+                scores[trajectory_id] = score
+        stats.text_candidates = len(scores)
+        return scores
+
+    def _make_tracker(
+        self, query: UOTSQuery, text_scores: dict[int, float]
+    ) -> BoundTracker:
+        return BoundTracker(
+            num_sources=query.num_locations,
+            text_weight=1.0 - query.lam,
+            text_scores=text_scores,
+        )
+
+    def _text_only(
+        self, query: UOTSQuery, text_scores: dict[int, float], stats: SearchStats
+    ) -> SearchResult:
+        """Fast path for ``lam == 0``: the ranking is the text ranking."""
+        topk = TopK(query.k)
+        for trajectory_id, text in text_scores.items():
+            stats.similarity_evaluations += 1
+            topk.offer(
+                ScoredTrajectory(trajectory_id, text * (1.0 - query.lam), 0.0, text)
+            )
+        self._zero_fill(topk, stats, exclude=text_scores.keys())
+        stats.visited_trajectories = len(text_scores)
+        stats.pruned_trajectories = len(self._database) - stats.similarity_evaluations
+        return SearchResult(items=topk.ranked(), stats=stats)
+
+    def _drain_at_exhaustion(self, query, tracker, text_scores, finalize, topk) -> None:
+        """Every source is exhausted: all remaining scores are now exact.
+
+        Partly scanned trajectories keep their accumulated spatial weight
+        (missing sources are unreachable, contributing zero); spatially
+        unseen trajectories have zero spatial similarity, so only those with
+        positive text can score, plus zero-score filler if k exceeds the
+        number of scoring trajectories.
+        """
+        for trajectory_id, known_weight, text in list(tracker.active_states()):
+            finalize(trajectory_id, known_weight, text)
+        candidate_ids = (
+            text_scores
+            if self.use_text_in_bounds
+            else self._database.keyword_index.candidates(query.keywords)
+        )
+        for trajectory_id in candidate_ids:
+            if not tracker.is_seen(trajectory_id):
+                finalize(trajectory_id, 0.0, text_scores.get(trajectory_id, 0.0))
+        if not topk.full:
+            stats_probe = SearchStats()  # zero-fill shouldn't inflate counters
+            self._zero_fill(
+                topk,
+                stats_probe,
+                exclude={
+                    item.trajectory_id for item in topk.ranked()
+                },
+            )
+
+    def _zero_fill(self, topk: TopK, stats: SearchStats, exclude) -> None:
+        """Fill an underfull result with (deterministic) zero-score items."""
+        if topk.full:
+            return
+        for trajectory_id in sorted(self._database.trajectories.ids()):
+            if topk.full:
+                break
+            if trajectory_id in exclude:
+                continue
+            topk.offer(ScoredTrajectory(trajectory_id, 0.0, 0.0, 0.0))
+
+
+class SpatialFirstSearcher(CollaborativeSearcher):
+    """Expansion search without textual collaboration (baseline).
+
+    Textual similarity is evaluated only when a trajectory is refined; the
+    search bounds must therefore assume the maximal text score (1) for every
+    unrefined trajectory whenever the query carries keywords, which weakens
+    pruning exactly as the paper argues.  Direct refinement is disabled too:
+    this ablation is the pure expansion strategy.
+    """
+
+    use_text_in_bounds = False
+    use_refinement = False
+
+    def __init__(
+        self,
+        database: TrajectoryDatabase,
+        scheduler: str | Scheduler = "round-robin",
+        batch_size: int = 16,
+    ):
+        super().__init__(database, scheduler, batch_size)
+
+    def _make_tracker(
+        self, query: UOTSQuery, text_scores: dict[int, float]
+    ) -> BoundTracker:
+        text_bound = 1.0 if query.keywords else 0.0
+        return BoundTracker(
+            num_sources=query.num_locations,
+            text_weight=1.0 - query.lam,
+            text_scores={},
+            default_text=text_bound,
+            unseen_text_override=text_bound,
+        )

@@ -1,0 +1,68 @@
+"""Query sources: one incremental expansion per intended place.
+
+A *query source* is the paper family's name for a point the search expands
+from — here, one of the query's intended locations in the spatial domain.
+The scheduler (see :mod:`repro.core.scheduler`) decides which source gets to
+expand next.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.bounds import SourceRadiiWeights
+from repro.network.expansion import IncrementalExpansion
+from repro.network.graph import SpatialNetwork
+
+__all__ = ["QuerySource", "make_sources", "current_radii_weights"]
+
+
+class QuerySource:
+    """One query location with its resumable network expansion."""
+
+    __slots__ = ("index", "location", "expansion")
+
+    def __init__(self, index: int, location: int, graph: SpatialNetwork):
+        self.index = index
+        self.location = location
+        self.expansion = IncrementalExpansion(graph, location)
+
+    @property
+    def radius(self) -> float:
+        """Current expansion radius (``inf`` when exhausted)."""
+        return self.expansion.radius
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether the reachable component is fully settled."""
+        return self.expansion.exhausted
+
+    def expand(self) -> tuple[int, float] | None:
+        """Settle and return the next vertex, or ``None`` at exhaustion."""
+        return self.expansion.expand()
+
+    def __repr__(self) -> str:
+        return (
+            f"QuerySource(index={self.index}, location={self.location}, "
+            f"radius={self.radius:.2f})"
+        )
+
+
+def make_sources(graph: SpatialNetwork, locations: tuple[int, ...]) -> list[QuerySource]:
+    """One :class:`QuerySource` per query location, in query order."""
+    return [QuerySource(i, loc, graph) for i, loc in enumerate(locations)]
+
+
+def current_radii_weights(
+    sources: list[QuerySource], sigma: float, alpha: float
+) -> SourceRadiiWeights:
+    """Frontier contributions ``alpha * exp(-r_i / sigma)`` for current radii.
+
+    ``alpha`` is the per-source score weight (``lam / |O|`` for a UOTS
+    query); exhausted sources contribute zero.
+    """
+    weights = []
+    for source in sources:
+        r = source.radius
+        weights.append(0.0 if r == float("inf") else alpha * math.exp(-r / sigma))
+    return SourceRadiiWeights(weights)

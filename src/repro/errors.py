@@ -1,0 +1,52 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the library."""
+
+
+class GraphError(ReproError):
+    """Raised for malformed spatial networks (bad vertices, edges, weights)."""
+
+
+class VertexNotFoundError(GraphError):
+    """Raised when an operation references a vertex id outside the graph."""
+
+    def __init__(self, vertex: int, num_vertices: int):
+        self.vertex = vertex
+        self.num_vertices = num_vertices
+        super().__init__(
+            f"vertex {vertex} does not exist (graph has {num_vertices} vertices)"
+        )
+
+
+class DisconnectedError(GraphError):
+    """Raised when a path is requested between disconnected vertices."""
+
+    def __init__(self, source: int, target: int):
+        self.source = source
+        self.target = target
+        super().__init__(f"no path between vertex {source} and vertex {target}")
+
+
+class TrajectoryError(ReproError):
+    """Raised for malformed trajectories (empty, unordered timestamps, ...)."""
+
+
+class QueryError(ReproError):
+    """Raised for invalid query specifications (bad lambda, empty locations...)."""
+
+
+class IndexError_(ReproError):
+    """Raised for index inconsistencies (duplicate ids, unknown trajectory)."""
+
+
+class DatasetError(ReproError):
+    """Raised when dataset generation or loading fails."""

@@ -1,0 +1,12 @@
+"""Trajectory indexing: vertex postings, temporal grid, database facade."""
+
+from repro.index.database import TrajectoryDatabase
+from repro.index.temporal_index import TemporalGridIndex, TemporalNode
+from repro.index.vertex_index import VertexTrajectoryIndex
+
+__all__ = [
+    "TemporalGridIndex",
+    "TemporalNode",
+    "TrajectoryDatabase",
+    "VertexTrajectoryIndex",
+]

@@ -1,0 +1,186 @@
+"""Hierarchical temporal grid index over the 24-hour axis.
+
+The temporal-first join baseline and the PTM extension organise trajectories
+by time: the day is partitioned into equal leaf slots, a binary tree is built
+bottom-up over the slots, and each trajectory is stored in the *lowest* node
+whose time range fully covers the trajectory's ``[departure, arrival]``
+range.  Deletion simply removes the entry; the structure itself is static.
+
+Nodes are addressed as ``(level, index)`` with leaves at level 0.  A level
+with an odd node count gives its last node a single-child parent, so every
+tree has exactly one root.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import IndexError_
+from repro.trajectory.model import DAY_SECONDS, Trajectory
+
+__all__ = ["TemporalNode", "TemporalGridIndex"]
+
+
+@dataclass
+class TemporalNode:
+    """One node of the temporal grid tree."""
+
+    level: int
+    index: int
+    lo: float
+    hi: float
+    trajectory_ids: set[int] = field(default_factory=set)
+
+    @property
+    def key(self) -> tuple[int, int]:
+        """The node's ``(level, index)`` address."""
+        return (self.level, self.index)
+
+    def covers(self, lo: float, hi: float) -> bool:
+        """Whether ``[lo, hi]`` lies inside this node's range."""
+        return self.lo <= lo and hi <= self.hi
+
+    def __repr__(self) -> str:
+        return (
+            f"TemporalNode(level={self.level}, index={self.index}, "
+            f"range=[{self.lo:.0f}, {self.hi:.0f}), size={len(self.trajectory_ids)})"
+        )
+
+
+class TemporalGridIndex:
+    """Binary tree over equal time slots, storing trajectories by time range."""
+
+    def __init__(self, num_leaves: int = 24, day: float = DAY_SECONDS):
+        if num_leaves < 1:
+            raise IndexError_("temporal index needs at least one leaf")
+        if day <= 0:
+            raise IndexError_("day length must be positive")
+        self._day = day
+        slot = day / num_leaves
+        leaves = [
+            TemporalNode(0, i, i * slot, (i + 1) * slot) for i in range(num_leaves)
+        ]
+        # The top leaf's range must include the axis end point.
+        leaves[-1].hi = day
+        self._levels: list[list[TemporalNode]] = [leaves]
+        while len(self._levels[-1]) > 1:
+            below = self._levels[-1]
+            level = len(self._levels)
+            parents = []
+            for i in range(0, len(below), 2):
+                group = below[i : i + 2]
+                parents.append(
+                    TemporalNode(level, i // 2, group[0].lo, group[-1].hi)
+                )
+            self._levels.append(parents)
+        self._location: dict[int, tuple[int, int]] = {}
+
+    # ------------------------------------------------------------ structure
+    @property
+    def height(self) -> int:
+        """Number of levels (leaves at level 0, root at ``height - 1``)."""
+        return len(self._levels)
+
+    @property
+    def num_leaves(self) -> int:
+        """Number of leaf slots."""
+        return len(self._levels[0])
+
+    def leaves(self) -> list[TemporalNode]:
+        """The leaf nodes in time order."""
+        return list(self._levels[0])
+
+    def level(self, level: int) -> list[TemporalNode]:
+        """All nodes of one level."""
+        return list(self._levels[level])
+
+    @property
+    def root(self) -> TemporalNode:
+        """The root node (covers the whole day)."""
+        return self._levels[-1][0]
+
+    def node(self, level: int, index: int) -> TemporalNode:
+        """The node at ``(level, index)``."""
+        try:
+            return self._levels[level][index]
+        except IndexError:
+            raise IndexError_(f"no temporal node at level={level}, index={index}") from None
+
+    def parent(self, node: TemporalNode) -> TemporalNode | None:
+        """The node's parent (``None`` for the root)."""
+        if node.level + 1 >= len(self._levels):
+            return None
+        return self._levels[node.level + 1][node.index // 2]
+
+    def children(self, node: TemporalNode) -> list[TemporalNode]:
+        """The node's children (empty for leaves)."""
+        if node.level == 0:
+            return []
+        below = self._levels[node.level - 1]
+        return below[2 * node.index : 2 * node.index + 2]
+
+    def subtree_ids(self, node: TemporalNode) -> set[int]:
+        """All trajectory ids stored in the node's subtree."""
+        ids = set(node.trajectory_ids)
+        for child in self.children(node):
+            ids |= self.subtree_ids(child)
+        return ids
+
+    # ------------------------------------------------------------- mutation
+    def insert(self, trajectory: Trajectory) -> TemporalNode:
+        """Store a trajectory in the lowest node covering its time range."""
+        if trajectory.id in self._location:
+            raise IndexError_(f"trajectory {trajectory.id} already indexed")
+        lo, hi = trajectory.time_range
+        node = self.root
+        if not node.covers(lo, hi):
+            raise IndexError_(
+                f"trajectory {trajectory.id} range [{lo}, {hi}] outside the day axis"
+            )
+        while True:
+            covering = [c for c in self.children(node) if c.covers(lo, hi)]
+            if not covering:
+                break
+            node = covering[0]
+        node.trajectory_ids.add(trajectory.id)
+        self._location[trajectory.id] = node.key
+        return node
+
+    def remove(self, trajectory_id: int) -> None:
+        """Delete a trajectory's entry (no structural rebalancing needed)."""
+        key = self._location.pop(trajectory_id, None)
+        if key is None:
+            raise IndexError_(f"trajectory {trajectory_id} is not indexed")
+        self.node(*key).trajectory_ids.discard(trajectory_id)
+
+    def node_of(self, trajectory_id: int) -> TemporalNode:
+        """The node a trajectory is stored in."""
+        key = self._location.get(trajectory_id)
+        if key is None:
+            raise IndexError_(f"trajectory {trajectory_id} is not indexed")
+        return self.node(*key)
+
+    @property
+    def num_trajectories(self) -> int:
+        """How many trajectories are stored."""
+        return len(self._location)
+
+    # ------------------------------------------------------------ distances
+    @staticmethod
+    def min_distance(a: TemporalNode, b: TemporalNode) -> float:
+        """Minimum temporal distance between the two nodes' ranges.
+
+        Zero when the ranges overlap; otherwise the gap between them.  This
+        is the ``d_T`` used for node-level pruning during merging.
+        """
+        if a.hi < b.lo:
+            return b.lo - a.hi
+        if b.hi < a.lo:
+            return a.lo - b.hi
+        return 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"TemporalGridIndex(leaves={self.num_leaves}, height={self.height}, "
+            f"trajectories={self.num_trajectories})"
+        )

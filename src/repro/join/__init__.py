@@ -1,0 +1,15 @@
+"""Trajectory similarity join extension: two-phase join + temporal-first baseline."""
+
+from repro.join.pairs import PairwiseScorer, distance_transform
+from repro.join.tfmatch import TemporalFirstJoin
+from repro.join.tsjoin import BruteForceJoin, JoinResult, TopKJoin, TwoPhaseJoin
+
+__all__ = [
+    "BruteForceJoin",
+    "JoinResult",
+    "PairwiseScorer",
+    "TemporalFirstJoin",
+    "TopKJoin",
+    "TwoPhaseJoin",
+    "distance_transform",
+]

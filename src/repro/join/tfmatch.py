@@ -1,0 +1,185 @@
+"""Temporal-first matching (TF-Matching) — the join baseline.
+
+The straightforward way to compute the threshold join: index trajectories in
+a hierarchical temporal grid, then examine trajectory pairs node pair by
+node pair, pruning with temporal bounds before paying for an exact
+similarity:
+
+- *node-level*: every pair split across nodes ``(n1, n2)`` has a time gap of
+  at least the gap between the node ranges, so
+  ``SimST <= 2 * (lam + (1 - lam) * exp(-gap(n1, n2) / sigma_t))`` — if that
+  is below ``theta``, the whole node pair is skipped;
+- *pair-level*: the same bound with the trajectories' own time ranges;
+- *half-exact*: one exact direction ``V(t2, t1)`` (which only needs ``t1``'s
+  cached distance transform) bounds the pair by ``V(t2, t1) + 1``.
+
+Survivors get the exact symmetric score from the shared
+:class:`PairwiseScorer` ("TF-A": the distance-transform cache plays the role
+of the paper family's pre-computed all-pair distances).  The tree's
+bottom-up merge order only affects parallel execution, not the output, so
+node pairs are enumerated flat here; each node pair is an independent work
+unit for the parallel executor.
+
+Its weakness is by design and is what the benchmarks show: temporal-first
+pruning says nothing about space, so spatially distant but contemporaneous
+trajectory pairs all reach the expensive exact evaluation.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+from repro.errors import QueryError
+from repro.index.database import TrajectoryDatabase
+from repro.index.temporal_index import TemporalGridIndex, TemporalNode
+from repro.join.pairs import PairwiseScorer
+from repro.join.tsjoin import JoinResult, _validate_theta
+from repro.trajectory.model import Trajectory
+
+__all__ = ["TemporalFirstJoin"]
+
+_EPS = 1e-9
+
+
+class TemporalFirstJoin:
+    """The temporal-first baseline join (self and non-self)."""
+
+    def __init__(
+        self,
+        database: TrajectoryDatabase,
+        other: TrajectoryDatabase | None = None,
+        lam: float = 0.5,
+        sigma_t: float = 1800.0,
+        num_leaves: int = 24,
+    ):
+        if other is not None and other.graph is not database.graph:
+            raise QueryError("both join sides must share the same spatial network")
+        if not (0.0 <= lam <= 1.0):
+            raise QueryError(f"lam must be in [0, 1], got {lam}")
+        self._database = database
+        self._other = other
+        self._lam = lam
+        self._sigma_t = sigma_t
+        self._num_leaves = num_leaves
+
+    # ------------------------------------------------------------- helpers
+    def _build_index(self, database: TrajectoryDatabase) -> TemporalGridIndex:
+        index = TemporalGridIndex(self._num_leaves)
+        for trajectory in database.trajectories:
+            index.insert(trajectory)
+        return index
+
+    def _pair_upper(self, gap: float) -> float:
+        """``SimST`` upper bound from a temporal gap alone (spatial <= 1)."""
+        return 2.0 * (self._lam + (1.0 - self._lam) * math.exp(-gap / self._sigma_t))
+
+    @staticmethod
+    def _range_gap(t1: Trajectory, t2: Trajectory) -> float:
+        """Minimal time distance between the two trajectories' time ranges."""
+        lo1, hi1 = t1.time_range
+        lo2, hi2 = t2.time_range
+        if hi1 < lo2:
+            return lo2 - hi1
+        if hi2 < lo1:
+            return lo1 - hi2
+        return 0.0
+
+    def _occupied_nodes(self, index: TemporalGridIndex) -> list[TemporalNode]:
+        nodes = []
+        for level in range(index.height):
+            for node in index.level(level):
+                if node.trajectory_ids:
+                    nodes.append(node)
+        return nodes
+
+    # --------------------------------------------------------------- joins
+    def self_join(self, theta: float) -> JoinResult:
+        """All pairs within ``P`` with ``SimST >= theta``."""
+        _validate_theta(theta)
+        started = time.perf_counter()
+        result = JoinResult()
+        scorer = PairwiseScorer(
+            self._database, lam=self._lam, sigma_t=self._sigma_t
+        )
+        index = self._build_index(self._database)
+        nodes = self._occupied_nodes(index)
+        for a, node1 in enumerate(nodes):
+            for node2 in nodes[a:]:
+                self._process_node_pair(
+                    node1, node2, theta, scorer, result, same_side=True
+                )
+        result.stats.expanded_vertices = (
+            scorer.transforms_built * self._database.graph.num_vertices
+        )
+        result.pairs.sort()
+        result.stats.elapsed_seconds = time.perf_counter() - started
+        return result
+
+    def join(self, theta: float) -> JoinResult:
+        """All pairs across ``P x Q`` with ``SimST >= theta``."""
+        _validate_theta(theta)
+        if self._other is None:
+            raise QueryError("non-self join requires an 'other' database")
+        started = time.perf_counter()
+        result = JoinResult()
+        scorer = PairwiseScorer(
+            self._database, lam=self._lam, sigma_t=self._sigma_t, other=self._other
+        )
+        index_p = self._build_index(self._database)
+        index_q = self._build_index(self._other)
+        for node1 in self._occupied_nodes(index_p):
+            for node2 in self._occupied_nodes(index_q):
+                self._process_node_pair(
+                    node1, node2, theta, scorer, result, same_side=False
+                )
+        result.stats.expanded_vertices = (
+            scorer.transforms_built * self._database.graph.num_vertices
+        )
+        result.pairs.sort()
+        result.stats.elapsed_seconds = time.perf_counter() - started
+        return result
+
+    # ---------------------------------------------------------- inner loop
+    def _process_node_pair(
+        self,
+        node1: TemporalNode,
+        node2: TemporalNode,
+        theta: float,
+        scorer: PairwiseScorer,
+        result: JoinResult,
+        same_side: bool,
+    ) -> None:
+        node_gap = TemporalGridIndex.min_distance(node1, node2)
+        size = len(node1.trajectory_ids) * len(node2.trajectory_ids)
+        if self._pair_upper(node_gap) < theta - _EPS:
+            result.stats.pruned_trajectories += size
+            return
+        ids1 = sorted(node1.trajectory_ids)
+        ids2 = sorted(node2.trajectory_ids)
+        database = self._database
+        other = self._other if not same_side else self._database
+        for id1 in ids1:
+            t1 = database.get(id1)
+            for id2 in ids2:
+                if same_side and (
+                    id2 <= id1 if node1 is node2 else id2 == id1
+                ):
+                    continue
+                result.stats.visited_trajectories += 1
+                t2 = other.get(id2)
+                if self._pair_upper(self._range_gap(t1, t2)) < theta - _EPS:
+                    result.stats.pruned_trajectories += 1
+                    continue
+                # Half-exact bound: one direction plus the maximal other.
+                v21 = scorer.directional(t2, id1, t2_from_other=False)
+                if v21 + 1.0 < theta - _EPS:
+                    result.stats.pruned_trajectories += 1
+                    continue
+                result.candidate_pairs += 1
+                result.stats.similarity_evaluations += 1
+                v12 = scorer.directional(t1, id2, t2_from_other=not same_side)
+                score = v12 + v21
+                if score >= theta - _EPS:
+                    pair = (min(id1, id2), max(id1, id2)) if same_side else (id1, id2)
+                    result.pairs.append((pair[0], pair[1], score))

@@ -1,0 +1,16 @@
+"""Spatio-temporal matching extension (PTM) and the directional engine."""
+
+from repro.matching.engine import CandidateSet, DirectionalSearchEngine
+from repro.matching.ptm import BruteForcePTMMatcher, PTMMatcher, PTMQuery
+from repro.matching.temporal import TemporalExpansion, TimestampIndex, min_time_gap
+
+__all__ = [
+    "BruteForcePTMMatcher",
+    "CandidateSet",
+    "DirectionalSearchEngine",
+    "PTMMatcher",
+    "PTMQuery",
+    "TemporalExpansion",
+    "TimestampIndex",
+    "min_time_gap",
+]

@@ -1,0 +1,144 @@
+"""Temporal-domain search primitives.
+
+The matching and join extensions explore the 24-hour time axis the same way
+the spatial domain is explored: from each query timestamp an expanding
+window scans sample points in non-decreasing time distance, so the first
+time a trajectory is scanned fixes its exact minimal time gap to the source
+(the temporal analogue of Dijkstra's settling order).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+
+from repro.errors import IndexError_
+from repro.trajectory.model import Trajectory, TrajectorySet
+
+__all__ = ["TimestampIndex", "TemporalExpansion", "min_time_gap"]
+
+_INF = float("inf")
+
+
+def min_time_gap(timestamp: float, sorted_timestamps: list[float]) -> float:
+    """Minimal ``|timestamp - t|`` over a sorted timestamp list.
+
+    Returns ``inf`` for an empty list.
+    """
+    if not sorted_timestamps:
+        return _INF
+    i = bisect_left(sorted_timestamps, timestamp)
+    best = _INF
+    if i < len(sorted_timestamps):
+        best = sorted_timestamps[i] - timestamp
+    if i > 0:
+        best = min(best, timestamp - sorted_timestamps[i - 1])
+    return best
+
+
+class TimestampIndex:
+    """All sample points of a trajectory set, sorted by timestamp.
+
+    Supports the expanding-window scan (:class:`TemporalExpansion`) and the
+    exact per-trajectory minimal time gap (:meth:`trajectory_timestamps` +
+    :func:`min_time_gap`).
+    """
+
+    def __init__(self):
+        self._entries: list[tuple[float, int]] = []
+        self._per_trajectory: dict[int, list[float]] = {}
+
+    @classmethod
+    def build(cls, trajectories: TrajectorySet) -> "TimestampIndex":
+        """Index every sample point of every trajectory."""
+        index = cls()
+        for trajectory in trajectories:
+            index.add(trajectory)
+        return index
+
+    def add(self, trajectory: Trajectory) -> None:
+        """Index one trajectory's sample points."""
+        if trajectory.id in self._per_trajectory:
+            raise IndexError_(f"trajectory {trajectory.id} already indexed")
+        stamps = trajectory.timestamps()
+        self._per_trajectory[trajectory.id] = sorted(stamps)
+        for t in stamps:
+            insort(self._entries, (t, trajectory.id))
+
+    def remove(self, trajectory_id: int) -> None:
+        """Remove a trajectory's sample points."""
+        if trajectory_id not in self._per_trajectory:
+            raise IndexError_(f"trajectory {trajectory_id} is not indexed")
+        del self._per_trajectory[trajectory_id]
+        self._entries = [(t, tid) for t, tid in self._entries if tid != trajectory_id]
+
+    @property
+    def entries(self) -> list[tuple[float, int]]:
+        """The sorted ``(timestamp, trajectory_id)`` entries (do not mutate)."""
+        return self._entries
+
+    def trajectory_timestamps(self, trajectory_id: int) -> list[float]:
+        """A trajectory's timestamps in sorted order."""
+        try:
+            return self._per_trajectory[trajectory_id]
+        except KeyError:
+            raise IndexError_(f"trajectory {trajectory_id} is not indexed") from None
+
+    @property
+    def num_trajectories(self) -> int:
+        """How many trajectories are indexed."""
+        return len(self._per_trajectory)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class TemporalExpansion:
+    """A resumable expanding time window around one query timestamp.
+
+    ``expand()`` scans the next-nearest sample point (by absolute time
+    difference) and returns ``(trajectory_id, gap)``; :attr:`radius` is the
+    gap of the most recently scanned point, a lower bound on the gap of
+    every unscanned point.
+    """
+
+    __slots__ = ("_entries", "_t0", "_left", "_right", "_radius")
+
+    def __init__(self, index: TimestampIndex, timestamp: float):
+        self._entries = index.entries
+        self._t0 = timestamp
+        self._right = bisect_left(self._entries, (timestamp, -1))
+        self._left = self._right - 1
+        self._radius = 0.0
+
+    @property
+    def radius(self) -> float:
+        """Time distance of the last scanned point (``inf`` when exhausted)."""
+        if self.exhausted:
+            return _INF
+        return self._radius
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether every sample point has been scanned."""
+        return self._left < 0 and self._right >= len(self._entries)
+
+    def expand(self) -> tuple[int, float] | None:
+        """Scan the next-nearest sample point, or ``None`` at exhaustion."""
+        entries = self._entries
+        left_gap = self._t0 - entries[self._left][0] if self._left >= 0 else _INF
+        right_gap = (
+            entries[self._right][0] - self._t0
+            if self._right < len(entries)
+            else _INF
+        )
+        if left_gap == _INF and right_gap == _INF:
+            return None
+        if left_gap <= right_gap:
+            trajectory_id = entries[self._left][1]
+            self._left -= 1
+            self._radius = left_gap
+            return trajectory_id, left_gap
+        trajectory_id = entries[self._right][1]
+        self._right += 1
+        self._radius = right_gap
+        return trajectory_id, right_gap

@@ -1,0 +1,62 @@
+"""Spatial-network substrate: graph model, shortest paths, expansion, generators."""
+
+from repro.network.astar import astar_path, astar_path_length, euclidean_heuristic
+from repro.network.bidirectional import bidirectional_path, bidirectional_path_length
+from repro.network.builder import GraphBuilder
+from repro.network.contraction import ContractionHierarchy
+from repro.network.dijkstra import (
+    distance_matrix,
+    distances_to_targets,
+    eccentricity,
+    shortest_path,
+    shortest_path_length,
+    single_source_distances,
+)
+from repro.network.expansion import IncrementalExpansion
+from repro.network.generators import (
+    grid_network,
+    random_geometric_network,
+    ring_radial_network,
+)
+from repro.network.graph import SpatialNetwork
+from repro.network.interop import from_networkx, to_networkx
+from repro.network.io import load_edge_list, load_json, save_edge_list, save_json
+from repro.network.landmarks import LandmarkIndex
+from repro.network.stats import (
+    NetworkStats,
+    characteristic_distance,
+    estimate_diameter,
+    network_stats,
+)
+
+__all__ = [
+    "ContractionHierarchy",
+    "SpatialNetwork",
+    "GraphBuilder",
+    "IncrementalExpansion",
+    "LandmarkIndex",
+    "NetworkStats",
+    "astar_path",
+    "astar_path_length",
+    "bidirectional_path",
+    "bidirectional_path_length",
+    "characteristic_distance",
+    "distance_matrix",
+    "distances_to_targets",
+    "eccentricity",
+    "estimate_diameter",
+    "euclidean_heuristic",
+    "from_networkx",
+    "to_networkx",
+    "grid_network",
+    "load_edge_list",
+    "load_json",
+    "network_stats",
+    "random_geometric_network",
+    "ring_radial_network",
+    "save_edge_list",
+    "save_json",
+    "shortest_path",
+    "shortest_path_length",
+    "single_source_distances",
+]

@@ -1,0 +1,114 @@
+"""Incremental construction of :class:`~repro.network.graph.SpatialNetwork`.
+
+The builder collects vertices and edges, deduplicates edges, and can repair
+common defects of raw road data (disconnected fragments) before producing an
+immutable network.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from repro.errors import GraphError
+from repro.network.graph import SpatialNetwork
+
+__all__ = ["GraphBuilder"]
+
+
+class GraphBuilder:
+    """Mutable accumulator of vertices and edges.
+
+    Example
+    -------
+    >>> b = GraphBuilder()
+    >>> a, c = b.add_vertex(0.0, 0.0), b.add_vertex(1.0, 0.0)
+    >>> _ = b.add_edge(a, c)
+    >>> g = b.build()
+    >>> g.num_vertices, g.num_edges
+    (2, 1)
+    """
+
+    def __init__(self):
+        self._xs: list[float] = []
+        self._ys: list[float] = []
+        self._edges: dict[tuple[int, int], float] = {}
+
+    # ------------------------------------------------------------- mutation
+    def add_vertex(self, x: float, y: float) -> int:
+        """Add a vertex at ``(x, y)`` and return its id."""
+        self._xs.append(float(x))
+        self._ys.append(float(y))
+        return len(self._xs) - 1
+
+    def add_edge(self, u: int, v: int, weight: float | None = None) -> float:
+        """Add the undirected edge ``{u, v}``.
+
+        When ``weight`` is omitted the Euclidean distance between the
+        endpoints is used (a road segment as the crow flies).  Re-adding an
+        existing edge keeps the smaller weight.  Returns the stored weight.
+        """
+        n = len(self._xs)
+        if not (0 <= u < n) or not (0 <= v < n):
+            raise GraphError(f"edge ({u}, {v}) references a vertex not yet added")
+        if u == v:
+            raise GraphError(f"self-loop on vertex {u} is not allowed")
+        if weight is None:
+            weight = math.hypot(self._xs[u] - self._xs[v], self._ys[u] - self._ys[v])
+            if weight == 0.0:
+                raise GraphError(
+                    f"vertices {u} and {v} are co-located; give an explicit weight"
+                )
+        if weight <= 0 or not math.isfinite(weight):
+            raise GraphError(f"edge ({u}, {v}) has non-positive weight {weight}")
+        key = (min(u, v), max(u, v))
+        stored = self._edges.get(key)
+        if stored is None or weight < stored:
+            self._edges[key] = float(weight)
+        return self._edges[key]
+
+    def add_edges(self, edges: Iterable[tuple[int, int]]) -> None:
+        """Add many edges with Euclidean weights."""
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    # ------------------------------------------------------------ inspection
+    @property
+    def num_vertices(self) -> int:
+        return len(self._xs)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    # ------------------------------------------------------------- assembly
+    def build(self, require_connected: bool = False) -> SpatialNetwork:
+        """Produce the immutable network.
+
+        With ``require_connected`` the build fails on a fragmented graph;
+        use :meth:`build_largest_component` to repair instead.
+        """
+        graph = SpatialNetwork(
+            self._xs,
+            self._ys,
+            [(u, v, w) for (u, v), w in self._edges.items()],
+            validate=True,
+        )
+        if require_connected and not graph.is_connected():
+            raise GraphError(
+                "graph is not connected; use build_largest_component() or add "
+                "connecting edges"
+            )
+        return graph
+
+    def build_largest_component(self) -> tuple[SpatialNetwork, dict[int, int]]:
+        """Build, then restrict to the largest connected component.
+
+        Returns the connected network and the old-id to new-id mapping.
+        """
+        graph = self.build(require_connected=False)
+        if graph.num_vertices == 0:
+            raise GraphError("cannot extract a component from an empty graph")
+        components = graph.connected_components()
+        largest = max(components, key=len)
+        return graph.subgraph(largest)

@@ -1,0 +1,317 @@
+"""Contraction hierarchies (CH) — fast exact distance queries.
+
+The classic road-network preprocessing technique (Geisberger et al. 2008):
+vertices are contracted in importance order, inserting *shortcut* edges that
+preserve shortest-path distances among the remaining vertices; a query then
+runs a bidirectional Dijkstra that only relaxes edges leading *upward* in
+the contraction order, settling a tiny fraction of the graph.
+
+This substrate accelerates the distance-hungry components (the brute-force
+oracle, pairwise scoring in the join baselines) and rounds out the spatial
+toolbox next to plain/bidirectional Dijkstra, A*, and ALT.  Queries are
+exact; the property-based tests hold them against Dijkstra on random
+graphs.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.errors import DisconnectedError, GraphError
+from repro.network.graph import SpatialNetwork
+
+__all__ = ["ContractionHierarchy"]
+
+_INF = float("inf")
+
+
+class ContractionHierarchy:
+    """A preprocessed hierarchy over a spatial network.
+
+    Parameters (via :meth:`build`)
+    ------------------------------
+    witness_settle_limit:
+        Cap on settled vertices per witness search during preprocessing.
+        Counter-intuitively, a *larger* budget usually builds faster on
+        road networks: finding more witnesses avoids shortcuts, and fewer
+        shortcuts mean less downstream contraction work.
+    """
+
+    def __init__(
+        self,
+        rank: list[int],
+        upward: list[list[tuple[int, float, int | None]]],
+        num_shortcuts: int,
+    ):
+        self._rank = rank
+        self._upward = upward
+        # neighbor -> (weight, middle) per vertex, for shortcut unpacking
+        self._edge_info = [
+            {v: (w, m) for v, w, m in edges} for edges in upward
+        ]
+        self.num_shortcuts = num_shortcuts
+
+    # ----------------------------------------------------------------- build
+    @classmethod
+    def build(
+        cls, graph: SpatialNetwork, witness_settle_limit: int = 200
+    ) -> "ContractionHierarchy":
+        """Preprocess ``graph`` with lazy edge-difference ordering."""
+        n = graph.num_vertices
+        if n == 0:
+            raise GraphError("cannot build a hierarchy over an empty graph")
+
+        # Working adjacency: dict per vertex (neighbor -> weight), updated
+        # as vertices are contracted and shortcuts inserted.
+        work: list[dict[int, float]] = [dict() for __ in range(n)]
+        for u, v, w in graph.edges():
+            if w < work[u].get(v, _INF):
+                work[u][v] = w
+                work[v][u] = w
+
+        contracted = [False] * n
+        deleted_neighbors = [0] * n
+        rank = [0] * n
+        num_shortcuts = 0
+        # Middle vertex of each working edge (None = original edge); a
+        # shortcut's halves are committed upward edges of its middle, so
+        # recording the middle suffices to unpack full paths later.
+        mids: list[dict[int, int]] = [dict() for __ in range(n)]
+        # The final upward adjacency is assembled as vertices are
+        # contracted: at contraction time a vertex's remaining working edges
+        # all lead to higher-ranked (not yet contracted) vertices.
+        upward: list[list[tuple[int, float, int | None]]] = [[] for __ in range(n)]
+
+        def witness_limited(source, target_set, avoid, cutoff):
+            """Bounded Dijkstra avoiding ``avoid``; distances to targets."""
+            dist = {source: 0.0}
+            heap = [(0.0, source)]
+            settled = set()
+            found: dict[int, float] = {}
+            remaining = set(target_set)
+            while heap and remaining and len(settled) < witness_settle_limit:
+                d, u = heapq.heappop(heap)
+                if u in settled:
+                    continue
+                settled.add(u)
+                if u in remaining:
+                    found[u] = d
+                    remaining.discard(u)
+                if d > cutoff:
+                    break
+                for v, w in work[u].items():
+                    if v == avoid or contracted[v]:
+                        continue
+                    nd = d + w
+                    if v not in settled and nd < dist.get(v, _INF):
+                        dist[v] = nd
+                        heapq.heappush(heap, (nd, v))
+            return found
+
+        def shortcuts_needed(vertex):
+            """The shortcut set contraction of ``vertex`` would insert."""
+            neighbors = [
+                (u, w) for u, w in work[vertex].items() if not contracted[u]
+            ]
+            needed = []
+            for i, (u, wu) in enumerate(neighbors):
+                targets = {v for v, __ in neighbors[i + 1 :]}
+                if not targets:
+                    continue
+                max_via = max(wu + wv for v, wv in neighbors[i + 1 :])
+                witnesses = witness_limited(u, targets, vertex, max_via)
+                for v, wv in neighbors[i + 1 :]:
+                    via = wu + wv
+                    if witnesses.get(v, _INF) > via:
+                        needed.append((u, v, via))
+            return needed
+
+        def priority(vertex):
+            shortcuts = shortcuts_needed(vertex)
+            degree = sum(
+                1 for u in work[vertex] if not contracted[u]
+            )
+            return (
+                len(shortcuts) - degree + deleted_neighbors[vertex],
+                shortcuts,
+            )
+
+        queue: list[tuple[float, int]] = []
+        for vertex in range(n):
+            score, __ = priority(vertex)
+            heapq.heappush(queue, (score, vertex))
+
+        order = 0
+        while queue:
+            score, vertex = heapq.heappop(queue)
+            if contracted[vertex]:
+                continue
+            # Lazy re-evaluation: re-test the priority before committing.
+            new_score, shortcuts = priority(vertex)
+            if queue and new_score > queue[0][0]:
+                heapq.heappush(queue, (new_score, vertex))
+                continue
+
+            # Commit: record final up/down edges, insert shortcuts.
+            rank[vertex] = order
+            order += 1
+            contracted[vertex] = True
+            for u, w in work[vertex].items():
+                if not contracted[u]:
+                    upward[vertex].append((u, w, mids[vertex].get(u)))
+                    deleted_neighbors[u] += 1
+            for u, v, via in shortcuts:
+                if via < work[u].get(v, _INF):
+                    work[u][v] = via
+                    work[v][u] = via
+                    mids[u][v] = vertex
+                    mids[v][u] = vertex
+                    num_shortcuts += 1
+        return cls(rank, upward, num_shortcuts)
+
+    # ----------------------------------------------------------------- query
+    def distance(self, source: int, target: int) -> float:
+        """Exact network distance via the bidirectional upward search.
+
+        Raises :class:`DisconnectedError` when no path exists.
+        """
+        n = len(self._rank)
+        if not (0 <= source < n) or not (0 <= target < n):
+            raise GraphError(
+                f"query ({source}, {target}) outside vertex range 0..{n - 1}"
+            )
+        if source == target:
+            return 0.0
+        best = _INF
+        dists: list[dict[int, float]] = [{source: 0.0}, {target: 0.0}]
+        heaps = [[(0.0, source)], [(0.0, target)]]
+        settled: list[set[int]] = [set(), set()]
+        adjacency = (self._upward, self._upward)
+        while heaps[0] or heaps[1]:
+            for side in (0, 1):
+                heap = heaps[side]
+                if not heap:
+                    continue
+                if heap[0][0] >= best:
+                    heap.clear()  # this frontier can no longer improve
+                    continue
+                d, u = heapq.heappop(heap)
+                if u in settled[side]:
+                    continue
+                settled[side].add(u)
+                other = dists[1 - side].get(u)
+                if other is not None and d + other < best:
+                    best = d + other
+                for v, w, __m in adjacency[side][u]:
+                    nd = d + w
+                    if v not in settled[side] and nd < dists[side].get(v, _INF):
+                        dists[side][v] = nd
+                        heapq.heappush(heap, (nd, v))
+        if best == _INF:
+            raise DisconnectedError(source, target)
+        return best
+
+    def path(self, source: int, target: int) -> tuple[list[int], float]:
+        """Full shortest path as ``(vertex sequence, length)``.
+
+        Runs the bidirectional upward search with parent tracking, then
+        recursively unpacks every shortcut edge into its two halves (a
+        shortcut's halves are committed upward edges of its middle vertex).
+        """
+        n = len(self._rank)
+        if not (0 <= source < n) or not (0 <= target < n):
+            raise GraphError(
+                f"query ({source}, {target}) outside vertex range 0..{n - 1}"
+            )
+        if source == target:
+            return [source], 0.0
+        best = _INF
+        meeting = -1
+        dists: list[dict[int, float]] = [{source: 0.0}, {target: 0.0}]
+        parents: list[dict[int, int]] = [{}, {}]
+        heaps = [[(0.0, source)], [(0.0, target)]]
+        settled: list[set[int]] = [set(), set()]
+        while heaps[0] or heaps[1]:
+            for side in (0, 1):
+                heap = heaps[side]
+                if not heap:
+                    continue
+                if heap[0][0] >= best:
+                    heap.clear()
+                    continue
+                d, u = heapq.heappop(heap)
+                if u in settled[side]:
+                    continue
+                settled[side].add(u)
+                other = dists[1 - side].get(u)
+                if other is not None and d + other < best:
+                    best = d + other
+                    meeting = u
+                for v, w, __m in self._upward[u]:
+                    nd = d + w
+                    if v not in settled[side] and nd < dists[side].get(v, _INF):
+                        dists[side][v] = nd
+                        parents[side][v] = u
+                        heapq.heappush(heap, (nd, v))
+        if meeting < 0:
+            raise DisconnectedError(source, target)
+
+        forward = [meeting]
+        while forward[-1] != source:
+            forward.append(parents[0][forward[-1]])
+        forward.reverse()
+        backward = [meeting]
+        while backward[-1] != target:
+            backward.append(parents[1][backward[-1]])
+
+        path = [source]
+        for a, b in zip(forward, forward[1:]):
+            # Edge lies in upward[a] (forward edges climb the hierarchy).
+            path.extend(self._unpack(a, b)[1:])
+        for a, b in zip(backward, backward[1:]):
+            # Backward edges climb from b's side: unpack reversed.
+            path.extend(list(reversed(self._unpack(b, a)))[1:])
+        return path, best
+
+    def _unpack(self, low: int, high: int) -> list[int]:
+        """Expand the hierarchy edge ``low -> high`` into original vertices."""
+        info = self._edge_info[low].get(high)
+        if info is None:
+            # The edge was committed from the other endpoint.
+            info = self._edge_info[high].get(low)
+        if info is None:
+            raise GraphError(f"no hierarchy edge between {low} and {high}")
+        __, middle = info
+        if middle is None:
+            return [low, high]
+        left = self._unpack_via(middle, low)
+        right = self._unpack_via(middle, high)
+        return left[::-1] + right[1:]
+
+    def _unpack_via(self, middle: int, endpoint: int) -> list[int]:
+        """Expand the committed upward edge ``middle -> endpoint``.
+
+        Returns the vertex sequence from ``middle`` to ``endpoint``.
+        """
+        info = self._edge_info[middle].get(endpoint)
+        if info is None:
+            raise GraphError(
+                f"missing shortcut half between {middle} and {endpoint}"
+            )
+        __, sub_middle = info
+        if sub_middle is None:
+            return [middle, endpoint]
+        left = self._unpack_via(sub_middle, middle)
+        right = self._unpack_via(sub_middle, endpoint)
+        return left[::-1] + right[1:]
+
+    @property
+    def num_vertices(self) -> int:
+        """Vertices in the hierarchy."""
+        return len(self._rank)
+
+    def __repr__(self) -> str:
+        return (
+            f"ContractionHierarchy(|V|={len(self._rank)}, "
+            f"shortcuts={self.num_shortcuts})"
+        )

@@ -1,0 +1,205 @@
+"""Shortest-path primitives on spatial networks.
+
+All functions implement Dijkstra's algorithm with a binary heap and lazy
+deletion, the workhorse of every search in this library.  Variants cover
+single-target search with early exit, bounded exploration (``cutoff``),
+multi-target search that stops once all targets are settled, and dense
+all-pairs matrices for small graphs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import DisconnectedError
+from repro.network.graph import SpatialNetwork
+
+__all__ = [
+    "shortest_path_length",
+    "shortest_path",
+    "single_source_distances",
+    "distances_to_targets",
+    "distance_matrix",
+    "eccentricity",
+]
+
+_INF = float("inf")
+
+
+def shortest_path_length(graph: SpatialNetwork, source: int, target: int) -> float:
+    """Network distance ``sd(source, target)``.
+
+    Raises :class:`DisconnectedError` when no path exists.
+    """
+    graph._check_vertex(source)
+    graph._check_vertex(target)
+    if source == target:
+        return 0.0
+    dist = _dijkstra(graph, (source,), target=target)
+    if target not in dist:
+        raise DisconnectedError(source, target)
+    return dist[target]
+
+
+def shortest_path(
+    graph: SpatialNetwork, source: int, target: int
+) -> tuple[list[int], float]:
+    """Shortest path as ``(vertex sequence, length)``.
+
+    Raises :class:`DisconnectedError` when no path exists.
+    """
+    graph._check_vertex(source)
+    graph._check_vertex(target)
+    if source == target:
+        return [source], 0.0
+    dist, parent = _dijkstra_with_parents(graph, source, target)
+    if target not in dist:
+        raise DisconnectedError(source, target)
+    path = [target]
+    while path[-1] != source:
+        path.append(parent[path[-1]])
+    path.reverse()
+    return path, dist[target]
+
+
+def single_source_distances(
+    graph: SpatialNetwork, source: int, cutoff: float | None = None
+) -> dict[int, float]:
+    """Distances from ``source`` to every vertex within ``cutoff``.
+
+    With ``cutoff=None`` the whole reachable component is explored.
+    """
+    graph._check_vertex(source)
+    return _dijkstra(graph, (source,), cutoff=cutoff)
+
+
+def distances_to_targets(
+    graph: SpatialNetwork,
+    source: int,
+    targets: Iterable[int],
+    cutoff: float | None = None,
+) -> dict[int, float]:
+    """Distances from ``source`` to each vertex in ``targets``.
+
+    The search stops as soon as every target is settled (or the cutoff is
+    reached); unreachable targets are simply absent from the result.
+    """
+    graph._check_vertex(source)
+    remaining = set(targets)
+    for t in remaining:
+        graph._check_vertex(t)
+    result: dict[int, float] = {}
+    if not remaining:
+        return result
+
+    dist: dict[int, float] = {source: 0.0}
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    settled: set[int] = set()
+    adjacency = graph.adjacency
+    while heap and remaining:
+        d, u = heapq.heappop(heap)
+        if u in settled:
+            continue
+        settled.add(u)
+        if u in remaining:
+            result[u] = d
+            remaining.discard(u)
+        if cutoff is not None and d > cutoff:
+            break
+        for v, w in adjacency[u]:
+            nd = d + w
+            if nd < dist.get(v, _INF):
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    return result
+
+
+def distance_matrix(
+    graph: SpatialNetwork, sources: Sequence[int] | None = None
+) -> np.ndarray:
+    """Dense matrix of pairwise network distances.
+
+    ``sources`` defaults to all vertices; rows follow ``sources`` and columns
+    are all vertex ids.  Unreachable pairs are ``inf``.  Intended for small
+    graphs (the all-pairs pre-computation the TF baseline of the paper family
+    relies on).
+    """
+    if sources is None:
+        sources = range(graph.num_vertices)
+    matrix = np.full((len(sources), graph.num_vertices), np.inf)
+    for row, s in enumerate(sources):
+        for v, d in single_source_distances(graph, s).items():
+            matrix[row, v] = d
+    return matrix
+
+
+def eccentricity(graph: SpatialNetwork, vertex: int) -> tuple[int, float]:
+    """The farthest vertex from ``vertex`` and its distance.
+
+    Two applications of this function give the classic double-sweep lower
+    bound on the graph diameter.
+    """
+    dist = single_source_distances(graph, vertex)
+    far = max(dist, key=dist.get)
+    return far, dist[far]
+
+
+# ---------------------------------------------------------------- internals
+def _dijkstra(
+    graph: SpatialNetwork,
+    sources: Iterable[int],
+    target: int | None = None,
+    cutoff: float | None = None,
+) -> dict[int, float]:
+    """Multi-source Dijkstra returning settled distances."""
+    dist: dict[int, float] = {}
+    heap: list[tuple[float, int]] = []
+    for s in sources:
+        dist[s] = 0.0
+        heap.append((0.0, s))
+    heapq.heapify(heap)
+    settled: dict[int, float] = {}
+    adjacency = graph.adjacency
+    while heap:
+        d, u = heapq.heappop(heap)
+        if u in settled:
+            continue
+        if cutoff is not None and d > cutoff:
+            break
+        settled[u] = d
+        if u == target:
+            break
+        for v, w in adjacency[u]:
+            nd = d + w
+            if v not in settled and nd < dist.get(v, _INF):
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    return settled
+
+
+def _dijkstra_with_parents(
+    graph: SpatialNetwork, source: int, target: int | None = None
+) -> tuple[dict[int, float], dict[int, int]]:
+    """Dijkstra that also records the shortest-path tree parents."""
+    dist: dict[int, float] = {source: 0.0}
+    parent: dict[int, int] = {}
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    settled: dict[int, float] = {}
+    adjacency = graph.adjacency
+    while heap:
+        d, u = heapq.heappop(heap)
+        if u in settled:
+            continue
+        settled[u] = d
+        if u == target:
+            break
+        for v, w in adjacency[u]:
+            nd = d + w
+            if v not in settled and nd < dist.get(v, _INF):
+                dist[v] = nd
+                parent[v] = u
+                heapq.heappush(heap, (nd, v))
+    return settled, parent

@@ -1,0 +1,144 @@
+"""Incremental network expansion — the core search primitive.
+
+The UOTS search explores the network *incrementally* from every query
+location: each expansion step settles exactly one more vertex, in
+non-decreasing distance order, and the caller interleaves steps from several
+expansions under the control of a scheduler.  This module provides that
+resumable Dijkstra.
+
+The key guarantee (Dijkstra's invariant) used throughout the paper family:
+if the expansion from ``source`` first reaches a vertex belonging to
+trajectory ``tau`` at distance ``d``, then ``d == d(source, tau)``, the exact
+network distance from the source to the trajectory; and :attr:`radius` is a
+lower bound on the distance to everything not yet settled.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator
+
+from repro.network.graph import SpatialNetwork
+
+__all__ = ["IncrementalExpansion"]
+
+_INF = float("inf")
+
+
+class IncrementalExpansion:
+    """A resumable single-source Dijkstra over a spatial network.
+
+    Parameters
+    ----------
+    graph:
+        The network to explore.
+    source:
+        Vertex the expansion starts from.
+
+    Notes
+    -----
+    ``expand()`` settles and returns one vertex per call; vertices come out
+    in non-decreasing distance order.  :attr:`radius` is the distance of the
+    most recently settled vertex and therefore lower-bounds the distance of
+    every vertex not settled yet.
+    """
+
+    __slots__ = ("_graph", "_source", "_heap", "_dist", "_settled", "_radius")
+
+    def __init__(self, graph: SpatialNetwork, source: int):
+        graph._check_vertex(source)
+        self._graph = graph
+        self._source = source
+        self._heap: list[tuple[float, int]] = [(0.0, source)]
+        self._dist: dict[int, float] = {source: 0.0}
+        self._settled: dict[int, float] = {}
+        self._radius = 0.0
+
+    # ------------------------------------------------------------ properties
+    @property
+    def source(self) -> int:
+        """The expansion's start vertex."""
+        return self._source
+
+    @property
+    def radius(self) -> float:
+        """Distance of the last settled vertex.
+
+        Monotonically non-decreasing; a valid lower bound on the distance of
+        every unsettled vertex.  Becomes ``inf`` once the component is
+        exhausted (nothing unexplored remains).
+        """
+        if self.exhausted:
+            return _INF
+        return self._radius
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether the whole reachable component has been settled."""
+        return not self._heap
+
+    @property
+    def num_settled(self) -> int:
+        """How many vertices have been settled so far."""
+        return len(self._settled)
+
+    # ------------------------------------------------------------- stepping
+    def expand(self) -> tuple[int, float] | None:
+        """Settle the next-closest vertex.
+
+        Returns ``(vertex, distance)`` or ``None`` when the reachable
+        component is exhausted.
+        """
+        heap = self._heap
+        settled = self._settled
+        dist = self._dist
+        adjacency = self._graph.adjacency
+        while heap:
+            d, u = heapq.heappop(heap)
+            if u in settled:
+                continue  # stale heap entry (lazy deletion)
+            settled[u] = d
+            self._radius = d
+            for v, w in adjacency[u]:
+                nd = d + w
+                if v not in settled and nd < dist.get(v, _INF):
+                    dist[v] = nd
+                    heapq.heappush(heap, (nd, v))
+            return u, d
+        return None
+
+    def expand_until(self, radius: float) -> Iterator[tuple[int, float]]:
+        """Yield settled vertices until :attr:`radius` exceeds ``radius``."""
+        while not self.exhausted:
+            nxt = self._peek_distance()
+            if nxt is None or nxt > radius:
+                return
+            item = self.expand()
+            if item is None:
+                return
+            yield item
+
+    def _peek_distance(self) -> float | None:
+        """Distance of the next vertex to be settled, without settling it."""
+        heap = self._heap
+        settled = self._settled
+        while heap and heap[0][1] in settled:
+            heapq.heappop(heap)  # drop stale entries
+        if not heap:
+            return None
+        return heap[0][0]
+
+    # --------------------------------------------------------------- lookup
+    def distance(self, vertex: int) -> float | None:
+        """Settled distance to ``vertex`` (``None`` if not settled yet)."""
+        return self._settled.get(vertex)
+
+    def settled_vertices(self) -> dict[int, float]:
+        """All settled ``vertex -> distance`` entries (read-only view)."""
+        return self._settled
+
+    def __repr__(self) -> str:
+        return (
+            f"IncrementalExpansion(source={self._source}, "
+            f"settled={len(self._settled)}, radius={self.radius:.3f})"
+        )

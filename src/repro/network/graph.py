@@ -1,0 +1,229 @@
+"""Spatial network model.
+
+A spatial network is a connected, undirected graph ``G = (V, E, W)`` in which
+vertices carry planar coordinates (road intersections) and edge weights are
+positive road-segment lengths.  Vertices are dense integer ids ``0..n-1``,
+which keeps the adjacency structure compact and lets algorithms use plain
+lists instead of hash maps on the hot path.
+
+The class is immutable after construction; use
+:class:`repro.network.builder.GraphBuilder` to assemble one incrementally.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import GraphError, VertexNotFoundError
+
+__all__ = ["SpatialNetwork"]
+
+
+class SpatialNetwork:
+    """An immutable, undirected, weighted graph with vertex coordinates.
+
+    Parameters
+    ----------
+    xs, ys:
+        Vertex coordinates, one entry per vertex.
+    edges:
+        Iterable of ``(u, v, weight)`` triples.  Each undirected edge is
+        given once; parallel edges and self-loops are rejected.
+    validate:
+        When true (the default), reject malformed input (negative weights,
+        out-of-range endpoints, duplicates).
+    """
+
+    __slots__ = ("_xs", "_ys", "_adjacency", "_edges", "_edge_index", "_total_weight")
+
+    def __init__(
+        self,
+        xs: Sequence[float],
+        ys: Sequence[float],
+        edges: Iterable[tuple[int, int, float]],
+        validate: bool = True,
+    ):
+        if len(xs) != len(ys):
+            raise GraphError(f"coordinate arrays differ in length: {len(xs)} != {len(ys)}")
+        self._xs = np.asarray(xs, dtype=np.float64)
+        self._ys = np.asarray(ys, dtype=np.float64)
+        n = len(self._xs)
+
+        edge_list: list[tuple[int, int, float]] = []
+        adjacency: list[list[tuple[int, float]]] = [[] for _ in range(n)]
+        edge_index: dict[tuple[int, int], float] = {}
+        total = 0.0
+        for u, v, w in edges:
+            if validate:
+                if not (0 <= u < n):
+                    raise VertexNotFoundError(u, n)
+                if not (0 <= v < n):
+                    raise VertexNotFoundError(v, n)
+                if u == v:
+                    raise GraphError(f"self-loop on vertex {u} is not allowed")
+                if w <= 0 or not np.isfinite(w):
+                    raise GraphError(f"edge ({u}, {v}) has non-positive weight {w}")
+                if (min(u, v), max(u, v)) in edge_index:
+                    raise GraphError(f"duplicate edge ({u}, {v})")
+            w = float(w)
+            edge_list.append((u, v, w))
+            edge_index[(min(u, v), max(u, v))] = w
+            adjacency[u].append((v, w))
+            adjacency[v].append((u, w))
+            total += w
+        self._edges = edge_list
+        self._adjacency = adjacency
+        self._edge_index = edge_index
+        self._total_weight = total
+
+    # ------------------------------------------------------------------ size
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``|V|``."""
+        return len(self._xs)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges ``|E|``."""
+        return len(self._edges)
+
+    @property
+    def total_weight(self) -> float:
+        """Sum of all edge weights (total road length)."""
+        return self._total_weight
+
+    def __len__(self) -> int:
+        return self.num_vertices
+
+    def __repr__(self) -> str:
+        return f"SpatialNetwork(|V|={self.num_vertices}, |E|={self.num_edges})"
+
+    # ------------------------------------------------------------- structure
+    def vertices(self) -> range:
+        """All vertex ids as a range."""
+        return range(self.num_vertices)
+
+    def edges(self) -> Iterator[tuple[int, int, float]]:
+        """Iterate over ``(u, v, weight)`` triples (each edge once)."""
+        return iter(self._edges)
+
+    def neighbors(self, vertex: int) -> list[tuple[int, float]]:
+        """Adjacent ``(neighbor, weight)`` pairs of ``vertex``."""
+        self._check_vertex(vertex)
+        return self._adjacency[vertex]
+
+    @property
+    def adjacency(self) -> list[list[tuple[int, float]]]:
+        """The raw adjacency structure (treat as read-only)."""
+        return self._adjacency
+
+    def degree(self, vertex: int) -> int:
+        """Number of edges incident to ``vertex``."""
+        self._check_vertex(vertex)
+        return len(self._adjacency[vertex])
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the undirected edge ``{u, v}`` exists."""
+        return (min(u, v), max(u, v)) in self._edge_index
+
+    def edge_weight(self, u: int, v: int) -> float:
+        """Weight of edge ``{u, v}``; raises :class:`GraphError` if absent."""
+        try:
+            return self._edge_index[(min(u, v), max(u, v))]
+        except KeyError:
+            raise GraphError(f"edge ({u}, {v}) does not exist") from None
+
+    def _check_vertex(self, vertex: int) -> None:
+        if not (0 <= vertex < self.num_vertices):
+            raise VertexNotFoundError(vertex, self.num_vertices)
+
+    # ------------------------------------------------------------- geometry
+    def position(self, vertex: int) -> tuple[float, float]:
+        """The ``(x, y)`` coordinates of ``vertex``."""
+        self._check_vertex(vertex)
+        return (float(self._xs[vertex]), float(self._ys[vertex]))
+
+    @property
+    def xs(self) -> np.ndarray:
+        """Vertex x coordinates (read-only view)."""
+        return self._xs
+
+    @property
+    def ys(self) -> np.ndarray:
+        """Vertex y coordinates (read-only view)."""
+        return self._ys
+
+    def euclidean(self, u: int, v: int) -> float:
+        """Straight-line distance between two vertices."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        dx = self._xs[u] - self._xs[v]
+        dy = self._ys[u] - self._ys[v]
+        return float(np.hypot(dx, dy))
+
+    def bounding_box(self) -> tuple[float, float, float, float]:
+        """``(min_x, min_y, max_x, max_y)`` over all vertices."""
+        if self.num_vertices == 0:
+            raise GraphError("bounding box of an empty graph is undefined")
+        return (
+            float(self._xs.min()),
+            float(self._ys.min()),
+            float(self._xs.max()),
+            float(self._ys.max()),
+        )
+
+    def nearest_vertex(self, x: float, y: float) -> int:
+        """The vertex closest (in Euclidean distance) to the point ``(x, y)``."""
+        if self.num_vertices == 0:
+            raise GraphError("nearest vertex in an empty graph is undefined")
+        d2 = (self._xs - x) ** 2 + (self._ys - y) ** 2
+        return int(np.argmin(d2))
+
+    # ---------------------------------------------------------- connectivity
+    def connected_components(self) -> list[list[int]]:
+        """All connected components, each a sorted list of vertex ids."""
+        seen = [False] * self.num_vertices
+        components: list[list[int]] = []
+        for start in range(self.num_vertices):
+            if seen[start]:
+                continue
+            component = []
+            queue = deque([start])
+            seen[start] = True
+            while queue:
+                u = queue.popleft()
+                component.append(u)
+                for v, _w in self._adjacency[u]:
+                    if not seen[v]:
+                        seen[v] = True
+                        queue.append(v)
+            components.append(sorted(component))
+        return components
+
+    def is_connected(self) -> bool:
+        """Whether every vertex is reachable from every other vertex."""
+        if self.num_vertices <= 1:
+            return True
+        return len(self.connected_components()) == 1
+
+    def subgraph(self, vertices: Sequence[int]) -> tuple["SpatialNetwork", dict[int, int]]:
+        """Induced subgraph on ``vertices``.
+
+        Returns the new graph together with the mapping from old vertex ids
+        to new (dense) ids.
+        """
+        keep = sorted(set(vertices))
+        for v in keep:
+            self._check_vertex(v)
+        remap = {old: new for new, old in enumerate(keep)}
+        xs = [float(self._xs[v]) for v in keep]
+        ys = [float(self._ys[v]) for v in keep]
+        sub_edges = [
+            (remap[u], remap[v], w)
+            for u, v, w in self._edges
+            if u in remap and v in remap
+        ]
+        return SpatialNetwork(xs, ys, sub_edges, validate=False), remap

@@ -1,0 +1,55 @@
+"""Interoperability with networkx.
+
+networkx is an optional dependency (it powers the test oracles); these
+converters let users bring existing road graphs in and take results out
+without writing glue code.  Imports are local so the core library keeps its
+numpy-only runtime footprint.
+"""
+
+from __future__ import annotations
+
+from repro.errors import GraphError
+from repro.network.builder import GraphBuilder
+from repro.network.graph import SpatialNetwork
+
+__all__ = ["to_networkx", "from_networkx"]
+
+
+def to_networkx(graph: SpatialNetwork):
+    """An undirected ``networkx.Graph`` with ``weight`` and ``pos`` attributes."""
+    import networkx as nx
+
+    mirror = nx.Graph()
+    for vertex in graph.vertices():
+        mirror.add_node(vertex, pos=graph.position(vertex))
+    for u, v, w in graph.edges():
+        mirror.add_edge(u, v, weight=w)
+    return mirror
+
+
+def from_networkx(mirror, weight: str = "weight", pos: str = "pos") -> SpatialNetwork:
+    """Build a :class:`SpatialNetwork` from an undirected networkx graph.
+
+    Node labels may be arbitrary hashables; they are remapped to dense ids
+    in sorted-by-insertion order.  Nodes need a ``pos`` attribute (an
+    ``(x, y)`` pair); edges missing ``weight`` get their Euclidean length.
+    """
+    import networkx as nx
+
+    if mirror.is_directed():
+        raise GraphError("from_networkx expects an undirected graph")
+    builder = GraphBuilder()
+    remap: dict[object, int] = {}
+    for node, data in mirror.nodes(data=True):
+        try:
+            x, y = data[pos]
+        except KeyError:
+            raise GraphError(
+                f"node {node!r} lacks a {pos!r} attribute (an (x, y) pair)"
+            ) from None
+        remap[node] = builder.add_vertex(float(x), float(y))
+    for u, v, data in mirror.edges(data=True):
+        if u == v:
+            continue  # self loops carry no distance information
+        builder.add_edge(remap[u], remap[v], data.get(weight))
+    return builder.build()

@@ -1,0 +1,102 @@
+"""Persistence for spatial networks.
+
+Two formats are supported:
+
+- a single JSON document (convenient, self-describing), and
+- the classic two-file edge-list layout (``*.co`` vertex coordinates +
+  ``*.gr`` weighted edges) used by public road-network releases such as the
+  DIMACS / Illinois open data the paper points at.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import GraphError
+from repro.network.graph import SpatialNetwork
+
+__all__ = ["save_json", "load_json", "save_edge_list", "load_edge_list"]
+
+
+def save_json(graph: SpatialNetwork, path: str | Path) -> None:
+    """Write the network to ``path`` as a JSON document."""
+    payload = {
+        "format": "repro-network",
+        "version": 1,
+        "xs": [float(x) for x in graph.xs],
+        "ys": [float(y) for y in graph.ys],
+        "edges": [[u, v, w] for u, v, w in graph.edges()],
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_json(path: str | Path) -> SpatialNetwork:
+    """Read a network previously written by :func:`save_json`."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("format") != "repro-network":
+        raise GraphError(f"{path} is not a repro network file")
+    return SpatialNetwork(
+        payload["xs"],
+        payload["ys"],
+        [(int(u), int(v), float(w)) for u, v, w in payload["edges"]],
+    )
+
+
+def save_edge_list(graph: SpatialNetwork, prefix: str | Path) -> tuple[Path, Path]:
+    """Write ``<prefix>.co`` (coordinates) and ``<prefix>.gr`` (edges).
+
+    Vertex ids are written 1-based to match the DIMACS convention.
+    Returns the two paths written.
+    """
+    prefix = Path(prefix)
+    co_path = prefix.with_suffix(".co")
+    gr_path = prefix.with_suffix(".gr")
+    with co_path.open("w") as fh:
+        fh.write(f"p aux co {graph.num_vertices}\n")
+        for v in graph.vertices():
+            x, y = graph.position(v)
+            fh.write(f"v {v + 1} {x!r} {y!r}\n")
+    with gr_path.open("w") as fh:
+        fh.write(f"p sp {graph.num_vertices} {graph.num_edges}\n")
+        for u, v, w in graph.edges():
+            fh.write(f"a {u + 1} {v + 1} {w!r}\n")
+    return co_path, gr_path
+
+
+def load_edge_list(prefix: str | Path) -> SpatialNetwork:
+    """Read a network from ``<prefix>.co`` + ``<prefix>.gr``."""
+    prefix = Path(prefix)
+    co_path = prefix.with_suffix(".co")
+    gr_path = prefix.with_suffix(".gr")
+    if not co_path.exists() or not gr_path.exists():
+        raise GraphError(f"missing {co_path} or {gr_path}")
+
+    xs: list[float] = []
+    ys: list[float] = []
+    with co_path.open() as fh:
+        for line in fh:
+            parts = line.split()
+            if not parts or parts[0] != "v":
+                continue
+            index = int(parts[1]) - 1
+            while len(xs) <= index:
+                xs.append(0.0)
+                ys.append(0.0)
+            xs[index] = float(parts[2])
+            ys[index] = float(parts[3])
+
+    edges: list[tuple[int, int, float]] = []
+    seen: set[tuple[int, int]] = set()
+    with gr_path.open() as fh:
+        for line in fh:
+            parts = line.split()
+            if not parts or parts[0] != "a":
+                continue
+            u, v = int(parts[1]) - 1, int(parts[2]) - 1
+            key = (min(u, v), max(u, v))
+            if key in seen:
+                continue  # directed files list both arcs; keep one
+            seen.add(key)
+            edges.append((u, v, float(parts[3])))
+    return SpatialNetwork(xs, ys, edges)

@@ -1,0 +1,106 @@
+"""ALT (A*, Landmarks, Triangle inequality) distance lower bounds.
+
+A set of landmark vertices is chosen with the classic farthest-point
+heuristic; single-source distances from each landmark are precomputed.  The
+triangle inequality then gives, for any pair ``(u, v)``,
+
+    sd(u, v) >= |sd(l, u) - sd(l, v)|      for every landmark l,
+
+and the maximum over landmarks is a (often tight) lower bound usable both as
+an A* heuristic and as a cheap pre-filter before running an exact search.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.network.dijkstra import single_source_distances
+from repro.network.graph import SpatialNetwork
+
+__all__ = ["LandmarkIndex"]
+
+
+class LandmarkIndex:
+    """Precomputed landmark distances over a connected spatial network."""
+
+    def __init__(self, graph: SpatialNetwork, landmarks: Sequence[int], table: np.ndarray):
+        self._graph = graph
+        self._landmarks = list(landmarks)
+        self._table = table  # shape (num_landmarks, num_vertices)
+
+    @classmethod
+    def build(
+        cls,
+        graph: SpatialNetwork,
+        num_landmarks: int = 8,
+        seed: int | None = None,
+    ) -> "LandmarkIndex":
+        """Select landmarks by farthest-point traversal and precompute distances.
+
+        The first landmark is random (seeded); each subsequent landmark is
+        the vertex maximizing the minimum distance to the already chosen
+        ones, which spreads landmarks to the periphery where ALT bounds are
+        tightest.
+        """
+        if graph.num_vertices == 0:
+            raise GraphError("cannot build landmarks on an empty graph")
+        if not graph.is_connected():
+            raise GraphError("LandmarkIndex requires a connected graph")
+        num_landmarks = min(num_landmarks, graph.num_vertices)
+        rng = random.Random(seed)
+        first = rng.randrange(graph.num_vertices)
+
+        landmarks = [first]
+        rows = [_distance_row(graph, first)]
+        min_dist = rows[0].copy()
+        while len(landmarks) < num_landmarks:
+            candidate = int(np.argmax(min_dist))
+            if min_dist[candidate] <= 0.0:
+                break  # every vertex is already a landmark
+            landmarks.append(candidate)
+            row = _distance_row(graph, candidate)
+            rows.append(row)
+            np.minimum(min_dist, row, out=min_dist)
+        return cls(graph, landmarks, np.vstack(rows))
+
+    # -------------------------------------------------------------- queries
+    @property
+    def landmarks(self) -> list[int]:
+        """The selected landmark vertex ids."""
+        return list(self._landmarks)
+
+    def lower_bound(self, u: int, v: int) -> float:
+        """A lower bound on ``sd(u, v)`` from the triangle inequality."""
+        self._graph._check_vertex(u)
+        self._graph._check_vertex(v)
+        if u == v:
+            return 0.0
+        column_u = self._table[:, u]
+        column_v = self._table[:, v]
+        return float(np.max(np.abs(column_u - column_v)))
+
+    def heuristic(self, target: int):
+        """An admissible A* heuristic ``h(v) = lower_bound(v, target)``."""
+        self._graph._check_vertex(target)
+        column_t = self._table[:, target]
+        table = self._table
+
+        def h(v: int) -> float:
+            return float(np.max(np.abs(table[:, v] - column_t)))
+
+        return h
+
+    def landmark_distance(self, landmark_index: int, vertex: int) -> float:
+        """Precomputed ``sd(landmark, vertex)`` for the i-th landmark."""
+        return float(self._table[landmark_index, vertex])
+
+
+def _distance_row(graph: SpatialNetwork, source: int) -> np.ndarray:
+    row = np.full(graph.num_vertices, np.inf)
+    for v, d in single_source_distances(graph, source).items():
+        row[v] = d
+    return row

@@ -1,0 +1,10 @@
+"""Process-parallel fan-out for batch queries and join phase 1."""
+
+from repro.parallel.executor import (
+    fork_available,
+    parallel_join,
+    parallel_search,
+    parallel_self_join,
+)
+
+__all__ = ["fork_available", "parallel_join", "parallel_search", "parallel_self_join"]

@@ -1,0 +1,216 @@
+"""Parallel execution of independent searches.
+
+The paper's central systems claim is that per-trajectory (and per-query)
+searches are embarrassingly parallel while the merge step stays constant
+cost.  This module provides that fan-out for batch UOTS queries and for
+phase 1 of the two-phase join.
+
+Processes, not threads, carry the parallelism: the searches are pure Python
+and GIL-bound.  Workers are forked (POSIX), so the database is shared
+copy-on-write and never pickled; the per-task payload is just the query or
+trajectory id.  On platforms without ``fork`` the executor transparently
+falls back to sequential execution (documented, and reported in the stats).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from typing import Sequence
+
+from repro.core.engine import make_searcher
+from repro.core.query import UOTSQuery
+from repro.core.results import SearchResult, SearchStats
+from repro.errors import QueryError
+from repro.index.database import TrajectoryDatabase
+from repro.join.tsjoin import JoinResult, TwoPhaseJoin, _validate_theta
+from repro.matching.engine import DirectionalSearchEngine
+
+__all__ = ["parallel_search", "parallel_self_join", "parallel_join", "fork_available"]
+
+# Worker globals, inherited through fork (never pickled).
+_WORKER: dict[str, object] = {}
+
+
+def fork_available() -> bool:
+    """Whether fork-based process pools are usable on this platform."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+# ----------------------------------------------------------- batch queries
+def _search_worker(query: UOTSQuery) -> SearchResult:
+    searcher = _WORKER["searcher"]
+    return searcher.search(query)
+
+
+def parallel_search(
+    database: TrajectoryDatabase,
+    queries: Sequence[UOTSQuery],
+    algorithm: str = "collaborative",
+    workers: int = 1,
+) -> list[SearchResult]:
+    """Run a batch of UOTS queries across ``workers`` processes.
+
+    Results come back in query order.  ``workers=1`` (or an unavailable
+    ``fork``) runs sequentially in-process.
+    """
+    if workers < 1:
+        raise QueryError(f"workers must be >= 1, got {workers}")
+    searcher = make_searcher(database, algorithm)
+    if workers == 1 or not fork_available() or len(queries) <= 1:
+        return [searcher.search(query) for query in queries]
+
+    context = multiprocessing.get_context("fork")
+    _WORKER["searcher"] = searcher
+    try:
+        with context.Pool(processes=min(workers, len(queries))) as pool:
+            return pool.map(_search_worker, queries, chunksize=1)
+    finally:
+        _WORKER.clear()
+
+
+# -------------------------------------------------------------- join phase 1
+def _join_worker(trajectory_id: int) -> tuple[int, dict[int, float], SearchStats]:
+    engine: DirectionalSearchEngine = _WORKER["engine"]
+    database: TrajectoryDatabase = _WORKER["database"]
+    lam: float = _WORKER["lam"]
+    limit: float = _WORKER["limit"]
+    trajectory = database.get(trajectory_id)
+    candidates = engine.threshold_search(
+        [(p.vertex, p.timestamp) for p in trajectory.points],
+        lam,
+        limit,
+        exclude_id=trajectory_id,
+    )
+    return trajectory_id, candidates.values, candidates.stats
+
+
+def parallel_self_join(
+    database: TrajectoryDatabase,
+    theta: float,
+    lam: float = 0.5,
+    sigma_t: float = 1800.0,
+    workers: int = 1,
+) -> JoinResult:
+    """The two-phase self join with phase 1 fanned out over processes.
+
+    Phase 2 (merging the candidate sets) runs in the parent and is the same
+    dictionary intersection regardless of the worker count — the constant
+    merge cost the two-phase design claims.
+    """
+    if workers < 1:
+        raise QueryError(f"workers must be >= 1, got {workers}")
+    _validate_theta(theta)
+    if workers == 1 or not fork_available():
+        return TwoPhaseJoin(database, lam=lam, sigma_t=sigma_t).self_join(theta)
+
+    started = time.perf_counter()
+    engine = DirectionalSearchEngine(database, sigma_t=sigma_t)
+    ids = database.trajectories.ids()
+    context = multiprocessing.get_context("fork")
+    _WORKER.update(
+        {"engine": engine, "database": database, "lam": lam, "limit": theta - 1.0}
+    )
+    try:
+        with context.Pool(processes=workers) as pool:
+            chunk = max(1, len(ids) // (workers * 8))
+            rows = pool.map(_join_worker, ids, chunksize=chunk)
+    finally:
+        _WORKER.clear()
+
+    result = JoinResult()
+    sets: dict[int, dict[int, float]] = {}
+    for trajectory_id, values, stats in rows:
+        sets[trajectory_id] = values
+        result.stats.merge(stats)
+    eps = 1e-9
+    for id1, candidates in sets.items():
+        for id2, v12 in candidates.items():
+            if id2 <= id1:
+                continue
+            v21 = sets.get(id2, {}).get(id1)
+            if v21 is None:
+                continue
+            result.candidate_pairs += 1
+            score = v12 + v21
+            if score >= theta - eps:
+                result.pairs.append((id1, id2, score))
+    result.pairs.sort()
+    result.stats.elapsed_seconds = time.perf_counter() - started
+    return result
+
+
+# ------------------------------------------------------- non-self join
+def _cross_join_worker(task: tuple[str, int]) -> tuple[str, int, dict[int, float], SearchStats]:
+    side, trajectory_id = task
+    engine: DirectionalSearchEngine = _WORKER[f"engine_{side}"]
+    database: TrajectoryDatabase = _WORKER[f"database_{side}"]
+    lam: float = _WORKER["lam"]
+    limit: float = _WORKER["limit"]
+    trajectory = database.get(trajectory_id)
+    candidates = engine.threshold_search(
+        [(p.vertex, p.timestamp) for p in trajectory.points], lam, limit
+    )
+    return side, trajectory_id, candidates.values, candidates.stats
+
+
+def parallel_join(
+    database: TrajectoryDatabase,
+    other: TrajectoryDatabase,
+    theta: float,
+    lam: float = 0.5,
+    sigma_t: float = 1800.0,
+    workers: int = 1,
+) -> JoinResult:
+    """The two-phase non-self join ``P x Q`` with phase 1 fanned out.
+
+    Searches from both sides (``P`` trajectories against ``Q``'s engine and
+    vice versa) form one task pool; merging runs in the parent, worker-count
+    independent.
+    """
+    if workers < 1:
+        raise QueryError(f"workers must be >= 1, got {workers}")
+    _validate_theta(theta)
+    if workers == 1 or not fork_available():
+        return TwoPhaseJoin(database, other, lam=lam, sigma_t=sigma_t).join(theta)
+
+    started = time.perf_counter()
+    engine_q = DirectionalSearchEngine(other, sigma_t=sigma_t)
+    engine_p = DirectionalSearchEngine(database, sigma_t=sigma_t)
+    tasks = [("p", tid) for tid in database.trajectories.ids()]
+    tasks += [("q", tid) for tid in other.trajectories.ids()]
+    context = multiprocessing.get_context("fork")
+    # Side "p" trajectories search the Q engine and vice versa.
+    _WORKER.update(
+        {
+            "engine_p": engine_q, "database_p": database,
+            "engine_q": engine_p, "database_q": other,
+            "lam": lam, "limit": theta - 1.0,
+        }
+    )
+    try:
+        with context.Pool(processes=workers) as pool:
+            chunk = max(1, len(tasks) // (workers * 8))
+            rows = pool.map(_cross_join_worker, tasks, chunksize=chunk)
+    finally:
+        _WORKER.clear()
+
+    result = JoinResult()
+    from_p: dict[int, dict[int, float]] = {}
+    from_q: dict[int, dict[int, float]] = {}
+    for side, trajectory_id, values, stats in rows:
+        (from_p if side == "p" else from_q)[trajectory_id] = values
+        result.stats.merge(stats)
+    eps = 1e-9
+    for id1, candidates in from_p.items():
+        for id2, v12 in candidates.items():
+            v21 = from_q.get(id2, {}).get(id1)
+            if v21 is None:
+                continue
+            result.candidate_pairs += 1
+            score = v12 + v21
+            if score >= theta - eps:
+                result.pairs.append((id1, id2, score))
+    result.pairs.sort()
+    result.stats.elapsed_seconds = time.perf_counter() - started
+    return result

@@ -1,0 +1,18 @@
+"""Disk-resident storage substrate: pages, LRU buffer, record codec, store."""
+
+from repro.storage.buffer import BufferStats, LRUBufferPool
+from repro.storage.database import DiskTrajectoryDatabase
+from repro.storage.pages import DEFAULT_PAGE_SIZE, PageFile
+from repro.storage.records import decode_trajectory, encode_trajectory
+from repro.storage.store import DiskTrajectoryStore
+
+__all__ = [
+    "BufferStats",
+    "DEFAULT_PAGE_SIZE",
+    "DiskTrajectoryDatabase",
+    "DiskTrajectoryStore",
+    "LRUBufferPool",
+    "PageFile",
+    "decode_trajectory",
+    "encode_trajectory",
+]

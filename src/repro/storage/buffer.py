@@ -1,0 +1,87 @@
+"""LRU buffer pool over a page file.
+
+The paper's disk-resident experiments use an LRU buffer in front of the
+trajectory pages; this is that component, with hit/miss counters exposed so
+benchmarks can report data-access behaviour, not just wall time.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.errors import DatasetError
+from repro.storage.pages import PageFile
+
+__all__ = ["BufferStats", "LRUBufferPool"]
+
+
+@dataclass
+class BufferStats:
+    """Page-access counters of one buffer pool."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total page requests."""
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of requests served from memory."""
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def reset(self) -> None:
+        """Zero all counters (e.g. between benchmark phases)."""
+        self.hits = self.misses = self.evictions = 0
+
+
+class LRUBufferPool:
+    """Least-recently-used cache of page contents."""
+
+    def __init__(self, pagefile: PageFile, capacity: int = 256):
+        if capacity < 1:
+            raise DatasetError(f"buffer capacity must be >= 1, got {capacity}")
+        self._pagefile = pagefile
+        self._capacity = capacity
+        self._pages: OrderedDict[int, bytes] = OrderedDict()
+        self.stats = BufferStats()
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of cached pages."""
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def get_page(self, page_id: int) -> bytes:
+        """The page's bytes, from cache or disk (updating recency)."""
+        cached = self._pages.get(page_id)
+        if cached is not None:
+            self._pages.move_to_end(page_id)
+            self.stats.hits += 1
+            return cached
+        self.stats.misses += 1
+        data = self._pagefile.read_page(page_id)
+        self._pages[page_id] = data
+        if len(self._pages) > self._capacity:
+            self._pages.popitem(last=False)
+            self.stats.evictions += 1
+        return data
+
+    def invalidate(self, page_id: int | None = None) -> None:
+        """Drop one page (or everything) from the cache."""
+        if page_id is None:
+            self._pages.clear()
+        else:
+            self._pages.pop(page_id, None)
+
+    def __repr__(self) -> str:
+        return (
+            f"LRUBufferPool(cached={len(self._pages)}/{self._capacity}, "
+            f"hit_ratio={self.stats.hit_ratio:.2f})"
+        )

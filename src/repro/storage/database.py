@@ -1,0 +1,137 @@
+"""Disk-resident trajectory database.
+
+The paper's disk configuration: indexes (vertex postings, keyword postings,
+the id directory) stay memory-resident, but trajectory payloads live on
+disk behind an LRU buffer.  :class:`DiskTrajectoryDatabase` exposes the same
+interface as the in-memory :class:`~repro.index.database.TrajectoryDatabase`
+(every searcher accepts either), so the disk experiment is a drop-in swap.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import DatasetError
+from repro.index.vertex_index import VertexTrajectoryIndex
+from repro.network.graph import SpatialNetwork
+from repro.network.stats import characteristic_distance
+from repro.storage.pages import DEFAULT_PAGE_SIZE
+from repro.storage.store import DiskTrajectoryStore
+from repro.text.index import InvertedKeywordIndex
+from repro.trajectory.model import Trajectory, TrajectorySet
+
+__all__ = ["DiskTrajectoryDatabase"]
+
+
+class _DiskBackedSet:
+    """A TrajectorySet-shaped view over the disk store (read only)."""
+
+    def __init__(self, store: DiskTrajectoryStore):
+        self._store = store
+
+    def get(self, trajectory_id: int) -> Trajectory:
+        return self._store.get(trajectory_id)
+
+    def ids(self) -> list[int]:
+        return self._store.ids()
+
+    def __contains__(self, trajectory_id: int) -> bool:
+        return trajectory_id in self._store
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __iter__(self):
+        return iter(self._store)
+
+
+class DiskTrajectoryDatabase:
+    """Searcher-compatible database with disk-resident trajectory payloads."""
+
+    def __init__(
+        self,
+        graph: SpatialNetwork,
+        store: DiskTrajectoryStore,
+        vertex_index: VertexTrajectoryIndex,
+        keyword_index: InvertedKeywordIndex,
+        sigma: float,
+    ):
+        self._graph = graph
+        self._store = store
+        self._vertex_index = vertex_index
+        self._keyword_index = keyword_index
+        self._sigma = sigma
+        self._view = _DiskBackedSet(store)
+
+    @classmethod
+    def build(
+        cls,
+        path: str | Path,
+        graph: SpatialNetwork,
+        trajectories: TrajectorySet,
+        sigma: float | None = None,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        buffer_capacity: int = 256,
+    ) -> "DiskTrajectoryDatabase":
+        """Materialise the store on disk and build the in-memory indexes."""
+        if len(trajectories) == 0:
+            raise DatasetError("a trajectory database needs at least one trajectory")
+        store = DiskTrajectoryStore.build(
+            path, trajectories, page_size=page_size,
+            buffer_capacity=buffer_capacity,
+        )
+        vertex_index = VertexTrajectoryIndex.build(graph, trajectories)
+        keyword_index = InvertedKeywordIndex.build(trajectories)
+        if sigma is None:
+            sigma = characteristic_distance(graph) / 8.0
+        return cls(graph, store, vertex_index, keyword_index, sigma)
+
+    # ------------------------------------------------ database interface
+    @property
+    def graph(self) -> SpatialNetwork:
+        """The underlying spatial network."""
+        return self._graph
+
+    @property
+    def trajectories(self) -> _DiskBackedSet:
+        """Iterable, id-addressable view over the stored trajectories."""
+        return self._view
+
+    @property
+    def vertex_index(self) -> VertexTrajectoryIndex:
+        """Vertex -> trajectory-id posting lists (memory-resident)."""
+        return self._vertex_index
+
+    @property
+    def keyword_index(self) -> InvertedKeywordIndex:
+        """Keyword -> trajectory-id posting lists (memory-resident)."""
+        return self._keyword_index
+
+    @property
+    def sigma(self) -> float:
+        """Distance scale of the exponential spatial similarity decay."""
+        return self._sigma
+
+    def get(self, trajectory_id: int) -> Trajectory:
+        """Read a trajectory from disk (through the LRU buffer)."""
+        return self._store.get(trajectory_id)
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    # --------------------------------------------------------- disk extras
+    @property
+    def store(self) -> DiskTrajectoryStore:
+        """The underlying page store (buffer stats live on it)."""
+        return self._store
+
+    def close(self) -> None:
+        """Close the backing page file."""
+        self._store.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"DiskTrajectoryDatabase(|P|={len(self._store)}, "
+            f"pages={self._store.num_pages}, "
+            f"buffer={self._store.buffer.capacity})"
+        )

@@ -1,0 +1,109 @@
+"""Fixed-size page file — the disk substrate of the disk-resident variant.
+
+The paper evaluates a disk-resident configuration (trajectory data on disk
+behind an LRU buffer, indexes in memory).  This module provides the page
+abstraction: a file of fixed-size pages addressed by page id, with explicit
+read/write/allocate operations so the buffer pool above it can count and
+cache I/O.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.errors import DatasetError
+
+__all__ = ["PageFile", "DEFAULT_PAGE_SIZE"]
+
+DEFAULT_PAGE_SIZE = 4096
+
+
+class PageFile:
+    """A file of fixed-size pages with random access by page id."""
+
+    def __init__(self, path: str | Path, page_size: int = DEFAULT_PAGE_SIZE,
+                 create: bool = False):
+        if page_size < 64:
+            raise DatasetError(f"page size {page_size} is too small")
+        self._path = Path(path)
+        self._page_size = page_size
+        mode = "w+b" if create or not self._path.exists() else "r+b"
+        self._file = open(self._path, mode)
+        self._file.seek(0, os.SEEK_END)
+        size = self._file.tell()
+        if size % page_size != 0:
+            raise DatasetError(
+                f"{path} has size {size}, not a multiple of page size {page_size}"
+            )
+        self._num_pages = size // page_size
+
+    # ------------------------------------------------------------ metadata
+    @property
+    def page_size(self) -> int:
+        """Bytes per page."""
+        return self._page_size
+
+    @property
+    def num_pages(self) -> int:
+        """Number of allocated pages."""
+        return self._num_pages
+
+    @property
+    def path(self) -> Path:
+        """The backing file path."""
+        return self._path
+
+    # ------------------------------------------------------------------ io
+    def allocate(self) -> int:
+        """Append an empty page; returns its id."""
+        page_id = self._num_pages
+        self._file.seek(page_id * self._page_size)
+        self._file.write(b"\x00" * self._page_size)
+        self._num_pages += 1
+        return page_id
+
+    def read_page(self, page_id: int) -> bytes:
+        """The raw bytes of one page."""
+        self._check(page_id)
+        self._file.seek(page_id * self._page_size)
+        return self._file.read(self._page_size)
+
+    def write_page(self, page_id: int, data: bytes) -> None:
+        """Overwrite one page; ``data`` must not exceed the page size."""
+        self._check(page_id)
+        if len(data) > self._page_size:
+            raise DatasetError(
+                f"page payload of {len(data)} bytes exceeds page size "
+                f"{self._page_size}"
+            )
+        self._file.seek(page_id * self._page_size)
+        self._file.write(data.ljust(self._page_size, b"\x00"))
+
+    def flush(self) -> None:
+        """Flush buffered writes to the OS."""
+        self._file.flush()
+
+    def close(self) -> None:
+        """Flush and close the backing file."""
+        if not self._file.closed:
+            self._file.flush()
+            self._file.close()
+
+    def _check(self, page_id: int) -> None:
+        if not (0 <= page_id < self._num_pages):
+            raise DatasetError(
+                f"page {page_id} out of range (file has {self._num_pages} pages)"
+            )
+
+    def __enter__(self) -> "PageFile":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"PageFile({self._path.name}, pages={self._num_pages}, "
+            f"page_size={self._page_size})"
+        )

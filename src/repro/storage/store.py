@@ -1,0 +1,125 @@
+"""Disk-resident trajectory store.
+
+Records are packed into fixed-size pages (a record never spans pages; each
+record is preceded by a ``u16`` length).  A directory mapping trajectory id
+to ``(page, offset)`` lives in memory — in the paper's terms, the ids/index
+are memory-resident while the trajectory payloads are on disk behind the
+LRU buffer.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import Iterable
+
+from repro.errors import DatasetError, TrajectoryError
+from repro.storage.buffer import LRUBufferPool
+from repro.storage.pages import DEFAULT_PAGE_SIZE, PageFile
+from repro.storage.records import decode_trajectory, encode_trajectory
+from repro.trajectory.model import Trajectory
+
+__all__ = ["DiskTrajectoryStore"]
+
+_LEN = struct.Struct("<H")
+
+
+class DiskTrajectoryStore:
+    """Random-access trajectory records on disk behind an LRU buffer."""
+
+    def __init__(
+        self,
+        pagefile: PageFile,
+        directory: dict[int, tuple[int, int]],
+        buffer_capacity: int = 256,
+    ):
+        self._pagefile = pagefile
+        self._directory = directory
+        self._buffer = LRUBufferPool(pagefile, buffer_capacity)
+
+    # ---------------------------------------------------------------- build
+    @classmethod
+    def build(
+        cls,
+        path: str | Path,
+        trajectories: Iterable[Trajectory],
+        page_size: int = DEFAULT_PAGE_SIZE,
+        buffer_capacity: int = 256,
+    ) -> "DiskTrajectoryStore":
+        """Write all trajectories to ``path`` and open the store over them."""
+        pagefile = PageFile(path, page_size, create=True)
+        directory: dict[int, tuple[int, int]] = {}
+        page_id = pagefile.allocate()
+        cursor = 0
+        buffer = bytearray(page_size)
+        for trajectory in trajectories:
+            if trajectory.id in directory:
+                raise DatasetError(f"duplicate trajectory id {trajectory.id}")
+            record = encode_trajectory(trajectory)
+            needed = _LEN.size + len(record)
+            if needed > page_size:
+                raise DatasetError(
+                    f"trajectory {trajectory.id} needs {needed} bytes; "
+                    f"increase page_size (currently {page_size})"
+                )
+            if cursor + needed > page_size:
+                pagefile.write_page(page_id, bytes(buffer[:cursor]))
+                page_id = pagefile.allocate()
+                cursor = 0
+                buffer = bytearray(page_size)
+            directory[trajectory.id] = (page_id, cursor)
+            _LEN.pack_into(buffer, cursor, len(record))
+            buffer[cursor + _LEN.size : cursor + needed] = record
+            cursor += needed
+        pagefile.write_page(page_id, bytes(buffer[:cursor]))
+        pagefile.flush()
+        return cls(pagefile, directory, buffer_capacity)
+
+    # ---------------------------------------------------------------- reads
+    def get(self, trajectory_id: int) -> Trajectory:
+        """Read one trajectory (through the buffer pool)."""
+        location = self._directory.get(trajectory_id)
+        if location is None:
+            raise TrajectoryError(f"unknown trajectory id {trajectory_id}")
+        page_id, offset = location
+        page = self._buffer.get_page(page_id)
+        (length,) = _LEN.unpack_from(page, offset)
+        trajectory, __ = decode_trajectory(
+            page[offset + _LEN.size : offset + _LEN.size + length]
+        )
+        return trajectory
+
+    def ids(self) -> list[int]:
+        """All stored trajectory ids (directory order)."""
+        return list(self._directory)
+
+    def __contains__(self, trajectory_id: int) -> bool:
+        return trajectory_id in self._directory
+
+    def __len__(self) -> int:
+        return len(self._directory)
+
+    def __iter__(self):
+        for trajectory_id in self._directory:
+            yield self.get(trajectory_id)
+
+    # ------------------------------------------------------------- plumbing
+    @property
+    def buffer(self) -> LRUBufferPool:
+        """The LRU buffer pool (stats live here)."""
+        return self._buffer
+
+    @property
+    def num_pages(self) -> int:
+        """Pages occupied on disk."""
+        return self._pagefile.num_pages
+
+    def close(self) -> None:
+        """Close the backing page file."""
+        self._pagefile.close()
+
+    def __enter__(self) -> "DiskTrajectoryStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,34 @@
+"""Textual substrate: vocabulary, analysis, similarity measures, inverted index."""
+
+from repro.text.analysis import STOPWORDS, normalize_keywords, tokenize
+from repro.text.assignment import annotate_trajectories, assign_vertex_keywords
+from repro.text.index import InvertedKeywordIndex
+from repro.text.similarity import (
+    TextMeasure,
+    cosine,
+    dice,
+    get_measure,
+    jaccard,
+    overlap,
+    weighted_jaccard,
+)
+from repro.text.vocabulary import CATEGORY_TERMS, Vocabulary, zipf_weights
+
+__all__ = [
+    "CATEGORY_TERMS",
+    "InvertedKeywordIndex",
+    "STOPWORDS",
+    "TextMeasure",
+    "Vocabulary",
+    "annotate_trajectories",
+    "assign_vertex_keywords",
+    "cosine",
+    "dice",
+    "get_measure",
+    "jaccard",
+    "normalize_keywords",
+    "overlap",
+    "tokenize",
+    "weighted_jaccard",
+    "zipf_weights",
+]

@@ -1,0 +1,44 @@
+"""Text analysis: tokenisation and normalisation of free-form preference text.
+
+The UOTS query lets a traveler type their preference ("quiet lakeside walk,
+then seafood"); this module turns such strings into the keyword sets the
+similarity functions operate on.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+__all__ = ["STOPWORDS", "tokenize", "normalize_keywords"]
+
+# A deliberately small English stopword list: enough to strip connective
+# tissue from preference phrases without needing a language-resource
+# dependency.
+STOPWORDS: frozenset[str] = frozenset(
+    """a an and are at be but by for from has have i in is it my of on or our
+    so some that the then this to want we with near around visit go see"""
+    .split()
+)
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+
+def tokenize(text: str) -> list[str]:
+    """Lower-case word tokens of ``text`` with stopwords removed.
+
+    Order is preserved and duplicates are kept; use
+    :func:`normalize_keywords` for a set.
+    """
+    return [t for t in _TOKEN_RE.findall(text.lower()) if t not in STOPWORDS]
+
+
+def normalize_keywords(keywords: Iterable[str] | str) -> frozenset[str]:
+    """Normalise keywords to the canonical lower-cased set form.
+
+    Accepts either an iterable of keywords or a free-form string (which is
+    tokenised first).
+    """
+    if isinstance(keywords, str):
+        return frozenset(tokenize(keywords))
+    return frozenset(k.lower().strip() for k in keywords if k and k.strip())

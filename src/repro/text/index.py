@@ -1,0 +1,111 @@
+"""Inverted keyword index over trajectories.
+
+Maps each keyword to the sorted posting list of trajectory ids whose textual
+attributes contain it.  This makes the textual domain fully evaluable from
+postings: any trajectory *not* in the union of the query keywords' postings
+has zero set-overlap similarity, so the text side of the UOTS bound needs no
+scan of the full dataset.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import insort
+from typing import Iterable
+
+from repro.errors import IndexError_
+from repro.trajectory.model import Trajectory, TrajectorySet
+
+__all__ = ["InvertedKeywordIndex"]
+
+
+class InvertedKeywordIndex:
+    """Keyword -> sorted trajectory-id posting lists, with df/idf statistics."""
+
+    def __init__(self):
+        self._postings: dict[str, list[int]] = {}
+        self._indexed: dict[int, frozenset[str]] = {}
+
+    @classmethod
+    def build(cls, trajectories: TrajectorySet) -> "InvertedKeywordIndex":
+        """Index every trajectory in ``trajectories``."""
+        index = cls()
+        for trajectory in trajectories:
+            index.add(trajectory)
+        return index
+
+    # ------------------------------------------------------------- mutation
+    def add(self, trajectory: Trajectory) -> None:
+        """Index one trajectory; rejects re-adding the same id."""
+        if trajectory.id in self._indexed:
+            raise IndexError_(f"trajectory {trajectory.id} already indexed")
+        self._indexed[trajectory.id] = trajectory.keywords
+        for keyword in trajectory.keywords:
+            insort(self._postings.setdefault(keyword, []), trajectory.id)
+
+    def remove(self, trajectory_id: int) -> None:
+        """Remove a trajectory from all posting lists."""
+        keywords = self._indexed.pop(trajectory_id, None)
+        if keywords is None:
+            raise IndexError_(f"trajectory {trajectory_id} is not indexed")
+        for keyword in keywords:
+            posting = self._postings[keyword]
+            posting.remove(trajectory_id)
+            if not posting:
+                del self._postings[keyword]
+
+    # -------------------------------------------------------------- queries
+    def postings(self, keyword: str) -> list[int]:
+        """Sorted ids of trajectories containing ``keyword`` (copy)."""
+        return list(self._postings.get(keyword.lower(), ()))
+
+    def document_frequency(self, keyword: str) -> int:
+        """Number of trajectories containing ``keyword``."""
+        return len(self._postings.get(keyword.lower(), ()))
+
+    def idf(self, keyword: str) -> float:
+        """Smoothed inverse document frequency ``ln((N + 1) / (df + 1)) + 1``."""
+        n = len(self._indexed)
+        df = self.document_frequency(keyword)
+        return math.log((n + 1) / (df + 1)) + 1.0
+
+    def idf_table(self) -> dict[str, float]:
+        """idf for every indexed keyword."""
+        return {keyword: self.idf(keyword) for keyword in self._postings}
+
+    def candidates(self, keywords: Iterable[str]) -> set[int]:
+        """Ids of trajectories sharing at least one of ``keywords``.
+
+        Everything outside this set has zero set-overlap textual similarity
+        with the query.
+        """
+        result: set[int] = set()
+        for keyword in keywords:
+            result.update(self._postings.get(keyword.lower(), ()))
+        return result
+
+    def keywords_of(self, trajectory_id: int) -> frozenset[str]:
+        """The indexed keyword set of a trajectory."""
+        try:
+            return self._indexed[trajectory_id]
+        except KeyError:
+            raise IndexError_(f"trajectory {trajectory_id} is not indexed") from None
+
+    @property
+    def num_trajectories(self) -> int:
+        """How many trajectories are indexed."""
+        return len(self._indexed)
+
+    @property
+    def num_keywords(self) -> int:
+        """How many distinct keywords have non-empty postings."""
+        return len(self._postings)
+
+    def __contains__(self, trajectory_id: int) -> bool:
+        return trajectory_id in self._indexed
+
+    def __repr__(self) -> str:
+        return (
+            f"InvertedKeywordIndex(trajectories={len(self._indexed)}, "
+            f"keywords={len(self._postings)})"
+        )

@@ -1,0 +1,104 @@
+"""Textual similarity measures between keyword sets.
+
+UOTS combines a textual similarity with the spatial similarity; the library
+defaults to Jaccard (symmetric, in ``[0, 1]``, and exactly zero without any
+shared keyword — the property the pruning relies on) and also provides the
+usual alternatives: Dice, overlap, cosine, and an idf-weighted Jaccard that
+rewards matches on rare terms.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Mapping
+
+from repro.errors import QueryError
+
+__all__ = [
+    "jaccard",
+    "dice",
+    "overlap",
+    "cosine",
+    "weighted_jaccard",
+    "get_measure",
+    "TextMeasure",
+]
+
+TextMeasure = Callable[[frozenset[str], frozenset[str]], float]
+
+
+def jaccard(a: frozenset[str], b: frozenset[str]) -> float:
+    """``|a & b| / |a | b|``; 0 when either set is empty."""
+    if not a or not b:
+        return 0.0
+    intersection = len(a & b)
+    if intersection == 0:
+        return 0.0
+    return intersection / (len(a) + len(b) - intersection)
+
+
+def dice(a: frozenset[str], b: frozenset[str]) -> float:
+    """``2|a & b| / (|a| + |b|)``; 0 when either set is empty."""
+    if not a or not b:
+        return 0.0
+    return 2.0 * len(a & b) / (len(a) + len(b))
+
+
+def overlap(a: frozenset[str], b: frozenset[str]) -> float:
+    """``|a & b| / min(|a|, |b|)``; 0 when either set is empty."""
+    if not a or not b:
+        return 0.0
+    return len(a & b) / min(len(a), len(b))
+
+
+def cosine(a: frozenset[str], b: frozenset[str]) -> float:
+    """Set cosine ``|a & b| / sqrt(|a| |b|)``; 0 when either set is empty."""
+    if not a or not b:
+        return 0.0
+    return len(a & b) / math.sqrt(len(a) * len(b))
+
+
+def weighted_jaccard(
+    idf: Mapping[str, float],
+) -> TextMeasure:
+    """Jaccard with per-keyword idf weights.
+
+    Unknown keywords get the maximum observed idf (an unseen term is at
+    least as discriminative as the rarest known one); with an empty mapping
+    the measure degenerates to plain Jaccard.
+    """
+    default = max(idf.values(), default=1.0)
+
+    def measure(a: frozenset[str], b: frozenset[str]) -> float:
+        if not a or not b:
+            return 0.0
+        union = a | b
+        inter = a & b
+        if not inter:
+            return 0.0
+        weight = lambda k: idf.get(k, default)  # noqa: E731 - tiny local helper
+        return sum(weight(k) for k in inter) / sum(weight(k) for k in union)
+
+    return measure
+
+
+_MEASURES: dict[str, TextMeasure] = {
+    "jaccard": jaccard,
+    "dice": dice,
+    "overlap": overlap,
+    "cosine": cosine,
+}
+
+
+def get_measure(name: str) -> TextMeasure:
+    """Look up a similarity measure by name.
+
+    All provided measures are symmetric, bounded by ``[0, 1]``, and return 0
+    for disjoint sets — the three properties the search bounds assume.
+    """
+    try:
+        return _MEASURES[name]
+    except KeyError:
+        raise QueryError(
+            f"unknown text measure {name!r}; choose from {sorted(_MEASURES)}"
+        ) from None

@@ -1,0 +1,174 @@
+"""Keyword vocabulary generation.
+
+UOTS trajectories carry textual attributes describing the activities and
+places along a trip ("seafood", "shopping", "lakeside").  The paper's textual
+data source is not redistributable, so this module generates a vocabulary
+with the statistical property text pruning depends on: **Zipfian skew** — a
+few very popular keywords and a long tail of rare ones.
+
+Keywords are organised into POI categories (food, shopping, scenery, ...)
+so that generated datasets also show the co-occurrence structure of real
+annotations (a restaurant district contributes several food terms).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import DatasetError
+
+__all__ = ["CATEGORY_TERMS", "Vocabulary", "zipf_weights"]
+
+# A compact, human-readable term bank per POI category.  Generated datasets
+# draw from these and extend them with numbered synthetic terms when a larger
+# vocabulary is requested.
+CATEGORY_TERMS: dict[str, tuple[str, ...]] = {
+    "food": (
+        "seafood", "noodles", "dumplings", "hotpot", "bakery", "teahouse",
+        "streetfood", "vegetarian", "barbecue", "brunch",
+    ),
+    "shopping": (
+        "mall", "market", "boutique", "antiques", "electronics", "bookstore",
+        "souvenirs", "outlets",
+    ),
+    "scenery": (
+        "lakeside", "park", "garden", "riverwalk", "hilltop", "temple",
+        "oldtown", "skyline",
+    ),
+    "culture": (
+        "museum", "gallery", "theatre", "concert", "library", "heritage",
+        "exhibition",
+    ),
+    "nightlife": ("bar", "club", "livemusic", "karaoke", "nightmarket"),
+    "sport": ("stadium", "gym", "pool", "skating", "climbing"),
+    "transport": ("station", "airport", "ferry", "terminal"),
+}
+
+
+def zipf_weights(count: int, exponent: float = 1.0) -> list[float]:
+    """Zipf rank weights ``1/rank^exponent``, normalised to sum to 1."""
+    if count < 1:
+        raise DatasetError("zipf_weights needs count >= 1")
+    raw = [1.0 / (rank**exponent) for rank in range(1, count + 1)]
+    total = sum(raw)
+    return [w / total for w in raw]
+
+
+@dataclass(frozen=True)
+class _Term:
+    keyword: str
+    category: str
+
+
+class Vocabulary:
+    """A Zipf-weighted keyword universe grouped into categories."""
+
+    def __init__(self, terms: list[tuple[str, str]], exponent: float = 1.0, seed: int | None = None):
+        if not terms:
+            raise DatasetError("vocabulary needs at least one term")
+        seen: set[str] = set()
+        self._terms: list[_Term] = []
+        for keyword, category in terms:
+            keyword = keyword.lower()
+            if keyword in seen:
+                raise DatasetError(f"duplicate keyword {keyword!r}")
+            seen.add(keyword)
+            self._terms.append(_Term(keyword, category))
+        self._weights = zipf_weights(len(self._terms), exponent)
+        self._rng = random.Random(seed)
+
+    @classmethod
+    def build(
+        cls,
+        size: int = 100,
+        exponent: float = 1.0,
+        seed: int | None = None,
+    ) -> "Vocabulary":
+        """A vocabulary of ``size`` keywords drawn from the category bank.
+
+        When ``size`` exceeds the bank, numbered variants (``park2`` ...)
+        extend each category round-robin; popularity order is shuffled by the
+        seed so the head of the Zipf distribution differs across datasets.
+        """
+        base = [
+            (keyword, category)
+            for category, keywords in CATEGORY_TERMS.items()
+            for keyword in keywords
+        ]
+        rng = random.Random(seed)
+        rng.shuffle(base)
+        terms = list(base[:size])
+        suffix = 2
+        while len(terms) < size:
+            for keyword, category in base:
+                if len(terms) >= size:
+                    break
+                terms.append((f"{keyword}{suffix}", category))
+            suffix += 1
+        return cls(terms[:size], exponent, seed)
+
+    # -------------------------------------------------------------- access
+    def __len__(self) -> int:
+        return len(self._terms)
+
+    @property
+    def keywords(self) -> list[str]:
+        """All keywords in popularity order (most popular first)."""
+        return [t.keyword for t in self._terms]
+
+    def category_of(self, keyword: str) -> str:
+        """The category a keyword belongs to; raises for unknown keywords."""
+        for term in self._terms:
+            if term.keyword == keyword:
+                return term.category
+        raise DatasetError(f"unknown keyword {keyword!r}")
+
+    def categories(self) -> dict[str, list[str]]:
+        """Mapping of category -> keywords (popularity order preserved)."""
+        grouped: dict[str, list[str]] = {}
+        for term in self._terms:
+            grouped.setdefault(term.category, []).append(term.keyword)
+        return grouped
+
+    # ------------------------------------------------------------- sampling
+    def sample(self, count: int, rng: random.Random | None = None) -> list[str]:
+        """Draw ``count`` distinct keywords by Zipf popularity.
+
+        ``rng`` overrides the vocabulary's own generator, letting callers
+        keep their sampling independent of other vocabulary users.
+        """
+        if count > len(self._terms):
+            raise DatasetError(
+                f"cannot sample {count} keywords from a vocabulary of {len(self._terms)}"
+            )
+        rng = rng or self._rng
+        chosen: list[str] = []
+        chosen_set: set[str] = set()
+        keywords = self.keywords
+        while len(chosen) < count:
+            keyword = rng.choices(keywords, weights=self._weights, k=1)[0]
+            if keyword not in chosen_set:
+                chosen.append(keyword)
+                chosen_set.add(keyword)
+        return chosen
+
+    def sample_category_burst(
+        self, count: int, rng: random.Random | None = None
+    ) -> list[str]:
+        """Draw up to ``count`` distinct keywords biased to one category.
+
+        Models POI co-occurrence: a vertex in a restaurant district carries
+        several food terms plus the odd outsider.
+        """
+        rng = rng or self._rng
+        grouped = self.categories()
+        category = rng.choice(sorted(grouped))
+        pool = grouped[category]
+        take = min(count, len(pool))
+        burst = rng.sample(pool, take)
+        while len(burst) < count:
+            extra = self.sample(1, rng)[0]
+            if extra not in burst:
+                burst.append(extra)
+        return burst

@@ -1,0 +1,52 @@
+"""Persistence for trajectory sets (JSON-lines format).
+
+One trajectory per line keeps files streamable and diff-friendly, and lets a
+partially written file be detected (the loader validates every record).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import TrajectoryError
+from repro.trajectory.model import Trajectory, TrajectoryPoint, TrajectorySet
+
+__all__ = ["save_jsonl", "load_jsonl"]
+
+
+def save_jsonl(trajectories: TrajectorySet, path: str | Path) -> int:
+    """Write one JSON record per trajectory; returns the record count."""
+    count = 0
+    with Path(path).open("w") as fh:
+        for trajectory in trajectories:
+            record = {
+                "id": trajectory.id,
+                "points": [[p.vertex, p.timestamp] for p in trajectory.points],
+                "keywords": sorted(trajectory.keywords),
+            }
+            fh.write(json.dumps(record))
+            fh.write("\n")
+            count += 1
+    return count
+
+
+def load_jsonl(path: str | Path) -> TrajectorySet:
+    """Read a trajectory set previously written by :func:`save_jsonl`."""
+    trajectories = TrajectorySet()
+    with Path(path).open() as fh:
+        for line_no, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                trajectory = Trajectory(
+                    int(record["id"]),
+                    (TrajectoryPoint(int(v), float(t)) for v, t in record["points"]),
+                    record.get("keywords", ()),
+                )
+            except (KeyError, ValueError, TypeError) as exc:
+                raise TrajectoryError(f"{path}:{line_no}: malformed record: {exc}") from exc
+            trajectories.add(trajectory)
+    return trajectories

@@ -1,0 +1,199 @@
+"""Trajectory data model.
+
+A trajectory is a finite, time-ordered sequence of map-matched sample points
+``(vertex, timestamp)``; timestamps live on a 24-hour axis (seconds in
+``[0, 86400)``) because, as in the paper family, most urban movements repeat
+daily and the date is not modelled.  Each trajectory additionally carries a
+set of *textual attributes* — keywords describing the activities and places
+along the trip — which is what makes the UOTS query user-oriented.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import TrajectoryError
+
+__all__ = ["DAY_SECONDS", "TrajectoryPoint", "Trajectory", "TrajectorySet"]
+
+DAY_SECONDS = 86_400.0
+
+
+@dataclass(frozen=True, slots=True)
+class TrajectoryPoint:
+    """One map-matched sample: a network vertex at a time of day (seconds)."""
+
+    vertex: int
+    timestamp: float
+
+    def __post_init__(self):
+        if self.vertex < 0:
+            raise TrajectoryError(f"negative vertex id {self.vertex}")
+        if not (0.0 <= self.timestamp < DAY_SECONDS):
+            raise TrajectoryError(
+                f"timestamp {self.timestamp} outside the 24-hour axis [0, {DAY_SECONDS})"
+            )
+
+
+class Trajectory:
+    """An immutable trajectory with an id, sample points and keywords.
+
+    Parameters
+    ----------
+    trajectory_id:
+        Unique non-negative identifier within a :class:`TrajectorySet`.
+    points:
+        Time-ordered samples.  Must be non-empty; timestamps must be
+        non-decreasing (several samples may share a timestamp after map
+        matching snaps them to the same minute).
+    keywords:
+        Textual attributes of the trip (may be empty).
+    """
+
+    __slots__ = ("_id", "_points", "_keywords", "_vertex_set")
+
+    def __init__(
+        self,
+        trajectory_id: int,
+        points: Iterable[TrajectoryPoint],
+        keywords: Iterable[str] = (),
+    ):
+        points = tuple(points)
+        if trajectory_id < 0:
+            raise TrajectoryError(f"negative trajectory id {trajectory_id}")
+        if not points:
+            raise TrajectoryError(f"trajectory {trajectory_id} has no sample points")
+        for a, b in zip(points, points[1:]):
+            if b.timestamp < a.timestamp:
+                raise TrajectoryError(
+                    f"trajectory {trajectory_id} timestamps decrease: "
+                    f"{a.timestamp} -> {b.timestamp}"
+                )
+        self._id = trajectory_id
+        self._points = points
+        self._keywords = frozenset(k.lower() for k in keywords)
+        self._vertex_set = frozenset(p.vertex for p in points)
+
+    # ------------------------------------------------------------ accessors
+    @property
+    def id(self) -> int:
+        """The trajectory's identifier."""
+        return self._id
+
+    @property
+    def points(self) -> tuple[TrajectoryPoint, ...]:
+        """The time-ordered sample points."""
+        return self._points
+
+    @property
+    def keywords(self) -> frozenset[str]:
+        """The textual attributes (lower-cased)."""
+        return self._keywords
+
+    @property
+    def vertex_set(self) -> frozenset[int]:
+        """The distinct vertices the trajectory covers."""
+        return self._vertex_set
+
+    def vertices(self) -> list[int]:
+        """Sample-point vertices in visit order (with repeats)."""
+        return [p.vertex for p in self._points]
+
+    def timestamps(self) -> list[float]:
+        """Sample-point timestamps in order."""
+        return [p.timestamp for p in self._points]
+
+    @property
+    def time_range(self) -> tuple[float, float]:
+        """``(departure, arrival)`` timestamps."""
+        return (self._points[0].timestamp, self._points[-1].timestamp)
+
+    @property
+    def duration(self) -> float:
+        """Travel time in seconds (arrival minus departure)."""
+        start, end = self.time_range
+        return end - start
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self) -> Iterator[TrajectoryPoint]:
+        return iter(self._points)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Trajectory):
+            return NotImplemented
+        return (
+            self._id == other._id
+            and self._points == other._points
+            and self._keywords == other._keywords
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._id, self._points, self._keywords))
+
+    def __repr__(self) -> str:
+        start, end = self.time_range
+        return (
+            f"Trajectory(id={self._id}, points={len(self._points)}, "
+            f"range=[{start:.0f}s, {end:.0f}s], keywords={sorted(self._keywords)!r})"
+        )
+
+    # ------------------------------------------------------------- variants
+    def with_keywords(self, keywords: Iterable[str]) -> "Trajectory":
+        """A copy of this trajectory carrying ``keywords`` instead."""
+        return Trajectory(self._id, self._points, keywords)
+
+    def with_id(self, trajectory_id: int) -> "Trajectory":
+        """A copy of this trajectory under a different id."""
+        return Trajectory(trajectory_id, self._points, self._keywords)
+
+
+class TrajectorySet:
+    """A collection of trajectories with unique ids and fast id lookup."""
+
+    def __init__(self, trajectories: Iterable[Trajectory] = ()):
+        self._by_id: dict[int, Trajectory] = {}
+        for trajectory in trajectories:
+            self.add(trajectory)
+
+    def add(self, trajectory: Trajectory) -> None:
+        """Add a trajectory; rejects duplicate ids."""
+        if trajectory.id in self._by_id:
+            raise TrajectoryError(f"duplicate trajectory id {trajectory.id}")
+        self._by_id[trajectory.id] = trajectory
+
+    def remove(self, trajectory_id: int) -> Trajectory:
+        """Remove and return the trajectory with ``trajectory_id``."""
+        try:
+            return self._by_id.pop(trajectory_id)
+        except KeyError:
+            raise TrajectoryError(f"unknown trajectory id {trajectory_id}") from None
+
+    def get(self, trajectory_id: int) -> Trajectory:
+        """The trajectory with ``trajectory_id``; raises if absent."""
+        try:
+            return self._by_id[trajectory_id]
+        except KeyError:
+            raise TrajectoryError(f"unknown trajectory id {trajectory_id}") from None
+
+    def __contains__(self, trajectory_id: int) -> bool:
+        return trajectory_id in self._by_id
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __iter__(self) -> Iterator[Trajectory]:
+        return iter(self._by_id.values())
+
+    def ids(self) -> list[int]:
+        """All trajectory ids (insertion order)."""
+        return list(self._by_id)
+
+    def as_mapping(self) -> Mapping[int, Trajectory]:
+        """Read-only view of the id -> trajectory mapping."""
+        return self._by_id
+
+    def __repr__(self) -> str:
+        return f"TrajectorySet(size={len(self._by_id)})"

@@ -1,0 +1,81 @@
+"""Route reconstruction and route-level measures.
+
+Trajectories store *sampled* points; the paper's model assumes the object
+moves along shortest paths between consecutive samples.  This module makes
+that assumption executable: it reconstructs the full vertex route of a
+trajectory (for display, for length/overlap measures, and for evaluating
+map-matching quality).
+"""
+
+from __future__ import annotations
+
+from repro.errors import DisconnectedError, TrajectoryError
+from repro.network.dijkstra import shortest_path
+from repro.network.graph import SpatialNetwork
+from repro.trajectory.model import Trajectory
+
+__all__ = ["reconstruct_route", "route_length", "route_overlap"]
+
+
+def reconstruct_route(graph: SpatialNetwork, trajectory: Trajectory) -> list[int]:
+    """The full vertex sequence of a trajectory.
+
+    Consecutive sample points are joined by network shortest paths (the
+    paper's movement assumption).  Raises :class:`DisconnectedError` when
+    two consecutive samples have no connecting path.
+    """
+    vertices = trajectory.vertices()
+    route = [vertices[0]]
+    for a, b in zip(vertices, vertices[1:]):
+        if a == b:
+            continue
+        segment, __ = shortest_path(graph, a, b)
+        route.extend(segment[1:])
+    return route
+
+
+def route_length(graph: SpatialNetwork, route: list[int]) -> float:
+    """Total edge length along a vertex route.
+
+    Every consecutive pair must be an edge of the graph (i.e. the input is
+    a *full* route, e.g. from :func:`reconstruct_route`).
+    """
+    if not route:
+        raise TrajectoryError("cannot measure an empty route")
+    total = 0.0
+    for a, b in zip(route, route[1:]):
+        if a == b:
+            continue
+        total += graph.edge_weight(a, b)
+    return total
+
+
+def route_overlap(
+    graph: SpatialNetwork, route_a: list[int], route_b: list[int]
+) -> float:
+    """Length-weighted edge overlap of two full routes, in ``[0, 1]``.
+
+    The measure is ``shared edge length / length of the longer route`` —
+    1 when one route covers the other completely, 0 when they share no
+    edge.  Useful both for ridesharing quality ("how much of my commute is
+    shared?") and for scoring map-matching output against ground truth.
+    """
+
+    def edge_set(route):
+        return {
+            (min(a, b), max(a, b))
+            for a, b in zip(route, route[1:])
+            if a != b
+        }
+
+    edges_a = edge_set(route_a)
+    edges_b = edge_set(route_b)
+    if not edges_a and not edges_b:
+        return 1.0
+    shared = edges_a & edges_b
+    shared_length = sum(graph.edge_weight(a, b) for a, b in shared)
+    longer = max(
+        sum(graph.edge_weight(a, b) for a, b in edges_a),
+        sum(graph.edge_weight(a, b) for a, b in edges_b),
+    )
+    return shared_length / longer if longer > 0 else 0.0

@@ -1,0 +1,17 @@
+"""SVG visualisation: base maps, trajectory overlays, query results."""
+
+from repro.viz.maps import (
+    PALETTE,
+    draw_network,
+    draw_search_result,
+    draw_trajectories,
+)
+from repro.viz.svg import SvgCanvas
+
+__all__ = [
+    "PALETTE",
+    "SvgCanvas",
+    "draw_network",
+    "draw_search_result",
+    "draw_trajectories",
+]

@@ -1,0 +1,94 @@
+"""Map rendering: networks, trajectories, queries and results as SVG.
+
+A research release needs pictures; these renderers draw the spatial network
+as a grey base map and overlay trajectories, query locations, and search
+results with a small qualitative palette.  Output is a standalone SVG
+string (or file) with zero extra dependencies.
+"""
+
+from __future__ import annotations
+
+from repro.core.results import SearchResult
+from repro.errors import ReproError
+from repro.network.graph import SpatialNetwork
+from repro.trajectory.model import Trajectory
+from repro.trajectory.routes import reconstruct_route
+from repro.viz.svg import SvgCanvas
+
+__all__ = ["PALETTE", "draw_network", "draw_trajectories", "draw_search_result"]
+
+#: Qualitative palette for overlaid trajectories (color-blind friendly).
+PALETTE = [
+    "#0072b2", "#d55e00", "#009e73", "#cc79a7", "#e69f00",
+    "#56b4e9", "#f0e442", "#000000",
+]
+
+
+def draw_network(
+    graph: SpatialNetwork,
+    canvas: SvgCanvas | None = None,
+    color: str = "#cccccc",
+    width: float = 0.8,
+) -> SvgCanvas:
+    """Draw every road segment as a thin base-map line."""
+    if graph.num_vertices == 0:
+        raise ReproError("cannot draw an empty network")
+    canvas = canvas or SvgCanvas()
+    for u, v, __ in graph.edges():
+        x1, y1 = graph.position(u)
+        x2, y2 = graph.position(v)
+        canvas.line(x1, y1, x2, y2, color=color, width=width)
+    return canvas
+
+
+def draw_trajectories(
+    graph: SpatialNetwork,
+    trajectories: list[Trajectory],
+    canvas: SvgCanvas | None = None,
+    full_routes: bool = True,
+    width: float = 2.5,
+    labels: bool = False,
+) -> SvgCanvas:
+    """Overlay trajectories, one palette colour each.
+
+    ``full_routes`` reconstructs the shortest-path route between samples;
+    otherwise the sample points are joined directly.
+    """
+    canvas = canvas or SvgCanvas()
+    for i, trajectory in enumerate(trajectories):
+        color = PALETTE[i % len(PALETTE)]
+        vertices = (
+            reconstruct_route(graph, trajectory)
+            if full_routes
+            else trajectory.vertices()
+        )
+        points = [graph.position(v) for v in vertices]
+        if len(points) >= 2:
+            canvas.polyline(points, color=color, width=width, opacity=0.85)
+        else:
+            canvas.circle(*points[0], radius=4.0, color=color)
+        if labels:
+            canvas.text(*points[0], f"t{trajectory.id}", size=11, color=color)
+    return canvas
+
+
+def draw_search_result(
+    graph: SpatialNetwork,
+    locations: tuple[int, ...] | list[int],
+    result: SearchResult,
+    lookup,
+    max_items: int = 5,
+) -> SvgCanvas:
+    """Base map + the top result trajectories + the query locations.
+
+    ``lookup`` maps trajectory id -> :class:`Trajectory` (a database's
+    ``get`` method works).  Query locations are drawn as red markers.
+    """
+    canvas = draw_network(graph)
+    trajectories = [lookup(item.trajectory_id) for item in result.items[:max_items]]
+    draw_trajectories(graph, trajectories, canvas=canvas, labels=True)
+    for location in locations:
+        x, y = graph.position(location)
+        canvas.circle(x, y, radius=6.0, color="#c00000")
+        canvas.text(x, y, f"o{location}", size=12, color="#c00000")
+    return canvas

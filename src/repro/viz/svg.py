@@ -1,0 +1,133 @@
+"""Minimal SVG writer.
+
+A tiny, dependency-free SVG document builder — just enough for the map
+renderer: lines, polylines, circles, text, with automatic viewport fitting.
+Coordinates are given in *world* units (metres); the writer flips the y
+axis (SVG grows downward) and scales to the requested canvas size.
+"""
+
+from __future__ import annotations
+
+from xml.sax.saxutils import escape
+
+from repro.errors import ReproError
+
+__all__ = ["SvgCanvas"]
+
+
+class SvgCanvas:
+    """Accumulates shapes in world coordinates; renders one SVG document."""
+
+    def __init__(self, width: int = 800, height: int = 800, padding: float = 20.0):
+        if width < 1 or height < 1:
+            raise ReproError("canvas dimensions must be positive")
+        self._width = width
+        self._height = height
+        self._padding = padding
+        self._shapes: list[str] = []
+        self._min_x = self._min_y = float("inf")
+        self._max_x = self._max_y = float("-inf")
+
+    # ---------------------------------------------------------------- bounds
+    def _touch(self, x: float, y: float) -> None:
+        self._min_x = min(self._min_x, x)
+        self._min_y = min(self._min_y, y)
+        self._max_x = max(self._max_x, x)
+        self._max_y = max(self._max_y, y)
+
+    def _transform(self):
+        if self._min_x > self._max_x:
+            raise ReproError("cannot render an empty canvas")
+        span_x = max(self._max_x - self._min_x, 1e-9)
+        span_y = max(self._max_y - self._min_y, 1e-9)
+        scale = min(
+            (self._width - 2 * self._padding) / span_x,
+            (self._height - 2 * self._padding) / span_y,
+        )
+
+        def convert(x: float, y: float) -> tuple[float, float]:
+            cx = self._padding + (x - self._min_x) * scale
+            cy = self._height - self._padding - (y - self._min_y) * scale
+            return (round(cx, 2), round(cy, 2))
+
+        return convert
+
+    # ---------------------------------------------------------------- shapes
+    def line(self, x1, y1, x2, y2, color="#999", width=1.0, opacity=1.0) -> None:
+        """A straight segment between two world points."""
+        self._touch(x1, y1)
+        self._touch(x2, y2)
+        self._shapes.append(("line", (x1, y1, x2, y2), color, width, opacity))
+
+    def polyline(self, points, color="#333", width=2.0, opacity=1.0) -> None:
+        """An open path through world points."""
+        points = list(points)
+        if len(points) < 2:
+            raise ReproError("a polyline needs at least two points")
+        for x, y in points:
+            self._touch(x, y)
+        self._shapes.append(("polyline", points, color, width, opacity))
+
+    def circle(self, x, y, radius=4.0, color="#c00", opacity=1.0) -> None:
+        """A filled marker at a world point (radius in canvas pixels)."""
+        self._touch(x, y)
+        self._shapes.append(("circle", (x, y), color, radius, opacity))
+
+    def text(self, x, y, label, size=12, color="#000") -> None:
+        """A text label anchored at a world point."""
+        self._touch(x, y)
+        self._shapes.append(("text", (x, y), color, size, label))
+
+    # ---------------------------------------------------------------- render
+    def render(self) -> str:
+        """The complete SVG document."""
+        convert = self._transform()
+        parts = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self._width}" height="{self._height}" '
+            f'viewBox="0 0 {self._width} {self._height}">',
+            f'<rect width="{self._width}" height="{self._height}" fill="#fff"/>',
+        ]
+        for shape in self._shapes:
+            kind = shape[0]
+            if kind == "line":
+                (x1, y1, x2, y2), color, width, opacity = shape[1:]
+                (cx1, cy1), (cx2, cy2) = convert(x1, y1), convert(x2, y2)
+                parts.append(
+                    f'<line x1="{cx1}" y1="{cy1}" x2="{cx2}" y2="{cy2}" '
+                    f'stroke="{color}" stroke-width="{width}" '
+                    f'stroke-opacity="{opacity}"/>'
+                )
+            elif kind == "polyline":
+                points, color, width, opacity = shape[1:]
+                coords = " ".join(
+                    f"{cx},{cy}" for cx, cy in (convert(x, y) for x, y in points)
+                )
+                parts.append(
+                    f'<polyline points="{coords}" fill="none" '
+                    f'stroke="{color}" stroke-width="{width}" '
+                    f'stroke-opacity="{opacity}" stroke-linejoin="round"/>'
+                )
+            elif kind == "circle":
+                (x, y), color, radius, opacity = shape[1:]
+                cx, cy = convert(x, y)
+                parts.append(
+                    f'<circle cx="{cx}" cy="{cy}" r="{radius}" '
+                    f'fill="{color}" fill-opacity="{opacity}"/>'
+                )
+            elif kind == "text":
+                (x, y), color, size, label = shape[1:]
+                cx, cy = convert(x, y)
+                parts.append(
+                    f'<text x="{cx}" y="{cy}" font-size="{size}" '
+                    f'fill="{color}" font-family="sans-serif">'
+                    f"{escape(str(label))}</text>"
+                )
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+    def save(self, path) -> None:
+        """Write the SVG document to ``path``."""
+        from pathlib import Path
+
+        Path(path).write_text(self.render())

@@ -1,0 +1,52 @@
+"""Unit tests for benchmark dataset bundles."""
+
+import pytest
+
+from repro.bench.datasets import bench_scale, build_bundle
+from repro.errors import DatasetError
+
+
+class TestBenchScale:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert bench_scale() == pytest.approx(0.25)
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.5")
+        assert bench_scale() == pytest.approx(0.5)
+
+    def test_invalid_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "lots")
+        with pytest.raises(DatasetError):
+            bench_scale()
+        monkeypatch.setenv("REPRO_SCALE", "-1")
+        with pytest.raises(DatasetError):
+            bench_scale()
+
+
+class TestBuildBundle:
+    def test_brn_bundle_structure(self):
+        bundle = build_bundle("brn", num_trajectories=100, scale=0.02, seed=0)
+        assert bundle.name == "brn"
+        assert bundle.graph.is_connected()
+        assert len(bundle.trajectories) == 100
+        assert len(bundle.database) == 100
+        assert "brn" in bundle.describe()
+
+    def test_nrn_bundle_structure(self):
+        bundle = build_bundle("nrn", num_trajectories=100, scale=0.02, seed=0)
+        assert bundle.graph.is_connected()
+        assert bundle.graph.num_vertices > 100
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(DatasetError, match="unknown dataset"):
+            build_bundle("paris", num_trajectories=10, scale=0.02)
+
+    def test_bundles_cached(self):
+        a = build_bundle("brn", num_trajectories=100, scale=0.02, seed=0)
+        b = build_bundle("brn", num_trajectories=100, scale=0.02, seed=0)
+        assert a is b
+
+    def test_trajectories_have_keywords(self):
+        bundle = build_bundle("brn", num_trajectories=100, scale=0.02, seed=0)
+        assert any(t.keywords for t in bundle.trajectories)

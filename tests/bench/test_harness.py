@@ -1,0 +1,69 @@
+"""Unit tests for the benchmark harness."""
+
+import pytest
+
+from repro.bench.datasets import build_bundle
+from repro.bench.harness import AlgoMetrics, run_battery, sweep
+from repro.bench.workloads import WorkloadConfig, make_queries
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return build_bundle("brn", num_trajectories=80, scale=0.02, seed=0)
+
+
+@pytest.fixture(scope="module")
+def queries(bundle):
+    return make_queries(bundle, WorkloadConfig(num_queries=4, seed=1))
+
+
+class TestAlgoMetrics:
+    def test_mean_properties(self):
+        metrics = AlgoMetrics(algorithm="x", queries=4, total_seconds=2.0,
+                              visited_trajectories=200)
+        assert metrics.mean_ms == pytest.approx(500.0)
+        assert metrics.mean_visited == pytest.approx(50.0)
+
+    def test_candidate_ratio(self):
+        metrics = AlgoMetrics(algorithm="x", queries=2,
+                              similarity_evaluations=30)
+        assert metrics.candidate_ratio(100) == pytest.approx(0.15)
+
+    def test_zero_queries_safe(self):
+        metrics = AlgoMetrics(algorithm="x")
+        assert metrics.mean_ms == 0.0
+        assert metrics.candidate_ratio(10) == 0.0
+
+
+class TestRunBattery:
+    def test_all_algorithms_reported(self, bundle, queries):
+        battery = run_battery(bundle, queries, ["collaborative", "brute-force"])
+        assert set(battery) == {"collaborative", "brute-force"}
+        for metrics in battery.values():
+            assert metrics.queries == len(queries)
+            assert metrics.total_seconds > 0
+
+    def test_brute_force_visits_everything(self, bundle, queries):
+        battery = run_battery(bundle, queries, ["brute-force"])
+        metrics = battery["brute-force"]
+        assert metrics.visited_trajectories == len(queries) * len(bundle.database)
+
+    def test_collaborative_prunes(self, bundle, queries):
+        battery = run_battery(bundle, queries, ["collaborative", "brute-force"])
+        assert (
+            battery["collaborative"].similarity_evaluations
+            <= battery["brute-force"].similarity_evaluations
+        )
+
+
+class TestSweep:
+    def test_rows_follow_values(self, bundle):
+        def runner(value):
+            queries = make_queries(
+                bundle, WorkloadConfig(num_queries=2, num_locations=value)
+            )
+            return run_battery(bundle, queries, ["collaborative"])
+
+        rows = sweep([1, 2], runner)
+        assert [row.value for row in rows] == [1, 2]
+        assert all("collaborative" in row.metrics for row in rows)

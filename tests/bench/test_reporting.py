@@ -1,0 +1,56 @@
+"""Unit tests for paper-style table rendering."""
+
+from repro.bench.harness import AlgoMetrics
+from repro.bench.reporting import format_sweep, format_table, print_header
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(["name", "value"], [["a", 1], ["longer", 22]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line.rstrip()) for line in lines[2:])) <= 2
+        assert lines[0].startswith("name")
+
+    def test_float_formatting(self):
+        table = format_table(["x"], [[0.123456], [1234.5], [12.34], [0]])
+        assert "0.123" in table
+        assert "1,234" in table or "1,235" in table
+        assert "12.3" in table
+
+    def test_empty_rows(self):
+        table = format_table(["a", "b"], [])
+        assert "a" in table
+
+
+class TestFormatSweep:
+    def test_structure(self):
+        class Row:
+            def __init__(self, value, metrics):
+                self.value = value
+                self.metrics = metrics
+
+        rows = [
+            Row(2, {"alg": AlgoMetrics("alg", queries=1, total_seconds=0.1)}),
+            Row(4, {"alg": AlgoMetrics("alg", queries=1, total_seconds=0.2)}),
+        ]
+        table = format_sweep("|O|", rows, ["alg"], metric="mean_ms")
+        assert "|O|" in table
+        assert "100" in table
+        assert "200" in table
+
+    def test_missing_algorithm_rendered_as_dash(self):
+        class Row:
+            value = 1
+            metrics = {}
+
+        table = format_sweep("p", [Row()], ["missing"])
+        assert "-" in table
+
+
+class TestPrintHeader:
+    def test_prints_title(self, capsys):
+        print_header("Experiment E1", "subtitle here")
+        out = capsys.readouterr().out
+        assert "Experiment E1" in out
+        assert "subtitle here" in out

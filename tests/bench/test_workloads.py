@@ -1,0 +1,76 @@
+"""Unit tests for benchmark query workloads."""
+
+import pytest
+
+from repro.bench.datasets import build_bundle
+from repro.bench.workloads import WorkloadConfig, make_ptm_queries, make_queries
+from repro.errors import DatasetError
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return build_bundle("brn", num_trajectories=100, scale=0.02, seed=0)
+
+
+class TestWorkloadConfig:
+    def test_defaults_valid(self):
+        WorkloadConfig()
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(DatasetError):
+            WorkloadConfig(num_queries=0)
+        with pytest.raises(DatasetError):
+            WorkloadConfig(num_locations=0)
+        with pytest.raises(DatasetError):
+            WorkloadConfig(k=0)
+        with pytest.raises(DatasetError):
+            WorkloadConfig(anchored_fraction=2.0)
+
+
+class TestMakeQueries:
+    def test_count_and_shape(self, bundle):
+        config = WorkloadConfig(num_queries=10, num_locations=3, num_keywords=2,
+                                lam=0.7, k=4)
+        queries = make_queries(bundle, config)
+        assert len(queries) == 10
+        for q in queries:
+            assert q.num_locations == 3
+            assert len(q.keywords) == 2
+            assert q.lam == 0.7
+            assert q.k == 4
+            q.validate_against(bundle.graph)
+
+    def test_deterministic_under_seed(self, bundle):
+        a = make_queries(bundle, WorkloadConfig(num_queries=5, seed=3))
+        b = make_queries(bundle, WorkloadConfig(num_queries=5, seed=3))
+        assert a == b
+
+    def test_different_seeds_differ(self, bundle):
+        a = make_queries(bundle, WorkloadConfig(num_queries=5, seed=1))
+        b = make_queries(bundle, WorkloadConfig(num_queries=5, seed=2))
+        assert a != b
+
+    def test_zero_keywords_supported(self, bundle):
+        queries = make_queries(bundle, WorkloadConfig(num_queries=3, num_keywords=0))
+        assert all(q.keywords == frozenset() for q in queries)
+
+    def test_unanchored_workload(self, bundle):
+        queries = make_queries(
+            bundle, WorkloadConfig(num_queries=5, anchored_fraction=0.0)
+        )
+        assert len(queries) == 5
+
+
+class TestMakePtmQueries:
+    def test_count_and_anchors_exist(self, bundle):
+        queries = make_ptm_queries(bundle, 5, lam=0.4, k=3, seed=1)
+        assert len(queries) == 5
+        for q in queries:
+            assert q.lam == 0.4
+            assert q.k == 3
+            assert q.trajectory.id in bundle.trajectories
+
+    def test_deterministic_under_seed(self, bundle):
+        a = make_ptm_queries(bundle, 4, seed=9)
+        b = make_ptm_queries(bundle, 4, seed=9)
+        assert [q.trajectory.id for q in a] == [q.trajectory.id for q in b]

@@ -1,0 +1,68 @@
+"""Unit tests for the brute-force and text-first baselines (behavioural)."""
+
+import random
+
+import pytest
+
+from repro.core.baselines import BruteForceSearcher, TextFirstSearcher
+from repro.core.query import UOTSQuery
+
+
+class TestBruteForce:
+    def test_visits_everything(self, database):
+        query = UOTSQuery.create([0, 100], ["park"], lam=0.5, k=5)
+        result = BruteForceSearcher(database).search(query)
+        assert result.stats.visited_trajectories == len(database)
+        assert result.stats.similarity_evaluations == len(database)
+        assert result.stats.pruned_trajectories == 0
+
+    def test_result_sorted_descending(self, database):
+        query = UOTSQuery.create([0, 100], [], lam=1.0, k=20)
+        result = BruteForceSearcher(database).search(query)
+        assert result.scores == sorted(result.scores, reverse=True)
+
+    def test_scores_within_bounds(self, database):
+        query = UOTSQuery.create([3, 77], ["park", "seafood"], lam=0.4, k=10)
+        result = BruteForceSearcher(database).search(query)
+        for item in result.items:
+            assert 0.0 <= item.score <= 1.0
+            assert 0.0 <= item.spatial_similarity <= 1.0
+            assert 0.0 <= item.text_similarity <= 1.0
+
+    def test_k_capped_by_database(self, database):
+        query = UOTSQuery.create([0], [], k=10_000)
+        result = BruteForceSearcher(database).search(query)
+        assert len(result.items) == len(database)
+
+
+class TestTextFirst:
+    def test_text_dominant_query_scans_few(self, database, vocab):
+        # lam=0.1: text dominates, the candidate scan should terminate
+        # before the fallback and visit only keyword candidates.
+        rng = random.Random(5)
+        anchor = database.get(rng.choice(database.trajectories.ids()))
+        keywords = sorted(anchor.keywords)[:3] or vocab.sample(3, rng)
+        query = UOTSQuery.create([0], keywords, lam=0.1, k=3)
+        result = TextFirstSearcher(database).search(query)
+        assert result.stats.visited_trajectories <= len(database)
+
+    def test_spatial_dominant_query_falls_back(self, database):
+        # lam=1.0 with no keywords: text gives nothing, fallback must scan.
+        query = UOTSQuery.create([5, 200], [], lam=1.0, k=5)
+        result = TextFirstSearcher(database).search(query)
+        assert result.stats.visited_trajectories == len(database)
+
+    def test_text_candidate_count_reported(self, database, vocab):
+        keywords = vocab.sample(2, random.Random(2))
+        query = UOTSQuery.create([0], keywords, lam=0.5, k=5)
+        result = TextFirstSearcher(database).search(query)
+        expected = len(database.keyword_index.candidates(keywords))
+        assert result.stats.text_candidates == expected
+
+    def test_stats_account_for_all_trajectories(self, database, vocab):
+        query = UOTSQuery.create([0, 50], vocab.sample(3, random.Random(3)),
+                                 lam=0.5, k=5)
+        stats = TextFirstSearcher(database).search(query).stats
+        assert stats.similarity_evaluations + stats.pruned_trajectories == (
+            len(database)
+        )

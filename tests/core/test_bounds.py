@@ -1,0 +1,153 @@
+"""Unit tests for the bound tracker (the pruning heart of every search)."""
+
+import pytest
+
+from repro.core.bounds import BoundTracker, SourceRadiiWeights
+
+
+def _weights(values):
+    return SourceRadiiWeights(list(values))
+
+
+class TestRecordHit:
+    def test_completion_requires_all_sources(self):
+        tracker = BoundTracker(2, text_weight=0.5, text_scores={7: 0.8})
+        rw = _weights([0.4, 0.4])
+        assert tracker.record_hit(7, 0, 0.3, rw) is None
+        assert tracker.num_active == 1
+        completed = tracker.record_hit(7, 1, 0.2, rw)
+        assert completed == pytest.approx((0.5, 0.8))
+        assert tracker.is_finished(7)
+
+    def test_repeated_hits_ignored(self):
+        tracker = BoundTracker(2, 0.0, {})
+        rw = _weights([0.5, 0.5])
+        tracker.record_hit(1, 0, 0.3, rw)
+        assert tracker.record_hit(1, 0, 0.9, rw) is None
+        completed = tracker.record_hit(1, 1, 0.1, rw)
+        assert completed[0] == pytest.approx(0.4)  # first weight kept
+
+    def test_hits_after_finish_ignored(self):
+        tracker = BoundTracker(1, 0.0, {})
+        rw = _weights([0.5])
+        tracker.record_hit(1, 0, 0.3, rw)
+        assert tracker.record_hit(1, 0, 0.3, rw) is None
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            BoundTracker(0, 0.0, {})
+
+
+class TestExhaustion:
+    def test_exhaustion_completes_waiting_trajectories(self):
+        tracker = BoundTracker(2, 0.0, {})
+        rw = _weights([0.5, 0.5])
+        tracker.record_hit(3, 0, 0.25, rw)
+        completed = tracker.mark_source_exhausted(1)
+        assert completed == [(3, pytest.approx(0.25), 0.0)]
+        assert tracker.is_finished(3)
+
+    def test_exhausted_source_not_required_for_new_hits(self):
+        tracker = BoundTracker(2, 0.0, {})
+        rw = _weights([0.5, 0.0])
+        tracker.mark_source_exhausted(1)
+        completed = tracker.record_hit(4, 0, 0.1, rw)
+        assert completed is not None
+
+    def test_double_exhaustion_is_noop(self):
+        tracker = BoundTracker(2, 0.0, {})
+        tracker.mark_source_exhausted(0)
+        assert tracker.mark_source_exhausted(0) == []
+
+
+class TestUpperBounds:
+    def test_partial_bound_combines_known_and_frontier(self):
+        tracker = BoundTracker(2, text_weight=0.5, text_scores={1: 0.6})
+        rw = _weights([0.3, 0.2])
+        tracker.record_hit(1, 0, 0.25, rw)
+        # known 0.25 + frontier of missing source 0.2 + 0.5 * text 0.6
+        assert tracker.upper_bound_of(1, rw) == pytest.approx(0.25 + 0.2 + 0.3)
+
+    def test_bound_dominates_final_value(self):
+        tracker = BoundTracker(3, 0.0, {})
+        rw = _weights([0.3, 0.3, 0.3])
+        tracker.record_hit(1, 0, 0.3, rw)
+        bound = tracker.upper_bound_of(1, rw)
+        # Finish with contributions no larger than the frontier weights.
+        tracker.record_hit(1, 1, 0.2, rw)
+        final, __ = tracker.record_hit(1, 2, 0.1, rw)
+        assert final <= bound + 1e-12
+
+    def test_unseen_bound_uses_total_frontier_and_best_text(self):
+        tracker = BoundTracker(2, text_weight=0.5,
+                               text_scores={1: 0.9, 2: 0.4})
+        rw = _weights([0.3, 0.2])
+        assert tracker.unseen_upper_bound(rw) == pytest.approx(0.5 + 0.45)
+
+    def test_best_unseen_text_skips_seen(self):
+        tracker = BoundTracker(1, 0.5, {1: 0.9, 2: 0.4})
+        rw = _weights([0.5])
+        tracker.record_hit(1, 0, 0.5, rw)  # completes (m=1), now "seen"
+        assert tracker.best_unseen_text() == pytest.approx(0.4)
+
+    def test_unseen_text_override(self):
+        tracker = BoundTracker(1, 0.5, {}, unseen_text_override=1.0)
+        assert tracker.best_unseen_text() == 1.0
+
+    def test_default_text_used_for_unknown_ids(self):
+        tracker = BoundTracker(2, 0.5, {}, default_text=1.0)
+        rw = _weights([0.1, 0.1])
+        tracker.record_hit(9, 0, 0.05, rw)
+        # 0.05 known + 0.1 frontier + 0.5 * default text 1.0
+        assert tracker.upper_bound_of(9, rw) == pytest.approx(0.65)
+
+
+class TestGlobalUpperBound:
+    def test_max_of_active_and_unseen(self):
+        tracker = BoundTracker(2, text_weight=0.5, text_scores={1: 1.0})
+        rw = _weights([0.2, 0.2])
+        tracker.record_hit(1, 0, 0.9, rw)
+        bound = tracker.global_upper_bound(rw)
+        assert bound == pytest.approx(0.9 + 0.2 + 0.5)
+
+    def test_empty_tracker_bound_is_unseen(self):
+        tracker = BoundTracker(2, 0.0, {})
+        rw = _weights([0.4, 0.3])
+        assert tracker.global_upper_bound(rw) == pytest.approx(0.7)
+
+    def test_stale_heap_entries_refreshed(self):
+        tracker = BoundTracker(2, 0.0, {})
+        loose = _weights([0.5, 0.5])
+        tracker.record_hit(1, 0, 0.4, loose)
+        tight = _weights([0.01, 0.01])  # radii grew a lot since the push
+        bound = tracker.global_upper_bound(tight)
+        assert bound == pytest.approx(0.4 + 0.01)
+
+    def test_finish_retires_trajectory(self):
+        tracker = BoundTracker(2, 0.0, {})
+        rw = _weights([0.5, 0.5])
+        tracker.record_hit(1, 0, 0.4, rw)
+        tracker.finish(1)
+        assert tracker.is_finished(1)
+        assert tracker.global_upper_bound(rw) == pytest.approx(1.0)  # unseen only
+
+    def test_best_active_bound_returns_id(self):
+        tracker = BoundTracker(2, 0.0, {})
+        rw = _weights([0.1, 0.1])
+        tracker.record_hit(5, 0, 0.4, rw)
+        tracker.record_hit(6, 0, 0.05, rw)
+        bound, tid = tracker.best_active_bound(rw)
+        assert tid == 5
+        assert bound == pytest.approx(0.5)
+
+
+class TestCounters:
+    def test_num_seen_counts_active_and_finished(self):
+        tracker = BoundTracker(1, 0.0, {})
+        rw = _weights([0.5])
+        tracker.record_hit(1, 0, 0.1, rw)  # completes immediately (m=1)
+        tracker_2sources = BoundTracker(2, 0.0, {})
+        assert tracker.num_seen == 1
+        tracker_2sources.record_hit(4, 0, 0.1, rw)
+        assert tracker_2sources.num_seen == 1
+        assert tracker_2sources.num_active == 1

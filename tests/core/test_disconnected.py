@@ -1,0 +1,110 @@
+"""Failure injection: searches on disconnected networks.
+
+A query location may sit in a different component than most trajectories
+(a park-and-ride island, a data glitch).  Unreachable locations contribute
+zero spatial similarity — and every algorithm must agree on that.
+"""
+
+import pytest
+
+from repro.core.baselines import BruteForceSearcher, TextFirstSearcher
+from repro.core.query import UOTSQuery
+from repro.core.search import CollaborativeSearcher, SpatialFirstSearcher
+from repro.index.database import TrajectoryDatabase
+from repro.network.builder import GraphBuilder
+from repro.trajectory.model import Trajectory, TrajectoryPoint, TrajectorySet
+
+
+@pytest.fixture(scope="module")
+def split_world():
+    """Two line-graph islands; trajectories live on both."""
+    builder = GraphBuilder()
+    # Island A: vertices 0..4 (x = 0..4), island B: vertices 5..9 (x = 100..104).
+    for i in range(5):
+        builder.add_vertex(float(i), 0.0)
+    for i in range(5):
+        builder.add_vertex(100.0 + i, 0.0)
+    for i in range(4):
+        builder.add_edge(i, i + 1, 1.0)
+        builder.add_edge(5 + i, 6 + i, 1.0)
+    graph = builder.build()
+
+    def traj(tid, vertices, keywords=()):
+        return Trajectory(
+            tid,
+            [TrajectoryPoint(v, float(60 * i)) for i, v in enumerate(vertices)],
+            keywords,
+        )
+
+    trips = TrajectorySet(
+        [
+            traj(0, [0, 1, 2], ["park"]),
+            traj(1, [2, 3, 4], ["seafood"]),
+            traj(2, [5, 6, 7], ["park", "museum"]),
+            traj(3, [7, 8, 9], ["museum"]),
+        ]
+    )
+    return TrajectoryDatabase(graph, trips, sigma=2.0)
+
+
+ALL = [
+    ("brute-force", BruteForceSearcher),
+    ("collaborative", CollaborativeSearcher),
+    ("spatial-first", SpatialFirstSearcher),
+    ("text-first", TextFirstSearcher),
+]
+
+
+class TestCrossComponentQueries:
+    @pytest.mark.parametrize("name,factory", ALL)
+    def test_location_in_each_island(self, split_world, name, factory):
+        reference = BruteForceSearcher(split_world).search(
+            UOTSQuery.create([0, 9], ["park"], lam=0.5, k=4)
+        )
+        result = factory(split_world).search(
+            UOTSQuery.create([0, 9], ["park"], lam=0.5, k=4)
+        )
+        assert result.scores == pytest.approx(reference.scores, abs=1e-9), name
+
+    @pytest.mark.parametrize("name,factory", ALL)
+    def test_all_locations_in_one_island(self, split_world, name, factory):
+        query = UOTSQuery.create([5, 9], [], lam=1.0, k=4)
+        result = factory(split_world).search(query)
+        reference = BruteForceSearcher(split_world).search(query)
+        assert result.scores == pytest.approx(reference.scores, abs=1e-9), name
+        # Island-A trajectories are unreachable: spatial similarity 0.
+        by_id = {item.trajectory_id: item for item in result.items}
+        assert by_id[0].score == pytest.approx(0.0)
+        assert by_id[1].score == pytest.approx(0.0)
+
+    def test_unreachable_island_scores_only_by_text(self, split_world):
+        # Locations on island B, text matching island A's trajectory 0.
+        query = UOTSQuery.create([5], ["park"], lam=0.5, k=4)
+        result = CollaborativeSearcher(split_world).search(query)
+        by_id = {item.trajectory_id: item for item in result.items}
+        assert by_id[0].spatial_similarity == pytest.approx(0.0)
+        assert by_id[0].text_similarity == pytest.approx(1.0)
+        # Trajectory 2 on island B shares the keyword AND is reachable.
+        assert by_id[2].score > by_id[0].score
+
+
+class TestMatchingOnDisconnected:
+    def test_directional_engine_handles_unreachable(self, split_world):
+        from repro.matching.engine import DirectionalSearchEngine
+
+        engine = DirectionalSearchEngine(split_world)
+        query_trajectory = split_world.get(0)
+        points = [(p.vertex, p.timestamp) for p in query_trajectory.points]
+        result = engine.topk_search(points, 1.0, k=4, exclude_id=0)
+        by_id = {i.trajectory_id: i.score for i in result.items}
+        # Island-B trajectories are spatially unreachable from island A.
+        assert by_id[2] == pytest.approx(0.0)
+        assert by_id[3] == pytest.approx(0.0)
+        assert by_id[1] > 0.0
+
+    def test_join_on_disconnected_components(self, split_world):
+        from repro.join.tsjoin import BruteForceJoin, TwoPhaseJoin
+
+        reference = BruteForceJoin(split_world).self_join(1.0)
+        result = TwoPhaseJoin(split_world).self_join(1.0)
+        assert result.pair_set() == reference.pair_set()

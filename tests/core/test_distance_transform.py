@@ -1,0 +1,60 @@
+"""Unit tests for the refinement distance primitives in core.similarity."""
+
+import math
+
+import pytest
+
+from repro.core.similarity import (
+    distance_transform,
+    nearest_trajectory_distance,
+    trajectory_to_locations_distances,
+)
+from repro.network.dijkstra import single_source_distances
+from repro.network.graph import SpatialNetwork
+
+
+class TestDistanceTransform:
+    def test_sources_at_zero(self, grid10):
+        transform = distance_transform(grid10, {3, 77})
+        assert transform[3] == 0.0
+        assert transform[77] == 0.0
+
+    def test_matches_min_of_single_source_runs(self, grid10):
+        vertex_set = {10, 55, 90}
+        transform = distance_transform(grid10, vertex_set)
+        tables = [single_source_distances(grid10, v) for v in vertex_set]
+        for probe in (0, 33, 66, 99):
+            expected = min(t[probe] for t in tables)
+            assert transform[probe] == pytest.approx(expected)
+
+    def test_respects_components(self):
+        g = SpatialNetwork(xs=[0, 1, 9, 10], ys=[0, 0, 0, 0],
+                           edges=[(0, 1, 1.0), (2, 3, 1.0)])
+        transform = distance_transform(g, {0})
+        assert set(transform) == {0, 1}
+
+
+class TestTrajectoryToLocationsDistances:
+    def test_matches_nearest_trajectory_distance(self, grid10):
+        vertex_set = frozenset({20, 45, 88})
+        locations = (0, 7, 63, 99)
+        got = trajectory_to_locations_distances(grid10, vertex_set, locations)
+        for location, distance in zip(locations, got):
+            expected = nearest_trajectory_distance(grid10, location, vertex_set)
+            assert distance == pytest.approx(expected)
+
+    def test_location_on_trajectory(self, grid10):
+        got = trajectory_to_locations_distances(grid10, frozenset({5}), (5,))
+        assert got == [0.0]
+
+    def test_unreachable_location_is_inf(self):
+        g = SpatialNetwork(xs=[0, 1, 9], ys=[0, 0, 0], edges=[(0, 1, 1.0)])
+        got = trajectory_to_locations_distances(g, frozenset({0}), (1, 2))
+        assert got[0] == pytest.approx(1.0)
+        assert got[1] == math.inf
+
+    def test_order_follows_locations_argument(self, grid10):
+        vertex_set = frozenset({50})
+        a = trajectory_to_locations_distances(grid10, vertex_set, (0, 99))
+        b = trajectory_to_locations_distances(grid10, vertex_set, (99, 0))
+        assert a == [b[1], b[0]]

@@ -1,0 +1,59 @@
+"""Unit tests for the TripRecommender facade and algorithm registry."""
+
+import pytest
+
+from repro.core.engine import ALGORITHMS, TripRecommender, make_searcher
+from repro.core.query import UOTSQuery
+from repro.errors import QueryError
+
+
+class TestRegistry:
+    def test_all_names_construct(self, database):
+        for name in ALGORITHMS:
+            searcher = make_searcher(database, name)
+            assert hasattr(searcher, "search")
+
+    def test_unknown_name_rejected(self, database):
+        with pytest.raises(QueryError, match="unknown algorithm"):
+            make_searcher(database, "quantum")
+
+
+class TestTripRecommender:
+    def test_recommend_returns_hydrated_trajectories(self, database):
+        recommender = TripRecommender(database)
+        recommendations = recommender.recommend(
+            locations=[0, 150], preference="park seafood", k=3
+        )
+        assert len(recommendations) == 3
+        for rec in recommendations:
+            assert rec.trajectory is database.get(rec.trajectory.id)
+            assert 0.0 <= rec.score <= 1.0
+
+    def test_recommendations_sorted(self, database):
+        recommender = TripRecommender(database)
+        recs = recommender.recommend([10, 200], "museum", k=5)
+        scores = [r.score for r in recs]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_free_text_and_list_preferences_agree(self, database):
+        recommender = TripRecommender(database)
+        a = recommender.recommend([0, 100], "park, museum!", k=3)
+        b = recommender.recommend([0, 100], ["park", "museum"], k=3)
+        assert [r.trajectory.id for r in a] == [r.trajectory.id for r in b]
+
+    def test_search_accepts_full_query(self, database):
+        recommender = TripRecommender(database)
+        result = recommender.search(UOTSQuery.create([0], ["park"], k=2))
+        assert len(result.items) == 2
+
+    def test_every_algorithm_usable_via_facade(self, database):
+        query = UOTSQuery.create([0, 100], ["park"], lam=0.5, k=3)
+        scores = {}
+        for name in ALGORITHMS:
+            scores[name] = TripRecommender(database, algorithm=name).search(query).scores
+        reference = scores["brute-force"]
+        for name, got in scores.items():
+            assert got == pytest.approx(reference, abs=1e-7), name
+
+    def test_database_property(self, database):
+        assert TripRecommender(database).database is database

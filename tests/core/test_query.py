@@ -1,0 +1,76 @@
+"""Unit tests for the UOTS query model."""
+
+import pytest
+
+from repro.core.query import UOTSQuery
+from repro.errors import QueryError
+
+
+class TestValidation:
+    def test_minimal_query(self):
+        q = UOTSQuery(locations=(3,))
+        assert q.num_locations == 1
+        assert q.keywords == frozenset()
+        assert q.k == 1
+
+    def test_empty_locations_rejected(self):
+        with pytest.raises(QueryError, match="at least one"):
+            UOTSQuery(locations=())
+
+    def test_duplicate_locations_rejected(self):
+        with pytest.raises(QueryError, match="duplicate"):
+            UOTSQuery(locations=(1, 2, 1))
+
+    def test_lam_range_enforced(self):
+        with pytest.raises(QueryError):
+            UOTSQuery(locations=(1,), lam=-0.1)
+        with pytest.raises(QueryError):
+            UOTSQuery(locations=(1,), lam=1.1)
+        UOTSQuery(locations=(1,), lam=0.0)
+        UOTSQuery(locations=(1,), lam=1.0)
+
+    def test_k_positive(self):
+        with pytest.raises(QueryError):
+            UOTSQuery(locations=(1,), k=0)
+
+    def test_unknown_measure_rejected_eagerly(self):
+        with pytest.raises(QueryError, match="unknown text measure"):
+            UOTSQuery(locations=(1,), text_measure="bogus")
+
+    def test_immutability(self):
+        q = UOTSQuery(locations=(1,))
+        with pytest.raises(AttributeError):
+            q.k = 5
+
+
+class TestCreate:
+    def test_free_text_preference_tokenised(self):
+        q = UOTSQuery.create([1, 2], "Quiet lakeside walk, then seafood!")
+        assert q.keywords == frozenset({"quiet", "lakeside", "walk", "seafood"})
+
+    def test_keyword_iterable_normalised(self):
+        q = UOTSQuery.create([1], ["Park", " MUSEUM "])
+        assert q.keywords == frozenset({"park", "museum"})
+
+    def test_locations_coerced_to_tuple(self):
+        q = UOTSQuery.create(iter([4, 5]))
+        assert q.locations == (4, 5)
+
+
+class TestValidateAgainst:
+    def test_valid_locations_pass(self, grid10):
+        UOTSQuery(locations=(0, 99)).validate_against(grid10)
+
+    def test_out_of_range_location_rejected(self, grid10):
+        with pytest.raises(QueryError, match="not a vertex"):
+            UOTSQuery(locations=(100,)).validate_against(grid10)
+
+    def test_negative_location_rejected(self, grid10):
+        with pytest.raises(QueryError):
+            UOTSQuery(locations=(-1,)).validate_against(grid10)
+
+    def test_repr_mentions_shape(self):
+        q = UOTSQuery.create([1, 2], ["park"], lam=0.3, k=7)
+        text = repr(q)
+        assert "|O|=2" in text
+        assert "k=7" in text

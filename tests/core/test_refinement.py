@@ -1,0 +1,91 @@
+"""Tests targeting the refinement path of the collaborative search.
+
+The refinement step resolves candidates whose bound can never be killed by
+further expansion (strong text matches far away, partials with a high
+irreducible bound).  These scenarios construct such blockers explicitly.
+"""
+
+import pytest
+
+from repro.core.baselines import BruteForceSearcher
+from repro.core.query import UOTSQuery
+from repro.core.search import CollaborativeSearcher
+from repro.index.database import TrajectoryDatabase
+from repro.network.builder import GraphBuilder
+from repro.trajectory.model import Trajectory, TrajectoryPoint, TrajectorySet
+
+
+@pytest.fixture(scope="module")
+def long_road():
+    """A 200-vertex path; far-apart trajectories force refinement."""
+    builder = GraphBuilder()
+    for i in range(200):
+        builder.add_vertex(float(i * 100), 0.0)
+    for i in range(199):
+        builder.add_edge(i, i + 1, 100.0)
+    graph = builder.build(require_connected=True)
+
+    def traj(tid, start, keywords):
+        return Trajectory(
+            tid,
+            [TrajectoryPoint(start + j, float(60 * j)) for j in range(5)],
+            keywords,
+        )
+
+    trips = TrajectorySet(
+        [
+            traj(0, 0, ["park"]),              # at the query end
+            traj(1, 10, []),                   # near, no text
+            traj(2, 190, ["park", "seafood"]),  # far, strong text
+            traj(3, 100, ["seafood"]),         # middle, some text
+            traj(4, 50, ["park"]),             # middling
+        ]
+    )
+    return TrajectoryDatabase(graph, trips, sigma=500.0)
+
+
+class TestRefinementCorrectness:
+    @pytest.mark.parametrize("lam", [0.1, 0.3, 0.5])
+    def test_far_text_blocker_resolved_exactly(self, long_road, lam):
+        # Query at the left end; trajectory 2 sits 19km away with a perfect
+        # text match — expansion alone would walk the whole road to resolve
+        # it; refinement must produce the same exact ranking regardless.
+        query = UOTSQuery.create([0, 5], ["park", "seafood"], lam=lam, k=3)
+        fast = CollaborativeSearcher(long_road).search(query)
+        reference = BruteForceSearcher(long_road).search(query)
+        assert fast.scores == pytest.approx(reference.scores, abs=1e-9)
+        assert fast.ids == reference.ids
+
+    def test_refinement_saves_expansion(self, long_road):
+        # With refinement the search must not settle the entire road twice.
+        query = UOTSQuery.create([0, 5], ["park", "seafood"], lam=0.2, k=1)
+        result = CollaborativeSearcher(long_road).search(query)
+        total_settles = 2 * long_road.graph.num_vertices
+        assert result.stats.expanded_vertices < 2 * total_settles
+
+    def test_ablation_still_exact(self, long_road):
+        # The no-refinement configuration (spatial-first inherits it) must
+        # also stay exact, merely slower.
+        from repro.core.search import SpatialFirstSearcher
+
+        query = UOTSQuery.create([0, 5], ["park"], lam=0.4, k=3)
+        fast = SpatialFirstSearcher(long_road).search(query)
+        reference = BruteForceSearcher(long_road).search(query)
+        assert fast.scores == pytest.approx(reference.scores, abs=1e-9)
+
+    def test_irreducible_partial_refined(self, long_road):
+        # Trajectory 4 gets scanned by the near expansion quickly but the
+        # far sources would take long; its strong text keeps its bound above
+        # the threshold, forcing the refine-active path.
+        query = UOTSQuery.create([45, 55], ["park"], lam=0.3, k=1)
+        fast = CollaborativeSearcher(long_road).search(query)
+        reference = BruteForceSearcher(long_road).search(query)
+        assert fast.ids == reference.ids
+        assert fast.scores == pytest.approx(reference.scores, abs=1e-9)
+
+    def test_stats_remain_consistent(self, long_road):
+        query = UOTSQuery.create([0], ["seafood"], lam=0.5, k=2)
+        stats = CollaborativeSearcher(long_road).search(query).stats
+        assert stats.similarity_evaluations + stats.pruned_trajectories == (
+            len(long_road)
+        )

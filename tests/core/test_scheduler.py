@@ -1,0 +1,99 @@
+"""Unit tests for query-source scheduling strategies."""
+
+import pytest
+
+from repro.core.bounds import BoundTracker, SourceRadiiWeights
+from repro.core.scheduler import (
+    HeuristicScheduler,
+    RoundRobinScheduler,
+    make_scheduler,
+)
+from repro.core.sources import make_sources
+from repro.errors import QueryError
+
+
+@pytest.fixture()
+def sources(grid10):
+    return make_sources(grid10, (0, 50, 99))
+
+
+def _rw(n=3, w=0.5):
+    return SourceRadiiWeights([w] * n)
+
+
+class TestRoundRobin:
+    def test_cycles_in_order(self, sources):
+        scheduler = RoundRobinScheduler()
+        tracker = BoundTracker(3, 0.0, {})
+        picks = [scheduler.select(sources, tracker, _rw()).index for __ in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_skips_exhausted(self, sources):
+        scheduler = RoundRobinScheduler()
+        tracker = BoundTracker(3, 0.0, {})
+        while not sources[1].exhausted:
+            sources[1].expand()
+        picks = [scheduler.select(sources, tracker, _rw()).index for __ in range(4)]
+        assert 1 not in picks
+
+    def test_all_exhausted_returns_none(self, sources):
+        scheduler = RoundRobinScheduler()
+        tracker = BoundTracker(3, 0.0, {})
+        for source in sources:
+            while not source.exhausted:
+                source.expand()
+        assert scheduler.select(sources, tracker, _rw()) is None
+
+
+class TestHeuristic:
+    def test_prefers_source_missing_high_bound_trajectories(self, sources):
+        scheduler = HeuristicScheduler(refresh_every=1)
+        tracker = BoundTracker(3, 0.0, {})
+        rw = _rw()
+        # Trajectory 7 was hit by sources 0 and 1 but not 2 -> completing
+        # it needs source 2, which should get the highest label.
+        tracker.record_hit(7, 0, 0.5, rw)
+        tracker.record_hit(7, 1, 0.5, rw)
+        assert scheduler.select(sources, tracker, rw).index == 2
+
+    def test_falls_back_to_least_advanced_source(self, sources):
+        scheduler = HeuristicScheduler(refresh_every=1)
+        tracker = BoundTracker(3, 0.0, {})
+        # Nothing partly scanned: pick the smallest-radius source.
+        for __ in range(10):
+            sources[0].expand()
+        pick = scheduler.select(sources, tracker, _rw())
+        assert pick.index in (1, 2)  # both still at radius 0
+
+    def test_caching_skips_recomputation(self, sources):
+        scheduler = HeuristicScheduler(refresh_every=100)
+        tracker = BoundTracker(3, 0.0, {})
+        first = scheduler.select(sources, tracker, _rw())
+        # Subsequent calls return the cached source without relabeling.
+        for __ in range(5):
+            assert scheduler.select(sources, tracker, _rw()) is first
+
+    def test_cached_exhausted_source_replaced(self, sources):
+        scheduler = HeuristicScheduler(refresh_every=100)
+        tracker = BoundTracker(3, 0.0, {})
+        first = scheduler.select(sources, tracker, _rw())
+        while not first.exhausted:
+            first.expand()
+        replacement = scheduler.select(sources, tracker, _rw())
+        assert replacement is not first
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(QueryError):
+            HeuristicScheduler(refresh_every=0)
+        with pytest.raises(QueryError):
+            HeuristicScheduler(sample_cap=0)
+
+
+class TestFactory:
+    def test_known_names(self):
+        assert isinstance(make_scheduler("heuristic"), HeuristicScheduler)
+        assert isinstance(make_scheduler("round-robin"), RoundRobinScheduler)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(QueryError, match="unknown scheduler"):
+            make_scheduler("random")

@@ -1,0 +1,150 @@
+"""Oracle tests: every fast searcher must return the brute-force top-k.
+
+These are the central correctness tests of the reproduction: the
+collaborative search (with either scheduler), the spatial-first ablation,
+and the text-first baseline are all exact algorithms — any deviation from
+the exhaustive scorer is a bug in the bounds or the termination logic.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.baselines import BruteForceSearcher, TextFirstSearcher
+from repro.core.query import UOTSQuery
+from repro.core.search import CollaborativeSearcher, SpatialFirstSearcher
+
+FAST_SEARCHERS = {
+    "collaborative": lambda db: CollaborativeSearcher(db),
+    "collaborative-rr": lambda db: CollaborativeSearcher(db, scheduler="round-robin"),
+    "spatial-first": SpatialFirstSearcher,
+    "text-first": TextFirstSearcher,
+}
+
+
+def _assert_same_ranking(reference, result, context=""):
+    assert len(result.items) == len(reference.items), context
+    for ours, ref in zip(result.scores, reference.scores):
+        assert ours == pytest.approx(ref, abs=1e-7), context
+
+
+def _anchor_query(database, vocab, rng, num_locations, num_keywords, lam, k):
+    ids = database.trajectories.ids()
+    anchor = database.get(rng.choice(ids))
+    vertices = list(dict.fromkeys(anchor.vertices()))
+    locations = rng.sample(vertices, min(num_locations, len(vertices)))
+    while len(locations) < num_locations:
+        candidate = rng.randrange(database.graph.num_vertices)
+        if candidate not in locations:
+            locations.append(candidate)
+    keywords = list(anchor.keywords)[:num_keywords]
+    while len(keywords) < num_keywords:
+        term = vocab.sample(1, rng)[0]
+        if term not in keywords:
+            keywords.append(term)
+    return UOTSQuery.create(locations, keywords, lam=lam, k=k)
+
+
+@pytest.mark.parametrize("name", sorted(FAST_SEARCHERS))
+@pytest.mark.parametrize("lam", [0.0, 0.25, 0.5, 0.75, 1.0])
+def test_matches_oracle_across_lambdas(database, vocab, name, lam):
+    rng = random.Random(hash((name, lam)) & 0xFFFF)
+    oracle = BruteForceSearcher(database)
+    searcher = FAST_SEARCHERS[name](database)
+    for trial in range(3):
+        query = _anchor_query(database, vocab, rng, 4, 3, lam, 10)
+        _assert_same_ranking(
+            oracle.search(query),
+            searcher.search(query),
+            context=f"{name} lam={lam} trial={trial}",
+        )
+
+
+@pytest.mark.parametrize("name", sorted(FAST_SEARCHERS))
+def test_matches_oracle_single_location(database, vocab, name):
+    rng = random.Random(99)
+    oracle = BruteForceSearcher(database)
+    searcher = FAST_SEARCHERS[name](database)
+    query = _anchor_query(database, vocab, rng, 1, 2, 0.5, 5)
+    _assert_same_ranking(oracle.search(query), searcher.search(query))
+
+
+@pytest.mark.parametrize("name", sorted(FAST_SEARCHERS))
+def test_matches_oracle_k_exceeds_database(database, vocab, name):
+    rng = random.Random(7)
+    oracle = BruteForceSearcher(database)
+    searcher = FAST_SEARCHERS[name](database)
+    query = _anchor_query(database, vocab, rng, 3, 2, 0.5, len(database) + 50)
+    reference = oracle.search(query)
+    result = searcher.search(query)
+    assert len(result.items) == len(database)
+    _assert_same_ranking(reference, result)
+
+
+@pytest.mark.parametrize("name", sorted(FAST_SEARCHERS))
+def test_matches_oracle_no_keywords(database, vocab, name):
+    rng = random.Random(13)
+    oracle = BruteForceSearcher(database)
+    searcher = FAST_SEARCHERS[name](database)
+    query = _anchor_query(database, vocab, rng, 4, 0, 0.6, 8)
+    _assert_same_ranking(oracle.search(query), searcher.search(query))
+
+
+@pytest.mark.parametrize("name", sorted(FAST_SEARCHERS))
+def test_matches_oracle_unmatched_keywords(database, name):
+    # Keywords outside the vocabulary: pure cold-start text.
+    oracle = BruteForceSearcher(database)
+    searcher = FAST_SEARCHERS[name](database)
+    query = UOTSQuery.create([5, 105, 305], ["xyzzy", "plugh"], lam=0.4, k=6)
+    _assert_same_ranking(oracle.search(query), searcher.search(query))
+
+
+@given(
+    num_locations=st.integers(1, 6),
+    num_keywords=st.integers(0, 5),
+    lam=st.sampled_from([0.0, 0.1, 0.5, 0.9, 1.0]),
+    k=st.sampled_from([1, 3, 10, 40]),
+    seed=st.integers(0, 2**16),
+)
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture, HealthCheck.too_slow],
+)
+def test_collaborative_matches_oracle_property(
+    database, vocab, num_locations, num_keywords, lam, k, seed
+):
+    rng = random.Random(seed)
+    query = _anchor_query(database, vocab, rng, num_locations, num_keywords, lam, k)
+    reference = BruteForceSearcher(database).search(query)
+    result = CollaborativeSearcher(database).search(query)
+    _assert_same_ranking(reference, result, context=repr(query))
+
+
+@given(seed=st.integers(0, 2**16), lam=st.sampled_from([0.2, 0.5, 0.8]))
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture, HealthCheck.too_slow],
+)
+def test_all_fast_searchers_agree_with_each_other(database, vocab, seed, lam):
+    rng = random.Random(seed)
+    query = _anchor_query(database, vocab, rng, 3, 3, lam, 5)
+    results = [
+        factory(database).search(query).scores
+        for factory in FAST_SEARCHERS.values()
+    ]
+    for scores in results[1:]:
+        assert scores == pytest.approx(results[0], abs=1e-7)
+
+
+def test_collaborative_prunes_vs_brute_force(database, vocab):
+    """Sanity: pruning must actually reduce exact evaluations."""
+    rng = random.Random(1)
+    total_evals = 0
+    for __ in range(5):
+        query = _anchor_query(database, vocab, rng, 4, 3, 0.5, 10)
+        total_evals += CollaborativeSearcher(database).search(query).stats.similarity_evaluations
+    assert total_evals < 5 * len(database)

@@ -1,0 +1,104 @@
+"""Property tests: searchers on hypothesis-generated small worlds.
+
+Random tiny graphs, random trajectories, random queries — the searchers
+must match the exhaustive oracle on every one.  This hunts for bound-algebra
+edge cases the curated fixtures can't reach (odd topologies, duplicate
+timestamps, keyword-less data, single-point trajectories).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.baselines import BruteForceSearcher, TextFirstSearcher
+from repro.core.query import UOTSQuery
+from repro.core.search import CollaborativeSearcher, SpatialFirstSearcher
+from repro.index.database import TrajectoryDatabase
+from repro.network.builder import GraphBuilder
+from repro.trajectory.model import DAY_SECONDS, Trajectory, TrajectoryPoint, TrajectorySet
+
+KEYWORDS = ["park", "seafood", "museum", "bar", "mall"]
+
+
+@st.composite
+def small_worlds(draw):
+    """A connected graph + trajectory database + a valid query."""
+    n = draw(st.integers(4, 14))
+    builder = GraphBuilder()
+    for i in range(n):
+        builder.add_vertex(float(i % 4), float(i // 4))
+    order = draw(st.permutations(range(n)))
+    for a, b in zip(order, order[1:]):
+        builder.add_edge(a, b, draw(st.floats(0.5, 5.0, allow_nan=False)))
+    for __ in range(draw(st.integers(0, n))):
+        a = draw(st.integers(0, n - 1))
+        b = draw(st.integers(0, n - 1))
+        if a != b:
+            builder.add_edge(a, b, draw(st.floats(0.5, 5.0, allow_nan=False)))
+    graph = builder.build(require_connected=True)
+
+    num_trajectories = draw(st.integers(2, 10))
+    trajectories = TrajectorySet()
+    for tid in range(num_trajectories):
+        length = draw(st.integers(1, 5))
+        vertices = [draw(st.integers(0, n - 1)) for __ in range(length)]
+        start = draw(st.floats(0, DAY_SECONDS - 4000, allow_nan=False))
+        points = [
+            TrajectoryPoint(v, start + 60.0 * i) for i, v in enumerate(vertices)
+        ]
+        keywords = draw(st.sets(st.sampled_from(KEYWORDS), max_size=3))
+        trajectories.add(Trajectory(tid, points, keywords))
+    database = TrajectoryDatabase(graph, trajectories, sigma=draw(
+        st.floats(0.5, 10.0, allow_nan=False)
+    ))
+
+    num_locations = draw(st.integers(1, 3))
+    locations = draw(
+        st.lists(
+            st.integers(0, n - 1), min_size=num_locations,
+            max_size=num_locations, unique=True,
+        )
+    )
+    query = UOTSQuery(
+        locations=tuple(locations),
+        keywords=frozenset(draw(st.sets(st.sampled_from(KEYWORDS), max_size=3))),
+        lam=draw(st.sampled_from([0.0, 0.25, 0.5, 0.75, 1.0])),
+        k=draw(st.integers(1, 12)),
+    )
+    return database, query
+
+
+@given(world=small_worlds())
+@settings(
+    max_examples=80,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_collaborative_matches_oracle_on_random_worlds(world):
+    database, query = world
+    reference = BruteForceSearcher(database).search(query)
+    result = CollaborativeSearcher(database).search(query)
+    assert len(result.items) == len(reference.items)
+    for got, want in zip(result.scores, reference.scores):
+        assert got == pytest.approx(want, abs=1e-9)
+
+
+@given(world=small_worlds())
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_every_searcher_matches_oracle_on_random_worlds(world):
+    database, query = world
+    reference = BruteForceSearcher(database).search(query)
+    for factory in (
+        lambda db: CollaborativeSearcher(db, scheduler="round-robin"),
+        lambda db: CollaborativeSearcher(db, refinement=False),
+        SpatialFirstSearcher,
+        TextFirstSearcher,
+    ):
+        result = factory(database).search(query)
+        assert len(result.items) == len(reference.items)
+        for got, want in zip(result.scores, reference.scores):
+            assert got == pytest.approx(want, abs=1e-9)

@@ -1,0 +1,114 @@
+"""Unit tests for exact UOTS similarity evaluation."""
+
+import math
+
+import pytest
+
+from repro.core.query import UOTSQuery
+from repro.core.similarity import (
+    ExactScorer,
+    combine,
+    nearest_trajectory_distance,
+    spatial_similarity,
+    text_similarity,
+)
+from repro.index.database import TrajectoryDatabase
+from repro.network.dijkstra import shortest_path_length
+from repro.trajectory.model import Trajectory, TrajectoryPoint, TrajectorySet
+
+
+def _traj(tid, vertices, keywords=()):
+    return Trajectory(
+        tid,
+        [TrajectoryPoint(v, float(i * 60)) for i, v in enumerate(vertices)],
+        keywords,
+    )
+
+
+class TestNearestTrajectoryDistance:
+    def test_zero_when_on_trajectory(self, grid10):
+        assert nearest_trajectory_distance(grid10, 5, frozenset({5, 6})) == 0.0
+
+    def test_equals_min_over_vertices(self, grid10):
+        vertex_set = frozenset({20, 55, 99})
+        expected = min(shortest_path_length(grid10, 3, v) for v in vertex_set)
+        assert nearest_trajectory_distance(grid10, 3, vertex_set) == (
+            pytest.approx(expected)
+        )
+
+    def test_unreachable_is_inf(self):
+        from repro.network.graph import SpatialNetwork
+
+        g = SpatialNetwork(xs=[0, 1, 9], ys=[0, 0, 0], edges=[(0, 1, 1.0)])
+        assert nearest_trajectory_distance(g, 0, frozenset({2})) == float("inf")
+
+
+class TestSpatialSimilarity:
+    def test_zero_distances_give_one(self):
+        assert spatial_similarity([0.0, 0.0], 2, 100.0) == pytest.approx(1.0)
+
+    def test_exponential_decay(self):
+        value = spatial_similarity([100.0], 1, 100.0)
+        assert value == pytest.approx(math.exp(-1.0))
+
+    def test_infinite_distance_contributes_zero(self):
+        assert spatial_similarity([float("inf"), 0.0], 2, 50.0) == pytest.approx(0.5)
+
+    def test_averaged_over_locations(self):
+        single = spatial_similarity([50.0], 1, 100.0)
+        double = spatial_similarity([50.0, 50.0], 2, 100.0)
+        assert single == pytest.approx(double)
+
+
+class TestCombine:
+    def test_linear_combination(self):
+        assert combine(0.3, 1.0, 0.5) == pytest.approx(0.3 + 0.7 * 0.5)
+
+    def test_degenerate_lams(self):
+        assert combine(0.0, 0.9, 0.4) == pytest.approx(0.4)
+        assert combine(1.0, 0.9, 0.4) == pytest.approx(0.9)
+
+
+class TestTextSimilarity:
+    def test_uses_query_measure(self):
+        q_j = UOTSQuery.create([1], ["a", "b"], text_measure="jaccard")
+        q_d = UOTSQuery.create([1], ["a", "b"], text_measure="dice")
+        t = _traj(0, [0], ["b", "c"])
+        assert text_similarity(q_j, t) == pytest.approx(1 / 3)
+        assert text_similarity(q_d, t) == pytest.approx(0.5)
+
+
+class TestExactScorer:
+    @pytest.fixture()
+    def db(self, grid10):
+        trips = TrajectorySet(
+            [_traj(0, [0, 1], ["park"]), _traj(1, [98, 99], ["seafood"])]
+        )
+        return TrajectoryDatabase(grid10, trips, sigma=200.0)
+
+    def test_score_decomposition(self, db):
+        q = UOTSQuery.create([0], ["park"], lam=0.5)
+        scored = ExactScorer(db, q).score(db.get(0))
+        assert scored.spatial_similarity == pytest.approx(1.0)
+        assert scored.text_similarity == pytest.approx(1.0)
+        assert scored.score == pytest.approx(1.0)
+
+    def test_shared_distances_match_per_call(self, db, grid10):
+        q = UOTSQuery.create([0, 50], ["park"], lam=0.6)
+        scorer = ExactScorer(db, q)
+        for tid in (0, 1):
+            a = scorer.score(db.get(tid))
+            b = scorer.score_with_shared_distances(db.get(tid))
+            assert a.score == pytest.approx(b.score)
+            assert a.spatial_similarity == pytest.approx(b.spatial_similarity)
+
+    def test_score_all_sorted(self, db):
+        q = UOTSQuery.create([0], [], lam=1.0)
+        ranking = ExactScorer(db, q).score_all()
+        assert len(ranking) == 2
+        assert ranking[0].score >= ranking[1].score
+        assert ranking[0].trajectory_id == 0  # near the query location
+
+    def test_invalid_location_rejected(self, db):
+        with pytest.raises(Exception):
+            ExactScorer(db, UOTSQuery.create([10_000], []))

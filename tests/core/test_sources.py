@@ -1,0 +1,59 @@
+"""Unit tests for query sources and radii weights."""
+
+import math
+
+import pytest
+
+from repro.core.sources import QuerySource, current_radii_weights, make_sources
+from repro.errors import VertexNotFoundError
+
+
+class TestQuerySource:
+    def test_initial_state(self, grid10):
+        source = QuerySource(0, 42, grid10)
+        assert source.index == 0
+        assert source.location == 42
+        assert source.radius == 0.0
+        assert not source.exhausted
+
+    def test_expand_steps_through_graph(self, grid10):
+        source = QuerySource(0, 0, grid10)
+        assert source.expand() == (0, 0.0)
+        vertex, distance = source.expand()
+        assert distance > 0.0
+        assert source.radius == pytest.approx(distance)
+
+    def test_invalid_location_rejected(self, grid10):
+        with pytest.raises(VertexNotFoundError):
+            QuerySource(0, 10_000, grid10)
+
+
+class TestMakeSources:
+    def test_indexes_follow_query_order(self, grid10):
+        sources = make_sources(grid10, (5, 17, 99))
+        assert [s.index for s in sources] == [0, 1, 2]
+        assert [s.location for s in sources] == [5, 17, 99]
+
+
+class TestCurrentRadiiWeights:
+    def test_initial_weights_equal_alpha(self, grid10):
+        sources = make_sources(grid10, (0, 50))
+        weights = current_radii_weights(sources, sigma=100.0, alpha=0.25)
+        assert weights.weights == [0.25, 0.25]
+        assert weights.total == pytest.approx(0.5)
+
+    def test_weights_decay_with_radius(self, grid10):
+        sources = make_sources(grid10, (0, 50))
+        for __ in range(10):
+            sources[0].expand()
+        weights = current_radii_weights(sources, sigma=100.0, alpha=0.5)
+        expected = 0.5 * math.exp(-sources[0].radius / 100.0)
+        assert weights.weights[0] == pytest.approx(expected)
+        assert weights.weights[0] < weights.weights[1]
+
+    def test_exhausted_source_weighs_zero(self, line_graph):
+        sources = make_sources(line_graph, (0,))
+        while not sources[0].exhausted:
+            sources[0].expand()
+        weights = current_radii_weights(sources, sigma=1.0, alpha=1.0)
+        assert weights.weights == [0.0]

@@ -1,0 +1,72 @@
+"""Property tests for the TopK collector against a sort-based oracle."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.results import ScoredTrajectory, TopK
+
+items_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=50),
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    ),
+    max_size=60,
+)
+
+
+@given(items=items_strategy, k=st.integers(1, 12))
+def test_topk_matches_sorted_oracle(items, k):
+    # Deduplicate ids (TopK assumes each trajectory offered once).
+    seen = set()
+    unique = []
+    for tid, score in items:
+        if tid not in seen:
+            seen.add(tid)
+            unique.append(ScoredTrajectory(tid, score, score, 0.0))
+
+    topk = TopK(k)
+    for item in unique:
+        topk.offer(item)
+
+    expected = sorted(unique)[:k]
+    got = topk.ranked()
+    assert [i.trajectory_id for i in got] == [i.trajectory_id for i in expected]
+
+
+@given(items=items_strategy, k=st.integers(1, 12))
+def test_threshold_is_kth_score(items, k):
+    seen = set()
+    unique = []
+    for tid, score in items:
+        if tid not in seen:
+            seen.add(tid)
+            unique.append(ScoredTrajectory(tid, score, score, 0.0))
+
+    topk = TopK(k)
+    for item in unique:
+        topk.offer(item)
+
+    if len(unique) >= k:
+        expected_threshold = sorted(unique)[k - 1].score
+        assert topk.threshold == expected_threshold
+    else:
+        assert topk.threshold == float("-inf")
+
+
+@given(items=items_strategy, k=st.integers(1, 12))
+def test_rejected_items_never_beat_kept(items, k):
+    seen = set()
+    topk = TopK(k)
+    rejected = []
+    for tid, score in items:
+        if tid in seen:
+            continue
+        seen.add(tid)
+        item = ScoredTrajectory(tid, score, score, 0.0)
+        if not topk.offer(item):
+            rejected.append(item)
+    kept = topk.ranked()
+    if kept and rejected:
+        worst_kept = kept[-1]
+        for item in rejected:
+            assert worst_kept < item  # ScoredTrajectory: "<" means ranks above

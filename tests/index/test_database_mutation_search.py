@@ -1,0 +1,69 @@
+"""Search consistency under database mutation.
+
+The database supports inserts and deletes; searches must reflect them
+immediately (the indexes and the trajectory set move together).
+"""
+
+import pytest
+
+from repro.core.baselines import BruteForceSearcher
+from repro.core.query import UOTSQuery
+from repro.core.search import CollaborativeSearcher
+from repro.index.database import TrajectoryDatabase
+from repro.trajectory.model import Trajectory, TrajectoryPoint, TrajectorySet
+
+
+def _traj(tid, vertices, keywords=()):
+    return Trajectory(
+        tid,
+        [TrajectoryPoint(v, float(60 * i)) for i, v in enumerate(vertices)],
+        keywords,
+    )
+
+
+@pytest.fixture()
+def db(grid10):
+    trips = TrajectorySet(
+        [
+            _traj(0, [0, 1, 2], ["park"]),
+            _traj(1, [50, 51], ["seafood"]),
+            _traj(2, [97, 98, 99], ["museum"]),
+        ]
+    )
+    return TrajectoryDatabase(grid10, trips, sigma=300.0)
+
+
+QUERY = UOTSQuery.create([0, 55], ["park", "seafood"], lam=0.5, k=5)
+
+
+class TestMutationConsistency:
+    def test_insert_appears_in_results(self, db):
+        before = CollaborativeSearcher(db).search(QUERY)
+        assert 9 not in before.ids
+        db.add(_traj(9, [0, 55], ["park", "seafood"]))
+        after = CollaborativeSearcher(db).search(QUERY)
+        assert after.ids[0] == 9  # perfect spatial + perfect text match
+
+    def test_remove_disappears_from_results(self, db):
+        before = CollaborativeSearcher(db).search(QUERY)
+        assert 0 in before.ids
+        db.remove(0)
+        after = CollaborativeSearcher(db).search(QUERY)
+        assert 0 not in after.ids
+        assert len(after.items) == 2
+
+    def test_mutated_database_still_matches_oracle(self, db):
+        db.add(_traj(9, [10, 20, 30], ["park", "bar"]))
+        db.remove(1)
+        db.add(_traj(10, [55], []))
+        fast = CollaborativeSearcher(db).search(QUERY)
+        reference = BruteForceSearcher(db).search(QUERY)
+        assert fast.ids == reference.ids
+        assert fast.scores == pytest.approx(reference.scores)
+
+    def test_reinsert_same_id_after_remove(self, db):
+        db.remove(2)
+        db.add(_traj(2, [0], ["park"]))
+        result = CollaborativeSearcher(db).search(QUERY)
+        by_id = {i.trajectory_id: i for i in result.items}
+        assert by_id[2].spatial_similarity > 0.4  # now near location 0

@@ -1,0 +1,59 @@
+"""Boundary-condition tests for the temporal grid index.
+
+Node ranges are conceptually half-open, but a trajectory whose range
+endpoint falls exactly on a slot boundary is claimed by the first covering
+child — the pruning bounds stay valid either way because every node's range
+contains the ranges of the trajectories stored beneath it.
+"""
+
+import pytest
+
+from repro.index.temporal_index import TemporalGridIndex
+from repro.trajectory.model import DAY_SECONDS, Trajectory, TrajectoryPoint
+
+
+def _traj(tid, start, end):
+    return Trajectory(
+        tid, [TrajectoryPoint(0, float(start)), TrajectoryPoint(1, float(end))]
+    )
+
+
+class TestBoundaryInsertion:
+    def test_point_range_on_slot_boundary(self):
+        index = TemporalGridIndex(num_leaves=4)
+        slot = DAY_SECONDS / 4
+        node = index.insert(_traj(0, slot, slot))
+        assert node.covers(slot, slot)
+
+    def test_range_ending_exactly_on_boundary(self):
+        index = TemporalGridIndex(num_leaves=4)
+        slot = DAY_SECONDS / 4
+        node = index.insert(_traj(1, slot / 2, slot))
+        assert node.covers(slot / 2, slot)
+
+    def test_zero_length_range(self):
+        index = TemporalGridIndex(num_leaves=24)
+        node = index.insert(_traj(2, 1000.0, 1000.0))
+        assert node.level == 0
+
+    def test_range_at_day_start_and_near_end(self):
+        index = TemporalGridIndex(num_leaves=24)
+        first = index.insert(_traj(3, 0.0, 1.0))
+        last = index.insert(_traj(4, DAY_SECONDS - 2.0, DAY_SECONDS - 1.0))
+        assert first.level == 0 and first.index == 0
+        assert last.level == 0 and last.index == 23
+
+    def test_every_stored_trajectory_is_covered(self, annotated_trips):
+        for leaves in (3, 7, 24, 48):
+            index = TemporalGridIndex(num_leaves=leaves)
+            for trajectory in annotated_trips:
+                node = index.insert(trajectory)
+                lo, hi = trajectory.time_range
+                assert node.covers(lo, hi), (leaves, trajectory.id)
+
+    def test_single_leaf_tree(self):
+        index = TemporalGridIndex(num_leaves=1)
+        assert index.height == 1
+        assert index.root.lo == 0.0 and index.root.hi == DAY_SECONDS
+        node = index.insert(_traj(5, 10.0, 86_000.0))
+        assert node is index.root

@@ -1,0 +1,132 @@
+"""Unit tests for the hierarchical temporal grid index."""
+
+import pytest
+
+from repro.errors import IndexError_
+from repro.index.temporal_index import TemporalGridIndex
+from repro.trajectory.model import DAY_SECONDS, Trajectory, TrajectoryPoint
+
+
+def _traj(tid, start, end):
+    return Trajectory(
+        tid, [TrajectoryPoint(0, float(start)), TrajectoryPoint(1, float(end))]
+    )
+
+
+class TestStructure:
+    def test_leaf_count_and_ranges(self):
+        index = TemporalGridIndex(num_leaves=24)
+        leaves = index.leaves()
+        assert len(leaves) == 24
+        assert leaves[0].lo == 0.0
+        assert leaves[-1].hi == DAY_SECONDS
+        for a, b in zip(leaves, leaves[1:]):
+            assert a.hi == pytest.approx(b.lo)
+
+    def test_height_of_power_of_two(self):
+        assert TemporalGridIndex(num_leaves=8).height == 4
+
+    def test_odd_leaf_count_still_single_root(self):
+        index = TemporalGridIndex(num_leaves=5)
+        assert index.root.lo == 0.0
+        assert index.root.hi == DAY_SECONDS
+        assert len(index.level(index.height - 1)) == 1
+
+    def test_parent_child_navigation(self):
+        index = TemporalGridIndex(num_leaves=4)
+        leaf = index.leaves()[2]
+        parent = index.parent(leaf)
+        assert leaf in index.children(parent)
+        assert index.parent(index.root) is None
+        assert index.children(index.leaves()[0]) == []
+
+    def test_parent_covers_children(self):
+        index = TemporalGridIndex(num_leaves=6)
+        for level in range(index.height - 1):
+            for node in index.level(level):
+                parent = index.parent(node)
+                assert parent.lo <= node.lo and node.hi <= parent.hi
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(IndexError_):
+            TemporalGridIndex(num_leaves=0)
+        with pytest.raises(IndexError_):
+            TemporalGridIndex(num_leaves=4, day=0.0)
+
+
+class TestInsertion:
+    def test_stored_in_lowest_covering_node(self):
+        index = TemporalGridIndex(num_leaves=4)  # leaves of 6h each
+        node = index.insert(_traj(0, 3600, 7200))  # inside first leaf
+        assert node.level == 0
+        assert node.index == 0
+
+    def test_spanning_trajectory_stored_higher(self):
+        index = TemporalGridIndex(num_leaves=4)
+        # Crosses the 6h boundary -> cannot live in a leaf.
+        node = index.insert(_traj(1, 5.5 * 3600, 6.5 * 3600))
+        assert node.level > 0
+        assert node.covers(5.5 * 3600, 6.5 * 3600)
+
+    def test_whole_day_trajectory_in_root(self):
+        index = TemporalGridIndex(num_leaves=8)
+        node = index.insert(_traj(2, 60, DAY_SECONDS - 60))
+        assert node is index.root
+
+    def test_duplicate_insert_rejected(self):
+        index = TemporalGridIndex(num_leaves=4)
+        index.insert(_traj(0, 100, 200))
+        with pytest.raises(IndexError_, match="already"):
+            index.insert(_traj(0, 300, 400))
+
+    def test_node_of_lookup(self):
+        index = TemporalGridIndex(num_leaves=4)
+        node = index.insert(_traj(5, 100, 200))
+        assert index.node_of(5) is node
+        with pytest.raises(IndexError_):
+            index.node_of(99)
+
+    def test_remove(self):
+        index = TemporalGridIndex(num_leaves=4)
+        index.insert(_traj(0, 100, 200))
+        index.remove(0)
+        assert index.num_trajectories == 0
+        with pytest.raises(IndexError_):
+            index.remove(0)
+
+    def test_lowest_node_property_holds_for_many(self, annotated_trips):
+        index = TemporalGridIndex(num_leaves=24)
+        for trajectory in annotated_trips:
+            node = index.insert(trajectory)
+            lo, hi = trajectory.time_range
+            assert node.covers(lo, hi)
+            # No child of the node also covers the range.
+            for child in index.children(node):
+                assert not child.covers(lo, hi)
+
+
+class TestSubtreeAndDistance:
+    def test_subtree_ids_aggregates(self):
+        index = TemporalGridIndex(num_leaves=4)
+        index.insert(_traj(0, 100, 200))          # leaf 0
+        index.insert(_traj(1, 7 * 3600, 8 * 3600))  # within first half of day
+        assert index.subtree_ids(index.root) == {0, 1}
+
+    def test_min_distance_disjoint(self):
+        index = TemporalGridIndex(num_leaves=4)
+        leaves = index.leaves()
+        gap = TemporalGridIndex.min_distance(leaves[0], leaves[2])
+        assert gap == pytest.approx(leaves[2].lo - leaves[0].hi)
+
+    def test_min_distance_adjacent_and_overlapping(self):
+        index = TemporalGridIndex(num_leaves=4)
+        leaves = index.leaves()
+        assert TemporalGridIndex.min_distance(leaves[0], leaves[1]) == 0.0
+        assert TemporalGridIndex.min_distance(index.root, leaves[3]) == 0.0
+
+    def test_min_distance_symmetric(self):
+        index = TemporalGridIndex(num_leaves=6)
+        a, b = index.leaves()[0], index.leaves()[4]
+        assert TemporalGridIndex.min_distance(a, b) == (
+            TemporalGridIndex.min_distance(b, a)
+        )

@@ -1,0 +1,76 @@
+"""Property tests: join algorithms on hypothesis-generated small worlds.
+
+Random tiny graphs and trajectory sets — the two-phase join, the
+temporal-first baseline, and the brute-force oracle must produce identical
+pair sets for random thresholds.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.index.database import TrajectoryDatabase
+from repro.join.tfmatch import TemporalFirstJoin
+from repro.join.tsjoin import BruteForceJoin, TwoPhaseJoin
+from repro.network.builder import GraphBuilder
+from repro.trajectory.model import DAY_SECONDS, Trajectory, TrajectoryPoint, TrajectorySet
+
+
+@st.composite
+def join_worlds(draw):
+    """A connected graph + database + a join threshold."""
+    n = draw(st.integers(4, 10))
+    builder = GraphBuilder()
+    for i in range(n):
+        builder.add_vertex(float(i % 3), float(i // 3))
+    order = draw(st.permutations(range(n)))
+    for a, b in zip(order, order[1:]):
+        builder.add_edge(a, b, draw(st.floats(0.5, 4.0, allow_nan=False)))
+    for __ in range(draw(st.integers(0, 4))):
+        a = draw(st.integers(0, n - 1))
+        b = draw(st.integers(0, n - 1))
+        if a != b:
+            builder.add_edge(a, b, draw(st.floats(0.5, 4.0, allow_nan=False)))
+    graph = builder.build(require_connected=True)
+
+    trajectories = TrajectorySet()
+    for tid in range(draw(st.integers(2, 7))):
+        length = draw(st.integers(1, 4))
+        vertices = [draw(st.integers(0, n - 1)) for __ in range(length)]
+        start = draw(st.floats(0, DAY_SECONDS - 2000, allow_nan=False))
+        trajectories.add(
+            Trajectory(
+                tid,
+                [TrajectoryPoint(v, start + 30.0 * i)
+                 for i, v in enumerate(vertices)],
+            )
+        )
+    database = TrajectoryDatabase(graph, trajectories, sigma=draw(
+        st.floats(0.5, 5.0, allow_nan=False)
+    ))
+    theta = draw(st.floats(0.5, 1.99, allow_nan=False))
+    lam = draw(st.sampled_from([0.0, 0.3, 0.5, 0.7, 1.0]))
+    return database, theta, lam
+
+
+@given(world=join_worlds())
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_two_phase_matches_oracle_on_random_worlds(world):
+    database, theta, lam = world
+    reference = BruteForceJoin(database, lam=lam).self_join(theta)
+    result = TwoPhaseJoin(database, lam=lam).self_join(theta)
+    assert result.pair_set() == reference.pair_set()
+    ref_scores = {(a, b): s for a, b, s in reference.pairs}
+    for a, b, score in result.pairs:
+        assert score == pytest.approx(ref_scores[(a, b)], abs=1e-7)
+
+
+@given(world=join_worlds())
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_temporal_first_matches_oracle_on_random_worlds(world):
+    database, theta, lam = world
+    reference = BruteForceJoin(database, lam=lam).self_join(theta)
+    result = TemporalFirstJoin(database, lam=lam).self_join(theta)
+    assert result.pair_set() == reference.pair_set()

@@ -1,0 +1,80 @@
+"""Oracle tests for the temporal-first join baseline."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.index.database import TrajectoryDatabase
+from repro.join.tfmatch import TemporalFirstJoin
+from repro.join.tsjoin import BruteForceJoin
+from repro.trajectory.generator import generate_trips
+
+
+@pytest.fixture(scope="module")
+def join_db(grid10):
+    trips = generate_trips(grid10, 60, seed=21)
+    return TrajectoryDatabase(grid10, trips)
+
+
+@pytest.fixture(scope="module")
+def other_db(grid10, join_db):
+    trips = generate_trips(grid10, 30, seed=22)
+    return TrajectoryDatabase(grid10, trips, sigma=join_db.sigma)
+
+
+class TestSelfJoin:
+    @pytest.mark.parametrize("theta", [1.3, 1.6, 1.9])
+    def test_matches_brute_force(self, join_db, theta):
+        reference = BruteForceJoin(join_db).self_join(theta)
+        result = TemporalFirstJoin(join_db).self_join(theta)
+        assert result.pair_set() == reference.pair_set()
+
+    @pytest.mark.parametrize("num_leaves", [4, 24, 48])
+    def test_result_independent_of_leaf_count(self, join_db, num_leaves):
+        reference = TemporalFirstJoin(join_db, num_leaves=24).self_join(1.5)
+        result = TemporalFirstJoin(join_db, num_leaves=num_leaves).self_join(1.5)
+        assert result.pair_set() == reference.pair_set()
+
+    def test_pairs_ordered_once(self, join_db):
+        result = TemporalFirstJoin(join_db).self_join(1.2)
+        seen = set()
+        for a, b, __ in result.pairs:
+            assert a < b
+            assert (a, b) not in seen
+            seen.add((a, b))
+
+    def test_temporal_pruning_counts(self, join_db):
+        # At high theta the temporal bound must prune some pairs outright.
+        result = TemporalFirstJoin(join_db, lam=0.2).self_join(1.9)
+        assert result.stats.pruned_trajectories > 0
+
+    def test_lam_one_disables_temporal_pruning(self, join_db):
+        # With lam=1 the temporal bound is vacuous (2*lam = 2 >= theta), so
+        # every pair must be checked spatially, and results still match.
+        reference = BruteForceJoin(join_db, lam=1.0).self_join(1.7)
+        result = TemporalFirstJoin(join_db, lam=1.0).self_join(1.7)
+        assert result.pair_set() == reference.pair_set()
+
+    def test_invalid_theta_rejected(self, join_db):
+        with pytest.raises(QueryError):
+            TemporalFirstJoin(join_db).self_join(-1.0)
+
+
+class TestNonSelfJoin:
+    def test_matches_brute_force(self, join_db, other_db):
+        reference = BruteForceJoin(join_db, other_db).join(1.5)
+        result = TemporalFirstJoin(join_db, other_db).join(1.5)
+        assert result.pair_set() == reference.pair_set()
+
+    def test_requires_other_database(self, join_db):
+        with pytest.raises(QueryError):
+            TemporalFirstJoin(join_db).join(1.5)
+
+
+class TestAgreementWithTwoPhase:
+    @pytest.mark.parametrize("theta", [1.4, 1.75])
+    def test_both_algorithms_agree(self, join_db, theta):
+        from repro.join.tsjoin import TwoPhaseJoin
+
+        tf = TemporalFirstJoin(join_db).self_join(theta)
+        tp = TwoPhaseJoin(join_db).self_join(theta)
+        assert tf.pair_set() == tp.pair_set()

@@ -1,0 +1,79 @@
+"""Oracle tests for the top-k similarity join (future-work extension)."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.index.database import TrajectoryDatabase
+from repro.join.tsjoin import BruteForceJoin, TopKJoin
+from repro.trajectory.generator import generate_trips
+
+
+@pytest.fixture(scope="module")
+def join_db(grid10):
+    trips = generate_trips(grid10, 50, seed=61)
+    return TrajectoryDatabase(grid10, trips)
+
+
+@pytest.fixture(scope="module")
+def full_ranking(join_db):
+    """Every pair scored, best first (brute-force ground truth)."""
+    result = BruteForceJoin(join_db).self_join(0.0001)
+    return sorted(result.pairs, key=lambda row: (-row[2], row[0], row[1]))
+
+
+class TestTopKJoin:
+    @pytest.mark.parametrize("k", [1, 3, 10, 40])
+    def test_matches_brute_force_ranking(self, join_db, full_ranking, k):
+        result = TopKJoin(join_db).top_k(k)
+        assert len(result.pairs) == min(k, len(full_ranking))
+        for got, want in zip(result.pairs, full_ranking):
+            assert got[2] == pytest.approx(want[2], abs=1e-6)
+
+    def test_pairs_sorted_descending(self, join_db):
+        result = TopKJoin(join_db).top_k(8)
+        scores = [score for __, __b, score in result.pairs]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_pairs_unique_and_ordered(self, join_db):
+        result = TopKJoin(join_db).top_k(10)
+        seen = set()
+        for a, b, __ in result.pairs:
+            assert a < b
+            assert (a, b) not in seen
+            seen.add((a, b))
+
+    def test_k_exceeding_pair_count(self, join_db, full_ranking):
+        # With k above the total pair count, *every* unordered pair comes
+        # back — including the zero-score ones the thresholded ground truth
+        # necessarily omits.
+        n = len(join_db)
+        all_pairs = n * (n - 1) // 2
+        result = TopKJoin(join_db).top_k(all_pairs + 100)
+        assert len(result.pairs) == all_pairs
+        for got, want in zip(result.pairs, full_ranking):
+            assert got[2] == pytest.approx(want[2], abs=1e-6)
+        for __, __b, score in result.pairs[len(full_ranking):]:
+            assert score == pytest.approx(0.0, abs=1e-4)
+
+    @pytest.mark.parametrize("lam", [0.0, 1.0])
+    def test_degenerate_lambdas(self, join_db, lam):
+        reference = BruteForceJoin(join_db, lam=lam).self_join(0.0001)
+        ranked = sorted(reference.pairs, key=lambda r: (-r[2], r[0], r[1]))[:5]
+        result = TopKJoin(join_db, lam=lam).top_k(5)
+        for got, want in zip(result.pairs, ranked):
+            assert got[2] == pytest.approx(want[2], abs=1e-6)
+
+    def test_invalid_k_rejected(self, join_db):
+        with pytest.raises(QueryError):
+            TopKJoin(join_db).top_k(0)
+
+    def test_consistent_with_threshold_join(self, join_db):
+        # The k-th best pair's score used as theta must return a superset
+        # containing exactly the top-k pairs at the top.
+        from repro.join.tsjoin import TwoPhaseJoin
+
+        top = TopKJoin(join_db).top_k(3)
+        kth_score = top.pairs[-1][2]
+        if kth_score > 0.0:
+            thresholded = TwoPhaseJoin(join_db).self_join(min(2.0, kth_score))
+            assert top.pair_set() <= thresholded.pair_set()

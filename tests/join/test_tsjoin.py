@@ -1,0 +1,91 @@
+"""Oracle tests for the two-phase trajectory similarity join."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.index.database import TrajectoryDatabase
+from repro.join.tsjoin import BruteForceJoin, TwoPhaseJoin
+from repro.trajectory.generator import generate_trips
+
+
+@pytest.fixture(scope="module")
+def join_db(grid10):
+    trips = generate_trips(grid10, 60, seed=21)
+    return TrajectoryDatabase(grid10, trips)
+
+
+@pytest.fixture(scope="module")
+def other_db(grid10, join_db):
+    trips = generate_trips(grid10, 30, seed=22)
+    return TrajectoryDatabase(grid10, trips, sigma=join_db.sigma)
+
+
+class TestSelfJoin:
+    @pytest.mark.parametrize("theta", [1.3, 1.6, 1.9])
+    def test_matches_brute_force(self, join_db, theta):
+        reference = BruteForceJoin(join_db).self_join(theta)
+        result = TwoPhaseJoin(join_db).self_join(theta)
+        assert result.pair_set() == reference.pair_set()
+        ref_scores = {(a, b): s for a, b, s in reference.pairs}
+        for a, b, score in result.pairs:
+            assert score == pytest.approx(ref_scores[(a, b)], abs=1e-7)
+
+    def test_pairs_reported_once_ordered(self, join_db):
+        result = TwoPhaseJoin(join_db).self_join(1.2)
+        seen = set()
+        for a, b, __ in result.pairs:
+            assert a < b
+            assert (a, b) not in seen
+            seen.add((a, b))
+
+    def test_no_self_pairs(self, join_db):
+        result = TwoPhaseJoin(join_db).self_join(1.1)
+        assert all(a != b for a, b, __ in result.pairs)
+
+    def test_monotone_in_theta(self, join_db):
+        loose = TwoPhaseJoin(join_db).self_join(1.3).pair_set()
+        tight = TwoPhaseJoin(join_db).self_join(1.7).pair_set()
+        assert tight <= loose
+
+    def test_invalid_theta_rejected(self, join_db):
+        with pytest.raises(QueryError):
+            TwoPhaseJoin(join_db).self_join(0.0)
+        with pytest.raises(QueryError):
+            TwoPhaseJoin(join_db).self_join(2.5)
+
+    def test_lam_weighting_changes_result(self, join_db):
+        spatial = TwoPhaseJoin(join_db, lam=1.0).self_join(1.6)
+        temporal = TwoPhaseJoin(join_db, lam=0.0).self_join(1.6)
+        spatial_ref = BruteForceJoin(join_db, lam=1.0).self_join(1.6)
+        temporal_ref = BruteForceJoin(join_db, lam=0.0).self_join(1.6)
+        assert spatial.pair_set() == spatial_ref.pair_set()
+        assert temporal.pair_set() == temporal_ref.pair_set()
+
+
+class TestNonSelfJoin:
+    @pytest.mark.parametrize("theta", [1.4, 1.8])
+    def test_matches_brute_force(self, join_db, other_db, theta):
+        reference = BruteForceJoin(join_db, other_db).join(theta)
+        result = TwoPhaseJoin(join_db, other_db).join(theta)
+        assert result.pair_set() == reference.pair_set()
+
+    def test_requires_other_database(self, join_db):
+        with pytest.raises(QueryError, match="other"):
+            TwoPhaseJoin(join_db).join(1.5)
+
+    def test_requires_shared_network(self, join_db, grid20):
+        trips = generate_trips(grid20, 10, seed=30)
+        foreign = TrajectoryDatabase(grid20, trips)
+        with pytest.raises(QueryError, match="same spatial network"):
+            TwoPhaseJoin(join_db, foreign)
+
+
+class TestStats:
+    def test_candidate_pairs_bound_result(self, join_db):
+        result = TwoPhaseJoin(join_db).self_join(1.5)
+        assert len(result.pairs) <= result.candidate_pairs
+
+    def test_stats_accumulate_across_searches(self, join_db):
+        result = TwoPhaseJoin(join_db).self_join(1.5)
+        assert result.stats.visited_trajectories > 0
+        assert result.stats.elapsed_seconds > 0

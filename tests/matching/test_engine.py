@@ -1,0 +1,139 @@
+"""Unit tests for the directional search engine (filter-and-refine)."""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import QueryError
+from repro.matching.engine import DirectionalSearchEngine
+from repro.matching.temporal import min_time_gap
+from repro.network.dijkstra import single_source_distances
+
+
+def _exact_value(database, timestamp_index, points, lam, trajectory_id,
+                 sigma_t=1800.0):
+    """Independent re-computation of V(q, tau) for verification."""
+    trajectory = database.get(trajectory_id)
+    spatial = temporal = 0.0
+    stamps = sorted(trajectory.timestamps())
+    for vertex, timestamp in points:
+        table = single_source_distances(database.graph, vertex)
+        d = min((table.get(v, math.inf) for v in trajectory.vertex_set),
+                default=math.inf)
+        if d != math.inf:
+            spatial += math.exp(-d / database.sigma)
+        gap = min_time_gap(timestamp, stamps)
+        if gap != math.inf:
+            temporal += math.exp(-gap / sigma_t)
+    return (lam * spatial + (1.0 - lam) * temporal) / len(points)
+
+
+@pytest.fixture(scope="module")
+def engine(database):
+    return DirectionalSearchEngine(database)
+
+
+def _query_points(database, seed, count=5):
+    rng = random.Random(seed)
+    anchor = database.get(rng.choice(database.trajectories.ids()))
+    points = [(p.vertex, p.timestamp) for p in anchor.points]
+    step = max(1, len(points) // count)
+    return anchor.id, points[::step][:count]
+
+
+class TestExactValue:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_matches_independent_computation(self, database, engine, seed):
+        anchor_id, points = _query_points(database, seed)
+        rng = random.Random(seed + 100)
+        for tid in rng.sample(database.trajectories.ids(), 5):
+            got = engine.exact_value(points, 0.5, tid)
+            expected = _exact_value(database, engine.timestamp_index, points, 0.5, tid)
+            assert got == pytest.approx(expected)
+
+    def test_self_value_is_high(self, database, engine):
+        anchor_id, __ = _query_points(database, 4)
+        anchor = database.get(anchor_id)
+        points = [(p.vertex, p.timestamp) for p in anchor.points]
+        assert engine.exact_value(points, 0.5, anchor_id) == pytest.approx(1.0)
+
+
+class TestThresholdSearch:
+    def test_matches_exhaustive_scan(self, database, engine):
+        __, points = _query_points(database, 5)
+        limit = 0.6
+        got = engine.threshold_search(points, 0.5, limit)
+        expected = {
+            tid: engine.exact_value(points, 0.5, tid)
+            for tid in database.trajectories.ids()
+            if engine.exact_value(points, 0.5, tid) >= limit - 1e-9
+        }
+        assert set(got.values) == set(expected)
+        for tid, value in got.values.items():
+            assert value == pytest.approx(expected[tid])
+
+    def test_exclude_id_respected(self, database, engine):
+        anchor_id, points = _query_points(database, 6)
+        got = engine.threshold_search(points, 0.5, 0.3, exclude_id=anchor_id)
+        assert anchor_id not in got
+
+    def test_nonpositive_limit_scans_everything(self, database, engine):
+        __, points = _query_points(database, 7, count=2)
+        got = engine.threshold_search(points, 0.5, 0.0)
+        assert len(got) == len(database)
+
+    def test_high_limit_prunes_hard(self, database, engine):
+        __, points = _query_points(database, 8)
+        got = engine.threshold_search(points, 0.5, 0.95)
+        # visited should be far below the database size thanks to the
+        # radii-based unseen bound
+        assert got.stats.expanded_vertices < (
+            2 * len(points) * database.graph.num_vertices
+        )
+
+
+class TestTopkSearch:
+    @pytest.mark.parametrize("lam", [0.0, 0.5, 1.0])
+    def test_matches_exhaustive_topk(self, database, engine, lam):
+        anchor_id, points = _query_points(database, 9)
+        k = 5
+        got = engine.topk_search(points, lam, k, exclude_id=anchor_id)
+        exact = sorted(
+            (
+                (engine.exact_value(points, lam, tid), -tid)
+                for tid in database.trajectories.ids()
+                if tid != anchor_id
+            ),
+            reverse=True,
+        )[:k]
+        assert got.scores == pytest.approx([v for v, __ in exact], abs=1e-7)
+
+    def test_k_exceeding_database(self, database, engine):
+        __, points = _query_points(database, 10, count=2)
+        got = engine.topk_search(points, 0.5, len(database) + 10)
+        assert len(got.items) == len(database)
+
+
+class TestValidation:
+    def test_empty_points_rejected(self, engine):
+        with pytest.raises(QueryError):
+            engine.threshold_search([], 0.5, 0.5)
+
+    def test_bad_lam_rejected(self, database, engine):
+        with pytest.raises(QueryError):
+            engine.threshold_search([(0, 0.0)], 1.5, 0.5)
+
+    def test_bad_constructor_args(self, database):
+        with pytest.raises(QueryError):
+            DirectionalSearchEngine(database, sigma_t=0.0)
+        with pytest.raises(QueryError):
+            DirectionalSearchEngine(database, batch_size=0)
+
+    def test_transform_cache_reused(self, database):
+        engine = DirectionalSearchEngine(database)
+        __, points = _query_points(database, 11, count=2)
+        engine.exact_value(points, 0.5, 0)
+        built = engine.transforms_built
+        engine.exact_value(points, 0.5, 0)
+        assert engine.transforms_built == built

@@ -1,0 +1,69 @@
+"""Unit tests for personalized trajectory matching (PTM)."""
+
+import random
+
+import pytest
+
+from repro.errors import QueryError
+from repro.matching.ptm import BruteForcePTMMatcher, PTMMatcher, PTMQuery
+
+
+@pytest.fixture(scope="module")
+def matcher(database):
+    return PTMMatcher(database)
+
+
+@pytest.fixture(scope="module")
+def oracle(database):
+    return BruteForcePTMMatcher(database)
+
+
+class TestPTMQuery:
+    def test_points_extracted(self, database):
+        trajectory = database.get(0)
+        query = PTMQuery(trajectory, lam=0.3, k=2)
+        assert query.points == [(p.vertex, p.timestamp) for p in trajectory.points]
+
+    def test_validation(self, database):
+        trajectory = database.get(0)
+        with pytest.raises(QueryError):
+            PTMQuery(trajectory, lam=2.0)
+        with pytest.raises(QueryError):
+            PTMQuery(trajectory, k=0)
+
+
+class TestMatching:
+    @pytest.mark.parametrize("lam,k", [(0.0, 5), (0.5, 1), (0.5, 10), (1.0, 5)])
+    def test_matches_oracle(self, database, matcher, oracle, lam, k):
+        rng = random.Random(hash((lam, k)) & 0xFFFF)
+        anchor = database.get(rng.choice(database.trajectories.ids()))
+        query = PTMQuery(anchor, lam=lam, k=k)
+        fast = matcher.match(query)
+        reference = oracle.match(query)
+        assert fast.scores == pytest.approx(reference.scores, abs=1e-7)
+
+    def test_self_excluded_by_default(self, database, matcher):
+        anchor = database.get(3)
+        result = matcher.match(PTMQuery(anchor, k=5))
+        assert 3 not in result.ids
+
+    def test_self_included_on_request(self, database, matcher):
+        anchor = database.get(3)
+        result = matcher.match(PTMQuery(anchor, k=1), exclude_self=False)
+        # A trajectory is its own perfect match.
+        assert result.ids == [3]
+        assert result.scores[0] == pytest.approx(1.0)
+
+    def test_near_duplicate_ranks_first(self, database, matcher):
+        # The trajectory most similar to an anchor should score higher than
+        # a random one.
+        rng = random.Random(17)
+        anchor = database.get(rng.choice(database.trajectories.ids()))
+        result = matcher.match(PTMQuery(anchor, k=len(database) - 1))
+        assert result.scores[0] >= result.scores[-1]
+
+    def test_engine_shared_across_queries(self, database):
+        matcher = PTMMatcher(database)
+        first = matcher.engine
+        matcher.match(PTMQuery(database.get(0), k=1))
+        assert matcher.engine is first

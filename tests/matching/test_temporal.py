@@ -1,0 +1,97 @@
+"""Unit tests for temporal search primitives."""
+
+import pytest
+
+from repro.errors import IndexError_
+from repro.matching.temporal import TemporalExpansion, TimestampIndex, min_time_gap
+from repro.trajectory.model import Trajectory, TrajectoryPoint, TrajectorySet
+
+
+def _traj(tid, stamps):
+    return Trajectory(tid, [TrajectoryPoint(0, float(t)) for t in sorted(stamps)])
+
+
+@pytest.fixture()
+def index():
+    return TimestampIndex.build(
+        TrajectorySet([_traj(0, [100, 200]), _traj(1, [150]), _traj(2, [1000])])
+    )
+
+
+class TestMinTimeGap:
+    def test_exact_hit(self):
+        assert min_time_gap(150.0, [100.0, 150.0, 200.0]) == 0.0
+
+    def test_between_values(self):
+        assert min_time_gap(160.0, [100.0, 150.0, 200.0]) == pytest.approx(10.0)
+
+    def test_outside_range(self):
+        assert min_time_gap(50.0, [100.0, 200.0]) == pytest.approx(50.0)
+        assert min_time_gap(300.0, [100.0, 200.0]) == pytest.approx(100.0)
+
+    def test_empty_list(self):
+        assert min_time_gap(10.0, []) == float("inf")
+
+
+class TestTimestampIndex:
+    def test_entries_sorted(self, index):
+        stamps = [t for t, __ in index.entries]
+        assert stamps == sorted(stamps)
+        assert len(index) == 4
+
+    def test_per_trajectory_timestamps(self, index):
+        assert index.trajectory_timestamps(0) == [100.0, 200.0]
+        with pytest.raises(IndexError_):
+            index.trajectory_timestamps(9)
+
+    def test_duplicate_add_rejected(self, index):
+        with pytest.raises(IndexError_):
+            index.add(_traj(0, [5]))
+
+    def test_remove(self, index):
+        index.remove(0)
+        assert index.num_trajectories == 2
+        assert all(tid != 0 for __, tid in index.entries)
+        with pytest.raises(IndexError_):
+            index.remove(0)
+
+
+class TestTemporalExpansion:
+    def test_scans_in_gap_order(self, index):
+        expansion = TemporalExpansion(index, 150.0)
+        gaps = []
+        while (item := expansion.expand()) is not None:
+            gaps.append(item[1])
+        assert gaps == sorted(gaps)
+        assert len(gaps) == 4
+
+    def test_first_scan_gives_min_gap(self, index):
+        expansion = TemporalExpansion(index, 160.0)
+        first_gap = {}
+        while (item := expansion.expand()) is not None:
+            tid, gap = item
+            first_gap.setdefault(tid, gap)
+        for tid in (0, 1, 2):
+            expected = min_time_gap(160.0, index.trajectory_timestamps(tid))
+            assert first_gap[tid] == pytest.approx(expected)
+
+    def test_radius_monotone_and_bounds_unscanned(self, index):
+        expansion = TemporalExpansion(index, 150.0)
+        expansion.expand()
+        r1 = expansion.radius
+        expansion.expand()
+        assert expansion.radius >= r1
+
+    def test_exhaustion(self, index):
+        expansion = TemporalExpansion(index, 0.0)
+        for __ in range(4):
+            assert expansion.expand() is not None
+        assert expansion.exhausted
+        assert expansion.expand() is None
+        assert expansion.radius == float("inf")
+
+    def test_query_time_at_edges(self, index):
+        early = TemporalExpansion(index, 0.0)
+        assert early.expand()[1] == pytest.approx(100.0)
+        late = TemporalExpansion(index, 5000.0)
+        assert late.expand()[1] == pytest.approx(4000.0)

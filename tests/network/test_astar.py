@@ -1,0 +1,68 @@
+"""Unit tests for A* search."""
+
+import random
+
+import pytest
+
+from repro.errors import DisconnectedError
+from repro.network.astar import (
+    admissible_scale,
+    astar_path,
+    astar_path_length,
+    euclidean_heuristic,
+)
+from repro.network.dijkstra import shortest_path_length
+from repro.network.graph import SpatialNetwork
+
+
+class TestAdmissibleScale:
+    def test_scale_never_exceeds_one(self, grid10):
+        assert admissible_scale(grid10) <= 1.0
+
+    def test_unit_ratio_graph(self, line_graph):
+        # Weights equal Euclidean distances exactly.
+        assert admissible_scale(line_graph) == pytest.approx(1.0)
+
+    def test_scaled_heuristic_is_admissible(self, grid10):
+        scale = admissible_scale(grid10)
+        rng = random.Random(0)
+        for __ in range(25):
+            u = rng.randrange(grid10.num_vertices)
+            v = rng.randrange(grid10.num_vertices)
+            h = euclidean_heuristic(grid10, v, scale)
+            assert h(u) <= shortest_path_length(grid10, u, v) + 1e-9
+
+    def test_edgeless_graph_scale(self):
+        g = SpatialNetwork(xs=[0.0, 1.0], ys=[0.0, 0.0], edges=[])
+        assert admissible_scale(g) == 1.0
+
+
+class TestAstar:
+    def test_matches_dijkstra_on_random_pairs(self, grid10):
+        rng = random.Random(1)
+        for __ in range(30):
+            u = rng.randrange(grid10.num_vertices)
+            v = rng.randrange(grid10.num_vertices)
+            assert astar_path_length(grid10, u, v) == pytest.approx(
+                shortest_path_length(grid10, u, v)
+            )
+
+    def test_returns_actual_path(self, grid10):
+        path, length = astar_path(grid10, 0, 99)
+        assert path[0] == 0
+        assert path[-1] == 99
+        total = sum(grid10.edge_weight(a, b) for a, b in zip(path, path[1:]))
+        assert total == pytest.approx(length)
+
+    def test_trivial_query(self, grid10):
+        assert astar_path(grid10, 5, 5) == ([5], 0.0)
+
+    def test_disconnected_raises(self):
+        g = SpatialNetwork(xs=[0, 1, 9], ys=[0, 0, 0], edges=[(0, 1, 1.0)])
+        with pytest.raises(DisconnectedError):
+            astar_path(g, 0, 2)
+
+    def test_custom_zero_heuristic_degrades_to_dijkstra(self, grid10):
+        assert astar_path_length(grid10, 3, 77, heuristic=lambda v: 0.0) == (
+            pytest.approx(shortest_path_length(grid10, 3, 77))
+        )

@@ -1,0 +1,48 @@
+"""Unit tests for bidirectional Dijkstra."""
+
+import random
+
+import pytest
+
+from repro.errors import DisconnectedError
+from repro.network.bidirectional import bidirectional_path, bidirectional_path_length
+from repro.network.dijkstra import shortest_path_length
+from repro.network.graph import SpatialNetwork
+
+
+class TestBidirectional:
+    def test_matches_dijkstra_on_random_pairs(self, grid10):
+        rng = random.Random(2)
+        for __ in range(40):
+            u = rng.randrange(grid10.num_vertices)
+            v = rng.randrange(grid10.num_vertices)
+            assert bidirectional_path_length(grid10, u, v) == pytest.approx(
+                shortest_path_length(grid10, u, v)
+            )
+
+    def test_path_is_valid(self, grid10):
+        path, length = bidirectional_path(grid10, 0, 99)
+        assert path[0] == 0
+        assert path[-1] == 99
+        for a, b in zip(path, path[1:]):
+            assert grid10.has_edge(a, b)
+        total = sum(grid10.edge_weight(a, b) for a, b in zip(path, path[1:]))
+        assert total == pytest.approx(length)
+
+    def test_trivial_query(self, grid10):
+        assert bidirectional_path(grid10, 9, 9) == ([9], 0.0)
+
+    def test_adjacent_vertices(self, line_graph):
+        path, length = bidirectional_path(line_graph, 1, 2)
+        assert path == [1, 2]
+        assert length == pytest.approx(1.0)
+
+    def test_disconnected_raises(self):
+        g = SpatialNetwork(xs=[0, 1, 9], ys=[0, 0, 0], edges=[(0, 1, 1.0)])
+        with pytest.raises(DisconnectedError):
+            bidirectional_path(g, 0, 2)
+
+    def test_line_graph_full_span(self, line_graph):
+        path, length = bidirectional_path(line_graph, 0, 4)
+        assert path == [0, 1, 2, 3, 4]
+        assert length == pytest.approx(4.0)

@@ -1,0 +1,108 @@
+"""Unit tests for the graph builder."""
+
+import math
+
+import pytest
+
+from repro.errors import GraphError
+from repro.network.builder import GraphBuilder
+
+
+class TestAddVertex:
+    def test_ids_are_sequential(self):
+        b = GraphBuilder()
+        assert b.add_vertex(0, 0) == 0
+        assert b.add_vertex(1, 1) == 1
+        assert b.num_vertices == 2
+
+
+class TestAddEdge:
+    def test_euclidean_default_weight(self):
+        b = GraphBuilder()
+        b.add_vertex(0, 0)
+        b.add_vertex(3, 4)
+        assert b.add_edge(0, 1) == pytest.approx(5.0)
+
+    def test_explicit_weight(self):
+        b = GraphBuilder()
+        b.add_vertex(0, 0)
+        b.add_vertex(1, 0)
+        assert b.add_edge(0, 1, 42.0) == 42.0
+
+    def test_readding_keeps_smaller_weight(self):
+        b = GraphBuilder()
+        b.add_vertex(0, 0)
+        b.add_vertex(1, 0)
+        b.add_edge(0, 1, 10.0)
+        assert b.add_edge(1, 0, 3.0) == 3.0
+        assert b.add_edge(0, 1, 7.0) == 3.0
+        assert b.num_edges == 1
+
+    def test_unknown_vertex_rejected(self):
+        b = GraphBuilder()
+        b.add_vertex(0, 0)
+        with pytest.raises(GraphError, match="not yet added"):
+            b.add_edge(0, 1)
+
+    def test_self_loop_rejected(self):
+        b = GraphBuilder()
+        b.add_vertex(0, 0)
+        with pytest.raises(GraphError, match="self-loop"):
+            b.add_edge(0, 0)
+
+    def test_colocated_vertices_need_explicit_weight(self):
+        b = GraphBuilder()
+        b.add_vertex(1, 1)
+        b.add_vertex(1, 1)
+        with pytest.raises(GraphError, match="co-located"):
+            b.add_edge(0, 1)
+        assert b.add_edge(0, 1, 2.5) == 2.5
+
+    def test_infinite_weight_rejected(self):
+        b = GraphBuilder()
+        b.add_vertex(0, 0)
+        b.add_vertex(1, 0)
+        with pytest.raises(GraphError):
+            b.add_edge(0, 1, math.inf)
+
+    def test_add_edges_bulk(self):
+        b = GraphBuilder()
+        for i in range(4):
+            b.add_vertex(i, 0)
+        b.add_edges([(0, 1), (1, 2), (2, 3)])
+        assert b.num_edges == 3
+
+
+class TestBuild:
+    def test_build_roundtrip(self):
+        b = GraphBuilder()
+        b.add_vertex(0, 0)
+        b.add_vertex(1, 0)
+        b.add_edge(0, 1)
+        g = b.build()
+        assert g.num_vertices == 2
+        assert g.has_edge(0, 1)
+
+    def test_require_connected_rejects_fragments(self):
+        b = GraphBuilder()
+        for i in range(4):
+            b.add_vertex(i, 0)
+        b.add_edge(0, 1)
+        b.add_edge(2, 3)
+        with pytest.raises(GraphError, match="not connected"):
+            b.build(require_connected=True)
+
+    def test_largest_component_extraction(self):
+        b = GraphBuilder()
+        for i in range(5):
+            b.add_vertex(i, 0)
+        b.add_edges([(0, 1), (1, 2)])
+        b.add_edge(3, 4)
+        g, remap = b.build_largest_component()
+        assert g.num_vertices == 3
+        assert g.is_connected()
+        assert set(remap) == {0, 1, 2}
+
+    def test_largest_component_of_empty_raises(self):
+        with pytest.raises(GraphError):
+            GraphBuilder().build_largest_component()

@@ -1,0 +1,154 @@
+"""Unit and property tests for contraction hierarchies."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DisconnectedError, GraphError
+from repro.network.builder import GraphBuilder
+from repro.network.contraction import ContractionHierarchy
+from repro.network.dijkstra import shortest_path_length
+from repro.network.generators import ring_radial_network
+from repro.network.graph import SpatialNetwork
+
+
+@pytest.fixture(scope="module")
+def grid_ch(grid10):
+    return ContractionHierarchy.build(grid10)
+
+
+class TestQueries:
+    def test_matches_dijkstra_on_random_pairs(self, grid10, grid_ch):
+        rng = random.Random(5)
+        for __ in range(60):
+            u = rng.randrange(grid10.num_vertices)
+            v = rng.randrange(grid10.num_vertices)
+            assert grid_ch.distance(u, v) == pytest.approx(
+                shortest_path_length(grid10, u, v)
+            )
+
+    def test_trivial_query(self, grid_ch):
+        assert grid_ch.distance(7, 7) == 0.0
+
+    def test_symmetry(self, grid10, grid_ch):
+        assert grid_ch.distance(0, 99) == pytest.approx(grid_ch.distance(99, 0))
+
+    def test_out_of_range_rejected(self, grid_ch):
+        with pytest.raises(GraphError):
+            grid_ch.distance(0, 10_000)
+
+    def test_ring_radial_topology(self):
+        graph = ring_radial_network(5, 12, seed=9)
+        ch = ContractionHierarchy.build(graph)
+        rng = random.Random(1)
+        for __ in range(40):
+            u = rng.randrange(graph.num_vertices)
+            v = rng.randrange(graph.num_vertices)
+            assert ch.distance(u, v) == pytest.approx(
+                shortest_path_length(graph, u, v)
+            )
+
+    def test_disconnected_raises(self):
+        g = SpatialNetwork(xs=[0, 1, 9, 10], ys=[0, 0, 0, 0],
+                           edges=[(0, 1, 1.0), (2, 3, 1.0)])
+        ch = ContractionHierarchy.build(g)
+        assert ch.distance(2, 3) == pytest.approx(1.0)
+        with pytest.raises(DisconnectedError):
+            ch.distance(0, 3)
+
+
+class TestBuild:
+    def test_empty_graph_rejected(self):
+        with pytest.raises(GraphError):
+            ContractionHierarchy.build(SpatialNetwork([], [], []))
+
+    def test_single_vertex(self):
+        ch = ContractionHierarchy.build(SpatialNetwork([0.0], [0.0], []))
+        assert ch.distance(0, 0) == 0.0
+
+    def test_tight_witness_limit_stays_exact(self, grid10):
+        # A tiny witness budget inserts extra shortcuts but never breaks
+        # correctness.
+        loose = ContractionHierarchy.build(grid10, witness_settle_limit=60)
+        tight = ContractionHierarchy.build(grid10, witness_settle_limit=2)
+        assert tight.num_shortcuts >= loose.num_shortcuts
+        rng = random.Random(2)
+        for __ in range(30):
+            u = rng.randrange(grid10.num_vertices)
+            v = rng.randrange(grid10.num_vertices)
+            assert tight.distance(u, v) == pytest.approx(
+                shortest_path_length(grid10, u, v)
+            )
+
+
+@st.composite
+def weighted_graphs(draw):
+    n = draw(st.integers(2, 12))
+    builder = GraphBuilder()
+    for i in range(n):
+        builder.add_vertex(float(i), 0.0)
+    order = draw(st.permutations(range(n)))
+    for a, b in zip(order, order[1:]):
+        builder.add_edge(a, b, draw(st.floats(0.1, 9.0, allow_nan=False)))
+    for __ in range(draw(st.integers(0, n))):
+        a = draw(st.integers(0, n - 1))
+        b = draw(st.integers(0, n - 1))
+        if a != b:
+            builder.add_edge(a, b, draw(st.floats(0.1, 9.0, allow_nan=False)))
+    return builder.build(require_connected=True)
+
+
+@given(data=st.data(), graph=weighted_graphs())
+@settings(max_examples=50, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_ch_matches_dijkstra_property(data, graph):
+    ch = ContractionHierarchy.build(graph)
+    u = data.draw(st.integers(0, graph.num_vertices - 1))
+    v = data.draw(st.integers(0, graph.num_vertices - 1))
+    assert ch.distance(u, v) == pytest.approx(shortest_path_length(graph, u, v))
+
+
+class TestPathUnpacking:
+    def test_full_paths_match_dijkstra(self, grid10, grid_ch):
+        from repro.network.dijkstra import shortest_path
+
+        rng = random.Random(7)
+        for __ in range(40):
+            u = rng.randrange(grid10.num_vertices)
+            v = rng.randrange(grid10.num_vertices)
+            path, length = grid_ch.path(u, v)
+            __ref_path, ref_length = shortest_path(grid10, u, v)
+            assert path[0] == u and path[-1] == v
+            assert length == pytest.approx(ref_length)
+            # every hop must be an original edge with the right total weight
+            total = sum(
+                grid10.edge_weight(a, b) for a, b in zip(path, path[1:])
+            )
+            assert all(grid10.has_edge(a, b) for a, b in zip(path, path[1:]))
+            assert total == pytest.approx(ref_length)
+
+    def test_trivial_path(self, grid_ch):
+        assert grid_ch.path(4, 4) == ([4], 0.0)
+
+    def test_disconnected_path_raises(self):
+        g = SpatialNetwork(xs=[0, 1, 9, 10], ys=[0, 0, 0, 0],
+                           edges=[(0, 1, 1.0), (2, 3, 1.0)])
+        ch = ContractionHierarchy.build(g)
+        with pytest.raises(DisconnectedError):
+            ch.path(0, 3)
+
+    def test_ring_radial_paths(self):
+        from repro.network.dijkstra import shortest_path
+
+        graph = ring_radial_network(4, 10, seed=13)
+        ch = ContractionHierarchy.build(graph)
+        rng = random.Random(3)
+        for __ in range(25):
+            u = rng.randrange(graph.num_vertices)
+            v = rng.randrange(graph.num_vertices)
+            path, length = ch.path(u, v)
+            __p, ref_length = shortest_path(graph, u, v)
+            assert length == pytest.approx(ref_length)
+            assert all(graph.has_edge(a, b) for a, b in zip(path, path[1:]))

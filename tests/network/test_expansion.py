@@ -1,0 +1,97 @@
+"""Unit tests for incremental network expansion (the core search primitive)."""
+
+import pytest
+
+from repro.errors import VertexNotFoundError
+from repro.network.dijkstra import single_source_distances
+from repro.network.expansion import IncrementalExpansion
+from repro.network.graph import SpatialNetwork
+
+
+class TestStepping:
+    def test_first_settle_is_source(self, grid10):
+        ex = IncrementalExpansion(grid10, 7)
+        assert ex.expand() == (7, 0.0)
+
+    def test_settles_in_nondecreasing_order(self, grid10):
+        ex = IncrementalExpansion(grid10, 0)
+        last = -1.0
+        while (item := ex.expand()) is not None:
+            assert item[1] >= last
+            last = item[1]
+
+    def test_each_vertex_settled_once(self, grid10):
+        ex = IncrementalExpansion(grid10, 0)
+        seen = set()
+        while (item := ex.expand()) is not None:
+            assert item[0] not in seen
+            seen.add(item[0])
+        assert len(seen) == grid10.num_vertices
+
+    def test_distances_match_dijkstra(self, grid10):
+        ex = IncrementalExpansion(grid10, 42)
+        while ex.expand() is not None:
+            pass
+        reference = single_source_distances(grid10, 42)
+        assert ex.settled_vertices() == pytest.approx(reference)
+
+    def test_exhaustion_returns_none_repeatedly(self, line_graph):
+        ex = IncrementalExpansion(line_graph, 0)
+        while ex.expand() is not None:
+            pass
+        assert ex.exhausted
+        assert ex.expand() is None
+        assert ex.radius == float("inf")
+
+    def test_invalid_source_rejected(self, line_graph):
+        with pytest.raises(VertexNotFoundError):
+            IncrementalExpansion(line_graph, 99)
+
+
+class TestRadius:
+    def test_radius_tracks_last_settled(self, line_graph):
+        ex = IncrementalExpansion(line_graph, 0)
+        ex.expand()  # source at 0
+        assert ex.radius == 0.0
+        ex.expand()
+        assert ex.radius == pytest.approx(1.0)
+
+    def test_radius_lower_bounds_unsettled(self, grid10):
+        ex = IncrementalExpansion(grid10, 0)
+        for __ in range(30):
+            ex.expand()
+        radius = ex.radius
+        reference = single_source_distances(grid10, 0)
+        settled = ex.settled_vertices()
+        for vertex, dist in reference.items():
+            if vertex not in settled:
+                assert dist >= radius - 1e-9
+
+
+class TestExpandUntil:
+    def test_respects_radius_limit(self, line_graph):
+        ex = IncrementalExpansion(line_graph, 0)
+        items = list(ex.expand_until(2.0))
+        assert [v for v, __ in items] == [0, 1, 2]
+
+    def test_resumable_after_partial(self, line_graph):
+        ex = IncrementalExpansion(line_graph, 0)
+        first = list(ex.expand_until(1.0))
+        assert [v for v, __ in first] == [0, 1]
+        more = list(ex.expand_until(10.0))
+        assert [v for v, __ in more] == [2, 3, 4]
+
+    def test_stops_in_disconnected_component(self):
+        g = SpatialNetwork(xs=[0, 1, 5], ys=[0, 0, 0], edges=[(0, 1, 1.0)])
+        ex = IncrementalExpansion(g, 0)
+        settled = [v for v, __ in ex.expand_until(100.0)]
+        assert settled == [0, 1]
+        assert ex.exhausted
+        assert ex.distance(2) is None
+
+    def test_distance_lookup(self, line_graph):
+        ex = IncrementalExpansion(line_graph, 2)
+        list(ex.expand_until(1.0))
+        assert ex.distance(2) == 0.0
+        assert ex.distance(1) == pytest.approx(1.0)
+        assert ex.distance(4) is None

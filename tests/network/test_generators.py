@@ -1,0 +1,98 @@
+"""Unit tests for synthetic road-network generators."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.network.generators import (
+    grid_network,
+    random_geometric_network,
+    ring_radial_network,
+)
+
+
+class TestGridNetwork:
+    def test_vertex_count(self):
+        g = grid_network(5, 7, drop_fraction=0.0, seed=0)
+        assert g.num_vertices == 35
+
+    def test_full_lattice_edge_count(self):
+        g = grid_network(4, 4, drop_fraction=0.0, seed=0)
+        assert g.num_edges == 2 * 4 * 3  # rows*(cols-1) + cols*(rows-1)
+
+    def test_always_connected(self):
+        for seed in range(5):
+            assert grid_network(8, 8, seed=seed).is_connected()
+
+    def test_drop_reduces_edges(self):
+        full = grid_network(10, 10, drop_fraction=0.0, seed=1)
+        dropped = grid_network(10, 10, drop_fraction=0.2, seed=1)
+        assert dropped.num_edges < full.num_edges
+
+    def test_deterministic_under_seed(self):
+        a = grid_network(6, 6, seed=9)
+        b = grid_network(6, 6, seed=9)
+        assert list(a.edges()) == list(b.edges())
+        assert a.position(10) == b.position(10)
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(GraphError):
+            grid_network(0, 5)
+        with pytest.raises(GraphError):
+            grid_network(5, 5, spacing=-1.0)
+
+
+class TestRingRadialNetwork:
+    def test_vertex_count(self):
+        g = ring_radial_network(3, 8, drop_fraction=0.0, seed=0)
+        assert g.num_vertices == 3 * 8 + 1  # rings x radials + centre
+
+    def test_always_connected(self):
+        for seed in range(5):
+            assert ring_radial_network(6, 12, seed=seed).is_connected()
+
+    def test_centre_connects_to_inner_ring(self):
+        g = ring_radial_network(2, 6, drop_fraction=0.0, seed=0)
+        assert g.degree(0) == 6
+
+    def test_parameter_validation(self):
+        with pytest.raises(GraphError):
+            ring_radial_network(0, 8)
+        with pytest.raises(GraphError):
+            ring_radial_network(3, 2)
+        with pytest.raises(GraphError):
+            ring_radial_network(3, 8, ring_spacing=0.0)
+
+    def test_rings_grow_outward(self):
+        g = ring_radial_network(4, 12, jitter=0.0, drop_fraction=0.0, seed=0)
+        import math
+
+        def radius(v):
+            x, y = g.position(v)
+            return math.hypot(x, y)
+
+        inner = radius(1)  # first vertex of ring 0
+        outer = radius(1 + 3 * 12)  # first vertex of ring 3
+        assert outer > inner
+
+
+class TestRandomGeometricNetwork:
+    def test_vertex_count_and_connectivity(self):
+        g = random_geometric_network(150, seed=4)
+        assert g.num_vertices == 150
+        assert g.is_connected()
+
+    def test_deterministic_under_seed(self):
+        a = random_geometric_network(80, seed=7)
+        b = random_geometric_network(80, seed=7)
+        assert list(a.edges()) == list(b.edges())
+
+    def test_parameter_validation(self):
+        with pytest.raises(GraphError):
+            random_geometric_network(1)
+        with pytest.raises(GraphError):
+            random_geometric_network(10, connect_k=0)
+
+    def test_degree_scales_with_connect_k(self):
+        sparse = random_geometric_network(100, connect_k=2, seed=1)
+        dense = random_geometric_network(100, connect_k=6, seed=1)
+        assert dense.num_edges > sparse.num_edges

@@ -1,0 +1,152 @@
+"""Unit tests for the spatial network model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError, VertexNotFoundError
+from repro.network.graph import SpatialNetwork
+
+
+def _triangle():
+    return SpatialNetwork(
+        xs=[0.0, 1.0, 0.0],
+        ys=[0.0, 0.0, 1.0],
+        edges=[(0, 1, 1.0), (1, 2, 2.0), (0, 2, 1.5)],
+    )
+
+
+class TestConstruction:
+    def test_sizes(self):
+        g = _triangle()
+        assert g.num_vertices == 3
+        assert g.num_edges == 3
+        assert len(g) == 3
+
+    def test_total_weight(self):
+        assert _triangle().total_weight == pytest.approx(4.5)
+
+    def test_mismatched_coordinates_rejected(self):
+        with pytest.raises(GraphError, match="differ in length"):
+            SpatialNetwork(xs=[0.0, 1.0], ys=[0.0], edges=[])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError, match="self-loop"):
+            SpatialNetwork(xs=[0.0], ys=[0.0], edges=[(0, 0, 1.0)])
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(GraphError, match="non-positive weight"):
+            SpatialNetwork(xs=[0.0, 1.0], ys=[0.0, 0.0], edges=[(0, 1, -1.0)])
+
+    def test_zero_weight_rejected(self):
+        with pytest.raises(GraphError):
+            SpatialNetwork(xs=[0.0, 1.0], ys=[0.0, 0.0], edges=[(0, 1, 0.0)])
+
+    def test_nan_weight_rejected(self):
+        with pytest.raises(GraphError):
+            SpatialNetwork(xs=[0.0, 1.0], ys=[0.0, 0.0], edges=[(0, 1, float("nan"))])
+
+    def test_out_of_range_endpoint_rejected(self):
+        with pytest.raises(VertexNotFoundError):
+            SpatialNetwork(xs=[0.0, 1.0], ys=[0.0, 0.0], edges=[(0, 5, 1.0)])
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(GraphError, match="duplicate edge"):
+            SpatialNetwork(
+                xs=[0.0, 1.0], ys=[0.0, 0.0], edges=[(0, 1, 1.0), (1, 0, 2.0)]
+            )
+
+    def test_empty_graph(self):
+        g = SpatialNetwork(xs=[], ys=[], edges=[])
+        assert g.num_vertices == 0
+        assert g.is_connected()  # vacuously
+
+
+class TestStructure:
+    def test_neighbors_are_symmetric(self):
+        g = _triangle()
+        assert (1, 1.0) in g.neighbors(0)
+        assert (0, 1.0) in g.neighbors(1)
+
+    def test_degree(self):
+        assert _triangle().degree(0) == 2
+
+    def test_has_edge_both_orders(self):
+        g = _triangle()
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 0)
+        assert not g.has_edge(0, 0)
+
+    def test_edge_weight(self):
+        g = _triangle()
+        assert g.edge_weight(2, 1) == pytest.approx(2.0)
+
+    def test_edge_weight_missing_raises(self):
+        g = SpatialNetwork(xs=[0, 1, 2], ys=[0, 0, 0], edges=[(0, 1, 1.0)])
+        with pytest.raises(GraphError, match="does not exist"):
+            g.edge_weight(0, 2)
+
+    def test_vertex_bounds_checked(self):
+        g = _triangle()
+        with pytest.raises(VertexNotFoundError):
+            g.neighbors(3)
+        with pytest.raises(VertexNotFoundError):
+            g.degree(-1)
+
+    def test_edges_listed_once(self):
+        assert len(list(_triangle().edges())) == 3
+
+
+class TestGeometry:
+    def test_position_roundtrip(self):
+        g = _triangle()
+        assert g.position(1) == (1.0, 0.0)
+
+    def test_euclidean(self):
+        g = _triangle()
+        assert g.euclidean(0, 1) == pytest.approx(1.0)
+        assert g.euclidean(1, 2) == pytest.approx(np.sqrt(2.0))
+
+    def test_bounding_box(self):
+        assert _triangle().bounding_box() == (0.0, 0.0, 1.0, 1.0)
+
+    def test_bounding_box_empty_raises(self):
+        with pytest.raises(GraphError):
+            SpatialNetwork(xs=[], ys=[], edges=[]).bounding_box()
+
+    def test_nearest_vertex(self):
+        g = _triangle()
+        assert g.nearest_vertex(0.9, 0.1) == 1
+        assert g.nearest_vertex(-5.0, -5.0) == 0
+
+
+class TestConnectivity:
+    def test_connected_triangle(self):
+        assert _triangle().is_connected()
+
+    def test_disconnected_components(self):
+        g = SpatialNetwork(
+            xs=[0, 1, 5, 6], ys=[0, 0, 0, 0], edges=[(0, 1, 1.0), (2, 3, 1.0)]
+        )
+        assert not g.is_connected()
+        components = g.connected_components()
+        assert sorted(map(len, components)) == [2, 2]
+        assert [0, 1] in components
+
+    def test_isolated_vertex_is_own_component(self):
+        g = SpatialNetwork(xs=[0, 1, 9], ys=[0, 0, 0], edges=[(0, 1, 1.0)])
+        assert [2] in g.connected_components()
+
+    def test_subgraph_remaps_ids(self):
+        g = SpatialNetwork(
+            xs=[0, 1, 5, 6], ys=[0, 0, 0, 0], edges=[(0, 1, 1.0), (2, 3, 1.0)]
+        )
+        sub, remap = g.subgraph([2, 3])
+        assert sub.num_vertices == 2
+        assert sub.num_edges == 1
+        assert remap == {2: 0, 3: 1}
+        assert sub.position(0) == (5.0, 0.0)
+
+    def test_subgraph_drops_crossing_edges(self):
+        g = _triangle()
+        sub, __ = g.subgraph([0, 1])
+        assert sub.num_edges == 1

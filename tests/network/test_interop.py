@@ -1,0 +1,74 @@
+"""Unit tests for networkx interoperability."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import GraphError
+from repro.network.dijkstra import shortest_path_length
+from repro.network.interop import from_networkx, to_networkx
+
+
+class TestToNetworkx:
+    def test_structure_preserved(self, grid10):
+        mirror = to_networkx(grid10)
+        assert mirror.number_of_nodes() == grid10.num_vertices
+        assert mirror.number_of_edges() == grid10.num_edges
+        for u, v, w in grid10.edges():
+            assert mirror[u][v]["weight"] == pytest.approx(w)
+
+    def test_positions_attached(self, grid10):
+        mirror = to_networkx(grid10)
+        assert mirror.nodes[5]["pos"] == grid10.position(5)
+
+    def test_shortest_paths_agree(self, grid10):
+        mirror = to_networkx(grid10)
+        for u, v in [(0, 99), (5, 50)]:
+            assert nx.shortest_path_length(mirror, u, v, weight="weight") == (
+                pytest.approx(shortest_path_length(grid10, u, v))
+            )
+
+
+class TestFromNetworkx:
+    def test_roundtrip(self, grid10):
+        rebuilt = from_networkx(to_networkx(grid10))
+        assert rebuilt.num_vertices == grid10.num_vertices
+        assert rebuilt.num_edges == grid10.num_edges
+        assert shortest_path_length(rebuilt, 0, 99) == pytest.approx(
+            shortest_path_length(grid10, 0, 99)
+        )
+
+    def test_arbitrary_node_labels_remapped(self):
+        g = nx.Graph()
+        g.add_node("a", pos=(0.0, 0.0))
+        g.add_node("b", pos=(1.0, 0.0))
+        g.add_edge("a", "b", weight=2.5)
+        network = from_networkx(g)
+        assert network.num_vertices == 2
+        assert network.edge_weight(0, 1) == pytest.approx(2.5)
+
+    def test_missing_weight_defaults_to_euclidean(self):
+        g = nx.Graph()
+        g.add_node(0, pos=(0.0, 0.0))
+        g.add_node(1, pos=(3.0, 4.0))
+        g.add_edge(0, 1)
+        network = from_networkx(g)
+        assert network.edge_weight(0, 1) == pytest.approx(5.0)
+
+    def test_missing_pos_rejected(self):
+        g = nx.Graph()
+        g.add_node(0)
+        with pytest.raises(GraphError, match="pos"):
+            from_networkx(g)
+
+    def test_directed_rejected(self):
+        with pytest.raises(GraphError, match="undirected"):
+            from_networkx(nx.DiGraph())
+
+    def test_self_loops_dropped(self):
+        g = nx.Graph()
+        g.add_node(0, pos=(0.0, 0.0))
+        g.add_node(1, pos=(1.0, 0.0))
+        g.add_edge(0, 0)
+        g.add_edge(0, 1)
+        network = from_networkx(g)
+        assert network.num_edges == 1

@@ -1,0 +1,56 @@
+"""Unit tests for network persistence."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.network.generators import grid_network
+from repro.network.io import load_edge_list, load_json, save_edge_list, save_json
+
+
+class TestJsonRoundtrip:
+    def test_roundtrip_preserves_structure(self, tmp_path, grid10):
+        path = tmp_path / "net.json"
+        save_json(grid10, path)
+        loaded = load_json(path)
+        assert loaded.num_vertices == grid10.num_vertices
+        assert loaded.num_edges == grid10.num_edges
+        assert sorted(loaded.edges()) == sorted(grid10.edges())
+        assert loaded.position(42) == grid10.position(42)
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text('{"format": "something-else"}')
+        with pytest.raises(GraphError, match="not a repro network"):
+            load_json(path)
+
+
+class TestEdgeListRoundtrip:
+    def test_roundtrip_preserves_structure(self, tmp_path):
+        g = grid_network(4, 4, seed=3)
+        co, gr = save_edge_list(g, tmp_path / "net")
+        assert co.exists() and gr.exists()
+        loaded = load_edge_list(tmp_path / "net")
+        assert loaded.num_vertices == g.num_vertices
+        assert loaded.num_edges == g.num_edges
+        assert sorted(loaded.edges()) == sorted(g.edges())
+
+    def test_missing_files_rejected(self, tmp_path):
+        with pytest.raises(GraphError, match="missing"):
+            load_edge_list(tmp_path / "nothing")
+
+    def test_duplicate_arcs_collapsed(self, tmp_path):
+        # DIMACS-style files list both directions; the loader keeps one.
+        (tmp_path / "d.co").write_text("p aux co 2\nv 1 0.0 0.0\nv 2 1.0 0.0\n")
+        (tmp_path / "d.gr").write_text(
+            "p sp 2 2\na 1 2 5.0\na 2 1 5.0\n"
+        )
+        loaded = load_edge_list(tmp_path / "d")
+        assert loaded.num_edges == 1
+        assert loaded.edge_weight(0, 1) == pytest.approx(5.0)
+
+    def test_comment_lines_ignored(self, tmp_path):
+        (tmp_path / "c.co").write_text("c comment\nv 1 0 0\nv 2 1 0\n")
+        (tmp_path / "c.gr").write_text("c comment\na 1 2 2.0\n")
+        loaded = load_edge_list(tmp_path / "c")
+        assert loaded.num_vertices == 2
+        assert loaded.num_edges == 1

@@ -1,0 +1,73 @@
+"""Unit tests for the LRU buffer pool."""
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.storage.buffer import LRUBufferPool
+from repro.storage.pages import PageFile
+
+
+@pytest.fixture()
+def pagefile(tmp_path):
+    pf = PageFile(tmp_path / "b.pages", page_size=64, create=True)
+    for i in range(6):
+        pf.allocate()
+        pf.write_page(i, bytes([i]) * 8)
+    yield pf
+    pf.close()
+
+
+class TestLRUBufferPool:
+    def test_miss_then_hit(self, pagefile):
+        pool = LRUBufferPool(pagefile, capacity=4)
+        pool.get_page(0)
+        pool.get_page(0)
+        assert pool.stats.misses == 1
+        assert pool.stats.hits == 1
+        assert pool.stats.hit_ratio == pytest.approx(0.5)
+
+    def test_returns_correct_contents(self, pagefile):
+        pool = LRUBufferPool(pagefile, capacity=2)
+        for i in range(6):
+            assert pool.get_page(i)[0] == i
+
+    def test_eviction_order_is_lru(self, pagefile):
+        pool = LRUBufferPool(pagefile, capacity=2)
+        pool.get_page(0)
+        pool.get_page(1)
+        pool.get_page(0)  # 0 is now most recent; 1 is the LRU victim
+        pool.get_page(2)  # evicts 1
+        misses_before = pool.stats.misses
+        pool.get_page(0)  # still cached
+        assert pool.stats.misses == misses_before
+        pool.get_page(1)  # was evicted -> miss
+        assert pool.stats.misses == misses_before + 1
+
+    def test_eviction_counter(self, pagefile):
+        pool = LRUBufferPool(pagefile, capacity=1)
+        pool.get_page(0)
+        pool.get_page(1)
+        pool.get_page(2)
+        assert pool.stats.evictions == 2
+        assert len(pool) == 1
+
+    def test_invalidate(self, pagefile):
+        pool = LRUBufferPool(pagefile, capacity=4)
+        pool.get_page(0)
+        pool.invalidate(0)
+        pool.get_page(0)
+        assert pool.stats.misses == 2
+        pool.get_page(1)
+        pool.invalidate()
+        assert len(pool) == 0
+
+    def test_stats_reset(self, pagefile):
+        pool = LRUBufferPool(pagefile, capacity=2)
+        pool.get_page(0)
+        pool.stats.reset()
+        assert pool.stats.accesses == 0
+        assert pool.stats.hit_ratio == 0.0
+
+    def test_invalid_capacity_rejected(self, pagefile):
+        with pytest.raises(DatasetError):
+            LRUBufferPool(pagefile, capacity=0)

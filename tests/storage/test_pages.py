@@ -1,0 +1,54 @@
+"""Unit tests for the fixed-size page file."""
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.storage.pages import PageFile
+
+
+class TestPageFile:
+    def test_allocate_and_roundtrip(self, tmp_path):
+        with PageFile(tmp_path / "t.pages", page_size=128, create=True) as pf:
+            first = pf.allocate()
+            second = pf.allocate()
+            assert (first, second) == (0, 1)
+            pf.write_page(0, b"hello")
+            pf.write_page(1, b"world" * 20)
+            assert pf.read_page(0).rstrip(b"\x00") == b"hello"
+            assert pf.read_page(1)[:100] == b"world" * 20
+
+    def test_pages_padded_to_size(self, tmp_path):
+        with PageFile(tmp_path / "t.pages", page_size=128, create=True) as pf:
+            pf.allocate()
+            pf.write_page(0, b"x")
+            assert len(pf.read_page(0)) == 128
+
+    def test_oversized_payload_rejected(self, tmp_path):
+        with PageFile(tmp_path / "t.pages", page_size=64, create=True) as pf:
+            pf.allocate()
+            with pytest.raises(DatasetError, match="exceeds page size"):
+                pf.write_page(0, b"y" * 65)
+
+    def test_out_of_range_page_rejected(self, tmp_path):
+        with PageFile(tmp_path / "t.pages", page_size=64, create=True) as pf:
+            with pytest.raises(DatasetError, match="out of range"):
+                pf.read_page(0)
+
+    def test_reopen_preserves_pages(self, tmp_path):
+        path = tmp_path / "t.pages"
+        with PageFile(path, page_size=64, create=True) as pf:
+            pf.allocate()
+            pf.write_page(0, b"persist")
+        with PageFile(path, page_size=64) as pf:
+            assert pf.num_pages == 1
+            assert pf.read_page(0).rstrip(b"\x00") == b"persist"
+
+    def test_misaligned_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.pages"
+        path.write_bytes(b"x" * 100)
+        with pytest.raises(DatasetError, match="multiple of page size"):
+            PageFile(path, page_size=64)
+
+    def test_tiny_page_size_rejected(self, tmp_path):
+        with pytest.raises(DatasetError):
+            PageFile(tmp_path / "t.pages", page_size=16, create=True)

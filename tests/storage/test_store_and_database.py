@@ -1,0 +1,102 @@
+"""Tests for the disk store and the disk-resident database."""
+
+import pytest
+
+from repro.errors import DatasetError, TrajectoryError
+from repro.index.database import TrajectoryDatabase
+from repro.storage.database import DiskTrajectoryDatabase
+from repro.storage.store import DiskTrajectoryStore
+
+
+@pytest.fixture()
+def store(tmp_path, annotated_trips):
+    s = DiskTrajectoryStore.build(
+        tmp_path / "trips.pages", annotated_trips, buffer_capacity=16
+    )
+    yield s
+    s.close()
+
+
+class TestDiskTrajectoryStore:
+    def test_every_trajectory_roundtrips(self, store, annotated_trips):
+        for trajectory in annotated_trips:
+            assert store.get(trajectory.id) == trajectory
+
+    def test_len_and_contains(self, store, annotated_trips):
+        assert len(store) == len(annotated_trips)
+        assert annotated_trips.ids()[0] in store
+        assert 10**9 not in store
+
+    def test_unknown_id_rejected(self, store):
+        with pytest.raises(TrajectoryError, match="unknown"):
+            store.get(10**9)
+
+    def test_iteration_covers_all(self, store, annotated_trips):
+        assert sorted(t.id for t in store) == sorted(annotated_trips.ids())
+
+    def test_buffer_stats_accumulate(self, store, annotated_trips):
+        store.buffer.stats.reset()
+        for tid in annotated_trips.ids():
+            store.get(tid)
+        assert store.buffer.stats.accesses == len(annotated_trips)
+        assert store.buffer.stats.misses >= 1
+
+    def test_small_buffer_still_correct(self, tmp_path, annotated_trips):
+        s = DiskTrajectoryStore.build(
+            tmp_path / "tiny.pages", annotated_trips, buffer_capacity=1
+        )
+        try:
+            for trajectory in list(annotated_trips)[:20]:
+                assert s.get(trajectory.id) == trajectory
+            assert s.buffer.stats.evictions > 0
+        finally:
+            s.close()
+
+    def test_duplicate_ids_rejected(self, tmp_path, annotated_trips):
+        first = next(iter(annotated_trips))
+        with pytest.raises(DatasetError, match="duplicate"):
+            DiskTrajectoryStore.build(tmp_path / "d.pages", [first, first])
+
+    def test_record_too_large_for_page(self, tmp_path, annotated_trips):
+        with pytest.raises(DatasetError, match="increase page_size"):
+            DiskTrajectoryStore.build(
+                tmp_path / "small.pages", annotated_trips, page_size=64
+            )
+
+
+class TestDiskTrajectoryDatabase:
+    @pytest.fixture()
+    def disk_db(self, tmp_path, grid20, annotated_trips, database):
+        db = DiskTrajectoryDatabase.build(
+            tmp_path / "db.pages", grid20, annotated_trips,
+            sigma=database.sigma, buffer_capacity=32,
+        )
+        yield db
+        db.close()
+
+    def test_interface_parity(self, disk_db, database):
+        assert len(disk_db) == len(database)
+        assert disk_db.sigma == database.sigma
+        tid = database.trajectories.ids()[0]
+        assert disk_db.get(tid) == database.get(tid)
+        assert disk_db.vertex_index.num_trajectories == (
+            database.vertex_index.num_trajectories
+        )
+
+    def test_search_results_identical_to_memory(self, disk_db, database, vocab):
+        from repro.core.query import UOTSQuery
+        from repro.core.search import CollaborativeSearcher
+
+        query = UOTSQuery.create([0, 150], vocab.keywords[:3], lam=0.5, k=5)
+        memory_result = CollaborativeSearcher(database).search(query)
+        disk_result = CollaborativeSearcher(disk_db).search(query)
+        assert disk_result.ids == memory_result.ids
+        assert disk_result.scores == pytest.approx(memory_result.scores)
+
+    def test_empty_set_rejected(self, tmp_path, grid20):
+        from repro.trajectory.model import TrajectorySet
+
+        with pytest.raises(DatasetError):
+            DiskTrajectoryDatabase.build(
+                tmp_path / "e.pages", grid20, TrajectorySet()
+            )

@@ -1,0 +1,96 @@
+"""End-to-end tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def dataset_dir(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli-data")
+    code = main(
+        [
+            "generate", "--output", str(path), "--vertices", "300",
+            "--trajectories", "80", "--seed", "1",
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_flags(self):
+        args = build_parser().parse_args(
+            ["generate", "--output", "/tmp/x", "--topology", "grid"]
+        )
+        assert args.topology == "grid"
+
+
+class TestGenerate:
+    def test_files_written(self, dataset_dir):
+        assert (dataset_dir / "network.json").exists()
+        assert (dataset_dir / "trajectories.jsonl").exists()
+
+    def test_grid_topology(self, tmp_path):
+        code = main(
+            [
+                "generate", "--output", str(tmp_path / "g"), "--topology", "grid",
+                "--vertices", "100", "--trajectories", "20",
+            ]
+        )
+        assert code == 0
+
+
+class TestQuery:
+    def test_query_prints_ranking(self, dataset_dir, capsys):
+        code = main(
+            [
+                "query", "--data", str(dataset_dir), "--locations", "1,5,9",
+                "--preference", "park seafood", "--k", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trajectory" in out
+        assert "visited=" in out
+
+    def test_all_algorithms(self, dataset_dir, capsys):
+        for algorithm in ("brute-force", "collaborative", "text-first"):
+            code = main(
+                [
+                    "query", "--data", str(dataset_dir), "--locations", "2,7",
+                    "--algorithm", algorithm, "--k", "2",
+                ]
+            )
+            assert code == 0
+
+    def test_invalid_location_reports_error(self, dataset_dir, capsys):
+        code = main(
+            ["query", "--data", str(dataset_dir), "--locations", "999999"]
+        )
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestJoin:
+    def test_join_runs(self, dataset_dir, capsys):
+        code = main(["join", "--data", str(dataset_dir), "--theta", "1.9"])
+        assert code == 0
+        assert "pairs" in capsys.readouterr().out
+
+
+class TestVisualize:
+    def test_svg_written(self, dataset_dir, tmp_path, capsys):
+        out = tmp_path / "map.svg"
+        code = main(
+            [
+                "visualize", "--data", str(dataset_dir), "--locations", "1,9",
+                "--preference", "park", "--output", str(out),
+            ]
+        )
+        assert code == 0
+        assert out.read_text().startswith("<svg")

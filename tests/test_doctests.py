@@ -1,0 +1,14 @@
+"""Run the doctests embedded in module and class docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.network.builder
+
+
+@pytest.mark.parametrize("module", [repro.network.builder])
+def test_module_doctests(module):
+    result = doctest.testmod(module)
+    assert result.attempted > 0, f"{module.__name__} has no doctests to run"
+    assert result.failed == 0

@@ -1,0 +1,37 @@
+"""Tests for the package-level public API."""
+
+import repro
+
+
+class TestExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version_string(self):
+        major, minor, patch = repro.__version__.split(".")
+        assert all(part.isdigit() for part in (major, minor, patch))
+
+    def test_key_entry_points_present(self):
+        assert callable(repro.ring_radial_network)
+        assert callable(repro.generate_trips)
+        assert callable(repro.TripRecommender)
+        assert callable(repro.TwoPhaseJoin)
+
+
+class TestQuickstartDocExample:
+    def test_module_docstring_example_runs(self):
+        graph = repro.ring_radial_network(10, 24, seed=1)
+        trips = repro.generate_trips(graph, 200, seed=2)
+        vocab = repro.Vocabulary.build(60, seed=3)
+        trips = repro.annotate_trajectories(
+            trips, repro.assign_vertex_keywords(graph, vocab, seed=4), seed=5
+        )
+        recommender = repro.TripRecommender(
+            repro.TrajectoryDatabase(graph, trips)
+        )
+        recommendations = recommender.recommend(
+            locations=[0, 57], preference="lakeside seafood", k=3
+        )
+        assert len(recommendations) == 3
+        assert recommendations[0].score >= recommendations[-1].score

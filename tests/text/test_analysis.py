@@ -1,0 +1,47 @@
+"""Unit tests for tokenisation and keyword normalisation."""
+
+from repro.text.analysis import STOPWORDS, normalize_keywords, tokenize
+
+
+class TestTokenize:
+    def test_lowercases_and_splits(self):
+        assert tokenize("Lakeside SEAFOOD dinner") == ["lakeside", "seafood", "dinner"]
+
+    def test_strips_punctuation(self):
+        assert tokenize("quiet, lakeside walk!") == ["quiet", "lakeside", "walk"]
+
+    def test_removes_stopwords(self):
+        tokens = tokenize("I want to visit the park and then a museum")
+        assert "the" not in tokens
+        assert "and" not in tokens
+        assert tokens == ["park", "museum"]
+
+    def test_keeps_duplicates_and_order(self):
+        assert tokenize("park park museum") == ["park", "park", "museum"]
+
+    def test_numbers_kept(self):
+        assert tokenize("route 66") == ["route", "66"]
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+
+    def test_stopwords_are_lowercase(self):
+        assert all(w == w.lower() for w in STOPWORDS)
+
+
+class TestNormalizeKeywords:
+    def test_string_input_tokenised(self):
+        result = normalize_keywords("Quiet lakeside walk, then seafood")
+        assert result == frozenset({"quiet", "lakeside", "walk", "seafood"})
+
+    def test_iterable_input_lowercased(self):
+        assert normalize_keywords(["Park", " MUSEUM "]) == frozenset(
+            {"park", "museum"}
+        )
+
+    def test_blank_entries_dropped(self):
+        assert normalize_keywords(["", "  ", "zoo"]) == frozenset({"zoo"})
+
+    def test_empty_inputs(self):
+        assert normalize_keywords([]) == frozenset()
+        assert normalize_keywords("") == frozenset()

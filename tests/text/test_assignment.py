@@ -1,0 +1,83 @@
+"""Unit tests for keyword assignment."""
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.text.assignment import annotate_trajectories, assign_vertex_keywords
+
+
+class TestAssignVertexKeywords:
+    def test_fraction_of_vertices_annotated(self, grid20, vocab):
+        annotations = assign_vertex_keywords(grid20, vocab, poi_fraction=0.2, seed=1)
+        expected = int(grid20.num_vertices * 0.2)
+        assert len(annotations) == expected
+
+    def test_burst_sizes_respected(self, grid20, vocab):
+        annotations = assign_vertex_keywords(
+            grid20, vocab, burst_size=2, seed=2
+        )
+        assert all(1 <= len(kws) <= 2 for kws in annotations.values())
+
+    def test_deterministic_under_seed(self, grid20, vocab):
+        a = assign_vertex_keywords(grid20, vocab, seed=3)
+        b = assign_vertex_keywords(grid20, vocab, seed=3)
+        assert a == b
+
+    def test_invalid_fraction_rejected(self, grid20, vocab):
+        with pytest.raises(DatasetError):
+            assign_vertex_keywords(grid20, vocab, poi_fraction=0.0)
+        with pytest.raises(DatasetError):
+            assign_vertex_keywords(grid20, vocab, poi_fraction=1.5)
+
+    def test_invalid_burst_rejected(self, grid20, vocab):
+        with pytest.raises(DatasetError):
+            assign_vertex_keywords(grid20, vocab, burst_size=0)
+
+
+class TestAnnotateTrajectories:
+    def test_inherits_visited_poi_keywords(self, grid20, vocab, annotated_trips):
+        annotations = assign_vertex_keywords(grid20, vocab, seed=9)
+        # Re-annotate with a huge cap: every inherited keyword must come
+        # from a visited annotated vertex.
+        from repro.trajectory.generator import generate_trips
+
+        trips = generate_trips(grid20, 20, seed=7)
+        annotated = annotate_trajectories(trips, annotations, max_keywords=999)
+        for trajectory in annotated:
+            allowed = set()
+            for vertex in trajectory.vertex_set:
+                allowed |= annotations.get(vertex, frozenset())
+            assert trajectory.keywords <= allowed
+
+    def test_cap_enforced(self, grid20, vocab):
+        from repro.trajectory.generator import generate_trips
+
+        annotations = assign_vertex_keywords(grid20, vocab, poi_fraction=0.9,
+                                             burst_size=5, seed=4)
+        trips = generate_trips(grid20, 20, seed=8)
+        annotated = annotate_trajectories(trips, annotations, max_keywords=3, seed=5)
+        assert all(len(t.keywords) <= 3 for t in annotated)
+
+    def test_ids_and_points_preserved(self, grid20, vocab):
+        from repro.trajectory.generator import generate_trips
+
+        trips = generate_trips(grid20, 10, seed=9)
+        annotations = assign_vertex_keywords(grid20, vocab, seed=6)
+        annotated = annotate_trajectories(trips, annotations, seed=7)
+        assert sorted(annotated.ids()) == sorted(trips.ids())
+        for tid in trips.ids():
+            assert annotated.get(tid).points == trips.get(tid).points
+
+    def test_cold_start_trajectories_allowed(self, grid20, vocab):
+        # With few POIs some trajectories legitimately have no keywords.
+        from repro.trajectory.generator import generate_trips
+
+        trips = generate_trips(grid20, 30, seed=10)
+        annotations = assign_vertex_keywords(grid20, vocab, poi_fraction=0.01,
+                                             seed=8)
+        annotated = annotate_trajectories(trips, annotations, seed=9)
+        assert any(len(t.keywords) == 0 for t in annotated)
+
+    def test_invalid_cap_rejected(self, grid20, vocab, annotated_trips):
+        with pytest.raises(DatasetError):
+            annotate_trajectories(annotated_trips, {}, max_keywords=0)

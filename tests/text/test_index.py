@@ -1,0 +1,101 @@
+"""Unit tests for the inverted keyword index."""
+
+import math
+
+import pytest
+
+from repro.errors import IndexError_
+from repro.text.index import InvertedKeywordIndex
+from repro.trajectory.model import Trajectory, TrajectoryPoint, TrajectorySet
+
+
+def _traj(tid, keywords):
+    return Trajectory(tid, [TrajectoryPoint(0, 0.0)], keywords)
+
+
+@pytest.fixture()
+def index():
+    return InvertedKeywordIndex.build(
+        TrajectorySet(
+            [
+                _traj(0, ["park", "seafood"]),
+                _traj(1, ["park"]),
+                _traj(2, ["museum"]),
+                _traj(3, []),
+            ]
+        )
+    )
+
+
+class TestPostings:
+    def test_postings_sorted(self, index):
+        assert index.postings("park") == [0, 1]
+
+    def test_postings_case_insensitive(self, index):
+        assert index.postings("PARK") == [0, 1]
+
+    def test_unknown_keyword_empty(self, index):
+        assert index.postings("zoo") == []
+
+    def test_document_frequency(self, index):
+        assert index.document_frequency("park") == 2
+        assert index.document_frequency("museum") == 1
+        assert index.document_frequency("zoo") == 0
+
+    def test_counts(self, index):
+        assert index.num_trajectories == 4
+        assert index.num_keywords == 3
+
+
+class TestCandidates:
+    def test_union_of_postings(self, index):
+        assert index.candidates(["park", "museum"]) == {0, 1, 2}
+
+    def test_disjoint_query(self, index):
+        assert index.candidates(["zoo"]) == set()
+
+    def test_empty_query(self, index):
+        assert index.candidates([]) == set()
+
+    def test_keywords_of(self, index):
+        assert index.keywords_of(0) == frozenset({"park", "seafood"})
+        with pytest.raises(IndexError_):
+            index.keywords_of(99)
+
+
+class TestMutation:
+    def test_add_then_query(self, index):
+        index.add(_traj(10, ["park", "zoo"]))
+        assert index.postings("park") == [0, 1, 10]
+        assert index.postings("zoo") == [10]
+
+    def test_duplicate_add_rejected(self, index):
+        with pytest.raises(IndexError_, match="already indexed"):
+            index.add(_traj(0, ["x"]))
+
+    def test_remove_cleans_postings(self, index):
+        index.remove(0)
+        assert index.postings("park") == [1]
+        assert index.postings("seafood") == []
+        assert 0 not in index
+
+    def test_remove_unknown_rejected(self, index):
+        with pytest.raises(IndexError_):
+            index.remove(42)
+
+    def test_keywordless_trajectory_indexed(self, index):
+        assert 3 in index
+        assert index.keywords_of(3) == frozenset()
+
+
+class TestIdf:
+    def test_rare_terms_score_higher(self, index):
+        assert index.idf("museum") > index.idf("park")
+
+    def test_idf_formula(self, index):
+        expected = math.log((4 + 1) / (2 + 1)) + 1.0
+        assert index.idf("park") == pytest.approx(expected)
+
+    def test_idf_table_covers_all_keywords(self, index):
+        table = index.idf_table()
+        assert set(table) == {"park", "seafood", "museum"}

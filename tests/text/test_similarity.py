@@ -1,0 +1,101 @@
+"""Unit and property tests for textual similarity measures."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import QueryError
+from repro.text.similarity import (
+    cosine,
+    dice,
+    get_measure,
+    jaccard,
+    overlap,
+    weighted_jaccard,
+)
+
+keyword_sets = st.frozensets(
+    st.sampled_from(["a", "b", "c", "d", "e", "f"]), max_size=6
+)
+
+ALL_MEASURES = [jaccard, dice, overlap, cosine]
+
+
+class TestExactValues:
+    def test_jaccard(self):
+        assert jaccard(frozenset("ab"), frozenset("bc")) == pytest.approx(1 / 3)
+
+    def test_dice(self):
+        assert dice(frozenset("ab"), frozenset("bc")) == pytest.approx(0.5)
+
+    def test_overlap(self):
+        assert overlap(frozenset("ab"), frozenset("abcd")) == pytest.approx(1.0)
+
+    def test_cosine(self):
+        assert cosine(frozenset("ab"), frozenset("b")) == pytest.approx(
+            1 / (2**0.5)
+        )
+
+
+class TestProperties:
+    @pytest.mark.parametrize("measure", ALL_MEASURES)
+    @given(a=keyword_sets, b=keyword_sets)
+    def test_range_and_symmetry(self, measure, a, b):
+        value = measure(a, b)
+        assert 0.0 <= value <= 1.0
+        assert value == pytest.approx(measure(b, a))
+
+    @pytest.mark.parametrize("measure", ALL_MEASURES)
+    @given(a=keyword_sets)
+    def test_self_similarity_is_one(self, measure, a):
+        if a:
+            assert measure(a, a) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("measure", ALL_MEASURES)
+    @given(a=keyword_sets, b=keyword_sets)
+    def test_disjoint_sets_score_zero(self, measure, a, b):
+        if not (a & b):
+            assert measure(a, b) == 0.0
+
+    @pytest.mark.parametrize("measure", ALL_MEASURES)
+    @given(a=keyword_sets)
+    def test_empty_set_scores_zero(self, measure, a):
+        assert measure(a, frozenset()) == 0.0
+        assert measure(frozenset(), a) == 0.0
+
+
+class TestWeightedJaccard:
+    def test_degenerates_to_jaccard_with_uniform_weights(self):
+        measure = weighted_jaccard({"a": 1.0, "b": 1.0, "c": 1.0})
+        a, b = frozenset("ab"), frozenset("bc")
+        assert measure(a, b) == pytest.approx(jaccard(a, b))
+
+    def test_rare_term_matches_score_higher(self):
+        idf = {"rare": 10.0, "common": 1.0, "x": 1.0}
+        measure = weighted_jaccard(idf)
+        rare_match = measure(frozenset(["rare", "x"]), frozenset(["rare", "common"]))
+        common_match = measure(
+            frozenset(["common", "x"]), frozenset(["rare", "common"])
+        )
+        assert rare_match > common_match
+
+    @given(a=keyword_sets, b=keyword_sets)
+    def test_range_and_symmetry(self, a, b):
+        measure = weighted_jaccard({"a": 3.0, "b": 1.0, "c": 0.5})
+        value = measure(a, b)
+        assert 0.0 <= value <= 1.0
+        assert value == pytest.approx(measure(b, a))
+
+    def test_empty_idf_table(self):
+        measure = weighted_jaccard({})
+        assert measure(frozenset("ab"), frozenset("ab")) == pytest.approx(1.0)
+
+
+class TestRegistry:
+    def test_known_measures(self):
+        for name in ("jaccard", "dice", "overlap", "cosine"):
+            assert callable(get_measure(name))
+
+    def test_unknown_measure_rejected(self):
+        with pytest.raises(QueryError, match="unknown text measure"):
+            get_measure("levenshtein")

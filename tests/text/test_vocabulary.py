@@ -1,0 +1,99 @@
+"""Unit tests for the keyword vocabulary."""
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.text.vocabulary import CATEGORY_TERMS, Vocabulary, zipf_weights
+
+
+class TestZipfWeights:
+    def test_normalised(self):
+        weights = zipf_weights(10)
+        assert sum(weights) == pytest.approx(1.0)
+
+    def test_strictly_decreasing(self):
+        weights = zipf_weights(8, exponent=1.2)
+        assert all(a > b for a, b in zip(weights, weights[1:]))
+
+    def test_single_term(self):
+        assert zipf_weights(1) == [1.0]
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(DatasetError):
+            zipf_weights(0)
+
+
+class TestBuild:
+    def test_requested_size(self):
+        assert len(Vocabulary.build(30, seed=1)) == 30
+
+    def test_oversized_vocabulary_extends_with_variants(self):
+        base_count = sum(len(v) for v in CATEGORY_TERMS.values())
+        vocab = Vocabulary.build(base_count + 20, seed=1)
+        assert len(vocab) == base_count + 20
+        assert len(set(vocab.keywords)) == base_count + 20
+
+    def test_deterministic_under_seed(self):
+        assert Vocabulary.build(40, seed=5).keywords == (
+            Vocabulary.build(40, seed=5).keywords
+        )
+
+    def test_different_seeds_differ(self):
+        a = Vocabulary.build(40, seed=1).keywords
+        b = Vocabulary.build(40, seed=2).keywords
+        assert a != b
+
+    def test_duplicate_terms_rejected(self):
+        with pytest.raises(DatasetError, match="duplicate"):
+            Vocabulary([("park", "scenery"), ("PARK", "scenery")])
+
+    def test_empty_rejected(self):
+        with pytest.raises(DatasetError):
+            Vocabulary([])
+
+
+class TestCategories:
+    def test_category_of_known_keyword(self):
+        vocab = Vocabulary([("seafood", "food"), ("park", "scenery")])
+        assert vocab.category_of("seafood") == "food"
+
+    def test_category_of_unknown_raises(self):
+        vocab = Vocabulary([("seafood", "food")])
+        with pytest.raises(DatasetError):
+            vocab.category_of("nonexistent")
+
+    def test_categories_partition_keywords(self):
+        vocab = Vocabulary.build(30, seed=3)
+        grouped = vocab.categories()
+        flattened = [kw for kws in grouped.values() for kw in kws]
+        assert sorted(flattened) == sorted(vocab.keywords)
+
+
+class TestSampling:
+    def test_sample_distinct(self):
+        vocab = Vocabulary.build(30, seed=4)
+        sample = vocab.sample(10)
+        assert len(sample) == 10
+        assert len(set(sample)) == 10
+
+    def test_sample_too_many_rejected(self):
+        vocab = Vocabulary.build(5, seed=0)
+        with pytest.raises(DatasetError):
+            vocab.sample(6)
+
+    def test_sampling_is_popularity_skewed(self):
+        vocab = Vocabulary.build(50, exponent=1.5, seed=6)
+        head = set(vocab.keywords[:5])
+        hits = sum(1 for __ in range(200) if vocab.sample(1)[0] in head)
+        # The top-5 of 50 keywords should be drawn far more than 10% of
+        # the time under a Zipf(1.5) distribution.
+        assert hits > 40
+
+    def test_category_burst_is_category_coherent(self):
+        vocab = Vocabulary.build(40, seed=7)
+        burst = vocab.sample_category_burst(3)
+        assert len(burst) == len(set(burst)) == 3
+        categories = {vocab.category_of(kw) for kw in burst}
+        # A burst of 3 from one category pool covers at most 2 categories
+        # (the pool plus the odd popularity-sampled extra).
+        assert len(categories) <= 3

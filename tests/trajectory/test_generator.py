@@ -1,0 +1,99 @@
+"""Unit tests for the synthetic trip generator."""
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.network.dijkstra import shortest_path_length
+from repro.trajectory.generator import TripConfig, TripGenerator, generate_trips
+
+
+class TestTripConfig:
+    def test_defaults_valid(self):
+        TripConfig()
+
+    def test_invalid_points_rejected(self):
+        with pytest.raises(DatasetError):
+            TripConfig(min_points=1)
+        with pytest.raises(DatasetError):
+            TripConfig(min_points=10, max_points=5)
+
+    def test_invalid_speed_rejected(self):
+        with pytest.raises(DatasetError):
+            TripConfig(speed_low=0.0)
+        with pytest.raises(DatasetError):
+            TripConfig(speed_low=10.0, speed_high=5.0)
+
+    def test_invalid_origins_rejected(self):
+        with pytest.raises(DatasetError):
+            TripConfig(num_origins=0)
+
+    def test_invalid_detour_rejected(self):
+        with pytest.raises(DatasetError):
+            TripConfig(detour_probability=1.5)
+
+
+class TestGeneration:
+    def test_count_and_unique_ids(self, grid20):
+        trips = generate_trips(grid20, 50, seed=1)
+        assert len(trips) == 50
+        assert sorted(trips.ids()) == list(range(50))
+
+    def test_start_id_offset(self, grid20):
+        trips = generate_trips(grid20, 5, seed=1, start_id=100)
+        assert sorted(trips.ids()) == [100, 101, 102, 103, 104]
+
+    def test_deterministic_under_seed(self, grid20):
+        a = generate_trips(grid20, 10, seed=42)
+        b = generate_trips(grid20, 10, seed=42)
+        for tid in a.ids():
+            assert a.get(tid).points == b.get(tid).points
+
+    def test_vertices_are_valid(self, grid20):
+        trips = generate_trips(grid20, 20, seed=2)
+        for trip in trips:
+            for vertex in trip.vertex_set:
+                assert 0 <= vertex < grid20.num_vertices
+
+    def test_timestamps_nondecreasing(self, grid20):
+        trips = generate_trips(grid20, 30, seed=3)
+        for trip in trips:
+            stamps = trip.timestamps()
+            assert all(b >= a for a, b in zip(stamps, stamps[1:]))
+
+    def test_point_counts_in_bounds(self, grid20):
+        config = TripConfig(min_points=4, max_points=30, target_points=15)
+        trips = generate_trips(grid20, 40, seed=4, config=config)
+        for trip in trips:
+            assert len(trip) <= 30
+
+    def test_consecutive_points_distinct_vertices(self, grid20):
+        trips = generate_trips(grid20, 20, seed=5)
+        for trip in trips:
+            vertices = trip.vertices()
+            for a, b in zip(vertices, vertices[1:]):
+                assert a != b
+
+    def test_consecutive_points_connected(self, grid20):
+        # Subsampled path points must still be reachable from each other.
+        trips = generate_trips(grid20, 10, seed=6)
+        for trip in trips:
+            vertices = trip.vertices()
+            for a, b in zip(vertices[:3], vertices[1:4]):
+                assert shortest_path_length(grid20, a, b) > 0
+
+    def test_tiny_graph_rejected(self, line_graph):
+        generator = TripGenerator(line_graph, seed=0)
+        trip = generator.generate(0)
+        assert len(trip) >= 2
+
+    def test_single_vertex_graph_rejected(self):
+        from repro.network.graph import SpatialNetwork
+
+        with pytest.raises(DatasetError):
+            TripGenerator(SpatialNetwork([0.0], [0.0], []))
+
+    def test_departure_times_spread(self, grid20):
+        trips = generate_trips(grid20, 100, seed=7)
+        departures = sorted(t.time_range[0] for t in trips)
+        # Bimodal rush hours: expect a nontrivial spread across the day.
+        assert departures[-1] - departures[0] > 3600.0

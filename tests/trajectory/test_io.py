@@ -1,0 +1,62 @@
+"""Unit tests for trajectory persistence."""
+
+import pytest
+
+from repro.errors import TrajectoryError
+from repro.trajectory.io import load_jsonl, save_jsonl
+from repro.trajectory.model import Trajectory, TrajectoryPoint, TrajectorySet
+
+
+def _sample_set():
+    return TrajectorySet(
+        [
+            Trajectory(0, [TrajectoryPoint(1, 10.0), TrajectoryPoint(2, 20.0)],
+                       ["park", "seafood"]),
+            Trajectory(7, [TrajectoryPoint(5, 100.0)]),
+        ]
+    )
+
+
+class TestRoundtrip:
+    def test_roundtrip_preserves_everything(self, tmp_path):
+        path = tmp_path / "trips.jsonl"
+        count = save_jsonl(_sample_set(), path)
+        assert count == 2
+        loaded = load_jsonl(path)
+        assert len(loaded) == 2
+        original = _sample_set()
+        for tid in original.ids():
+            assert loaded.get(tid) == original.get(tid)
+
+    def test_empty_set_roundtrip(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        assert save_jsonl(TrajectorySet(), path) == 0
+        assert len(load_jsonl(path)) == 0
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "gaps.jsonl"
+        save_jsonl(_sample_set(), path)
+        content = path.read_text()
+        path.write_text("\n" + content + "\n\n")
+        assert len(load_jsonl(path)) == 2
+
+
+class TestMalformedInput:
+    def test_bad_json_reports_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"id": 0, "points": [[1, 10.0]]}\nnot json\n')
+        with pytest.raises(TrajectoryError, match=":2:"):
+            load_jsonl(path)
+
+    def test_missing_field_rejected(self, tmp_path):
+        path = tmp_path / "missing.jsonl"
+        path.write_text('{"id": 0}\n')
+        with pytest.raises(TrajectoryError, match="malformed"):
+            load_jsonl(path)
+
+    def test_duplicate_id_rejected(self, tmp_path):
+        path = tmp_path / "dup.jsonl"
+        record = '{"id": 0, "points": [[1, 10.0]], "keywords": []}\n'
+        path.write_text(record + record)
+        with pytest.raises(TrajectoryError, match="duplicate"):
+            load_jsonl(path)

@@ -1,0 +1,121 @@
+"""Unit tests for the trajectory data model."""
+
+import pytest
+
+from repro.errors import TrajectoryError
+from repro.trajectory.model import (
+    DAY_SECONDS,
+    Trajectory,
+    TrajectoryPoint,
+    TrajectorySet,
+)
+
+
+def _traj(tid=0, points=((1, 100.0), (2, 200.0), (1, 300.0)), keywords=()):
+    return Trajectory(tid, (TrajectoryPoint(v, t) for v, t in points), keywords)
+
+
+class TestTrajectoryPoint:
+    def test_valid_point(self):
+        p = TrajectoryPoint(3, 0.0)
+        assert p.vertex == 3
+        assert p.timestamp == 0.0
+
+    def test_negative_vertex_rejected(self):
+        with pytest.raises(TrajectoryError):
+            TrajectoryPoint(-1, 10.0)
+
+    def test_timestamp_outside_day_rejected(self):
+        with pytest.raises(TrajectoryError):
+            TrajectoryPoint(0, DAY_SECONDS)
+        with pytest.raises(TrajectoryError):
+            TrajectoryPoint(0, -0.1)
+
+    def test_points_are_immutable(self):
+        p = TrajectoryPoint(1, 2.0)
+        with pytest.raises(AttributeError):
+            p.vertex = 5
+
+
+class TestTrajectory:
+    def test_basic_accessors(self):
+        t = _traj()
+        assert t.id == 0
+        assert len(t) == 3
+        assert t.vertices() == [1, 2, 1]
+        assert t.vertex_set == frozenset({1, 2})
+        assert t.timestamps() == [100.0, 200.0, 300.0]
+        assert t.time_range == (100.0, 300.0)
+        assert t.duration == pytest.approx(200.0)
+
+    def test_keywords_lowercased(self):
+        t = _traj(keywords=["SeaFood", "park"])
+        assert t.keywords == frozenset({"seafood", "park"})
+
+    def test_empty_rejected(self):
+        with pytest.raises(TrajectoryError, match="no sample points"):
+            Trajectory(0, [])
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(TrajectoryError):
+            _traj(tid=-3)
+
+    def test_decreasing_timestamps_rejected(self):
+        with pytest.raises(TrajectoryError, match="decrease"):
+            _traj(points=((0, 100.0), (1, 50.0)))
+
+    def test_equal_timestamps_allowed(self):
+        t = _traj(points=((0, 100.0), (1, 100.0)))
+        assert len(t) == 2
+
+    def test_with_keywords_copies(self):
+        t = _traj()
+        t2 = t.with_keywords(["zoo"])
+        assert t2.keywords == frozenset({"zoo"})
+        assert t.keywords == frozenset()
+        assert t2.points == t.points
+
+    def test_with_id_copies(self):
+        t2 = _traj().with_id(99)
+        assert t2.id == 99
+
+    def test_equality_and_hash(self):
+        assert _traj() == _traj()
+        assert hash(_traj()) == hash(_traj())
+        assert _traj() != _traj(keywords=["x"])
+
+    def test_iteration_yields_points(self):
+        assert [p.vertex for p in _traj()] == [1, 2, 1]
+
+
+class TestTrajectorySet:
+    def test_add_and_get(self):
+        s = TrajectorySet([_traj(0), _traj(1)])
+        assert len(s) == 2
+        assert s.get(1).id == 1
+        assert 0 in s and 5 not in s
+
+    def test_duplicate_id_rejected(self):
+        s = TrajectorySet([_traj(0)])
+        with pytest.raises(TrajectoryError, match="duplicate"):
+            s.add(_traj(0))
+
+    def test_remove(self):
+        s = TrajectorySet([_traj(0), _traj(1)])
+        removed = s.remove(0)
+        assert removed.id == 0
+        assert len(s) == 1
+        with pytest.raises(TrajectoryError):
+            s.remove(0)
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(TrajectoryError, match="unknown"):
+            TrajectorySet().get(7)
+
+    def test_ids_preserve_insertion_order(self):
+        s = TrajectorySet([_traj(5), _traj(2), _traj(9)])
+        assert s.ids() == [5, 2, 9]
+
+    def test_iteration(self):
+        s = TrajectorySet([_traj(0), _traj(1)])
+        assert sorted(t.id for t in s) == [0, 1]

@@ -1,0 +1,74 @@
+"""Unit tests for GPS noise simulation."""
+
+import math
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.trajectory.generator import generate_trips
+from repro.trajectory.noise import NoiseConfig, add_gps_noise
+
+
+@pytest.fixture(scope="module")
+def one_trip(grid20):
+    return next(iter(generate_trips(grid20, 1, seed=1)))
+
+
+class TestNoiseConfig:
+    def test_defaults_valid(self):
+        NoiseConfig()
+
+    def test_negative_std_rejected(self):
+        with pytest.raises(DatasetError):
+            NoiseConfig(position_std=-1.0)
+
+    def test_probability_range_enforced(self):
+        with pytest.raises(DatasetError):
+            NoiseConfig(drop_probability=1.0)
+        with pytest.raises(DatasetError):
+            NoiseConfig(outlier_probability=-0.1)
+
+
+class TestAddGpsNoise:
+    def test_fix_count_within_bounds(self, grid20, one_trip):
+        fixes = add_gps_noise(grid20, one_trip, seed=1)
+        assert 2 <= len(fixes) <= len(one_trip)
+
+    def test_endpoints_never_dropped(self, grid20, one_trip):
+        config = NoiseConfig(drop_probability=0.9, position_std=0.0)
+        fixes = add_gps_noise(grid20, one_trip, config, seed=2)
+        first = grid20.position(one_trip.points[0].vertex)
+        last = grid20.position(one_trip.points[-1].vertex)
+        assert (fixes[0].x, fixes[0].y) == pytest.approx(first)
+        assert (fixes[-1].x, fixes[-1].y) == pytest.approx(last)
+
+    def test_zero_noise_keeps_positions(self, grid20, one_trip):
+        config = NoiseConfig(position_std=0.0, outlier_probability=0.0,
+                             drop_probability=0.0)
+        fixes = add_gps_noise(grid20, one_trip, config, seed=3)
+        assert len(fixes) == len(one_trip)
+        for fix, point in zip(fixes, one_trip.points):
+            assert (fix.x, fix.y) == pytest.approx(grid20.position(point.vertex))
+            assert fix.timestamp == point.timestamp
+
+    def test_noise_perturbs_positions(self, grid20, one_trip):
+        config = NoiseConfig(position_std=30.0, drop_probability=0.0)
+        fixes = add_gps_noise(grid20, one_trip, config, seed=4)
+        displacements = [
+            math.hypot(
+                fix.x - grid20.position(p.vertex)[0],
+                fix.y - grid20.position(p.vertex)[1],
+            )
+            for fix, p in zip(fixes, one_trip.points)
+        ]
+        assert max(displacements) > 0.0
+
+    def test_deterministic_under_seed(self, grid20, one_trip):
+        a = add_gps_noise(grid20, one_trip, seed=5)
+        b = add_gps_noise(grid20, one_trip, seed=5)
+        assert a == b
+
+    def test_timestamps_preserved(self, grid20, one_trip):
+        config = NoiseConfig(drop_probability=0.0)
+        fixes = add_gps_noise(grid20, one_trip, config, seed=6)
+        assert [f.timestamp for f in fixes] == one_trip.timestamps()

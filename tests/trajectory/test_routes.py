@@ -1,0 +1,81 @@
+"""Unit tests for route reconstruction and route measures."""
+
+import pytest
+
+from repro.errors import TrajectoryError
+from repro.network.dijkstra import shortest_path_length
+from repro.trajectory.generator import generate_trips
+from repro.trajectory.model import Trajectory, TrajectoryPoint
+from repro.trajectory.routes import reconstruct_route, route_length, route_overlap
+
+
+def _traj(vertices):
+    return Trajectory(
+        0, [TrajectoryPoint(v, float(60 * i)) for i, v in enumerate(vertices)]
+    )
+
+
+class TestReconstructRoute:
+    def test_adjacent_samples_unchanged(self, line_graph):
+        route = reconstruct_route(line_graph, _traj([0, 1, 2]))
+        assert route == [0, 1, 2]
+
+    def test_gaps_filled_with_shortest_paths(self, line_graph):
+        route = reconstruct_route(line_graph, _traj([0, 4]))
+        assert route == [0, 1, 2, 3, 4]
+
+    def test_route_edges_all_exist(self, grid20):
+        trips = generate_trips(grid20, 5, seed=3)
+        for trip in trips:
+            route = reconstruct_route(grid20, trip)
+            for a, b in zip(route, route[1:]):
+                assert grid20.has_edge(a, b)
+
+    def test_route_contains_all_samples_in_order(self, grid20):
+        trips = generate_trips(grid20, 5, seed=4)
+        for trip in trips:
+            route = reconstruct_route(grid20, trip)
+            cursor = 0
+            for vertex in trip.vertices():
+                cursor = route.index(vertex, cursor)
+
+    def test_single_point_trajectory(self, grid20):
+        assert reconstruct_route(grid20, _traj([7])) == [7]
+
+
+class TestRouteLength:
+    def test_line_route_length(self, line_graph):
+        assert route_length(line_graph, [0, 1, 2, 3]) == pytest.approx(3.0)
+
+    def test_reconstructed_length_at_least_endpoint_distance(self, grid20):
+        trip = next(iter(generate_trips(grid20, 1, seed=5)))
+        route = reconstruct_route(grid20, trip)
+        direct = shortest_path_length(grid20, route[0], route[-1])
+        assert route_length(grid20, route) >= direct - 1e-9
+
+    def test_empty_route_rejected(self, line_graph):
+        with pytest.raises(TrajectoryError):
+            route_length(line_graph, [])
+
+
+class TestRouteOverlap:
+    def test_identical_routes(self, line_graph):
+        assert route_overlap(line_graph, [0, 1, 2], [0, 1, 2]) == pytest.approx(1.0)
+
+    def test_disjoint_routes(self, line_graph):
+        assert route_overlap(line_graph, [0, 1], [3, 4]) == 0.0
+
+    def test_containment(self, line_graph):
+        overlap = route_overlap(line_graph, [0, 1, 2, 3, 4], [1, 2, 3])
+        assert overlap == pytest.approx(2.0 / 4.0)
+
+    def test_symmetry(self, grid20):
+        trips = list(generate_trips(grid20, 2, seed=6))
+        a = reconstruct_route(grid20, trips[0])
+        b = reconstruct_route(grid20, trips[1])
+        assert route_overlap(grid20, a, b) == pytest.approx(
+            route_overlap(grid20, b, a)
+        )
+
+    def test_point_routes(self, line_graph):
+        assert route_overlap(line_graph, [2], [2]) == 1.0

@@ -1,0 +1,52 @@
+"""Unit tests for trajectory dataset statistics."""
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.trajectory.model import Trajectory, TrajectoryPoint, TrajectorySet
+from repro.trajectory.stats import trajectory_stats
+
+
+def _set():
+    return TrajectorySet(
+        [
+            Trajectory(0, [TrajectoryPoint(1, 0.0), TrajectoryPoint(2, 60.0)],
+                       ["a", "b"]),
+            Trajectory(1, [TrajectoryPoint(2, 100.0), TrajectoryPoint(3, 160.0),
+                           TrajectoryPoint(4, 220.0)], ["b"]),
+        ]
+    )
+
+
+class TestTrajectoryStats:
+    def test_counts(self):
+        stats = trajectory_stats(_set())
+        assert stats.count == 2
+        assert stats.avg_points == pytest.approx(2.5)
+        assert stats.min_points == 2
+        assert stats.max_points == 3
+
+    def test_duration(self):
+        stats = trajectory_stats(_set())
+        assert stats.avg_duration == pytest.approx((60.0 + 120.0) / 2)
+
+    def test_vertex_coverage_deduplicates(self):
+        assert trajectory_stats(_set()).distinct_vertices == 4
+
+    def test_keyword_stats(self):
+        stats = trajectory_stats(_set())
+        assert stats.avg_keywords == pytest.approx(1.5)
+        assert stats.distinct_keywords == 2
+
+    def test_describe_mentions_size(self):
+        assert "|P|=2" in trajectory_stats(_set()).describe()
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(DatasetError):
+            trajectory_stats(TrajectorySet())
+
+    def test_generated_dataset_statistics(self, annotated_trips):
+        stats = trajectory_stats(annotated_trips)
+        assert stats.count == 250
+        assert stats.min_points >= 2
+        assert stats.distinct_keywords > 0

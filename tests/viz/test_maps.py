@@ -1,0 +1,62 @@
+"""Unit tests for map rendering."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.core.query import UOTSQuery
+from repro.core.search import CollaborativeSearcher
+from repro.errors import ReproError
+from repro.trajectory.generator import generate_trips
+from repro.viz.maps import draw_network, draw_search_result, draw_trajectories
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def _count(canvas, tag):
+    root = ET.fromstring(canvas.render())
+    return len(root.findall(f"{SVG_NS}{tag}"))
+
+
+class TestDrawNetwork:
+    def test_one_line_per_edge(self, grid10):
+        canvas = draw_network(grid10)
+        assert _count(canvas, "line") == grid10.num_edges
+
+    def test_empty_network_rejected(self):
+        from repro.network.graph import SpatialNetwork
+
+        with pytest.raises(ReproError):
+            draw_network(SpatialNetwork([], [], []))
+
+
+class TestDrawTrajectories:
+    def test_one_polyline_per_trajectory(self, grid20):
+        trips = list(generate_trips(grid20, 4, seed=81))
+        canvas = draw_trajectories(grid20, trips)
+        assert _count(canvas, "polyline") == 4
+
+    def test_labels_optional(self, grid20):
+        trips = list(generate_trips(grid20, 2, seed=82))
+        unlabeled = draw_trajectories(grid20, trips)
+        labeled = draw_trajectories(grid20, trips, labels=True)
+        assert _count(unlabeled, "text") == 0
+        assert _count(labeled, "text") == 2
+
+    def test_sample_mode_skips_reconstruction(self, grid20):
+        trips = list(generate_trips(grid20, 2, seed=83))
+        canvas = draw_trajectories(grid20, trips, full_routes=False)
+        assert _count(canvas, "polyline") == 2
+
+
+class TestDrawSearchResult:
+    def test_composite_rendering(self, database, vocab):
+        query = UOTSQuery.create([0, 150], vocab.keywords[:2], k=3)
+        result = CollaborativeSearcher(database).search(query)
+        canvas = draw_search_result(
+            database.graph, query.locations, result, database.get
+        )
+        # base map + result routes + query markers all present
+        assert _count(canvas, "line") == database.graph.num_edges
+        assert _count(canvas, "polyline") >= 1
+        assert _count(canvas, "circle") >= len(query.locations)

@@ -1,0 +1,78 @@
+"""Unit tests for the SVG writer."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.errors import ReproError
+from repro.viz.svg import SvgCanvas
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def _parse(canvas):
+    return ET.fromstring(canvas.render())
+
+
+class TestSvgCanvas:
+    def test_document_is_valid_xml(self):
+        canvas = SvgCanvas(400, 300)
+        canvas.line(0, 0, 10, 10)
+        root = _parse(canvas)
+        assert root.tag == f"{SVG_NS}svg"
+        assert root.get("width") == "400"
+
+    def test_shapes_rendered(self):
+        canvas = SvgCanvas()
+        canvas.line(0, 0, 5, 5)
+        canvas.polyline([(0, 0), (1, 1), (2, 0)], color="#0072b2")
+        canvas.circle(1, 1)
+        canvas.text(0, 0, "hello")
+        root = _parse(canvas)
+        tags = [child.tag.replace(SVG_NS, "") for child in root]
+        assert tags == ["rect", "line", "polyline", "circle", "text"]
+
+    def test_y_axis_flipped(self):
+        canvas = SvgCanvas(100, 100, padding=0)
+        canvas.circle(0, 0)   # world bottom-left
+        canvas.circle(10, 10)  # world top-right
+        root = _parse(canvas)
+        circles = root.findall(f"{SVG_NS}circle")
+        bottom_left, top_right = circles
+        assert float(bottom_left.get("cy")) > float(top_right.get("cy"))
+
+    def test_coordinates_fit_canvas(self):
+        canvas = SvgCanvas(200, 200, padding=10)
+        canvas.line(-500, -500, 1500, 2500)
+        root = _parse(canvas)
+        line = root.find(f"{SVG_NS}line")
+        for attr in ("x1", "y1", "x2", "y2"):
+            assert 0 <= float(line.get(attr)) <= 200
+
+    def test_text_escaped(self):
+        canvas = SvgCanvas()
+        canvas.circle(0, 0)
+        canvas.text(0, 0, "<&>")
+        assert "&lt;&amp;&gt;" in canvas.render()
+
+    def test_empty_canvas_rejected(self):
+        with pytest.raises(ReproError, match="empty"):
+            SvgCanvas().render()
+
+    def test_short_polyline_rejected(self):
+        with pytest.raises(ReproError):
+            SvgCanvas().polyline([(0, 0)])
+
+    def test_degenerate_extent_handled(self):
+        canvas = SvgCanvas()
+        canvas.circle(5, 5)
+        canvas.circle(5, 5)
+        root = _parse(canvas)  # zero-span world must not divide by zero
+        assert len(root.findall(f"{SVG_NS}circle")) == 2
+
+    def test_save(self, tmp_path):
+        canvas = SvgCanvas()
+        canvas.line(0, 0, 1, 1)
+        path = tmp_path / "out.svg"
+        canvas.save(path)
+        assert path.read_text().startswith("<svg")
