@@ -1,0 +1,193 @@
+"""R1 — Overhead and behaviour of the resilience layer.
+
+The resilience guardrails must be near-free when nothing goes wrong.
+Claims checked:
+
+- an *unlimited* budget (meter armed, never trips) adds <5% latency to the
+  collaborative search versus no budget at all,
+- per-page CRC32 checksums add <5% to disk-resident query latency,
+- a budgeted search degrades monotonically: tighter expansion caps do less
+  work, return earlier, and the residual bound shrinks as the cap grows,
+- a chaos run (seeded transient faults + retry) returns results identical
+  to the fault-free run, at a latency overhead proportional to the fault
+  rate.
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import pytest
+
+from common import SMOKE, bundle_for, paper_profile
+from repro.bench.reporting import format_table, print_header
+from repro.bench.workloads import WorkloadConfig, make_queries
+from repro.core.search import CollaborativeSearcher
+from repro.resilience.budget import SearchBudget
+from repro.resilience.faults import FaultInjector, FaultPolicy
+from repro.resilience.retry import RetryPolicy
+from repro.storage.database import DiskTrajectoryDatabase
+
+
+def _timed(searcher, queries, budget=None, repeats=1):
+    """Mean ms/query, best of ``repeats`` passes (overhead needs low noise)."""
+    best = math.inf
+    for __ in range(repeats):
+        started = time.perf_counter()
+        results = [searcher.search(q, budget=budget) for q in queries]
+        best = min(best, time.perf_counter() - started)
+    return best / len(queries) * 1000.0, results
+
+
+@pytest.mark.benchmark(group="r1-resilience")
+@pytest.mark.parametrize("guardrail", ["none", "unlimited-budget"])
+def test_r1_budget_overhead(benchmark, guardrail):
+    bundle = bundle_for(SMOKE)
+    queries = make_queries(bundle, WorkloadConfig(num_queries=SMOKE.queries, seed=13))
+    searcher = CollaborativeSearcher(bundle.database)
+    budget = None if guardrail == "none" else SearchBudget(
+        deadline_seconds=3600.0, max_expanded_vertices=10**9
+    )
+    results = benchmark.pedantic(
+        lambda: [searcher.search(q, budget=budget) for q in queries],
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    assert all(r.exact for r in results)
+
+
+@pytest.mark.benchmark(group="r1-resilience")
+@pytest.mark.parametrize("checksum", [True, False], ids=["crc32", "no-crc"])
+def test_r1_checksum_overhead(benchmark, checksum, tmp_path):
+    bundle = bundle_for(SMOKE)
+    queries = make_queries(bundle, WorkloadConfig(num_queries=SMOKE.queries, seed=13))
+    database = DiskTrajectoryDatabase.build(
+        tmp_path / "trips.pages", bundle.graph, bundle.trajectories,
+        sigma=bundle.database.sigma, buffer_capacity=16, checksum=checksum,
+    )
+    searcher = CollaborativeSearcher(database)
+    results = benchmark.pedantic(
+        lambda: [searcher.search(q) for q in queries],
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    assert all(r.exact for r in results)
+    database.close()
+
+
+def run_experiment() -> None:
+    """The full guardrail-overhead and degradation tables."""
+    profile = paper_profile()
+    bundle = bundle_for(profile)
+    print_header("R1  Resilience layer overhead", bundle.describe())
+    queries = make_queries(
+        bundle, WorkloadConfig(num_queries=profile.queries, seed=13)
+    )
+    searcher = CollaborativeSearcher(bundle.database)
+
+    # -- 1. budget-meter overhead on the in-memory search path -------------
+    _timed(searcher, queries)  # warm caches before measuring
+    base_ms, base_results = _timed(searcher, queries, repeats=3)
+    armed = SearchBudget(deadline_seconds=3600.0, max_expanded_vertices=10**9)
+    armed_ms, armed_results = _timed(searcher, queries, budget=armed, repeats=3)
+    assert [r.ids for r in armed_results] == [r.ids for r in base_results]
+    print(format_table(
+        ["guardrail", "ms/query", "overhead"],
+        [("no budget", f"{base_ms:.2f}", "-"),
+         ("unlimited budget (meter armed)", f"{armed_ms:.2f}",
+          f"{(armed_ms / base_ms - 1) * 100:+.1f}%")],
+    ))
+
+    # -- 2. CRC32 checksum overhead on the disk path -----------------------
+    rows = []
+    disk_ms = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        for checksum in (False, True):
+            database = DiskTrajectoryDatabase.build(
+                Path(tmp) / f"trips-{checksum}.pages", bundle.graph,
+                bundle.trajectories, sigma=bundle.database.sigma,
+                buffer_capacity=16, checksum=checksum,
+            )
+            try:
+                disk_searcher = CollaborativeSearcher(database)
+                _timed(disk_searcher, queries)
+                disk_ms[checksum], _ = _timed(disk_searcher, queries, repeats=3)
+            finally:
+                database.close()
+    rows.append(("disk, no checksum", f"{disk_ms[False]:.2f}", "-"))
+    rows.append(("disk, CRC32 pages", f"{disk_ms[True]:.2f}",
+                 f"{(disk_ms[True] / disk_ms[False] - 1) * 100:+.1f}%"))
+    print()
+    print(format_table(["storage variant", "ms/query", "overhead"], rows))
+
+    # -- 3. graceful degradation under expansion caps ----------------------
+    exact = [searcher.search(q) for q in queries]
+    rows = []
+    for cap in (50, 200, 1000, 5000):
+        budget = SearchBudget(max_expanded_vertices=cap)
+        ms, results = _timed(searcher, queries, budget=budget)
+        degraded = [r for r in results if not r.exact]
+        prefix_ok = all(
+            [i.trajectory_id for i in r.confirmed_prefix()]
+            == e.ids[: len(r.confirmed_prefix())]
+            for r, e in zip(results, exact)
+        )
+        mean_residual = (
+            sum(r.residual_bound for r in degraded) / len(degraded)
+            if degraded else 0.0
+        )
+        mean_prefix = sum(len(r.confirmed_prefix()) for r in results) / len(results)
+        rows.append((cap, f"{ms:.2f}", f"{len(degraded)}/{len(results)}",
+                     f"{mean_prefix:.1f}", f"{mean_residual:.3f}",
+                     "yes" if prefix_ok else "NO"))
+    print()
+    print(format_table(
+        ["expansion cap", "ms/query", "degraded", "confirmed top-k",
+         "mean residual", "prefix correct"],
+        rows,
+    ))
+
+    # -- 4. chaos run: transient faults absorbed by retries ----------------
+    rows = []
+    with tempfile.TemporaryDirectory() as tmp:
+        clean = DiskTrajectoryDatabase.build(
+            Path(tmp) / "clean.pages", bundle.graph, bundle.trajectories,
+            sigma=bundle.database.sigma, buffer_capacity=16,
+        )
+        try:
+            clean_ids = [CollaborativeSearcher(clean).search(q).ids
+                         for q in queries]
+        finally:
+            clean.close()
+        for rate in (0.0, 0.1, 0.2):
+            database = DiskTrajectoryDatabase.build(
+                Path(tmp) / f"chaos-{rate}.pages", bundle.graph,
+                bundle.trajectories, sigma=bundle.database.sigma,
+                buffer_capacity=16, retry=RetryPolicy(max_attempts=8),
+            )
+            try:
+                injector = FaultInjector(
+                    FaultPolicy(seed=42, transient_fault_rate=rate)
+                )
+                injector.attach(database.store.pagefile)
+                chaos_searcher = CollaborativeSearcher(database)
+                ms, results = _timed(chaos_searcher, queries)
+                identical = [r.ids for r in results] == clean_ids
+                rows.append((f"{rate:.0%}", f"{ms:.2f}",
+                             injector.injected_transients,
+                             database.store.buffer.stats.retries,
+                             "yes" if identical else "NO"))
+            finally:
+                database.close()
+    print()
+    print(format_table(
+        ["fault rate", "ms/query", "faults injected", "reads retried",
+         "results identical"],
+        rows,
+    ))
+
+
+if __name__ == "__main__":
+    sys.exit(run_experiment())

@@ -36,12 +36,16 @@ from repro.core import (
     make_searcher,
 )
 from repro.errors import (
+    BudgetExceededError,
+    CorruptPageError,
     DatasetError,
     DisconnectedError,
     GraphError,
     QueryError,
     ReproError,
+    StorageError,
     TrajectoryError,
+    TrajectoryIndexError,
     VertexNotFoundError,
 )
 from repro.index import (
@@ -79,6 +83,13 @@ from repro.parallel import (
     parallel_search,
     parallel_self_join,
 )
+from repro.resilience import (
+    BudgetMeter,
+    FaultInjector,
+    FaultPolicy,
+    RetryPolicy,
+    SearchBudget,
+)
 from repro.storage import DiskTrajectoryDatabase, DiskTrajectoryStore
 from repro.viz import SvgCanvas, draw_network, draw_search_result, draw_trajectories
 from repro.text import (
@@ -103,12 +114,17 @@ __all__ = [
     "BruteForceJoin",
     "BruteForcePTMMatcher",
     "BruteForceSearcher",
+    "BudgetExceededError",
+    "BudgetMeter",
     "CollaborativeSearcher",
+    "CorruptPageError",
     "DatasetError",
     "DirectionalSearchEngine",
     "DisconnectedError",
     "DiskTrajectoryDatabase",
     "DiskTrajectoryStore",
+    "FaultInjector",
+    "FaultPolicy",
     "GraphBuilder",
     "GraphError",
     "IncrementalExpansion",
@@ -119,11 +135,14 @@ __all__ = [
     "QueryError",
     "Recommendation",
     "ReproError",
+    "RetryPolicy",
     "ScoredTrajectory",
+    "SearchBudget",
     "SearchResult",
     "SearchStats",
     "SpatialFirstSearcher",
     "SpatialNetwork",
+    "StorageError",
     "TemporalFirstJoin",
     "TemporalGridIndex",
     "TopKJoin",
@@ -132,6 +151,7 @@ __all__ = [
     "Trajectory",
     "TrajectoryDatabase",
     "TrajectoryError",
+    "TrajectoryIndexError",
     "TrajectoryPoint",
     "TrajectorySet",
     "TripConfig",

@@ -19,6 +19,7 @@ from repro.bench.workloads import WorkloadConfig, make_queries
 from repro.core.engine import ALGORITHMS, make_searcher
 from repro.core.query import UOTSQuery
 from repro.errors import ReproError
+from repro.resilience.budget import SearchBudget
 from repro.index.database import TrajectoryDatabase
 from repro.join.tsjoin import TwoPhaseJoin
 from repro.network import io as network_io
@@ -68,19 +69,32 @@ def _cmd_query(args: argparse.Namespace) -> int:
         lam=args.lam,
         k=args.k,
     )
+    budget = None
+    if args.deadline_ms is not None or args.max_expansions is not None:
+        budget = SearchBudget.from_millis(
+            deadline_ms=args.deadline_ms,
+            max_expanded_vertices=args.max_expansions,
+        )
     searcher = make_searcher(database, args.algorithm)
-    result = searcher.search(query)
+    result = searcher.search(query, budget=budget)
     rows = [
         (item.trajectory_id, f"{item.score:.4f}",
-         f"{item.spatial_similarity:.4f}", f"{item.text_similarity:.4f}")
+         f"{item.spatial_similarity:.4f}", f"{item.text_similarity:.4f}",
+         "exact" if item.exact else "bound")
         for item in result.items
     ]
-    print(format_table(["trajectory", "score", "spatial", "text"], rows))
+    print(format_table(["trajectory", "score", "spatial", "text", "kind"], rows))
     print(
         f"visited={result.stats.visited_trajectories} "
         f"expanded={result.stats.expanded_vertices} "
         f"time={result.stats.elapsed_seconds * 1000:.1f}ms"
     )
+    if not result.exact:
+        print(
+            f"degraded: {result.degradation_reason}; any missed trajectory "
+            f"scores <= {result.residual_bound:.4f} "
+            f"(confirmed top-{len(result.confirmed_prefix())})"
+        )
     return 0
 
 
@@ -151,6 +165,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--lam", type=float, default=0.5)
     p.add_argument("--k", type=int, default=5)
     p.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="collaborative")
+    p.add_argument(
+        "--deadline-ms", type=float, default=None, metavar="MS",
+        help="wall-clock budget; past it the best-so-far answer is returned",
+    )
+    p.add_argument(
+        "--max-expansions", type=int, default=None, metavar="N",
+        help="cap on expanded vertices before the search degrades",
+    )
     p.set_defaults(func=_cmd_query)
 
     p = sub.add_parser("join", help="run a trajectory similarity self join")
@@ -177,14 +199,22 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """Entry point for the ``repro`` console script."""
+    """Entry point for the ``repro`` console script.
+
+    Every command fails with exit code 1 and a one-line ``error:`` message
+    on library errors (:class:`ReproError`) and on OS-level failures such
+    as a missing dataset directory — never a traceback.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except ReproError as exc:
+    except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    except KeyboardInterrupt:
+        print("error: interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

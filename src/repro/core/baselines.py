@@ -18,13 +18,44 @@ import time
 from repro.core.query import UOTSQuery
 from repro.core.results import ScoredTrajectory, SearchResult, SearchStats, TopK
 from repro.core.similarity import ExactScorer, combine, spatial_similarity
+from repro.errors import BudgetExceededError
 from repro.index.database import TrajectoryDatabase
 from repro.network.expansion import IncrementalExpansion
+from repro.resilience.budget import SearchBudget
 from repro.text.similarity import get_measure
 
 __all__ = ["BruteForceSearcher", "TextFirstSearcher"]
 
 _INF = float("inf")
+
+#: Both similarities live in [0, 1], so no combined score exceeds this.
+#: The baselines keep no bound tracker; a degraded baseline result reports
+#: this trivial residual bound (the collaborative search reports a tight one).
+_TRIVIAL_RESIDUAL = 1.0
+
+
+def _start_meter(query: UOTSQuery, budget: SearchBudget | None):
+    """Resolve the effective budget (argument wins over ``query.budget``)."""
+    if budget is None:
+        budget = query.budget
+    if budget is None or budget.unlimited:
+        return None, None
+    return budget, budget.start()
+
+
+def _degraded(topk: TopK, stats: SearchStats, reason: str, started: float,
+              budget: SearchBudget) -> SearchResult:
+    if budget.strict:
+        raise BudgetExceededError(reason)
+    stats.degraded_queries = 1
+    stats.elapsed_seconds = time.perf_counter() - started
+    return SearchResult(
+        items=topk.ranked(),
+        stats=stats,
+        exact=False,
+        degradation_reason=reason,
+        residual_bound=_TRIVIAL_RESIDUAL,
+    )
 
 
 class BruteForceSearcher:
@@ -33,13 +64,28 @@ class BruteForceSearcher:
     def __init__(self, database: TrajectoryDatabase):
         self._database = database
 
-    def search(self, query: UOTSQuery) -> SearchResult:
-        """Score every trajectory; return the exact top-k."""
+    def search(
+        self, query: UOTSQuery, budget: SearchBudget | None = None
+    ) -> SearchResult:
+        """Score every trajectory; return the exact top-k.
+
+        A budget deadline is honoured between scoring calls (already-scored
+        items form the degraded answer); the work caps do not apply — brute
+        force performs no expansions or refinements.
+        """
         started = time.perf_counter()
+        budget, meter = _start_meter(query, budget)
         scorer = ExactScorer(self._database, query)
         topk = TopK(query.k)
+        stats = SearchStats()
         count = 0
         for trajectory in self._database.trajectories:
+            if meter is not None and count % 32 == 0:
+                reason = meter.exceeded()
+                if reason is not None:
+                    stats.visited_trajectories = count
+                    stats.similarity_evaluations = count
+                    return _degraded(topk, stats, reason, started, budget)
             topk.offer(scorer.score_with_shared_distances(trajectory))
             count += 1
         stats = SearchStats(
@@ -70,11 +116,18 @@ class TextFirstSearcher:
     def __init__(self, database: TrajectoryDatabase):
         self._database = database
 
-    def search(self, query: UOTSQuery) -> SearchResult:
-        """Run the text-first scan; returns the exact top-k."""
+    def search(
+        self, query: UOTSQuery, budget: SearchBudget | None = None
+    ) -> SearchResult:
+        """Run the text-first scan; returns the exact top-k.
+
+        Budget deadlines and the expansion cap are honoured between
+        candidate refinements (each refinement is the unit of work here).
+        """
         database = self._database
         query.validate_against(database.graph)
         started = time.perf_counter()
+        budget, meter = _start_meter(query, budget)
         stats = SearchStats()
         measure = get_measure(query.text_measure)
         keyword_index = database.keyword_index
@@ -117,6 +170,11 @@ class TextFirstSearcher:
         for text, trajectory_id in ranked_candidates:
             if topk.full and query.lam + (1.0 - query.lam) * text <= topk.threshold + 1e-12:
                 break  # everything below is dominated
+            if meter is not None:
+                reason = meter.exceeded(stats.expanded_vertices, 0)
+                if reason is not None:
+                    stats.visited_trajectories = len(refined)
+                    return _degraded(topk, stats, reason, started, budget)
             refine(trajectory_id, text)
 
         # Trajectories without keyword overlap have SimT = 0; they can still
@@ -124,9 +182,16 @@ class TextFirstSearcher:
         # perfect one loses; otherwise fall back to exhaustive scoring.
         if not topk.full or query.lam > topk.threshold + 1e-12:
             scorer = ExactScorer(database, query)
+            scanned = 0
             for trajectory in database.trajectories:
                 if trajectory.id in refined:
                     continue
+                if meter is not None and scanned % 32 == 0:
+                    reason = meter.exceeded(stats.expanded_vertices, 0)
+                    if reason is not None:
+                        stats.visited_trajectories = len(refined) + scanned
+                        return _degraded(topk, stats, reason, started, budget)
+                scanned += 1
                 stats.similarity_evaluations += 1
                 topk.offer(scorer.score_with_shared_distances(trajectory))
             stats.visited_trajectories = len(database)

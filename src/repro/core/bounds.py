@@ -244,6 +244,24 @@ class BoundTracker:
             self._text_pointer += 1
         return 0.0, None
 
+    def unseen_text_candidates(self, limit: int) -> list[tuple[float, int]]:
+        """Up to ``limit`` never-scanned ``(text_score, id)`` pairs, best first.
+
+        Used by the degraded (budget-tripped) wrap-up: these are the best
+        candidates the expansion never reached, whose textual term alone is
+        a valid score lower bound.  Empty under an override constant (the
+        spatial-first mode knows no exact text scores).
+        """
+        if self._unseen_text_override is not None or limit <= 0:
+            return []
+        out: list[tuple[float, int]] = []
+        for score, tid in self._text_order[self._text_pointer:]:
+            if not self.is_seen(tid):
+                out.append((score, tid))
+                if len(out) >= limit:
+                    break
+        return out
+
     def unseen_upper_bound(self, radii_weights: SourceRadiiWeights) -> float:
         """Upper bound for every trajectory no source has reached yet."""
         return radii_weights.total + self._text_weight * self.best_unseen_text()

@@ -16,6 +16,7 @@ from repro.core.results import SearchResult
 from repro.core.search import CollaborativeSearcher, SpatialFirstSearcher
 from repro.errors import QueryError
 from repro.index.database import TrajectoryDatabase
+from repro.resilience.budget import SearchBudget
 from repro.trajectory.model import Trajectory
 
 __all__ = ["Recommendation", "TripRecommender", "make_searcher", "ALGORITHMS"]
@@ -71,14 +72,19 @@ class TripRecommender:
         lam: float = 0.5,
         k: int = 3,
         text_measure: str = "jaccard",
+        budget: SearchBudget | None = None,
     ) -> list[Recommendation]:
         """Recommend ``k`` trips passing near ``locations`` matching ``preference``.
 
         ``preference`` accepts free-form text ("lakeside walk then seafood")
-        or an iterable of keywords.
+        or an iterable of keywords.  ``budget`` caps the work (a latency
+        contract): if it trips, the best trips found so far are returned.
         """
         result = self.search(
-            UOTSQuery.create(locations, preference, lam=lam, k=k, text_measure=text_measure)
+            UOTSQuery.create(
+                locations, preference, lam=lam, k=k, text_measure=text_measure
+            ),
+            budget=budget,
         )
         return [
             Recommendation(
@@ -90,6 +96,8 @@ class TripRecommender:
             for item in result.items
         ]
 
-    def search(self, query: UOTSQuery) -> SearchResult:
-        """Run a fully specified :class:`UOTSQuery`."""
-        return self._searcher.search(query)
+    def search(
+        self, query: UOTSQuery, budget: SearchBudget | None = None
+    ) -> SearchResult:
+        """Run a fully specified :class:`UOTSQuery` (optionally budgeted)."""
+        return self._searcher.search(query, budget=budget)

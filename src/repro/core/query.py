@@ -8,11 +8,12 @@ preference weight ``lam`` between the two domains, and a result size ``k``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable
 
 from repro.errors import QueryError
 from repro.network.graph import SpatialNetwork
+from repro.resilience.budget import SearchBudget
 from repro.text.analysis import normalize_keywords
 from repro.text.similarity import get_measure
 
@@ -39,6 +40,12 @@ class UOTSQuery:
     text_measure:
         Name of the textual similarity ("jaccard", "dice", "overlap",
         "cosine").
+    budget:
+        Optional :class:`~repro.resilience.SearchBudget` carried with the
+        query (e.g. a per-query latency contract in a batch).  Execution
+        policy, not query semantics: excluded from equality and hashing.
+        A budget passed directly to ``search(query, budget=...)`` takes
+        precedence.
     """
 
     locations: tuple[int, ...]
@@ -46,6 +53,7 @@ class UOTSQuery:
     lam: float = 0.5
     k: int = 1
     text_measure: str = "jaccard"
+    budget: SearchBudget | None = field(default=None, compare=False)
 
     def __post_init__(self):
         if not self.locations:
@@ -66,6 +74,7 @@ class UOTSQuery:
         lam: float = 0.5,
         k: int = 1,
         text_measure: str = "jaccard",
+        budget: SearchBudget | None = None,
     ) -> "UOTSQuery":
         """Build a query from user-level inputs.
 
@@ -79,6 +88,7 @@ class UOTSQuery:
             lam=lam,
             k=k,
             text_measure=text_measure,
+            budget=budget,
         )
 
     def validate_against(self, graph: SpatialNetwork) -> None:

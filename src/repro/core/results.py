@@ -7,15 +7,23 @@ from dataclasses import dataclass, field
 
 __all__ = ["ScoredTrajectory", "SearchStats", "SearchResult", "TopK"]
 
+_EPS = 1e-9
+
 
 @dataclass(frozen=True, slots=True)
 class ScoredTrajectory:
-    """One recommended trajectory with its similarity decomposition."""
+    """One recommended trajectory with its similarity decomposition.
+
+    ``exact=False`` marks a best-effort item from a degraded (budgeted)
+    search whose score is a *lower bound* — the trajectory was only partly
+    scanned when the budget tripped.
+    """
 
     trajectory_id: int
     score: float
     spatial_similarity: float
     text_similarity: float
+    exact: bool = True
 
     def __lt__(self, other: "ScoredTrajectory") -> bool:
         # Higher score first; ties broken by lower id for determinism.
@@ -26,7 +34,7 @@ class ScoredTrajectory:
 
 @dataclass
 class SearchStats:
-    """Work counters, the paper's efficiency metrics.
+    """Work counters, the paper's efficiency metrics plus resilience counters.
 
     ``visited_trajectories`` counts distinct trajectories whose similarity
     state was materialised during the search (the paper's "number of visited
@@ -35,6 +43,14 @@ class SearchStats:
     ``similarity_evaluations`` counts exact spatiotemporal/spatial-textual
     scoring calls; ``pruned_trajectories`` counts trajectories eliminated by
     bounds without exact evaluation.
+
+    The resilience counters: ``refinements`` counts direct candidate
+    refinements (each a multi-source Dijkstra, metered by search budgets);
+    ``retries`` counts task re-submissions after worker crashes;
+    ``degraded_queries``/``failed_queries`` count budget degradations and
+    isolated per-query failures in a batch; ``executor`` records which
+    execution path actually ran (``"sequential"``, ``"fork"``, or
+    ``"sequential-fallback"`` after persistent pool failure).
     """
 
     visited_trajectories: int = 0
@@ -43,6 +59,11 @@ class SearchStats:
     pruned_trajectories: int = 0
     text_candidates: int = 0
     elapsed_seconds: float = 0.0
+    refinements: int = 0
+    retries: int = 0
+    degraded_queries: int = 0
+    failed_queries: int = 0
+    executor: str = ""
 
     def merge(self, other: "SearchStats") -> None:
         """Accumulate another stats record into this one (for batch runs)."""
@@ -52,14 +73,32 @@ class SearchStats:
         self.pruned_trajectories += other.pruned_trajectories
         self.text_candidates += other.text_candidates
         self.elapsed_seconds += other.elapsed_seconds
+        self.refinements += other.refinements
+        self.retries += other.retries
+        self.degraded_queries += other.degraded_queries
+        self.failed_queries += other.failed_queries
+        if not self.executor:
+            self.executor = other.executor
 
 
 @dataclass
 class SearchResult:
-    """Ranked output of one search plus its work counters."""
+    """Ranked output of one search plus its work counters.
+
+    A budgeted search that runs out of budget returns ``exact=False`` with
+    a ``degradation_reason`` and the bound tracker's ``residual_bound``:
+    no trajectory missing from ``items`` (and no ``exact=False`` item's
+    true score) can exceed ``residual_bound`` — the score error bar of the
+    degraded answer.  A query isolated as failed inside a batch carries the
+    one-line failure in ``error`` with empty ``items``.
+    """
 
     items: list[ScoredTrajectory]
     stats: SearchStats = field(default_factory=SearchStats)
+    exact: bool = True
+    degradation_reason: str | None = None
+    residual_bound: float = 0.0
+    error: str | None = None
 
     @property
     def ids(self) -> list[int]:
@@ -71,9 +110,33 @@ class SearchResult:
         """Result scores, best first."""
         return [item.score for item in self.items]
 
+    @property
+    def ok(self) -> bool:
+        """Whether the search produced a (possibly degraded) answer."""
+        return self.error is None
+
     def best(self) -> ScoredTrajectory | None:
         """The top-ranked item, or ``None`` for an empty result."""
         return self.items[0] if self.items else None
+
+    def confirmed_prefix(self) -> list[ScoredTrajectory]:
+        """The leading items guaranteed to match the exact top-k ranking.
+
+        For an exact result this is all of ``items``.  For a degraded
+        result it is the maximal prefix of exactly scored items whose
+        scores strictly dominate ``residual_bound``: every trajectory the
+        budget cut off is bounded by ``residual_bound``, so nothing missed
+        can outrank (or reorder) these items.
+        """
+        if self.exact:
+            return list(self.items)
+        prefix = []
+        for item in self.items:
+            if item.exact and item.score > self.residual_bound + _EPS:
+                prefix.append(item)
+            else:
+                break
+        return prefix
 
     def __len__(self) -> int:
         return len(self.items)

@@ -32,7 +32,9 @@ from repro.core.similarity import (
     trajectory_to_locations_distances,
 )
 from repro.core.sources import current_radii_weights, make_sources
+from repro.errors import BudgetExceededError
 from repro.index.database import TrajectoryDatabase
+from repro.resilience.budget import SearchBudget
 from repro.text.similarity import get_measure
 
 __all__ = ["CollaborativeSearcher", "SpatialFirstSearcher"]
@@ -81,10 +83,23 @@ class CollaborativeSearcher:
             self.use_refinement = refinement
 
     # ----------------------------------------------------------------- API
-    def search(self, query: UOTSQuery) -> SearchResult:
-        """Run the query and return the exact top-k with work counters."""
+    def search(
+        self, query: UOTSQuery, budget: SearchBudget | None = None
+    ) -> SearchResult:
+        """Run the query; exact top-k, or the best-so-far under a budget.
+
+        ``budget`` (or ``query.budget`` when none is passed) caps the work:
+        when it trips, the search stops at the next batch boundary and
+        returns its current top-k flagged ``exact=False``, with the bound
+        tracker's residual upper bound as the score error bar — the
+        anytime behaviour a latency-bound service needs.  Strict budgets
+        raise :class:`~repro.errors.BudgetExceededError` instead.
+        """
         database = self._database
         query.validate_against(database.graph)
+        if budget is None:
+            budget = query.budget
+        meter = None if budget is None or budget.unlimited else budget.start()
         started = time.perf_counter()
         stats = SearchStats()
 
@@ -134,6 +149,7 @@ class CollaborativeSearcher:
             """Resolve one blocked candidate exactly: a single multi-source
             Dijkstra from the candidate's vertices prices every query
             location at once (stopping as soon as all are settled)."""
+            stats.refinements += 1
             tracker.finish(trajectory_id)
             distances = trajectory_to_locations_distances(
                 database.graph,
@@ -149,8 +165,18 @@ class CollaborativeSearcher:
         vertex_index = database.vertex_index
         sigma = database.sigma
         terminated_early = False
+        degradation_reason = None
         while True:
             radii_weights = current_radii_weights(sources, sigma, alpha)
+            if meter is not None:
+                # Budget checks live at batch boundaries: work counters are
+                # compared first, the deadline costs one perf_counter call.
+                reason = meter.exceeded(stats.expanded_vertices, stats.refinements)
+                if reason is not None:
+                    if budget.strict:
+                        raise BudgetExceededError(reason)
+                    degradation_reason = reason
+                    break
             if topk.full:
                 threshold = topk.threshold
                 unseen = tracker.unseen_upper_bound(radii_weights)
@@ -194,6 +220,21 @@ class CollaborativeSearcher:
                     if completed is not None:
                         finalize(trajectory_id, *completed)
 
+        if degradation_reason is not None:
+            stats.degraded_queries = 1
+            residual = tracker.global_upper_bound(radii_weights)
+            items = self._best_effort_items(query, tracker, topk)
+            stats.visited_trajectories = tracker.num_seen
+            stats.pruned_trajectories = len(database) - stats.similarity_evaluations
+            stats.elapsed_seconds = time.perf_counter() - started
+            return SearchResult(
+                items=items,
+                stats=stats,
+                exact=False,
+                degradation_reason=degradation_reason,
+                residual_bound=residual,
+            )
+
         if not terminated_early:
             self._drain_at_exhaustion(query, tracker, text_scores, finalize, topk)
 
@@ -201,6 +242,45 @@ class CollaborativeSearcher:
         stats.pruned_trajectories = len(database) - stats.similarity_evaluations
         stats.elapsed_seconds = time.perf_counter() - started
         return SearchResult(items=topk.ranked(), stats=stats)
+
+    def _best_effort_items(
+        self, query: UOTSQuery, tracker: BoundTracker, topk: TopK
+    ) -> list[ScoredTrajectory]:
+        """The degraded ranking: exact results merged with lower bounds.
+
+        Finished trajectories keep their exact scores.  Partly scanned ones
+        enter with a score *lower bound* (accumulated expansion weight plus
+        the known text term — unknown sources contribute at least zero), and
+        the best never-scanned keyword candidates enter on their textual
+        term alone.  Items ranked by these estimates, best first, top-k.
+        The spatial-first mode knows no exact text during the search, so its
+        lower bounds use text 0.
+        """
+        lam = query.lam
+        entries = {item.trajectory_id: item for item in topk.ranked()}
+        for trajectory_id, known_weight, text in tracker.active_states():
+            if trajectory_id in entries:
+                continue
+            text_lb = text if self.use_text_in_bounds else 0.0
+            spatial_lb = known_weight / lam if lam > 0.0 else 0.0
+            entries[trajectory_id] = ScoredTrajectory(
+                trajectory_id=trajectory_id,
+                score=combine(lam, spatial_lb, text_lb),
+                spatial_similarity=spatial_lb,
+                text_similarity=text_lb,
+                exact=False,
+            )
+        for text, trajectory_id in tracker.unseen_text_candidates(query.k):
+            if trajectory_id in entries:
+                continue
+            entries[trajectory_id] = ScoredTrajectory(
+                trajectory_id=trajectory_id,
+                score=combine(lam, 0.0, text),
+                spatial_similarity=0.0,
+                text_similarity=text,
+                exact=False,
+            )
+        return sorted(entries.values())[: query.k]
 
     # -------------------------------------------------------------- pieces
     def _exact_text_scores(

@@ -3,9 +3,17 @@
 All errors raised by the library derive from :class:`ReproError` so that
 callers can catch library failures with a single ``except`` clause while
 letting programming errors (``TypeError`` etc.) propagate.
+
+Storage failures form their own subtree under :class:`StorageError`:
+transient I/O faults are retried inside the storage layer (see
+:mod:`repro.resilience.retry`) and only surface as ``StorageError`` once
+retries are exhausted; detected page corruption always surfaces as
+:class:`CorruptPageError` — never as silently wrong data.
 """
 
 from __future__ import annotations
+
+import warnings
 
 
 class ReproError(Exception):
@@ -44,9 +52,62 @@ class QueryError(ReproError):
     """Raised for invalid query specifications (bad lambda, empty locations...)."""
 
 
-class IndexError_(ReproError):
-    """Raised for index inconsistencies (duplicate ids, unknown trajectory)."""
+class TrajectoryIndexError(ReproError):
+    """Raised for index inconsistencies (duplicate ids, unknown trajectory).
+
+    Previously named ``IndexError_``; the old name is kept as a deprecated
+    alias (it shadowed the ``IndexError`` builtin awkwardly).
+    """
 
 
 class DatasetError(ReproError):
     """Raised when dataset generation or loading fails."""
+
+
+class StorageError(ReproError):
+    """Raised when the disk storage layer fails permanently.
+
+    Transient I/O faults are retried behind the scenes; this error means
+    the failure persisted past the configured retry budget.
+    """
+
+
+class CorruptPageError(StorageError):
+    """Raised when a page's CRC32 checksum does not match its contents.
+
+    Corruption is permanent: retrying the read returns the same bytes, so
+    this error is never retried and never degrades into wrong data.
+    """
+
+    def __init__(self, page_id: int, path: object, detail: str = ""):
+        self.page_id = page_id
+        self.path = path
+        message = f"page {page_id} of {path} is corrupt (checksum mismatch)"
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+
+
+class BudgetExceededError(ReproError):
+    """Raised when a strict :class:`~repro.resilience.SearchBudget` trips.
+
+    By default a tripped budget degrades gracefully (the search returns its
+    best-so-far answer); this error is raised only for ``strict=True``
+    budgets, where the caller prefers a failure to a partial answer.
+    """
+
+    def __init__(self, reason: str):
+        self.reason = reason
+        super().__init__(f"search budget exceeded: {reason}")
+
+
+def __getattr__(name: str):
+    if name == "IndexError_":
+        warnings.warn(
+            "repro.errors.IndexError_ is deprecated; "
+            "use repro.errors.TrajectoryIndexError instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return TrajectoryIndexError
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import IndexError_
+from repro.errors import TrajectoryIndexError
 from repro.trajectory.model import DAY_SECONDS, Trajectory
 
 __all__ = ["TemporalNode", "TemporalGridIndex"]
@@ -52,9 +52,9 @@ class TemporalGridIndex:
 
     def __init__(self, num_leaves: int = 24, day: float = DAY_SECONDS):
         if num_leaves < 1:
-            raise IndexError_("temporal index needs at least one leaf")
+            raise TrajectoryIndexError("temporal index needs at least one leaf")
         if day <= 0:
-            raise IndexError_("day length must be positive")
+            raise TrajectoryIndexError("day length must be positive")
         self._day = day
         slot = day / num_leaves
         leaves = [
@@ -104,7 +104,7 @@ class TemporalGridIndex:
         try:
             return self._levels[level][index]
         except IndexError:
-            raise IndexError_(f"no temporal node at level={level}, index={index}") from None
+            raise TrajectoryIndexError(f"no temporal node at level={level}, index={index}") from None
 
     def parent(self, node: TemporalNode) -> TemporalNode | None:
         """The node's parent (``None`` for the root)."""
@@ -130,11 +130,11 @@ class TemporalGridIndex:
     def insert(self, trajectory: Trajectory) -> TemporalNode:
         """Store a trajectory in the lowest node covering its time range."""
         if trajectory.id in self._location:
-            raise IndexError_(f"trajectory {trajectory.id} already indexed")
+            raise TrajectoryIndexError(f"trajectory {trajectory.id} already indexed")
         lo, hi = trajectory.time_range
         node = self.root
         if not node.covers(lo, hi):
-            raise IndexError_(
+            raise TrajectoryIndexError(
                 f"trajectory {trajectory.id} range [{lo}, {hi}] outside the day axis"
             )
         while True:
@@ -150,14 +150,14 @@ class TemporalGridIndex:
         """Delete a trajectory's entry (no structural rebalancing needed)."""
         key = self._location.pop(trajectory_id, None)
         if key is None:
-            raise IndexError_(f"trajectory {trajectory_id} is not indexed")
+            raise TrajectoryIndexError(f"trajectory {trajectory_id} is not indexed")
         self.node(*key).trajectory_ids.discard(trajectory_id)
 
     def node_of(self, trajectory_id: int) -> TemporalNode:
         """The node a trajectory is stored in."""
         key = self._location.get(trajectory_id)
         if key is None:
-            raise IndexError_(f"trajectory {trajectory_id} is not indexed")
+            raise TrajectoryIndexError(f"trajectory {trajectory_id} is not indexed")
         return self.node(*key)
 
     @property

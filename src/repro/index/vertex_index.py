@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from bisect import insort
 
-from repro.errors import IndexError_, VertexNotFoundError
+from repro.errors import TrajectoryIndexError, VertexNotFoundError
 from repro.network.graph import SpatialNetwork
 from repro.trajectory.model import Trajectory, TrajectorySet
 
@@ -40,7 +40,7 @@ class VertexTrajectoryIndex:
     def add(self, trajectory: Trajectory) -> None:
         """Index one trajectory; validates vertices and rejects duplicates."""
         if trajectory.id in self._indexed:
-            raise IndexError_(f"trajectory {trajectory.id} already indexed")
+            raise TrajectoryIndexError(f"trajectory {trajectory.id} already indexed")
         for vertex in trajectory.vertex_set:
             if not (0 <= vertex < self._graph.num_vertices):
                 raise VertexNotFoundError(vertex, self._graph.num_vertices)
@@ -52,7 +52,7 @@ class VertexTrajectoryIndex:
         """Remove a trajectory from all posting lists."""
         vertex_set = self._indexed.pop(trajectory_id, None)
         if vertex_set is None:
-            raise IndexError_(f"trajectory {trajectory_id} is not indexed")
+            raise TrajectoryIndexError(f"trajectory {trajectory_id} is not indexed")
         for vertex in vertex_set:
             self._postings[vertex].remove(trajectory_id)
 
@@ -68,7 +68,7 @@ class VertexTrajectoryIndex:
         try:
             return self._indexed[trajectory_id]
         except KeyError:
-            raise IndexError_(f"trajectory {trajectory_id} is not indexed") from None
+            raise TrajectoryIndexError(f"trajectory {trajectory_id} is not indexed") from None
 
     @property
     def num_trajectories(self) -> int:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from bisect import bisect_left, insort
 
-from repro.errors import IndexError_
+from repro.errors import TrajectoryIndexError
 from repro.trajectory.model import Trajectory, TrajectorySet
 
 __all__ = ["TimestampIndex", "TemporalExpansion", "min_time_gap"]
@@ -58,7 +58,7 @@ class TimestampIndex:
     def add(self, trajectory: Trajectory) -> None:
         """Index one trajectory's sample points."""
         if trajectory.id in self._per_trajectory:
-            raise IndexError_(f"trajectory {trajectory.id} already indexed")
+            raise TrajectoryIndexError(f"trajectory {trajectory.id} already indexed")
         stamps = trajectory.timestamps()
         self._per_trajectory[trajectory.id] = sorted(stamps)
         for t in stamps:
@@ -67,7 +67,7 @@ class TimestampIndex:
     def remove(self, trajectory_id: int) -> None:
         """Remove a trajectory's sample points."""
         if trajectory_id not in self._per_trajectory:
-            raise IndexError_(f"trajectory {trajectory_id} is not indexed")
+            raise TrajectoryIndexError(f"trajectory {trajectory_id} is not indexed")
         del self._per_trajectory[trajectory_id]
         self._entries = [(t, tid) for t, tid in self._entries if tid != trajectory_id]
 
@@ -81,7 +81,7 @@ class TimestampIndex:
         try:
             return self._per_trajectory[trajectory_id]
         except KeyError:
-            raise IndexError_(f"trajectory {trajectory_id} is not indexed") from None
+            raise TrajectoryIndexError(f"trajectory {trajectory_id} is not indexed") from None
 
     @property
     def num_trajectories(self) -> int:

@@ -10,26 +10,52 @@ and GIL-bound.  Workers are forked (POSIX), so the database is shared
 copy-on-write and never pickled; the per-task payload is just the query or
 trajectory id.  On platforms without ``fork`` the executor transparently
 falls back to sequential execution (documented, and reported in the stats).
+
+Failure containment (``parallel_search``): a query that raises inside a
+worker comes back as an *error-marked* :class:`SearchResult` (``error``
+set, empty items) instead of poisoning the batch; tasks stranded by a
+crashed worker process are re-submitted to a fresh pool up to
+``max_task_retries`` rounds; if the pool keeps dying, the remaining
+queries run sequentially in the parent.  Each result's
+``stats.executor`` records which path actually produced it (``"fork"``,
+``"sequential"``, or ``"sequential-fallback"``) and ``stats.retries``
+how many re-submissions the query needed.
+
+The parent-to-worker handoff rides module globals through ``fork`` (never
+pickled).  :func:`_worker_handoff` makes that exception-safe: the parent's
+global is populated only inside the context manager (cleared on any exit
+path), re-entrant use fails fast instead of silently mixing payloads, and
+each worker moves the inherited payload into its own ``_WORKER_STATE`` and
+clears the global so a nested ``parallel_search`` inside a worker starts
+from a clean slate.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
 from typing import Sequence
 
 from repro.core.engine import make_searcher
 from repro.core.query import UOTSQuery
 from repro.core.results import SearchResult, SearchStats
-from repro.errors import QueryError
+from repro.errors import QueryError, ReproError
 from repro.index.database import TrajectoryDatabase
 from repro.join.tsjoin import JoinResult, TwoPhaseJoin, _validate_theta
 from repro.matching.engine import DirectionalSearchEngine
+from repro.resilience.budget import SearchBudget
 
 __all__ = ["parallel_search", "parallel_self_join", "parallel_join", "fork_available"]
 
-# Worker globals, inherited through fork (never pickled).
+# Parent-side handoff payload, inherited through fork (never pickled).
+# Populated ONLY inside _worker_handoff(); empty at rest.
 _WORKER: dict[str, object] = {}
+
+# Worker-side copy of the payload, filled by _worker_init after fork.
+_WORKER_STATE: dict[str, object] = {}
 
 
 def fork_available() -> bool:
@@ -37,10 +63,64 @@ def fork_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
 
 
+@contextmanager
+def _worker_handoff(payload: dict[str, object]):
+    """Stage ``payload`` in the fork-inherited global, exception-safely.
+
+    Raises on re-entrant use from the same process: two concurrent fork
+    fan-outs would race on the single global and workers could inherit the
+    wrong payload.  (Workers themselves are safe to nest — ``_worker_init``
+    clears their inherited copy.)
+    """
+    if _WORKER:
+        raise RuntimeError(
+            "re-entrant parallel fan-out: a _WORKER handoff is already staged "
+            "in this process; finish the outer parallel call first"
+        )
+    _WORKER.update(payload)
+    try:
+        yield
+    finally:
+        _WORKER.clear()
+
+
+def _worker_init() -> None:
+    """Runs in each freshly forked worker: claim the inherited payload.
+
+    Moving it into ``_WORKER_STATE`` and clearing ``_WORKER`` keeps the
+    handoff single-use — a nested parallel call inside this worker stages
+    its own payload instead of silently reusing the parent's.
+    """
+    _WORKER_STATE.clear()
+    _WORKER_STATE.update(_WORKER)
+    _WORKER.clear()
+
+
 # ----------------------------------------------------------- batch queries
+def _error_result(exc: BaseException) -> SearchResult:
+    """An error-marked result: the query failed, the batch lives on."""
+    result = SearchResult(
+        items=[],
+        exact=False,
+        degradation_reason="query failed",
+        error=f"{type(exc).__name__}: {exc}",
+    )
+    result.stats.failed_queries = 1
+    return result
+
+
+def _safe_search(searcher, query: UOTSQuery, budget: SearchBudget | None) -> SearchResult:
+    """One isolated search: library errors become error-marked results."""
+    try:
+        return searcher.search(query, budget=budget)
+    except ReproError as exc:
+        return _error_result(exc)
+
+
 def _search_worker(query: UOTSQuery) -> SearchResult:
-    searcher = _WORKER["searcher"]
-    return searcher.search(query)
+    searcher = _WORKER_STATE["searcher"]
+    budget = _WORKER_STATE.get("budget")
+    return _safe_search(searcher, query, budget)
 
 
 def parallel_search(
@@ -48,33 +128,88 @@ def parallel_search(
     queries: Sequence[UOTSQuery],
     algorithm: str = "collaborative",
     workers: int = 1,
+    budget: SearchBudget | None = None,
+    max_task_retries: int = 2,
 ) -> list[SearchResult]:
     """Run a batch of UOTS queries across ``workers`` processes.
 
     Results come back in query order.  ``workers=1`` (or an unavailable
-    ``fork``) runs sequentially in-process.
+    ``fork``) runs sequentially in-process.  ``budget`` applies to every
+    query (a per-query ``query.budget`` wins where set).  A failing query
+    yields an error-marked result; a crashed worker's tasks are retried up
+    to ``max_task_retries`` pool rounds, then finished sequentially —
+    see the module docstring for the containment contract.
     """
     if workers < 1:
         raise QueryError(f"workers must be >= 1, got {workers}")
+    if max_task_retries < 0:
+        raise QueryError(f"max_task_retries must be >= 0, got {max_task_retries}")
     searcher = make_searcher(database, algorithm)
     if workers == 1 or not fork_available() or len(queries) <= 1:
-        return [searcher.search(query) for query in queries]
+        results = [_safe_search(searcher, query, budget) for query in queries]
+        for result in results:
+            result.stats.executor = "sequential"
+        return results
+    return _fork_search_batch(
+        searcher, list(queries), budget, workers, max_task_retries
+    )
 
+
+def _fork_search_batch(
+    searcher,
+    queries: list[UOTSQuery],
+    budget: SearchBudget | None,
+    workers: int,
+    max_task_retries: int,
+) -> list[SearchResult]:
     context = multiprocessing.get_context("fork")
-    _WORKER["searcher"] = searcher
-    try:
-        with context.Pool(processes=min(workers, len(queries))) as pool:
-            return pool.map(_search_worker, queries, chunksize=1)
-    finally:
-        _WORKER.clear()
+    results: list[SearchResult | None] = [None] * len(queries)
+    retry_counts = [0] * len(queries)
+    pending = list(range(len(queries)))
+    rounds_failed = 0
+    with _worker_handoff({"searcher": searcher, "budget": budget}):
+        while pending and rounds_failed <= max_task_retries:
+            failed: list[int] = []
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(pending)),
+                mp_context=context,
+                initializer=_worker_init,
+            ) as pool:
+                futures = {
+                    pool.submit(_search_worker, queries[i]): i for i in pending
+                }
+                for future in as_completed(futures):
+                    i = futures[future]
+                    try:
+                        results[i] = future.result()
+                        results[i].stats.executor = "fork"
+                        results[i].stats.retries = retry_counts[i]
+                    except (BrokenProcessPool, OSError):
+                        # A worker died; the task may be re-runnable.
+                        failed.append(i)
+                    except Exception as exc:  # non-library worker bug:
+                        results[i] = _error_result(exc)  # isolate, don't retry
+                        results[i].stats.executor = "fork"
+            if failed:
+                rounds_failed += 1
+                for i in failed:
+                    retry_counts[i] += 1
+            pending = sorted(failed)
+    # Pool kept dying: finish the stranded queries in-process so the batch
+    # still completes (the documented last-resort degradation).
+    for i in pending:
+        results[i] = _safe_search(searcher, queries[i], budget)
+        results[i].stats.executor = "sequential-fallback"
+        results[i].stats.retries = retry_counts[i]
+    return results  # type: ignore[return-value]  # every slot is filled
 
 
 # -------------------------------------------------------------- join phase 1
 def _join_worker(trajectory_id: int) -> tuple[int, dict[int, float], SearchStats]:
-    engine: DirectionalSearchEngine = _WORKER["engine"]
-    database: TrajectoryDatabase = _WORKER["database"]
-    lam: float = _WORKER["lam"]
-    limit: float = _WORKER["limit"]
+    engine: DirectionalSearchEngine = _WORKER_STATE["engine"]
+    database: TrajectoryDatabase = _WORKER_STATE["database"]
+    lam: float = _WORKER_STATE["lam"]
+    limit: float = _WORKER_STATE["limit"]
     trajectory = database.get(trajectory_id)
     candidates = engine.threshold_search(
         [(p.vertex, p.timestamp) for p in trajectory.points],
@@ -108,15 +243,12 @@ def parallel_self_join(
     engine = DirectionalSearchEngine(database, sigma_t=sigma_t)
     ids = database.trajectories.ids()
     context = multiprocessing.get_context("fork")
-    _WORKER.update(
+    with _worker_handoff(
         {"engine": engine, "database": database, "lam": lam, "limit": theta - 1.0}
-    )
-    try:
-        with context.Pool(processes=workers) as pool:
+    ):
+        with context.Pool(processes=workers, initializer=_worker_init) as pool:
             chunk = max(1, len(ids) // (workers * 8))
             rows = pool.map(_join_worker, ids, chunksize=chunk)
-    finally:
-        _WORKER.clear()
 
     result = JoinResult()
     sets: dict[int, dict[int, float]] = {}
@@ -143,10 +275,10 @@ def parallel_self_join(
 # ------------------------------------------------------- non-self join
 def _cross_join_worker(task: tuple[str, int]) -> tuple[str, int, dict[int, float], SearchStats]:
     side, trajectory_id = task
-    engine: DirectionalSearchEngine = _WORKER[f"engine_{side}"]
-    database: TrajectoryDatabase = _WORKER[f"database_{side}"]
-    lam: float = _WORKER["lam"]
-    limit: float = _WORKER["limit"]
+    engine: DirectionalSearchEngine = _WORKER_STATE[f"engine_{side}"]
+    database: TrajectoryDatabase = _WORKER_STATE[f"database_{side}"]
+    lam: float = _WORKER_STATE["lam"]
+    limit: float = _WORKER_STATE["limit"]
     trajectory = database.get(trajectory_id)
     candidates = engine.threshold_search(
         [(p.vertex, p.timestamp) for p in trajectory.points], lam, limit
@@ -181,19 +313,16 @@ def parallel_join(
     tasks += [("q", tid) for tid in other.trajectories.ids()]
     context = multiprocessing.get_context("fork")
     # Side "p" trajectories search the Q engine and vice versa.
-    _WORKER.update(
+    with _worker_handoff(
         {
             "engine_p": engine_q, "database_p": database,
             "engine_q": engine_p, "database_q": other,
             "lam": lam, "limit": theta - 1.0,
         }
-    )
-    try:
-        with context.Pool(processes=workers) as pool:
+    ):
+        with context.Pool(processes=workers, initializer=_worker_init) as pool:
             chunk = max(1, len(tasks) // (workers * 8))
             rows = pool.map(_cross_join_worker, tasks, chunksize=chunk)
-    finally:
-        _WORKER.clear()
 
     result = JoinResult()
     from_p: dict[int, dict[int, float]] = {}

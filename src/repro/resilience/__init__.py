@@ -1,0 +1,30 @@
+"""Resilience primitives: search budgets, retries, and fault injection.
+
+A production search service must answer *something* within its latency
+contract, survive flaky disks, and contain the blast radius of a bad query
+or a crashed worker.  This package provides the three building blocks the
+rest of the system threads through its layers:
+
+- :class:`SearchBudget` / :class:`BudgetMeter` — anytime top-k search:
+  wall-clock deadlines and work caps that degrade a search gracefully into
+  its best-so-far answer with a principled error bar (the bound tracker's
+  residual upper bound), instead of raising or running forever;
+- :class:`RetryPolicy` — reusable exponential backoff with jitter, wired
+  into the storage read path so transient I/O faults are invisible;
+- :class:`FaultPolicy` / :class:`FaultInjector` — deterministic, seeded
+  fault injection against :class:`~repro.storage.pages.PageFile` (transient
+  ``IOError``, permanent on-disk corruption, added latency) for chaos
+  testing the stack end to end.
+"""
+
+from repro.resilience.budget import BudgetMeter, SearchBudget
+from repro.resilience.faults import FaultInjector, FaultPolicy
+from repro.resilience.retry import RetryPolicy
+
+__all__ = [
+    "BudgetMeter",
+    "FaultInjector",
+    "FaultPolicy",
+    "RetryPolicy",
+    "SearchBudget",
+]

@@ -1,0 +1,117 @@
+"""Deterministic, seeded fault injection for the storage layer.
+
+A :class:`FaultPolicy` describes *what* goes wrong; a :class:`FaultInjector`
+applies it to a live :class:`~repro.storage.pages.PageFile`:
+
+- **transient faults** — each physical page read raises ``IOError`` with
+  probability ``transient_fault_rate`` (seeded RNG, so a chaos run is
+  reproducible).  The retry layer above must absorb these: results stay
+  byte-identical to a fault-free run.
+- **permanent corruption** — ``corrupt_pages`` victim pages are chosen with
+  the seeded RNG and physically damaged *on disk* (one payload byte is
+  flipped without updating the CRC header), so every read of those pages
+  raises :class:`~repro.errors.CorruptPageError` forever: corruption is
+  disk state, not read behaviour, and no amount of retrying hides it.
+- **latency** — each physical read sleeps ``latency_seconds`` first,
+  modelling a slow device for deadline tests.
+
+The injector attaches through ``PageFile.read_fault_hook`` (a documented
+seam that is ``None`` in production) and through
+``PageFile.corrupt_payload_byte``; it never monkey-patches.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+
+from repro.errors import QueryError
+from repro.storage.pages import PageFile
+
+__all__ = ["FaultPolicy", "FaultInjector"]
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """What to break, how often, reproducibly."""
+
+    seed: int = 0
+    #: Probability that one physical page read raises a transient ``IOError``.
+    transient_fault_rate: float = 0.0
+    #: Number of distinct pages to corrupt permanently on disk at attach time.
+    corrupt_pages: int = 0
+    #: Extra seconds added to every physical page read.
+    latency_seconds: float = 0.0
+
+    def __post_init__(self):
+        if not (0.0 <= self.transient_fault_rate < 1.0):
+            raise QueryError(
+                f"transient_fault_rate must be in [0, 1), got "
+                f"{self.transient_fault_rate}"
+            )
+        if self.corrupt_pages < 0:
+            raise QueryError(f"corrupt_pages must be >= 0, got {self.corrupt_pages}")
+        if self.latency_seconds < 0:
+            raise QueryError(
+                f"latency_seconds must be >= 0, got {self.latency_seconds}"
+            )
+
+
+class FaultInjector:
+    """Applies a :class:`FaultPolicy` to page files; counts what it did."""
+
+    def __init__(self, policy: FaultPolicy):
+        self.policy = policy
+        self._rng = random.Random(policy.seed)
+        #: Transient faults raised so far.
+        self.injected_transients = 0
+        #: Physical reads that went through the hook.
+        self.observed_reads = 0
+        #: Page ids permanently corrupted at attach time.
+        self.corrupted_pages: list[int] = []
+
+    def attach(self, pagefile: PageFile) -> PageFile:
+        """Arm the injector on ``pagefile`` (returned for chaining).
+
+        Permanent corruption happens immediately; transient faults and
+        latency apply to every subsequent physical read.  Attach *before*
+        the buffer pool warms up, or invalidate the pool after — cached
+        pages never touch the hook.
+        """
+        if self.policy.corrupt_pages:
+            if pagefile.num_pages == 0:
+                raise QueryError("cannot corrupt pages of an empty page file")
+            count = min(self.policy.corrupt_pages, pagefile.num_pages)
+            victims = sorted(self._rng.sample(range(pagefile.num_pages), count))
+            for page_id in victims:
+                offset = self._rng.randrange(pagefile.page_size)
+                pagefile.corrupt_payload_byte(page_id, offset)
+            self.corrupted_pages.extend(victims)
+        pagefile.read_fault_hook = self._before_read
+        return pagefile
+
+    def detach(self, pagefile: PageFile) -> None:
+        """Disarm transient/latency injection (corruption stays on disk)."""
+        pagefile.read_fault_hook = None
+
+    def _before_read(self, page_id: int) -> None:
+        self.observed_reads += 1
+        if self.policy.latency_seconds:
+            time.sleep(self.policy.latency_seconds)
+        if (
+            self.policy.transient_fault_rate
+            and self._rng.random() < self.policy.transient_fault_rate
+        ):
+            self.injected_transients += 1
+            raise OSError(
+                f"injected transient I/O fault reading page {page_id} "
+                f"(fault {self.injected_transients})"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultInjector(seed={self.policy.seed}, "
+            f"transients={self.injected_transients}, "
+            f"corrupted={self.corrupted_pages})"
+        )

@@ -1,0 +1,115 @@
+"""Reusable exponential backoff with jitter.
+
+The storage layer wires a :class:`RetryPolicy` in front of physical page
+reads (:class:`~repro.storage.buffer.LRUBufferPool`) so transient I/O
+faults are retried transparently; the policy is deliberately generic so
+other layers (network backends, remote shards) can reuse it.
+
+Retries apply only to exception types listed in ``retry_on`` — permanent
+failures (e.g. :class:`~repro.errors.CorruptPageError`, which derives from
+``ReproError``, not ``OSError``) pass straight through.  When the attempt
+budget is exhausted the *last* exception is re-raised unchanged; callers
+wrap it in their own typed error (the buffer pool raises
+:class:`~repro.errors.StorageError`).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable
+
+from repro.errors import QueryError
+
+__all__ = ["RetryPolicy"]
+
+
+class RetryPolicy:
+    """Exponential-backoff-with-jitter retry of a callable.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries, including the first (``1`` disables retrying).
+    base_delay:
+        Sleep before the second attempt, in seconds.
+    multiplier:
+        Backoff growth factor per attempt.
+    max_delay:
+        Backoff ceiling, in seconds.
+    jitter:
+        Fraction of each delay randomized (``0.5`` means the actual sleep
+        is uniform in ``[0.5 d, 1.5 d]``), decorrelating retry storms.
+    retry_on:
+        Exception types that are considered transient.
+    seed:
+        Seeds the jitter RNG per :meth:`call` so runs are reproducible.
+    sleep:
+        Injectable sleep function (tests pass a recorder).
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 5,
+        base_delay: float = 0.0005,
+        multiplier: float = 2.0,
+        max_delay: float = 0.05,
+        jitter: float = 0.5,
+        retry_on: tuple[type[BaseException], ...] = (OSError,),
+        seed: int = 0,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        if max_attempts < 1:
+            raise QueryError(f"max_attempts must be >= 1, got {max_attempts}")
+        if base_delay < 0 or max_delay < 0:
+            raise QueryError("retry delays must be >= 0")
+        if multiplier < 1.0:
+            raise QueryError(f"multiplier must be >= 1, got {multiplier}")
+        if not (0.0 <= jitter <= 1.0):
+            raise QueryError(f"jitter must be in [0, 1], got {jitter}")
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.multiplier = multiplier
+        self.max_delay = max_delay
+        self.jitter = jitter
+        self.retry_on = retry_on
+        self.seed = seed
+        self._sleep = sleep
+
+    def delay_for(self, attempt: int, rng: random.Random) -> float:
+        """Jittered backoff before attempt ``attempt + 1`` (0-based)."""
+        delay = min(self.base_delay * self.multiplier**attempt, self.max_delay)
+        if self.jitter:
+            delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return max(0.0, delay)
+
+    def call(
+        self,
+        fn: Callable,
+        *args,
+        on_retry: Callable[[int, BaseException], None] | None = None,
+    ):
+        """Invoke ``fn(*args)``, retrying transient failures.
+
+        ``on_retry(attempt, exc)`` is called before each backoff sleep
+        (attempts are 1-based), letting callers count retries in their
+        stats.  Re-raises the last transient exception once
+        ``max_attempts`` is exhausted.
+        """
+        rng = random.Random(self.seed)
+        for attempt in range(1, self.max_attempts + 1):
+            try:
+                return fn(*args)
+            except self.retry_on as exc:
+                if attempt >= self.max_attempts:
+                    raise
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                self._sleep(self.delay_for(attempt - 1, rng))
+
+    def __repr__(self) -> str:
+        return (
+            f"RetryPolicy(max_attempts={self.max_attempts}, "
+            f"base_delay={self.base_delay}, multiplier={self.multiplier}, "
+            f"max_delay={self.max_delay}, jitter={self.jitter})"
+        )

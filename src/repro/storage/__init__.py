@@ -2,12 +2,13 @@
 
 from repro.storage.buffer import BufferStats, LRUBufferPool
 from repro.storage.database import DiskTrajectoryDatabase
-from repro.storage.pages import DEFAULT_PAGE_SIZE, PageFile
+from repro.storage.pages import CHECKSUM_SIZE, DEFAULT_PAGE_SIZE, PageFile
 from repro.storage.records import decode_trajectory, encode_trajectory
 from repro.storage.store import DiskTrajectoryStore
 
 __all__ = [
     "BufferStats",
+    "CHECKSUM_SIZE",
     "DEFAULT_PAGE_SIZE",
     "DiskTrajectoryDatabase",
     "DiskTrajectoryStore",

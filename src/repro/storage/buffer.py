@@ -3,15 +3,27 @@
 The paper's disk-resident experiments use an LRU buffer in front of the
 trajectory pages; this is that component, with hit/miss counters exposed so
 benchmarks can report data-access behaviour, not just wall time.
+
+The pool is also where transient disk faults die: physical reads run under
+an optional :class:`~repro.resilience.retry.RetryPolicy`, so an ``OSError``
+that clears on retry is invisible to callers (counted in
+``stats.retries``), while persistent failures surface as a typed
+:class:`~repro.errors.StorageError` and detected corruption as
+:class:`~repro.errors.CorruptPageError` (never retried — the bytes on disk
+will not improve).
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
-from repro.errors import DatasetError
+from repro.errors import DatasetError, StorageError
 from repro.storage.pages import PageFile
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.resilience.retry import RetryPolicy
 
 __all__ = ["BufferStats", "LRUBufferPool"]
 
@@ -23,6 +35,8 @@ class BufferStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    #: Physical reads that failed transiently and were retried.
+    retries: int = 0
 
     @property
     def accesses(self) -> int:
@@ -36,17 +50,23 @@ class BufferStats:
 
     def reset(self) -> None:
         """Zero all counters (e.g. between benchmark phases)."""
-        self.hits = self.misses = self.evictions = 0
+        self.hits = self.misses = self.evictions = self.retries = 0
 
 
 class LRUBufferPool:
     """Least-recently-used cache of page contents."""
 
-    def __init__(self, pagefile: PageFile, capacity: int = 256):
+    def __init__(
+        self,
+        pagefile: PageFile,
+        capacity: int = 256,
+        retry: "RetryPolicy | None" = None,
+    ):
         if capacity < 1:
             raise DatasetError(f"buffer capacity must be >= 1, got {capacity}")
         self._pagefile = pagefile
         self._capacity = capacity
+        self._retry = retry
         self._pages: OrderedDict[int, bytes] = OrderedDict()
         self.stats = BufferStats()
 
@@ -54,6 +74,11 @@ class LRUBufferPool:
     def capacity(self) -> int:
         """Maximum number of cached pages."""
         return self._capacity
+
+    @property
+    def retry_policy(self) -> "RetryPolicy | None":
+        """The retry policy guarding physical reads (``None`` = fail fast)."""
+        return self._retry
 
     def __len__(self) -> int:
         return len(self._pages)
@@ -66,12 +91,29 @@ class LRUBufferPool:
             self.stats.hits += 1
             return cached
         self.stats.misses += 1
-        data = self._pagefile.read_page(page_id)
+        data = self._read_physical(page_id)
         self._pages[page_id] = data
         if len(self._pages) > self._capacity:
             self._pages.popitem(last=False)
             self.stats.evictions += 1
         return data
+
+    def _read_physical(self, page_id: int) -> bytes:
+        """One disk read, retried per policy; ``OSError`` -> ``StorageError``."""
+        try:
+            if self._retry is None:
+                return self._pagefile.read_page(page_id)
+            return self._retry.call(
+                self._pagefile.read_page, page_id, on_retry=self._count_retry
+            )
+        except OSError as exc:
+            raise StorageError(
+                f"reading page {page_id} of {self._pagefile.path} failed "
+                f"permanently: {exc}"
+            ) from exc
+
+    def _count_retry(self, attempt: int, exc: BaseException) -> None:
+        self.stats.retries += 1
 
     def invalidate(self, page_id: int | None = None) -> None:
         """Drop one page (or everything) from the cache."""

@@ -72,13 +72,20 @@ class DiskTrajectoryDatabase:
         sigma: float | None = None,
         page_size: int = DEFAULT_PAGE_SIZE,
         buffer_capacity: int = 256,
+        retry=None,
+        checksum: bool = True,
     ) -> "DiskTrajectoryDatabase":
-        """Materialise the store on disk and build the in-memory indexes."""
+        """Materialise the store on disk and build the in-memory indexes.
+
+        ``retry`` is an optional :class:`~repro.resilience.retry.RetryPolicy`
+        absorbing transient disk faults; ``checksum=False`` drops the
+        per-page CRC32 (legacy format, benchmark baseline).
+        """
         if len(trajectories) == 0:
             raise DatasetError("a trajectory database needs at least one trajectory")
         store = DiskTrajectoryStore.build(
             path, trajectories, page_size=page_size,
-            buffer_capacity=buffer_capacity,
+            buffer_capacity=buffer_capacity, retry=retry, checksum=checksum,
         )
         vertex_index = VertexTrajectoryIndex.build(graph, trajectories)
         keyword_index = InvertedKeywordIndex.build(trajectories)

@@ -5,44 +5,83 @@ behind an LRU buffer, indexes in memory).  This module provides the page
 abstraction: a file of fixed-size pages addressed by page id, with explicit
 read/write/allocate operations so the buffer pool above it can count and
 cache I/O.
+
+Each page carries a CRC32 checksum of its payload in a 4-byte on-disk
+header, so silent corruption is *detectable*: a mismatching read raises
+:class:`~repro.errors.CorruptPageError` instead of returning wrong bytes.
+The checksum is a physical-layer concern — ``page_size`` remains the
+logical payload capacity, and each page occupies ``page_size + 4`` bytes on
+disk.  ``checksum=False`` opts out (legacy format, benchmark baseline).
+
+``read_fault_hook`` is the fault-injection seam used by
+:mod:`repro.resilience.faults`: when set, it is invoked with the page id
+before every physical read and may raise (transient ``IOError``) or sleep
+(latency).  It is ``None`` — zero overhead beyond one attribute check — in
+production use.
 """
 
 from __future__ import annotations
 
 import os
+import struct
+import zlib
 from pathlib import Path
+from typing import Callable
 
-from repro.errors import DatasetError
+from repro.errors import CorruptPageError, DatasetError
 
-__all__ = ["PageFile", "DEFAULT_PAGE_SIZE"]
+__all__ = ["PageFile", "DEFAULT_PAGE_SIZE", "CHECKSUM_SIZE"]
 
 DEFAULT_PAGE_SIZE = 4096
 
+#: Bytes of per-page checksum header on disk (CRC32, little-endian).
+CHECKSUM_SIZE = 4
+
+_CRC = struct.Struct("<I")
+
 
 class PageFile:
-    """A file of fixed-size pages with random access by page id."""
+    """A file of fixed-size checksummed pages with random access by page id."""
+
+    #: Optional ``hook(page_id)`` run before every physical page read; the
+    #: seam :class:`~repro.resilience.faults.FaultInjector` attaches to.
+    read_fault_hook: Callable[[int], None] | None = None
 
     def __init__(self, path: str | Path, page_size: int = DEFAULT_PAGE_SIZE,
-                 create: bool = False):
+                 create: bool = False, checksum: bool = True):
         if page_size < 64:
             raise DatasetError(f"page size {page_size} is too small")
         self._path = Path(path)
         self._page_size = page_size
+        self._checksum = checksum
+        self._physical_size = page_size + (CHECKSUM_SIZE if checksum else 0)
         mode = "w+b" if create or not self._path.exists() else "r+b"
         self._file = open(self._path, mode)
         self._file.seek(0, os.SEEK_END)
         size = self._file.tell()
-        if size % page_size != 0:
+        if size % self._physical_size != 0:
             raise DatasetError(
-                f"{path} has size {size}, not a multiple of page size {page_size}"
+                f"{path} has size {size}, not a multiple of page size "
+                f"{self._physical_size} on disk (payload {page_size}"
+                f"{' + checksum header' if checksum else ''})"
             )
-        self._num_pages = size // page_size
+        self._num_pages = size // self._physical_size
 
     # ------------------------------------------------------------ metadata
     @property
     def page_size(self) -> int:
-        """Bytes per page."""
+        """Bytes of payload per page."""
         return self._page_size
+
+    @property
+    def physical_page_size(self) -> int:
+        """Bytes per page on disk (payload plus checksum header)."""
+        return self._physical_size
+
+    @property
+    def checksummed(self) -> bool:
+        """Whether pages carry a CRC32 header."""
+        return self._checksum
 
     @property
     def num_pages(self) -> int:
@@ -56,18 +95,36 @@ class PageFile:
 
     # ------------------------------------------------------------------ io
     def allocate(self) -> int:
-        """Append an empty page; returns its id."""
+        """Append an empty (zeroed, correctly checksummed) page; returns its id."""
         page_id = self._num_pages
-        self._file.seek(page_id * self._page_size)
-        self._file.write(b"\x00" * self._page_size)
         self._num_pages += 1
+        self._write_physical(page_id, b"\x00" * self._page_size)
         return page_id
 
     def read_page(self, page_id: int) -> bytes:
-        """The raw bytes of one page."""
+        """The payload bytes of one page (checksum-verified)."""
         self._check(page_id)
-        self._file.seek(page_id * self._page_size)
-        return self._file.read(self._page_size)
+        hook = self.read_fault_hook
+        if hook is not None:
+            hook(page_id)
+        self._file.seek(page_id * self._physical_size)
+        raw = self._file.read(self._physical_size)
+        if len(raw) != self._physical_size:
+            raise DatasetError(
+                f"short read of page {page_id} from {self._path} "
+                f"({len(raw)}/{self._physical_size} bytes)"
+            )
+        if not self._checksum:
+            return raw
+        stored = _CRC.unpack_from(raw)[0]
+        payload = raw[CHECKSUM_SIZE:]
+        actual = zlib.crc32(payload)
+        if actual != stored:
+            raise CorruptPageError(
+                page_id, self._path,
+                f"stored crc 0x{stored:08x}, computed 0x{actual:08x}",
+            )
+        return payload
 
     def write_page(self, page_id: int, data: bytes) -> None:
         """Overwrite one page; ``data`` must not exceed the page size."""
@@ -77,8 +134,39 @@ class PageFile:
                 f"page payload of {len(data)} bytes exceeds page size "
                 f"{self._page_size}"
             )
-        self._file.seek(page_id * self._page_size)
-        self._file.write(data.ljust(self._page_size, b"\x00"))
+        self._write_physical(page_id, data.ljust(self._page_size, b"\x00"))
+
+    def _write_physical(self, page_id: int, payload: bytes) -> None:
+        self._file.seek(page_id * self._physical_size)
+        if self._checksum:
+            self._file.write(_CRC.pack(zlib.crc32(payload)))
+        self._file.write(payload)
+
+    def corrupt_payload_byte(self, page_id: int, offset: int = 0) -> None:
+        """Flip one payload byte on disk *without* updating the checksum.
+
+        This deliberately damages the page the way a failing disk would —
+        the next :meth:`read_page` raises :class:`CorruptPageError`.  It
+        exists solely for fault injection and tests
+        (:mod:`repro.resilience.faults`).
+        """
+        self._check(page_id)
+        if not (0 <= offset < self._page_size):
+            raise DatasetError(
+                f"corruption offset {offset} outside page payload "
+                f"(page size {self._page_size})"
+            )
+        position = (
+            page_id * self._physical_size
+            + (CHECKSUM_SIZE if self._checksum else 0)
+            + offset
+        )
+        self._file.flush()
+        self._file.seek(position)
+        current = self._file.read(1)
+        self._file.seek(position)
+        self._file.write(bytes([current[0] ^ 0xFF]))
+        self._file.flush()
 
     def flush(self) -> None:
         """Flush buffered writes to the OS."""
@@ -105,5 +193,5 @@ class PageFile:
     def __repr__(self) -> str:
         return (
             f"PageFile({self._path.name}, pages={self._num_pages}, "
-            f"page_size={self._page_size})"
+            f"page_size={self._page_size}, checksum={self._checksum})"
         )

@@ -13,11 +13,16 @@ import struct
 from pathlib import Path
 from typing import Iterable
 
+from typing import TYPE_CHECKING
+
 from repro.errors import DatasetError, TrajectoryError
 from repro.storage.buffer import LRUBufferPool
 from repro.storage.pages import DEFAULT_PAGE_SIZE, PageFile
 from repro.storage.records import decode_trajectory, encode_trajectory
 from repro.trajectory.model import Trajectory
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resilience.retry import RetryPolicy
 
 __all__ = ["DiskTrajectoryStore"]
 
@@ -25,17 +30,23 @@ _LEN = struct.Struct("<H")
 
 
 class DiskTrajectoryStore:
-    """Random-access trajectory records on disk behind an LRU buffer."""
+    """Random-access trajectory records on disk behind an LRU buffer.
+
+    ``retry`` (a :class:`~repro.resilience.retry.RetryPolicy`) makes page
+    reads absorb transient I/O faults; without it the first failure
+    surfaces as :class:`~repro.errors.StorageError`.
+    """
 
     def __init__(
         self,
         pagefile: PageFile,
         directory: dict[int, tuple[int, int]],
         buffer_capacity: int = 256,
+        retry: "RetryPolicy | None" = None,
     ):
         self._pagefile = pagefile
         self._directory = directory
-        self._buffer = LRUBufferPool(pagefile, buffer_capacity)
+        self._buffer = LRUBufferPool(pagefile, buffer_capacity, retry=retry)
 
     # ---------------------------------------------------------------- build
     @classmethod
@@ -45,9 +56,11 @@ class DiskTrajectoryStore:
         trajectories: Iterable[Trajectory],
         page_size: int = DEFAULT_PAGE_SIZE,
         buffer_capacity: int = 256,
+        retry: "RetryPolicy | None" = None,
+        checksum: bool = True,
     ) -> "DiskTrajectoryStore":
         """Write all trajectories to ``path`` and open the store over them."""
-        pagefile = PageFile(path, page_size, create=True)
+        pagefile = PageFile(path, page_size, create=True, checksum=checksum)
         directory: dict[int, tuple[int, int]] = {}
         page_id = pagefile.allocate()
         cursor = 0
@@ -73,7 +86,7 @@ class DiskTrajectoryStore:
             cursor += needed
         pagefile.write_page(page_id, bytes(buffer[:cursor]))
         pagefile.flush()
-        return cls(pagefile, directory, buffer_capacity)
+        return cls(pagefile, directory, buffer_capacity, retry=retry)
 
     # ---------------------------------------------------------------- reads
     def get(self, trajectory_id: int) -> Trajectory:
@@ -106,8 +119,13 @@ class DiskTrajectoryStore:
     # ------------------------------------------------------------- plumbing
     @property
     def buffer(self) -> LRUBufferPool:
-        """The LRU buffer pool (stats live here)."""
+        """The LRU buffer pool (hit/miss/retry stats live here)."""
         return self._buffer
+
+    @property
+    def pagefile(self) -> PageFile:
+        """The backing page file (fault-injection seam lives here)."""
+        return self._pagefile
 
     @property
     def num_pages(self) -> int:

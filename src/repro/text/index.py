@@ -13,7 +13,7 @@ import math
 from bisect import insort
 from typing import Iterable
 
-from repro.errors import IndexError_
+from repro.errors import TrajectoryIndexError
 from repro.trajectory.model import Trajectory, TrajectorySet
 
 __all__ = ["InvertedKeywordIndex"]
@@ -38,7 +38,7 @@ class InvertedKeywordIndex:
     def add(self, trajectory: Trajectory) -> None:
         """Index one trajectory; rejects re-adding the same id."""
         if trajectory.id in self._indexed:
-            raise IndexError_(f"trajectory {trajectory.id} already indexed")
+            raise TrajectoryIndexError(f"trajectory {trajectory.id} already indexed")
         self._indexed[trajectory.id] = trajectory.keywords
         for keyword in trajectory.keywords:
             insort(self._postings.setdefault(keyword, []), trajectory.id)
@@ -47,7 +47,7 @@ class InvertedKeywordIndex:
         """Remove a trajectory from all posting lists."""
         keywords = self._indexed.pop(trajectory_id, None)
         if keywords is None:
-            raise IndexError_(f"trajectory {trajectory_id} is not indexed")
+            raise TrajectoryIndexError(f"trajectory {trajectory_id} is not indexed")
         for keyword in keywords:
             posting = self._postings[keyword]
             posting.remove(trajectory_id)
@@ -89,7 +89,7 @@ class InvertedKeywordIndex:
         try:
             return self._indexed[trajectory_id]
         except KeyError:
-            raise IndexError_(f"trajectory {trajectory_id} is not indexed") from None
+            raise TrajectoryIndexError(f"trajectory {trajectory_id} is not indexed") from None
 
     @property
     def num_trajectories(self) -> int:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import DatasetError, IndexError_, TrajectoryError
+from repro.errors import DatasetError, TrajectoryIndexError, TrajectoryError
 from repro.index.database import TrajectoryDatabase
 from repro.trajectory.model import Trajectory, TrajectoryPoint, TrajectorySet
 
@@ -79,5 +79,5 @@ class TestMutation:
         assert db.keyword_index.postings("park") == [1]
 
     def test_remove_unknown_rejected(self, db):
-        with pytest.raises((TrajectoryError, IndexError_)):
+        with pytest.raises((TrajectoryError, TrajectoryIndexError)):
             db.remove(50)

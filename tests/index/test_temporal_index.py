@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import IndexError_
+from repro.errors import TrajectoryIndexError
 from repro.index.temporal_index import TemporalGridIndex
 from repro.trajectory.model import DAY_SECONDS, Trajectory, TrajectoryPoint
 
@@ -48,9 +48,9 @@ class TestStructure:
                 assert parent.lo <= node.lo and node.hi <= parent.hi
 
     def test_invalid_parameters_rejected(self):
-        with pytest.raises(IndexError_):
+        with pytest.raises(TrajectoryIndexError):
             TemporalGridIndex(num_leaves=0)
-        with pytest.raises(IndexError_):
+        with pytest.raises(TrajectoryIndexError):
             TemporalGridIndex(num_leaves=4, day=0.0)
 
 
@@ -76,14 +76,14 @@ class TestInsertion:
     def test_duplicate_insert_rejected(self):
         index = TemporalGridIndex(num_leaves=4)
         index.insert(_traj(0, 100, 200))
-        with pytest.raises(IndexError_, match="already"):
+        with pytest.raises(TrajectoryIndexError, match="already"):
             index.insert(_traj(0, 300, 400))
 
     def test_node_of_lookup(self):
         index = TemporalGridIndex(num_leaves=4)
         node = index.insert(_traj(5, 100, 200))
         assert index.node_of(5) is node
-        with pytest.raises(IndexError_):
+        with pytest.raises(TrajectoryIndexError):
             index.node_of(99)
 
     def test_remove(self):
@@ -91,7 +91,7 @@ class TestInsertion:
         index.insert(_traj(0, 100, 200))
         index.remove(0)
         assert index.num_trajectories == 0
-        with pytest.raises(IndexError_):
+        with pytest.raises(TrajectoryIndexError):
             index.remove(0)
 
     def test_lowest_node_property_holds_for_many(self, annotated_trips):

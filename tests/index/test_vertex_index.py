@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import IndexError_, VertexNotFoundError
+from repro.errors import TrajectoryIndexError, VertexNotFoundError
 from repro.index.vertex_index import VertexTrajectoryIndex
 from repro.trajectory.model import Trajectory, TrajectoryPoint, TrajectorySet
 
@@ -28,7 +28,7 @@ class TestQueries:
 
     def test_vertices_of(self, index):
         assert index.vertices_of(1) == frozenset({2, 4})
-        with pytest.raises(IndexError_):
+        with pytest.raises(TrajectoryIndexError):
             index.vertices_of(99)
 
     def test_out_of_range_vertex_rejected(self, index):
@@ -53,7 +53,7 @@ class TestMutation:
         assert index.trajectories_at(7) == [10]
 
     def test_duplicate_add_rejected(self, index):
-        with pytest.raises(IndexError_, match="already"):
+        with pytest.raises(TrajectoryIndexError, match="already"):
             index.add(_traj(0, [5]))
 
     def test_out_of_range_trajectory_rejected(self, index, grid10):
@@ -74,7 +74,7 @@ class TestMutation:
         assert 0 not in index
 
     def test_remove_unknown_rejected(self, index):
-        with pytest.raises(IndexError_):
+        with pytest.raises(TrajectoryIndexError):
             index.remove(42)
 
 

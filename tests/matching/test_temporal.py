@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import IndexError_
+from repro.errors import TrajectoryIndexError
 from repro.matching.temporal import TemporalExpansion, TimestampIndex, min_time_gap
 from repro.trajectory.model import Trajectory, TrajectoryPoint, TrajectorySet
 
@@ -41,18 +41,18 @@ class TestTimestampIndex:
 
     def test_per_trajectory_timestamps(self, index):
         assert index.trajectory_timestamps(0) == [100.0, 200.0]
-        with pytest.raises(IndexError_):
+        with pytest.raises(TrajectoryIndexError):
             index.trajectory_timestamps(9)
 
     def test_duplicate_add_rejected(self, index):
-        with pytest.raises(IndexError_):
+        with pytest.raises(TrajectoryIndexError):
             index.add(_traj(0, [5]))
 
     def test_remove(self, index):
         index.remove(0)
         assert index.num_trajectories == 2
         assert all(tid != 0 for __, tid in index.entries)
-        with pytest.raises(IndexError_):
+        with pytest.raises(TrajectoryIndexError):
             index.remove(0)
 
 

@@ -1,0 +1,200 @@
+"""Search budgets: unit behaviour and the anytime-search guarantees.
+
+The load-bearing property: a degraded answer is never silently wrong.
+Every returned item is either exactly scored or explicitly a lower bound,
+the residual bound caps what any missed trajectory could score, and
+``confirmed_prefix()`` is a true prefix of the exact top-k ranking.
+"""
+
+import pytest
+
+from repro.core.engine import ALGORITHMS, TripRecommender, make_searcher
+from repro.core.query import UOTSQuery
+from repro.errors import BudgetExceededError, QueryError
+from repro.resilience.budget import SearchBudget
+
+QUERY_CASES = [
+    ([5, 210], "park lakeside", 0.5),
+    ([0, 399], "seafood", 0.3),
+    ([37, 199, 361], "museum walk", 0.7),
+]
+
+
+def _query(locations, preference, lam, k=5, budget=None):
+    return UOTSQuery.create(locations, preference, lam=lam, k=k, budget=budget)
+
+
+class TestSearchBudget:
+    def test_unlimited(self):
+        assert SearchBudget().unlimited
+        assert not SearchBudget(max_expanded_vertices=10).unlimited
+        assert not SearchBudget(deadline_seconds=1.0).unlimited
+        assert not SearchBudget(max_refinements=3).unlimited
+
+    def test_from_millis(self):
+        budget = SearchBudget.from_millis(deadline_ms=250.0)
+        assert budget.deadline_seconds == pytest.approx(0.25)
+        assert SearchBudget.from_millis().deadline_seconds is None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"deadline_seconds": -0.1},
+            {"max_expanded_vertices": -1},
+            {"max_refinements": -5},
+        ],
+    )
+    def test_negative_limits_rejected(self, kwargs):
+        with pytest.raises(QueryError):
+            SearchBudget(**kwargs)
+
+    def test_meter_work_counters(self):
+        meter = SearchBudget(max_expanded_vertices=5, max_refinements=2).start()
+        assert meter.exceeded(expanded_vertices=4, refinements=1) is None
+        assert "expansion budget" in meter.exceeded(expanded_vertices=5)
+        assert "refinement budget" in meter.exceeded(refinements=2)
+
+    def test_meter_deadline(self):
+        meter = SearchBudget(deadline_seconds=0.0).start()
+        assert "deadline" in meter.exceeded()
+        meter = SearchBudget(deadline_seconds=60.0).start()
+        assert meter.exceeded() is None
+
+
+class TestDegradedSearch:
+    """Budget-tripped collaborative searches degrade, never lie."""
+
+    @pytest.fixture(scope="class")
+    def searcher(self, database):
+        return make_searcher(database, "collaborative")
+
+    @pytest.mark.parametrize("locations,preference,lam", QUERY_CASES)
+    def test_degraded_result_shape(self, searcher, locations, preference, lam):
+        budget = SearchBudget(max_expanded_vertices=10)
+        result = searcher.search(_query(locations, preference, lam), budget=budget)
+        assert not result.exact
+        assert result.degradation_reason
+        assert result.residual_bound >= 0.0
+        assert result.items, "a degraded answer still carries best-effort items"
+        scores = [item.score for item in result.items]
+        assert scores == sorted(scores, reverse=True)
+
+    @pytest.mark.parametrize("locations,preference,lam", QUERY_CASES)
+    @pytest.mark.parametrize("cap", [1, 10, 50, 200])
+    def test_confirmed_prefix_is_true_prefix(
+        self, searcher, locations, preference, lam, cap
+    ):
+        exact = searcher.search(_query(locations, preference, lam))
+        assert exact.exact
+        degraded = searcher.search(
+            _query(locations, preference, lam),
+            budget=SearchBudget(max_expanded_vertices=cap),
+        )
+        prefix = degraded.confirmed_prefix()
+        assert [item.trajectory_id for item in prefix] == exact.ids[: len(prefix)]
+        for got, want in zip(prefix, exact.items):
+            assert got.score == pytest.approx(want.score)
+
+    @pytest.mark.parametrize("locations,preference,lam", QUERY_CASES)
+    def test_large_budget_converges_to_exact(
+        self, searcher, locations, preference, lam
+    ):
+        exact = searcher.search(_query(locations, preference, lam))
+        budgeted = searcher.search(
+            _query(locations, preference, lam),
+            budget=SearchBudget(max_expanded_vertices=10**9, deadline_seconds=600.0),
+        )
+        assert budgeted.exact
+        assert budgeted.ids == exact.ids
+        assert budgeted.scores == pytest.approx(exact.scores)
+        assert budgeted.confirmed_prefix() == list(budgeted.items)
+
+    def test_residual_bound_caps_missed_scores(self, searcher, database):
+        """Brute-force truth: no unreturned trajectory beats the residual."""
+        query = _query([5, 210], "park lakeside", 0.5, k=5)
+        degraded = searcher.search(
+            query, budget=SearchBudget(max_expanded_vertices=50)
+        )
+        exact_all = make_searcher(database, "brute-force").search(
+            _query([5, 210], "park lakeside", 0.5, k=len(database))
+        )
+        returned = set(degraded.ids)
+        eps = 1e-9
+        for item in exact_all.items:
+            if item.trajectory_id not in returned:
+                assert item.score <= degraded.residual_bound + eps
+
+    def test_strict_budget_raises(self, searcher):
+        budget = SearchBudget(max_expanded_vertices=10, strict=True)
+        with pytest.raises(BudgetExceededError) as excinfo:
+            searcher.search(_query([5, 210], "park", 0.5), budget=budget)
+        assert "expansion budget" in excinfo.value.reason
+
+    def test_budget_attached_to_query(self, searcher):
+        query = _query(
+            [5, 210], "park", 0.5, budget=SearchBudget(max_expanded_vertices=10)
+        )
+        result = searcher.search(query)
+        assert not result.exact
+        # An explicit budget argument overrides the query's.
+        wide = searcher.search(query, budget=SearchBudget())
+        assert wide.exact
+
+    def test_degraded_queries_counted(self, searcher):
+        result = searcher.search(
+            _query([5, 210], "park", 0.5),
+            budget=SearchBudget(max_expanded_vertices=10),
+        )
+        assert result.stats.degraded_queries == 1
+
+
+class TestAllAlgorithmsHonourBudgets:
+    @pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+    def test_zero_deadline_degrades(self, database, algorithm):
+        searcher = make_searcher(database, algorithm)
+        result = searcher.search(
+            _query([5, 210], "park lakeside", 0.5),
+            budget=SearchBudget(deadline_seconds=0.0),
+        )
+        assert not result.exact
+        assert "deadline" in result.degradation_reason
+        scores = [item.score for item in result.items]
+        assert scores == sorted(scores, reverse=True)
+
+    @pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+    def test_unlimited_budget_is_exact(self, database, algorithm):
+        searcher = make_searcher(database, algorithm)
+        plain = searcher.search(_query([5, 210], "park", 0.5))
+        budgeted = searcher.search(_query([5, 210], "park", 0.5),
+                                   budget=SearchBudget())
+        assert budgeted.exact
+        assert budgeted.ids == plain.ids
+
+    @pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+    def test_strict_zero_deadline_raises(self, database, algorithm):
+        searcher = make_searcher(database, algorithm)
+        with pytest.raises(BudgetExceededError):
+            searcher.search(
+                _query([5, 210], "park", 0.5),
+                budget=SearchBudget(deadline_seconds=0.0, strict=True),
+            )
+
+
+class TestRecommenderBudget:
+    def test_recommend_accepts_budget(self, database):
+        recommender = TripRecommender(database)
+        trips = recommender.recommend(
+            [5, 210], "park lakeside", k=3,
+            budget=SearchBudget(max_expanded_vertices=10),
+        )
+        assert trips
+        for rec in trips:
+            assert rec.trajectory is not None
+
+    def test_search_passes_budget_through(self, database):
+        recommender = TripRecommender(database)
+        result = recommender.search(
+            _query([5, 210], "park", 0.5),
+            budget=SearchBudget(max_expanded_vertices=10),
+        )
+        assert not result.exact

@@ -1,0 +1,98 @@
+"""Unit tests for the reusable retry policy."""
+
+import pytest
+
+from repro.errors import CorruptPageError, QueryError
+from repro.resilience.retry import RetryPolicy
+
+
+def _policy(**kwargs):
+    kwargs.setdefault("sleep", lambda _d: None)
+    return RetryPolicy(**kwargs)
+
+
+class _Flaky:
+    """Fails with ``exc`` for the first ``failures`` calls, then succeeds."""
+
+    def __init__(self, failures, exc=OSError("transient")):
+        self.failures = failures
+        self.exc = exc
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.exc
+        return "ok"
+
+
+class TestRetryPolicy:
+    def test_success_after_transient_failures(self):
+        flaky = _Flaky(failures=2)
+        assert _policy(max_attempts=5).call(flaky) == "ok"
+        assert flaky.calls == 3
+
+    def test_exhaustion_reraises_last_exception(self):
+        exc = OSError("still broken")
+        flaky = _Flaky(failures=99, exc=exc)
+        with pytest.raises(OSError) as excinfo:
+            _policy(max_attempts=3).call(flaky)
+        assert excinfo.value is exc
+        assert flaky.calls == 3
+
+    def test_non_retryable_passes_straight_through(self):
+        flaky = _Flaky(failures=99, exc=CorruptPageError(0, "x", "crc"))
+        with pytest.raises(CorruptPageError):
+            _policy(max_attempts=5).call(flaky)
+        assert flaky.calls == 1, "corruption must never be retried"
+
+    def test_on_retry_callback_counts_attempts(self):
+        seen = []
+        flaky = _Flaky(failures=2)
+        _policy(max_attempts=5).call(
+            flaky, on_retry=lambda attempt, exc: seen.append(attempt)
+        )
+        assert seen == [1, 2]
+
+    def test_backoff_grows_and_is_capped(self):
+        sleeps = []
+        policy = RetryPolicy(
+            max_attempts=6, base_delay=0.001, multiplier=2.0, max_delay=0.004,
+            jitter=0.0, sleep=sleeps.append,
+        )
+        with pytest.raises(OSError):
+            policy.call(_Flaky(failures=99))
+        assert sleeps == pytest.approx([0.001, 0.002, 0.004, 0.004, 0.004])
+
+    def test_jitter_is_seeded_and_bounded(self):
+        def run(seed):
+            sleeps = []
+            policy = RetryPolicy(max_attempts=4, base_delay=0.01, jitter=0.5,
+                                 seed=seed, sleep=sleeps.append)
+            with pytest.raises(OSError):
+                policy.call(_Flaky(failures=99))
+            return sleeps
+
+        assert run(7) == run(7), "same seed, same jitter"
+        assert run(7) != run(8)
+        for delay in run(7):
+            assert delay >= 0.0
+
+    def test_single_attempt_disables_retry(self):
+        flaky = _Flaky(failures=1)
+        with pytest.raises(OSError):
+            _policy(max_attempts=1).call(flaky)
+        assert flaky.calls == 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_delay": -1.0},
+            {"multiplier": 0.5},
+            {"jitter": 1.5},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(QueryError):
+            RetryPolicy(**kwargs)

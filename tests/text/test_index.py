@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.errors import IndexError_
+from repro.errors import TrajectoryIndexError
 from repro.text.index import InvertedKeywordIndex
 from repro.trajectory.model import Trajectory, TrajectoryPoint, TrajectorySet
 
@@ -59,7 +59,7 @@ class TestCandidates:
 
     def test_keywords_of(self, index):
         assert index.keywords_of(0) == frozenset({"park", "seafood"})
-        with pytest.raises(IndexError_):
+        with pytest.raises(TrajectoryIndexError):
             index.keywords_of(99)
 
 
@@ -70,7 +70,7 @@ class TestMutation:
         assert index.postings("zoo") == [10]
 
     def test_duplicate_add_rejected(self, index):
-        with pytest.raises(IndexError_, match="already indexed"):
+        with pytest.raises(TrajectoryIndexError, match="already indexed"):
             index.add(_traj(0, ["x"]))
 
     def test_remove_cleans_postings(self, index):
@@ -80,7 +80,7 @@ class TestMutation:
         assert 0 not in index
 
     def test_remove_unknown_rejected(self, index):
-        with pytest.raises(IndexError_):
+        with pytest.raises(TrajectoryIndexError):
             index.remove(42)
 
     def test_keywordless_trajectory_indexed(self, index):
