@@ -54,15 +54,17 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _load_database(directory: str) -> TrajectoryDatabase:
+def _load_database(
+    directory: str, cache_size: int | None = None
+) -> TrajectoryDatabase:
     base = Path(directory)
     graph = network_io.load_json(base / "network.json")
     trips = trajectory_io.load_jsonl(base / "trajectories.jsonl")
-    return TrajectoryDatabase(graph, trips)
+    return TrajectoryDatabase(graph, trips, cache_size=cache_size)
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    database = _load_database(args.data)
+    database = _load_database(args.data, cache_size=args.cache_size)
     query = UOTSQuery.create(
         locations=[int(v) for v in args.locations.split(",")],
         preference=args.preference,
@@ -75,7 +77,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
             deadline_ms=args.deadline_ms,
             max_expanded_vertices=args.max_expansions,
         )
-    searcher = make_searcher(database, args.algorithm)
+    searcher = make_searcher(database, args.algorithm, alt=not args.no_alt)
     result = searcher.search(query, budget=budget)
     rows = [
         (item.trajectory_id, f"{item.score:.4f}",
@@ -84,10 +86,19 @@ def _cmd_query(args: argparse.Namespace) -> int:
         for item in result.items
     ]
     print(format_table(["trajectory", "score", "spatial", "text", "kind"], rows))
+    stats = result.stats
     print(
-        f"visited={result.stats.visited_trajectories} "
-        f"expanded={result.stats.expanded_vertices} "
-        f"time={result.stats.elapsed_seconds * 1000:.1f}ms"
+        f"visited={stats.visited_trajectories} "
+        f"expanded={stats.expanded_vertices} "
+        f"batches={stats.expand_batches} "
+        f"refinements={stats.refinements} "
+        f"time={stats.elapsed_seconds * 1000:.1f}ms"
+    )
+    print(
+        f"alt_pruned={stats.alt_pruned} "
+        f"distance_cache={stats.distance_cache_hits}h/"
+        f"{stats.distance_cache_misses}m "
+        f"text_cache={stats.text_cache_hits}h/{stats.text_cache_misses}m"
     )
     if not result.exact:
         print(
@@ -172,6 +183,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--max-expansions", type=int, default=None, metavar="N",
         help="cap on expanded vertices before the search degrades",
+    )
+    p.add_argument(
+        "--no-alt", action="store_true",
+        help="disable landmark (ALT) bound tightening (same results, "
+             "more expansion work)",
+    )
+    p.add_argument(
+        "--cache-size", type=int, default=None, metavar="N",
+        help="bound on the cross-query distance cache "
+             "(0 disables caching; default keeps the built-in bounds)",
     )
     p.set_defaults(func=_cmd_query)
 

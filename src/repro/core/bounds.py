@@ -25,7 +25,7 @@ quantity the termination test needs.
 from __future__ import annotations
 
 import heapq
-from typing import Iterator, Mapping
+from typing import Callable, Iterator, Mapping
 
 __all__ = ["SourceRadiiWeights", "BoundTracker"]
 
@@ -51,12 +51,17 @@ class SourceRadiiWeights:
 class _State:
     """Partial knowledge about one scanned, not yet finished trajectory."""
 
-    __slots__ = ("known", "known_weight", "text")
+    __slots__ = ("known", "known_weight", "text", "caps")
 
     def __init__(self, text: float):
         self.known: set[int] = set()
         self.known_weight = 0.0
         self.text = text
+        # Per-source frontier caps (ALT): source i's unknown contribution
+        # can never exceed caps[i], however small the radii still are.
+        # Computed lazily — only for states that reach the top of the bound
+        # heap, where tightening actually decides termination.
+        self.caps: list[float] | None = None
 
 
 class BoundTracker:
@@ -69,6 +74,7 @@ class BoundTracker:
         text_scores: Mapping[int, float],
         default_text: float = 0.0,
         unseen_text_override: float | None = None,
+        frontier_caps: Callable[[int], list[float] | None] | None = None,
     ):
         """``text_scores`` maps trajectory id -> *exact* textual similarity.
 
@@ -80,11 +86,22 @@ class BoundTracker:
         evaluation and must stay admissible).  ``unseen_text_override``,
         when given, replaces the best-unseen-text bookkeeping with a
         constant (again for the spatial-first mode).
+
+        ``frontier_caps`` is the ALT hook: given a trajectory id it returns
+        per-source caps on the unknown-source contributions
+        (``alpha_i * exp(-lb_i / sigma_i)`` from an admissible distance
+        lower bound ``lb_i <= d_i``).  Caps only ever *tighten* upper
+        bounds, so every pruning decision stays semantics-preserving;
+        ``None`` keeps the pure radius-based bound.  The hook is invoked
+        lazily — only for trajectories that surface as the loosest active
+        candidate — so its cost scales with the handful of states blocking
+        termination, not with everything scanned.
         """
         if num_sources < 1:
             raise ValueError("need at least one query source")
         self._m = num_sources
         self._text_weight = text_weight
+        self._frontier_caps = frontier_caps
         self._text = dict(text_scores)
         self._default_text = default_text
         self._unseen_text_override = unseen_text_override
@@ -196,15 +213,34 @@ class BoundTracker:
     def _upper_bound(self, state: _State, radii_weights: SourceRadiiWeights) -> float:
         """Score upper bound for one partly scanned trajectory.
 
-        Evaluated as ``known + text + (total frontier - frontier of known
-        sources)`` so the cost is O(|known|), not O(m) — this sits on the
-        hottest path of the search.
+        Without ALT caps, evaluated as ``known + text + (total frontier -
+        frontier of known sources)`` so the cost is O(|known|), not O(m) —
+        this sits on the hottest path of the search.  With caps the unknown
+        term is ``sum over unknown i of min(frontier_i, cap_i)`` (O(m),
+        with m the handful of query locations): the frontier weight is the
+        radius-based bound, the cap is the ALT bound, and the smaller of
+        the two is still admissible.
         """
         weights = radii_weights.weights
-        unknown_frontier = radii_weights.total
-        for i in state.known:
-            unknown_frontier -= weights[i]
+        caps = state.caps
+        known = state.known
+        if caps is None:
+            unknown_frontier = radii_weights.total
+            for i in known:
+                unknown_frontier -= weights[i]
+        else:
+            unknown_frontier = 0.0
+            for i in range(self._m):
+                if i not in known:
+                    w = weights[i]
+                    c = caps[i]
+                    unknown_frontier += w if w < c else c
         return state.known_weight + self._text_weight * state.text + unknown_frontier
+
+    def _tighten(self, trajectory_id: int, state: _State) -> None:
+        """Attach the (lazily computed) ALT caps to a heap-top state."""
+        if self._frontier_caps is not None and state.caps is None:
+            state.caps = self._frontier_caps(trajectory_id)
 
     def upper_bound_of(
         self, trajectory_id: int, radii_weights: SourceRadiiWeights
@@ -283,7 +319,9 @@ class BoundTracker:
             if not heap:
                 return 0.0, None
             key, tid = heap[0]
-            current = self._upper_bound(self._states[tid], radii_weights)
+            state = self._states[tid]
+            self._tighten(tid, state)  # ALT caps, only for heap-top states
+            current = self._upper_bound(state, radii_weights)
             if -key - current <= _EPS:
                 return current, tid
             heapq.heapreplace(heap, (-current, tid))
@@ -304,6 +342,39 @@ class BoundTracker:
         """
         partly, __ = self.best_active_bound(radii_weights, refine_rounds)
         return max(partly, self.unseen_upper_bound(radii_weights))
+
+    def count_alt_pruned(
+        self, radii_weights: SourceRadiiWeights, threshold: float
+    ) -> int:
+        """Active trajectories retired by ALT caps rather than radii.
+
+        Counts states whose capped upper bound sits at or below
+        ``threshold`` while the pure radius-based bound still exceeds it —
+        exactly the candidates that would have kept the search expanding
+        without the landmark caps.  Called once at termination (O(active *
+        m)), purely observational.
+        """
+        weights = radii_weights.weights
+        total = radii_weights.total
+        text_weight = self._text_weight
+        count = 0
+        for state in self._states.values():
+            caps = state.caps
+            if caps is None:
+                continue
+            base = state.known_weight + text_weight * state.text
+            uncapped = total
+            capped = 0.0
+            for i in state.known:
+                uncapped -= weights[i]
+            for i in range(self._m):
+                if i not in state.known:
+                    w = weights[i]
+                    c = caps[i]
+                    capped += w if w < c else c
+            if base + capped <= threshold + _EPS < base + uncapped:
+                count += 1
+        return count
 
     # ------------------------------------------------------------ iteration
     def active_items(self) -> Iterator[tuple[int, set[int], float, float]]:

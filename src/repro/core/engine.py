@@ -21,26 +21,38 @@ from repro.trajectory.model import Trajectory
 
 __all__ = ["Recommendation", "TripRecommender", "make_searcher", "ALGORITHMS"]
 
-#: Algorithm registry: name -> searcher factory.
+#: Algorithm registry: name -> searcher factory.  Factories accept the
+#: collaborative searcher's tuning keywords (``alt=``, ``batch_size=``);
+#: ablation baselines ignore the ones that don't apply to them.
 ALGORITHMS = {
-    "collaborative": lambda db: CollaborativeSearcher(db, scheduler="heuristic"),
-    "collaborative-rr": lambda db: CollaborativeSearcher(db, scheduler="round-robin"),
-    "collaborative-nr": lambda db: CollaborativeSearcher(db, refinement=False),
-    "spatial-first": SpatialFirstSearcher,
-    "text-first": TextFirstSearcher,
-    "brute-force": BruteForceSearcher,
+    "collaborative": lambda db, **kw: CollaborativeSearcher(
+        db, scheduler="heuristic", **kw
+    ),
+    "collaborative-rr": lambda db, **kw: CollaborativeSearcher(
+        db, scheduler="round-robin", **kw
+    ),
+    "collaborative-nr": lambda db, **kw: CollaborativeSearcher(
+        db, refinement=False, **kw
+    ),
+    "spatial-first": lambda db, **kw: SpatialFirstSearcher(db),
+    "text-first": lambda db, **kw: TextFirstSearcher(db),
+    "brute-force": lambda db, **kw: BruteForceSearcher(db),
 }
 
 
-def make_searcher(database: TrajectoryDatabase, algorithm: str = "collaborative"):
-    """Instantiate a registered searcher by name."""
+def make_searcher(database: TrajectoryDatabase, algorithm: str = "collaborative", **kwargs):
+    """Instantiate a registered searcher by name.
+
+    Extra keyword arguments (``alt=False``, ``batch_size=...``) reach the
+    collaborative factories; the baselines ignore them.
+    """
     try:
         factory = ALGORITHMS[algorithm]
     except KeyError:
         raise QueryError(
             f"unknown algorithm {algorithm!r}; choose from {sorted(ALGORITHMS)}"
         ) from None
-    return factory(database)
+    return factory(database, **kwargs)
 
 
 @dataclass(frozen=True)

@@ -51,6 +51,14 @@ class SearchStats:
     isolated per-query failures in a batch; ``executor`` records which
     execution path actually ran (``"sequential"``, ``"fork"``, or
     ``"sequential-fallback"`` after persistent pool failure).
+
+    The performance counters: ``expand_batches`` counts scheduler rounds
+    (each one batched ``expand_steps`` call into the Dijkstra kernel);
+    ``alt_pruned`` counts active trajectories whose landmark-capped upper
+    bound sat at or below the admission threshold when the search
+    terminated while the pure radius bound still exceeded it — the states
+    ALT retired early; the ``*_cache_*`` fields are this query's share of
+    the cross-query distance/text cache traffic.
     """
 
     visited_trajectories: int = 0
@@ -64,6 +72,12 @@ class SearchStats:
     degraded_queries: int = 0
     failed_queries: int = 0
     executor: str = ""
+    expand_batches: int = 0
+    alt_pruned: int = 0
+    distance_cache_hits: int = 0
+    distance_cache_misses: int = 0
+    text_cache_hits: int = 0
+    text_cache_misses: int = 0
 
     def merge(self, other: "SearchStats") -> None:
         """Accumulate another stats record into this one (for batch runs)."""
@@ -79,6 +93,12 @@ class SearchStats:
         self.failed_queries += other.failed_queries
         if not self.executor:
             self.executor = other.executor
+        self.expand_batches += other.expand_batches
+        self.alt_pruned += other.alt_pruned
+        self.distance_cache_hits += other.distance_cache_hits
+        self.distance_cache_misses += other.distance_cache_misses
+        self.text_cache_hits += other.text_cache_hits
+        self.text_cache_misses += other.text_cache_misses
 
 
 @dataclass

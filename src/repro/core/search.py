@@ -21,6 +21,9 @@ from __future__ import annotations
 
 import math
 import time
+from typing import Callable
+
+import numpy as np
 
 from repro.core.bounds import BoundTracker
 from repro.core.query import UOTSQuery
@@ -40,6 +43,7 @@ from repro.text.similarity import get_measure
 __all__ = ["CollaborativeSearcher", "SpatialFirstSearcher"]
 
 _EPS = 1e-9
+_MISS = object()
 
 
 class CollaborativeSearcher:
@@ -65,15 +69,24 @@ class CollaborativeSearcher:
     #: to reach them.  The spatial-first ablation turns this off.
     use_refinement: bool = True
 
+    #: Whether landmark (ALT) lower bounds cap the frontier term of partly
+    #: scanned trajectories.  Semantics-preserving: caps only tighten upper
+    #: bounds, so the exact top-k is unchanged — the search just terminates
+    #: earlier.  Ignored when the database has no landmark index
+    #: (disconnected graph) or the query is text-only.
+    use_alt: bool = True
+
     def __init__(
         self,
         database: TrajectoryDatabase,
         scheduler: str | Scheduler = "heuristic",
         batch_size: int = 16,
         refinement: bool | None = None,
+        alt: bool | None = None,
     ):
-        """``refinement=None`` keeps the class default (on for the
-        collaborative search, off for the spatial-first ablation)."""
+        """``refinement=None``/``alt=None`` keep the class defaults (both
+        on for the collaborative search, off for the spatial-first
+        ablation)."""
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self._database = database
@@ -81,6 +94,8 @@ class CollaborativeSearcher:
         self._batch_size = batch_size
         if refinement is not None:
             self.use_refinement = refinement
+        if alt is not None:
+            self.use_alt = alt
 
     # ----------------------------------------------------------------- API
     def search(
@@ -102,6 +117,18 @@ class CollaborativeSearcher:
         meter = None if budget is None or budget.unlimited else budget.start()
         started = time.perf_counter()
         stats = SearchStats()
+        caches = database.caches
+        distance_snapshot = caches.distances.stats.snapshot()
+        text_snapshot = caches.text.stats.snapshot()
+
+        def capture_cache_stats() -> None:
+            """Attribute this query's share of the shared cache traffic."""
+            d = caches.distances.stats.delta_since(distance_snapshot)
+            t = caches.text.stats.delta_since(text_snapshot)
+            stats.distance_cache_hits = d.hits
+            stats.distance_cache_misses = d.misses
+            stats.text_cache_hits = t.hits
+            stats.text_cache_misses = t.misses
 
         if self.use_text_in_bounds or query.lam == 0.0:
             text_scores = self._exact_text_scores(query, stats)
@@ -109,6 +136,7 @@ class CollaborativeSearcher:
             text_scores = {}  # spatial-first defers all text evaluation
         if query.lam == 0.0:
             result = self._text_only(query, text_scores, stats)
+            capture_cache_stats()
             result.stats.elapsed_seconds = time.perf_counter() - started
             return result
 
@@ -117,13 +145,16 @@ class CollaborativeSearcher:
             if isinstance(self._scheduler_spec, str)
             else self._scheduler_spec
         )
-        tracker = self._make_tracker(query, text_scores)
+        lam = query.lam
+        alpha = lam / query.num_locations  # per-source score weight
+        sigma = database.sigma
+        frontier_caps = (
+            self._make_frontier_caps(query, alpha, sigma) if self.use_alt else None
+        )
+        tracker = self._make_tracker(query, text_scores, frontier_caps)
         sources = make_sources(database.graph, query.locations)
         topk = TopK(query.k)
         measure = get_measure(query.text_measure)
-
-        lam = query.lam
-        alpha = lam / query.num_locations  # per-source score weight
 
         def finalize_exact(trajectory_id: int, spatial: float, text_hint: float) -> None:
             if self.use_text_in_bounds:
@@ -145,17 +176,50 @@ class CollaborativeSearcher:
         def finalize(trajectory_id: int, weight_sum: float, text_from_tracker: float) -> None:
             finalize_exact(trajectory_id, weight_sum / lam, text_from_tracker)
 
+        distance_cache = caches.distances
+
+        def refined_distances(trajectory_id: int) -> list[float]:
+            """Exact per-location distances, via the cross-query cache.
+
+            Full hits skip the Dijkstra entirely; partial hits shrink it to
+            the missing locations.  ``stats.refinements`` counts only the
+            traversals actually run, so budgets meter real work.
+            """
+            if not distance_cache.enabled:
+                stats.refinements += 1
+                return trajectory_to_locations_distances(
+                    database.graph,
+                    database.get(trajectory_id).vertex_set,
+                    query.locations,
+                )
+            resolved: dict[int, float] = {}
+            missing: list[int] = []
+            for location in query.locations:
+                if location in resolved or location in missing:
+                    continue
+                hit = distance_cache.get((trajectory_id, location), _MISS)
+                if hit is _MISS:
+                    missing.append(location)
+                else:
+                    resolved[location] = hit
+            if missing:
+                stats.refinements += 1
+                computed = trajectory_to_locations_distances(
+                    database.graph,
+                    database.get(trajectory_id).vertex_set,
+                    tuple(missing),
+                )
+                for location, distance in zip(missing, computed):
+                    resolved[location] = distance
+                    distance_cache.put((trajectory_id, location), distance)
+            return [resolved[location] for location in query.locations]
+
         def refine(trajectory_id: int, text_hint: float) -> None:
             """Resolve one blocked candidate exactly: a single multi-source
             Dijkstra from the candidate's vertices prices every query
             location at once (stopping as soon as all are settled)."""
-            stats.refinements += 1
             tracker.finish(trajectory_id)
-            distances = trajectory_to_locations_distances(
-                database.graph,
-                database.get(trajectory_id).vertex_set,
-                query.locations,
-            )
+            distances = refined_distances(trajectory_id)
             finalize_exact(
                 trajectory_id,
                 spatial_similarity(distances, query.num_locations, sigma),
@@ -163,7 +227,6 @@ class CollaborativeSearcher:
             )
 
         vertex_index = database.vertex_index
-        sigma = database.sigma
         terminated_early = False
         degradation_reason = None
         while True:
@@ -182,6 +245,10 @@ class CollaborativeSearcher:
                 unseen = tracker.unseen_upper_bound(radii_weights)
                 best_bound, best_id = tracker.best_active_bound(radii_weights)
                 if max(unseen, best_bound) <= threshold + _EPS:
+                    if frontier_caps is not None:
+                        stats.alt_pruned = tracker.count_alt_pruned(
+                            radii_weights, threshold
+                        )
                     terminated_early = True
                     break
                 if self.use_refinement:
@@ -204,21 +271,25 @@ class CollaborativeSearcher:
             source = scheduler.select(sources, tracker, radii_weights)
             if source is None:
                 break  # every component fully settled
-            for __ in range(self._batch_size):
-                step = source.expand()
-                if step is None:
-                    for item in tracker.mark_source_exhausted(source.index):
-                        finalize(*item)
-                    break
-                vertex, distance = step
-                stats.expanded_vertices += 1
-                hit_weight = alpha * math.exp(-distance / sigma)
-                for trajectory_id in vertex_index.trajectories_at(vertex):
-                    completed = tracker.record_hit(
-                        trajectory_id, source.index, hit_weight, radii_weights
-                    )
-                    if completed is not None:
-                        finalize(trajectory_id, *completed)
+            stats.expand_batches += 1
+            steps = source.expand_steps(self._batch_size)
+            if steps:
+                stats.expanded_vertices += len(steps)
+                source_index = source.index
+                trajectories_at = vertex_index.trajectories_at
+                record_hit = tracker.record_hit
+                exp = math.exp
+                for vertex, distance in steps:
+                    hit_weight = alpha * exp(-distance / sigma)
+                    for trajectory_id in trajectories_at(vertex):
+                        completed = record_hit(
+                            trajectory_id, source_index, hit_weight, radii_weights
+                        )
+                        if completed is not None:
+                            finalize(trajectory_id, *completed)
+            if source.exhausted:
+                for item in tracker.mark_source_exhausted(source.index):
+                    finalize(*item)
 
         if degradation_reason is not None:
             stats.degraded_queries = 1
@@ -226,6 +297,7 @@ class CollaborativeSearcher:
             items = self._best_effort_items(query, tracker, topk)
             stats.visited_trajectories = tracker.num_seen
             stats.pruned_trajectories = len(database) - stats.similarity_evaluations
+            capture_cache_stats()
             stats.elapsed_seconds = time.perf_counter() - started
             return SearchResult(
                 items=items,
@@ -240,6 +312,7 @@ class CollaborativeSearcher:
 
         stats.visited_trajectories = tracker.num_seen
         stats.pruned_trajectories = len(database) - stats.similarity_evaluations
+        capture_cache_stats()
         stats.elapsed_seconds = time.perf_counter() - started
         return SearchResult(items=topk.ranked(), stats=stats)
 
@@ -286,7 +359,18 @@ class CollaborativeSearcher:
     def _exact_text_scores(
         self, query: UOTSQuery, stats: SearchStats
     ) -> dict[int, float]:
-        """Exact textual similarity for every keyword-sharing trajectory."""
+        """Exact textual similarity for every keyword-sharing trajectory.
+
+        Cached across queries on ``(keyword set, measure)``: the score
+        table only depends on the query text, not the locations, so
+        repeated preference texts reuse it wholesale.
+        """
+        cache = self._database.caches.text
+        key = (query.keywords, query.text_measure)
+        cached = cache.get(key, _MISS)
+        if cached is not _MISS:
+            stats.text_candidates = len(cached)
+            return dict(cached)
         index = self._database.keyword_index
         measure = get_measure(query.text_measure)
         scores = {}
@@ -295,15 +379,45 @@ class CollaborativeSearcher:
             if score > 0.0:
                 scores[trajectory_id] = score
         stats.text_candidates = len(scores)
+        cache.put(key, dict(scores))
         return scores
 
+    def _make_frontier_caps(
+        self, query: UOTSQuery, alpha: float, sigma: float
+    ) -> Callable[[int], list[float]] | None:
+        """The ALT cap provider: per-source contribution ceilings.
+
+        For source location ``o_i`` and trajectory ``tau``, the landmark
+        table gives an admissible lower bound ``lb_i <= d(o_i, tau)``
+        (triangle inequality, minimised over the trajectory's vertices), so
+        ``alpha * exp(-lb_i / sigma)`` caps the source's contribution no
+        matter how slowly its expansion radius grows.  ``None`` when the
+        database has no landmark index (disconnected graph).
+        """
+        landmark_index = self._database.landmark_index
+        if landmark_index is None:
+            return None
+        loc_array = np.array(query.locations, dtype=np.intp)
+        vertex_array = self._database.vertex_array
+        lower_bounds_to_set = landmark_index.lower_bounds_to_set
+
+        def frontier_caps(trajectory_id: int) -> list[float]:
+            bounds = lower_bounds_to_set(loc_array, vertex_array(trajectory_id))
+            return (alpha * np.exp(-bounds / sigma)).tolist()
+
+        return frontier_caps
+
     def _make_tracker(
-        self, query: UOTSQuery, text_scores: dict[int, float]
+        self,
+        query: UOTSQuery,
+        text_scores: dict[int, float],
+        frontier_caps: Callable[[int], list[float]] | None = None,
     ) -> BoundTracker:
         return BoundTracker(
             num_sources=query.num_locations,
             text_weight=1.0 - query.lam,
             text_scores=text_scores,
+            frontier_caps=frontier_caps,
         )
 
     def _text_only(
@@ -374,6 +488,7 @@ class SpatialFirstSearcher(CollaborativeSearcher):
 
     use_text_in_bounds = False
     use_refinement = False
+    use_alt = False  # the ablation is the *pure* expansion strategy
 
     def __init__(
         self,
@@ -384,7 +499,10 @@ class SpatialFirstSearcher(CollaborativeSearcher):
         super().__init__(database, scheduler, batch_size)
 
     def _make_tracker(
-        self, query: UOTSQuery, text_scores: dict[int, float]
+        self,
+        query: UOTSQuery,
+        text_scores: dict[int, float],
+        frontier_caps: Callable[[int], list[float]] | None = None,
     ) -> BoundTracker:
         text_bound = 1.0 if query.keywords else 0.0
         return BoundTracker(
@@ -393,4 +511,5 @@ class SpatialFirstSearcher(CollaborativeSearcher):
             text_scores={},
             default_text=text_bound,
             unseen_text_override=text_bound,
+            frontier_caps=frontier_caps,
         )

@@ -47,28 +47,16 @@ def distance_transform(
     zero: the settled distance of any vertex ``v`` is
     ``min over p in vertex_set of sd(v, p)``.  This is the refinement
     primitive — it prices *all* query locations against one trajectory in a
-    single traversal.
+    single traversal.  Runs on the CSR fast path (one SciPy ``min_only``
+    call when available).
     """
-    dist: dict[int, float] = {}
-    heap: list[tuple[float, int]] = []
+    from repro.network.csr import array_to_distance_dict, sssp_array
+
     for vertex in vertex_set:
         graph._check_vertex(vertex)
-        dist[vertex] = 0.0
-        heap.append((0.0, vertex))
-    heapq.heapify(heap)
-    settled: dict[int, float] = {}
-    adjacency = graph.adjacency
-    while heap:
-        d, u = heapq.heappop(heap)
-        if u in settled:
-            continue
-        settled[u] = d
-        for v, w in adjacency[u]:
-            nd = d + w
-            if v not in settled and nd < dist.get(v, _INF):
-                dist[v] = nd
-                heapq.heappush(heap, (nd, v))
-    return settled
+    if not vertex_set:
+        return {}
+    return array_to_distance_dict(sssp_array(graph.csr, vertex_set))
 
 
 def trajectory_to_locations_distances(
@@ -83,33 +71,17 @@ def trajectory_to_locations_distances(
     refinement primitive when only a handful of locations need pricing.
     Unreachable locations come back as ``inf``.
     """
-    remaining = set(locations)
-    for location in remaining:
+    from repro.network.csr import targets_array
+
+    for location in locations:
         graph._check_vertex(location)
-    found: dict[int, float] = {}
-    dist: dict[int, float] = {}
-    heap: list[tuple[float, int]] = []
     for vertex in vertex_set:
         graph._check_vertex(vertex)
-        dist[vertex] = 0.0
-        heap.append((0.0, vertex))
-    heapq.heapify(heap)
-    settled: set[int] = set()
-    adjacency = graph.adjacency
-    while heap and remaining:
-        d, u = heapq.heappop(heap)
-        if u in settled:
-            continue
-        settled.add(u)
-        if u in remaining:
-            found[u] = d
-            remaining.discard(u)
-        for v, w in adjacency[u]:
-            nd = d + w
-            if v not in settled and nd < dist.get(v, _INF):
-                dist[v] = nd
-                heapq.heappush(heap, (nd, v))
-    return [found.get(location, _INF) for location in locations]
+    if not vertex_set:
+        return [_INF] * len(locations)
+    unique = list(dict.fromkeys(locations))
+    found = dict(zip(unique, targets_array(graph.csr, vertex_set, unique)))
+    return [found[location] for location in locations]
 
 
 def nearest_trajectory_distance(
@@ -125,22 +97,30 @@ def nearest_trajectory_distance(
     graph._check_vertex(source)
     if source in vertex_set:
         return 0.0
-    dist: dict[int, float] = {source: 0.0}
+    csr = graph.csr
+    n = csr.num_vertices
+    dist = [_INF] * n
+    dist[source] = 0.0
+    settled = bytearray(n)
     heap: list[tuple[float, int]] = [(0.0, source)]
-    settled: set[int] = set()
-    adjacency = graph.adjacency
+    indptr = csr.indptr_list
+    indices = csr.indices_list
+    weights = csr.weights_list
+    pop = heapq.heappop
+    push = heapq.heappush
     while heap:
-        d, u = heapq.heappop(heap)
-        if u in settled:
+        d, u = pop(heap)
+        if settled[u]:
             continue
-        settled.add(u)
+        settled[u] = 1
         if u in vertex_set:
             return d
-        for v, w in adjacency[u]:
-            nd = d + w
-            if v not in settled and nd < dist.get(v, _INF):
+        for k in range(indptr[u], indptr[u + 1]):
+            v = indices[k]
+            nd = d + weights[k]
+            if nd < dist[v]:
                 dist[v] = nd
-                heapq.heappush(heap, (nd, v))
+                push(heap, (nd, v))
     return _INF
 
 

@@ -29,7 +29,8 @@ class QuerySource:
 
     @property
     def radius(self) -> float:
-        """Current expansion radius (``inf`` when exhausted)."""
+        """Current expansion radius (stays at the last settled distance
+        once the source is exhausted — check :attr:`exhausted`)."""
         return self.expansion.radius
 
     @property
@@ -40,6 +41,10 @@ class QuerySource:
     def expand(self) -> tuple[int, float] | None:
         """Settle and return the next vertex, or ``None`` at exhaustion."""
         return self.expansion.expand()
+
+    def expand_steps(self, max_steps: int) -> list[tuple[int, float]]:
+        """Settle up to ``max_steps`` vertices in one batched call."""
+        return self.expansion.expand_steps(max_steps)
 
     def __repr__(self) -> str:
         return (
@@ -63,6 +68,11 @@ def current_radii_weights(
     """
     weights = []
     for source in sources:
-        r = source.radius
-        weights.append(0.0 if r == float("inf") else alpha * math.exp(-r / sigma))
+        if source.exhausted:
+            # An exhausted source can reach nothing further: its frontier
+            # contribution is exactly zero even though its radius stays at
+            # the last settled distance.
+            weights.append(0.0)
+        else:
+            weights.append(alpha * math.exp(-source.radius / sigma))
     return SourceRadiiWeights(weights)

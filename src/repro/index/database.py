@@ -6,18 +6,36 @@ trajectory set, the vertex->trajectory and keyword->trajectory inverted
 indexes, and the distance scale ``sigma`` used by the exponential similarity
 decay.  Building the database once and sharing it across queries mirrors the
 paper's memory-resident setup.
+
+Two lazily built performance structures ride along: the ALT landmark index
+(:class:`~repro.network.landmarks.LandmarkIndex`, built on first use and
+``None`` on disconnected graphs, where the triangle-inequality bound has no
+single table) and the cross-query caches
+(:class:`~repro.perf.QueryCaches`), both shared by every searcher on this
+database.  Mutation (``add``/``remove``) invalidates affected cache
+entries; the landmark table only depends on the immutable graph and
+survives trajectory churn.
 """
 
 from __future__ import annotations
 
-from repro.errors import DatasetError
+import numpy as np
+
+from repro.errors import DatasetError, GraphError
 from repro.index.vertex_index import VertexTrajectoryIndex
 from repro.network.graph import SpatialNetwork
+from repro.network.landmarks import LandmarkIndex
 from repro.network.stats import characteristic_distance
+from repro.perf import QueryCaches
 from repro.text.index import InvertedKeywordIndex
 from repro.trajectory.model import Trajectory, TrajectorySet
 
 __all__ = ["TrajectoryDatabase"]
+
+_UNSET = object()
+
+#: Landmarks precomputed for ALT pruning (capped by the graph size).
+DEFAULT_NUM_LANDMARKS = 8
 
 
 class TrajectoryDatabase:
@@ -28,7 +46,12 @@ class TrajectoryDatabase:
         graph: SpatialNetwork,
         trajectories: TrajectorySet,
         sigma: float | None = None,
+        cache_size: int | None = None,
+        num_landmarks: int = DEFAULT_NUM_LANDMARKS,
     ):
+        """``cache_size`` bounds the cross-query caches (``0`` disables,
+        ``None`` keeps the defaults); ``num_landmarks`` sizes the lazily
+        built ALT table."""
         if len(trajectories) == 0:
             raise DatasetError("a trajectory database needs at least one trajectory")
         self._graph = graph
@@ -44,6 +67,10 @@ class TrajectoryDatabase:
         if sigma <= 0:
             raise DatasetError(f"sigma must be positive, got {sigma}")
         self._sigma = float(sigma)
+        self._caches = QueryCaches(capacity=cache_size)
+        self._num_landmarks = num_landmarks
+        self._landmark_index: LandmarkIndex | None | object = _UNSET
+        self._vertex_arrays: dict[int, np.ndarray] = {}
 
     # ------------------------------------------------------------ accessors
     @property
@@ -71,6 +98,46 @@ class TrajectoryDatabase:
         """Distance scale of the exponential spatial similarity decay."""
         return self._sigma
 
+    @property
+    def caches(self) -> QueryCaches:
+        """The cross-query caches shared by every searcher on this database."""
+        return self._caches
+
+    @property
+    def landmark_index(self) -> LandmarkIndex | None:
+        """The ALT landmark index, built on first access.
+
+        ``None`` when the graph is disconnected (a single landmark table
+        cannot bound distances across components) or has no vertices; the
+        outcome, either way, is computed once and cached.
+        """
+        if self._landmark_index is _UNSET:
+            try:
+                self._landmark_index = LandmarkIndex.build(
+                    self._graph,
+                    num_landmarks=min(
+                        self._num_landmarks, max(1, self._graph.num_vertices)
+                    ),
+                    seed=0,
+                )
+            except GraphError:
+                self._landmark_index = None
+        return self._landmark_index
+
+    def vertex_array(self, trajectory_id: int) -> np.ndarray:
+        """The trajectory's vertex set as a cached integer array.
+
+        The vectorised ALT bound (:meth:`LandmarkIndex.lower_bounds_to_set`)
+        indexes the landmark table with this array; caching it per
+        trajectory amortises the set->array conversion across queries.
+        """
+        array = self._vertex_arrays.get(trajectory_id)
+        if array is None:
+            vertex_set = self._trajectories.get(trajectory_id).vertex_set
+            array = np.fromiter(vertex_set, dtype=np.intp, count=len(vertex_set))
+            self._vertex_arrays[trajectory_id] = array
+        return array
+
     def __len__(self) -> int:
         return len(self._trajectories)
 
@@ -91,13 +158,20 @@ class TrajectoryDatabase:
             if trajectory.id in self._vertex_index:
                 self._vertex_index.remove(trajectory.id)
             raise
+        self._invalidate(trajectory.id)
 
     def remove(self, trajectory_id: int) -> Trajectory:
         """Remove a trajectory from the set and both indexes."""
         trajectory = self._trajectories.remove(trajectory_id)
         self._vertex_index.remove(trajectory_id)
         self._keyword_index.remove(trajectory_id)
+        self._invalidate(trajectory_id)
         return trajectory
+
+    def _invalidate(self, trajectory_id: int) -> None:
+        """Drop cached state that mentions a mutated trajectory id."""
+        self._caches.invalidate_trajectory(trajectory_id)
+        self._vertex_arrays.pop(trajectory_id, None)
 
     def __repr__(self) -> str:
         return (

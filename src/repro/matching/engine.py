@@ -67,8 +67,11 @@ class _SpatialSource:
 
     @property
     def radius_weight(self) -> float:
-        r = self._expansion.radius
-        return 0.0 if r == _INF else self.alpha * math.exp(-r / self.sigma)
+        # The network expansion's radius stays finite at exhaustion; the
+        # exhausted flag is what zeroes the frontier contribution.
+        if self._expansion.exhausted:
+            return 0.0
+        return self.alpha * math.exp(-self._expansion.radius / self.sigma)
 
     def step(self) -> list[tuple[int, float]] | None:
         """Scan one vertex; returns ``(trajectory_id, contribution)`` hits."""

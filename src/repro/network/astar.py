@@ -84,26 +84,34 @@ def astar_path(
     if heuristic is None:
         heuristic = euclidean_heuristic(graph, target)
 
-    g_score: dict[int, float] = {source: 0.0}
-    parent: dict[int, int] = {}
+    csr = graph.csr
+    n = csr.num_vertices
+    g_score = [_INF] * n
+    g_score[source] = 0.0
+    parent = [-1] * n
+    settled = bytearray(n)
     heap: list[tuple[float, float, int]] = [(heuristic(source), 0.0, source)]
-    settled: set[int] = set()
-    adjacency = graph.adjacency
+    indptr = csr.indptr_list
+    indices = csr.indices_list
+    weights = csr.weights_list
+    pop = heapq.heappop
+    push = heapq.heappush
     while heap:
-        __, d, u = heapq.heappop(heap)
-        if u in settled:
+        __, d, u = pop(heap)
+        if settled[u]:
             continue
-        settled.add(u)
+        settled[u] = 1
         if u == target:
             path = [target]
             while path[-1] != source:
                 path.append(parent[path[-1]])
             path.reverse()
             return path, d
-        for v, w in adjacency[u]:
-            nd = d + w
-            if v not in settled and nd < g_score.get(v, _INF):
+        for k in range(indptr[u], indptr[u + 1]):
+            v = indices[k]
+            nd = d + weights[k]
+            if not settled[v] and nd < g_score[v]:
                 g_score[v] = nd
                 parent[v] = u
-                heapq.heappush(heap, (nd + heuristic(v), nd, v))
+                push(heap, (nd + heuristic(v), nd, v))
     raise DisconnectedError(source, target)

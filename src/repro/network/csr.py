@@ -1,0 +1,288 @@
+"""Flat CSR adjacency and array-backed shortest-path kernels.
+
+The per-vertex list-of-tuples adjacency is convenient but slow on the hot
+path: every Dijkstra relaxation chases a list of small tuples and every
+``dist`` lookup hashes into a dict.  This module provides the compact
+alternative: one ``indptr``/``indices``/``weights`` triple (the classic
+compressed-sparse-row layout) built once per graph, plus the shortest-path
+kernels rewritten against it with flat ``dist`` arrays and a ``settled``
+byte mask instead of dicts and sets.
+
+Two execution tiers share the layout:
+
+- a pure-Python tier that walks Python-list mirrors of the CSR arrays
+  (scalar indexing on lists is several times faster than on NumPy arrays
+  inside interpreted loops), used for every early-exit variant
+  (single-target, multi-target, cutoff);
+- a SciPy tier (``scipy.sparse.csgraph.dijkstra``) for full or
+  cutoff-bounded single/multi-source explorations, used when SciPy is
+  importable.  SciPy is an optional accelerator, never a requirement:
+  every kernel falls back to the Python tier.
+
+All kernels return dense ``float64`` distance arrays with ``inf`` marking
+vertices that were not settled (unreachable, or beyond the cutoff), which
+callers convert to the historical dict form where needed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Sequence
+
+import numpy as np
+
+try:  # optional accelerator — gated, never required
+    from scipy.sparse import csr_matrix as _scipy_csr_matrix
+    from scipy.sparse.csgraph import dijkstra as _scipy_dijkstra
+except ImportError:  # pragma: no cover - exercised only without scipy
+    _scipy_csr_matrix = None
+    _scipy_dijkstra = None
+
+__all__ = [
+    "CSRAdjacency",
+    "scipy_available",
+    "sssp_array",
+    "sssp_arrays_batch",
+    "targets_array",
+    "array_to_distance_dict",
+]
+
+_INF = float("inf")
+
+
+def scipy_available() -> bool:
+    """Whether the SciPy ``csgraph`` fast path is importable."""
+    return _scipy_dijkstra is not None
+
+
+class CSRAdjacency:
+    """Compressed-sparse-row view of an undirected spatial network.
+
+    ``indices[indptr[u]:indptr[u + 1]]`` are the neighbours of ``u`` and
+    ``weights[...]`` the matching edge weights; both directions of every
+    undirected edge are materialised, so the arrays describe a symmetric
+    directed graph.  Immutable once built (like the graph it mirrors).
+
+    The NumPy arrays serve vectorised consumers (SciPy, landmark tables);
+    the ``*_list`` mirrors serve the interpreted kernels, where Python-list
+    scalar indexing avoids a NumPy-scalar box per access.
+    """
+
+    __slots__ = (
+        "num_vertices",
+        "indptr",
+        "indices",
+        "weights",
+        "indptr_list",
+        "indices_list",
+        "weights_list",
+        "_matrix",
+    )
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray, weights: np.ndarray):
+        self.indptr = indptr
+        self.indices = indices
+        self.weights = weights
+        self.num_vertices = len(indptr) - 1
+        self.indptr_list: list[int] = indptr.tolist()
+        self.indices_list: list[int] = indices.tolist()
+        self.weights_list: list[float] = weights.tolist()
+        self._matrix = None
+
+    @classmethod
+    def from_edges(
+        cls, num_vertices: int, edges: Sequence[tuple[int, int, float]]
+    ) -> "CSRAdjacency":
+        """Build from undirected ``(u, v, w)`` triples (each edge once)."""
+        m = len(edges)
+        if m:
+            arr = np.asarray(edges, dtype=np.float64)
+            us = arr[:, 0].astype(np.int64)
+            vs = arr[:, 1].astype(np.int64)
+            ws = arr[:, 2]
+            heads = np.concatenate([us, vs])
+            tails = np.concatenate([vs, us])
+            both_w = np.concatenate([ws, ws])
+        else:
+            heads = np.empty(0, dtype=np.int64)
+            tails = np.empty(0, dtype=np.int64)
+            both_w = np.empty(0, dtype=np.float64)
+        order = np.argsort(heads, kind="stable")
+        counts = np.bincount(heads, minlength=num_vertices)
+        indptr = np.zeros(num_vertices + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(indptr, tails[order], both_w[order])
+
+    def matrix(self):
+        """The SciPy CSR matrix (cached; ``None`` when SciPy is absent)."""
+        if _scipy_csr_matrix is None:
+            return None
+        if self._matrix is None:
+            n = self.num_vertices
+            self._matrix = _scipy_csr_matrix(
+                (self.weights, self.indices, self.indptr), shape=(n, n)
+            )
+        return self._matrix
+
+    def __repr__(self) -> str:
+        return (
+            f"CSRAdjacency(|V|={self.num_vertices}, "
+            f"arcs={len(self.indices)}, scipy={self._matrix is not None})"
+        )
+
+
+# ------------------------------------------------------------------ kernels
+def _sssp_python(
+    csr: CSRAdjacency,
+    sources: Iterable[int],
+    cutoff: float | None,
+    target: int | None,
+) -> np.ndarray:
+    """Interpreted multi-source Dijkstra over the CSR list mirrors."""
+    n = csr.num_vertices
+    dist = [_INF] * n
+    heap: list[tuple[float, int]] = []
+    for s in sources:
+        dist[s] = 0.0
+        heap.append((0.0, s))
+    heapq.heapify(heap)
+    settled = bytearray(n)
+    indptr = csr.indptr_list
+    indices = csr.indices_list
+    weights = csr.weights_list
+    pop = heapq.heappop
+    push = heapq.heappush
+    while heap:
+        d, u = pop(heap)
+        if settled[u]:
+            continue
+        if cutoff is not None and d > cutoff:
+            break
+        settled[u] = 1
+        if u == target:
+            break
+        start = indptr[u]
+        end = indptr[u + 1]
+        for k in range(start, end):
+            v = indices[k]
+            nd = d + weights[k]
+            if nd < dist[v]:
+                dist[v] = nd
+                push(heap, (nd, v))
+    out = np.full(n, np.inf)
+    for v in range(n):
+        if settled[v]:
+            out[v] = dist[v]
+    return out
+
+
+def sssp_array(
+    csr: CSRAdjacency,
+    sources: Iterable[int],
+    cutoff: float | None = None,
+    target: int | None = None,
+) -> np.ndarray:
+    """Multi-source shortest-path distances as a dense array.
+
+    Entry ``v`` is the exact distance ``min over sources s of sd(s, v)``
+    when that distance is ``<= cutoff`` (every distance with
+    ``cutoff=None``) and ``inf`` otherwise.  ``target`` requests an early
+    exit: only the target's entry (plus whatever was settled on the way)
+    is guaranteed.  The SciPy tier handles full and cutoff-bounded
+    explorations; targeted searches always run the interpreted tier, which
+    can actually stop early.
+    """
+    source_list = list(sources)
+    if target is None and _scipy_dijkstra is not None and csr.num_vertices > 0:
+        matrix = csr.matrix()
+        limit = np.inf if cutoff is None else float(cutoff)
+        if len(source_list) == 1:
+            return _scipy_dijkstra(
+                matrix, directed=True, indices=source_list[0], limit=limit
+            )
+        return _scipy_dijkstra(
+            matrix, directed=True, indices=source_list, limit=limit, min_only=True
+        )
+    return _sssp_python(csr, source_list, cutoff, target)
+
+
+def sssp_arrays_batch(csr: CSRAdjacency, sources: Sequence[int]) -> np.ndarray:
+    """Full distances from each source: shape ``(len(sources), |V|)``.
+
+    One vectorised SciPy call when available (the all-pairs / landmark-table
+    shape), otherwise a row-per-source interpreted loop.
+    """
+    if not len(sources):
+        return np.empty((0, csr.num_vertices))
+    if _scipy_dijkstra is not None and csr.num_vertices > 0:
+        return np.atleast_2d(
+            _scipy_dijkstra(csr.matrix(), directed=True, indices=list(sources))
+        )
+    return np.vstack([_sssp_python(csr, (s,), None, None) for s in sources])
+
+
+# Above this vertex count a full C-speed sweep beats the interpreted
+# early-exit search even when the targets happen to be nearby.
+_SCIPY_TARGETS_MIN_VERTICES = 512
+
+
+def targets_array(
+    csr: CSRAdjacency,
+    sources: Iterable[int],
+    targets: Sequence[int],
+    cutoff: float | None = None,
+) -> list[float]:
+    """Distances from the source set to each target, stopping early.
+
+    The interpreted kernel with a remaining-target counter: the search ends
+    as soon as every target is settled (or the frontier passes ``cutoff``).
+    Unreached targets come back as ``inf``, in ``targets`` order.  On large
+    graphs the early exit cannot outrun SciPy's compiled sweep, so the
+    SciPy tier takes over past ``_SCIPY_TARGETS_MIN_VERTICES`` vertices.
+    """
+    n = csr.num_vertices
+    sources = list(sources)
+    if sources and _scipy_dijkstra is not None and n >= _SCIPY_TARGETS_MIN_VERTICES:
+        row = sssp_array(csr, sources, cutoff=cutoff)
+        return [float(row[t]) for t in targets]
+    remaining = set(targets)
+    remaining_count = len(remaining)
+    dist = [_INF] * n
+    heap: list[tuple[float, int]] = []
+    for s in sources:
+        dist[s] = 0.0
+        heap.append((0.0, s))
+    heapq.heapify(heap)
+    settled = bytearray(n)
+    indptr = csr.indptr_list
+    indices = csr.indices_list
+    weights = csr.weights_list
+    pop = heapq.heappop
+    push = heapq.heappush
+    found: dict[int, float] = {}
+    while heap and remaining_count:
+        d, u = pop(heap)
+        if settled[u]:
+            continue
+        settled[u] = 1
+        if u in remaining:
+            found[u] = d
+            remaining.discard(u)
+            remaining_count -= 1
+        if cutoff is not None and d > cutoff:
+            break
+        start = indptr[u]
+        end = indptr[u + 1]
+        for k in range(start, end):
+            v = indices[k]
+            nd = d + weights[k]
+            if nd < dist[v]:
+                dist[v] = nd
+                push(heap, (nd, v))
+    return [found.get(t, _INF) for t in targets]
+
+
+def array_to_distance_dict(distances: np.ndarray) -> dict[int, float]:
+    """The historical ``{vertex: distance}`` form of a dense distance row."""
+    reached = np.flatnonzero(np.isfinite(distances))
+    return dict(zip(reached.tolist(), distances[reached].tolist()))

@@ -5,6 +5,13 @@ deletion, the workhorse of every search in this library.  Variants cover
 single-target search with early exit, bounded exploration (``cutoff``),
 multi-target search that stops once all targets are settled, and dense
 all-pairs matrices for small graphs.
+
+The hot loops run against the graph's flat CSR layout
+(:mod:`repro.network.csr`): array-backed ``dist``/``settled`` state, a
+SciPy ``csgraph`` tier for full explorations when SciPy is importable, and
+interpreted list-mirror kernels everywhere else.  The historical dict-based
+kernels are kept (``dict_reference_sssp``) as the executable specification
+the property tests and benchmarks compare against.
 """
 
 from __future__ import annotations
@@ -15,6 +22,12 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.errors import DisconnectedError
+from repro.network.csr import (
+    array_to_distance_dict,
+    sssp_array,
+    sssp_arrays_batch,
+    targets_array,
+)
 from repro.network.graph import SpatialNetwork
 
 __all__ = [
@@ -24,6 +37,7 @@ __all__ = [
     "distances_to_targets",
     "distance_matrix",
     "eccentricity",
+    "dict_reference_sssp",
 ]
 
 _INF = float("inf")
@@ -38,10 +52,10 @@ def shortest_path_length(graph: SpatialNetwork, source: int, target: int) -> flo
     graph._check_vertex(target)
     if source == target:
         return 0.0
-    dist = _dijkstra(graph, (source,), target=target)
-    if target not in dist:
+    dist = sssp_array(graph.csr, (source,), target=target)
+    if dist[target] == _INF:
         raise DisconnectedError(source, target)
-    return dist[target]
+    return float(dist[target])
 
 
 def shortest_path(
@@ -55,14 +69,37 @@ def shortest_path(
     graph._check_vertex(target)
     if source == target:
         return [source], 0.0
-    dist, parent = _dijkstra_with_parents(graph, source, target)
-    if target not in dist:
-        raise DisconnectedError(source, target)
-    path = [target]
-    while path[-1] != source:
-        path.append(parent[path[-1]])
-    path.reverse()
-    return path, dist[target]
+    csr = graph.csr
+    n = csr.num_vertices
+    dist = [_INF] * n
+    dist[source] = 0.0
+    parent = [-1] * n
+    settled = bytearray(n)
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    indptr = csr.indptr_list
+    indices = csr.indices_list
+    weights = csr.weights_list
+    pop = heapq.heappop
+    push = heapq.heappush
+    while heap:
+        d, u = pop(heap)
+        if settled[u]:
+            continue
+        settled[u] = 1
+        if u == target:
+            path = [target]
+            while path[-1] != source:
+                path.append(parent[path[-1]])
+            path.reverse()
+            return path, d
+        for k in range(indptr[u], indptr[u + 1]):
+            v = indices[k]
+            nd = d + weights[k]
+            if nd < dist[v]:
+                dist[v] = nd
+                parent[v] = u
+                push(heap, (nd, v))
+    raise DisconnectedError(source, target)
 
 
 def single_source_distances(
@@ -73,7 +110,7 @@ def single_source_distances(
     With ``cutoff=None`` the whole reachable component is explored.
     """
     graph._check_vertex(source)
-    return _dijkstra(graph, (source,), cutoff=cutoff)
+    return array_to_distance_dict(sssp_array(graph.csr, (source,), cutoff=cutoff))
 
 
 def distances_to_targets(
@@ -88,33 +125,13 @@ def distances_to_targets(
     reached); unreachable targets are simply absent from the result.
     """
     graph._check_vertex(source)
-    remaining = set(targets)
-    for t in remaining:
+    target_list = list(dict.fromkeys(targets))
+    for t in target_list:
         graph._check_vertex(t)
-    result: dict[int, float] = {}
-    if not remaining:
-        return result
-
-    dist: dict[int, float] = {source: 0.0}
-    heap: list[tuple[float, int]] = [(0.0, source)]
-    settled: set[int] = set()
-    adjacency = graph.adjacency
-    while heap and remaining:
-        d, u = heapq.heappop(heap)
-        if u in settled:
-            continue
-        settled.add(u)
-        if u in remaining:
-            result[u] = d
-            remaining.discard(u)
-        if cutoff is not None and d > cutoff:
-            break
-        for v, w in adjacency[u]:
-            nd = d + w
-            if nd < dist.get(v, _INF):
-                dist[v] = nd
-                heapq.heappush(heap, (nd, v))
-    return result
+    if not target_list:
+        return {}
+    found = targets_array(graph.csr, (source,), target_list, cutoff=cutoff)
+    return {t: d for t, d in zip(target_list, found) if d != _INF}
 
 
 def distance_matrix(
@@ -123,17 +140,13 @@ def distance_matrix(
     """Dense matrix of pairwise network distances.
 
     ``sources`` defaults to all vertices; rows follow ``sources`` and columns
-    are all vertex ids.  Unreachable pairs are ``inf``.  Intended for small
-    graphs (the all-pairs pre-computation the TF baseline of the paper family
-    relies on).
+    are all vertex ids.  Unreachable pairs are ``inf``.  One batched CSR
+    call when SciPy is present.  Intended for small graphs (the all-pairs
+    pre-computation the TF baseline of the paper family relies on).
     """
     if sources is None:
         sources = range(graph.num_vertices)
-    matrix = np.full((len(sources), graph.num_vertices), np.inf)
-    for row, s in enumerate(sources):
-        for v, d in single_source_distances(graph, s).items():
-            matrix[row, v] = d
-    return matrix
+    return sssp_arrays_batch(graph.csr, list(sources))
 
 
 def eccentricity(graph: SpatialNetwork, vertex: int) -> tuple[int, float]:
@@ -147,14 +160,20 @@ def eccentricity(graph: SpatialNetwork, vertex: int) -> tuple[int, float]:
     return far, dist[far]
 
 
-# ---------------------------------------------------------------- internals
-def _dijkstra(
+# -------------------------------------------------------------- reference
+def dict_reference_sssp(
     graph: SpatialNetwork,
     sources: Iterable[int],
     target: int | None = None,
     cutoff: float | None = None,
 ) -> dict[int, float]:
-    """Multi-source Dijkstra returning settled distances."""
+    """The historical dict-based multi-source Dijkstra (reference kernel).
+
+    Kept as the executable specification: the property tests and the P1
+    kernel benchmark compare the CSR kernels against this implementation.
+    Semantics are identical to the array kernels — settled distances for
+    every vertex within ``cutoff``, early exit at ``target``.
+    """
     dist: dict[int, float] = {}
     heap: list[tuple[float, int]] = []
     for s in sources:
@@ -178,28 +197,3 @@ def _dijkstra(
                 dist[v] = nd
                 heapq.heappush(heap, (nd, v))
     return settled
-
-
-def _dijkstra_with_parents(
-    graph: SpatialNetwork, source: int, target: int | None = None
-) -> tuple[dict[int, float], dict[int, int]]:
-    """Dijkstra that also records the shortest-path tree parents."""
-    dist: dict[int, float] = {source: 0.0}
-    parent: dict[int, int] = {}
-    heap: list[tuple[float, int]] = [(0.0, source)]
-    settled: dict[int, float] = {}
-    adjacency = graph.adjacency
-    while heap:
-        d, u = heapq.heappop(heap)
-        if u in settled:
-            continue
-        settled[u] = d
-        if u == target:
-            break
-        for v, w in adjacency[u]:
-            nd = d + w
-            if v not in settled and nd < dist.get(v, _INF):
-                dist[v] = nd
-                parent[v] = u
-                heapq.heappush(heap, (nd, v))
-    return settled, parent

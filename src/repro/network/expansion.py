@@ -1,16 +1,22 @@
 """Incremental network expansion — the core search primitive.
 
 The UOTS search explores the network *incrementally* from every query
-location: each expansion step settles exactly one more vertex, in
-non-decreasing distance order, and the caller interleaves steps from several
-expansions under the control of a scheduler.  This module provides that
-resumable Dijkstra.
+location: each expansion step settles one more vertex, in non-decreasing
+distance order, and the caller interleaves steps from several expansions
+under the control of a scheduler.  This module provides that resumable
+Dijkstra, backed by the graph's flat CSR arrays with a dense ``dist`` list
+and a ``settled`` byte mask (no dicts on the hot path).
 
 The key guarantee (Dijkstra's invariant) used throughout the paper family:
 if the expansion from ``source`` first reaches a vertex belonging to
 trajectory ``tau`` at distance ``d``, then ``d == d(source, tau)``, the exact
 network distance from the source to the trajectory; and :attr:`radius` is a
 lower bound on the distance to everything not yet settled.
+
+:meth:`expand_steps` settles up to ``n`` vertices in one call so a caller
+expanding in batches pays one Python call per batch, not per vertex —
+callers must check :attr:`exhausted` (not the radius) to detect a source
+running dry mid-batch.
 """
 
 from __future__ import annotations
@@ -37,21 +43,39 @@ class IncrementalExpansion:
 
     Notes
     -----
-    ``expand()`` settles and returns one vertex per call; vertices come out
-    in non-decreasing distance order.  :attr:`radius` is the distance of the
-    most recently settled vertex and therefore lower-bounds the distance of
-    every vertex not settled yet.
+    ``expand()`` settles and returns one vertex per call (``expand_steps``
+    settles a batch); vertices come out in non-decreasing distance order.
+    :attr:`radius` is the distance of the most recently settled vertex and
+    therefore lower-bounds the distance of every vertex not settled yet.
     """
 
-    __slots__ = ("_graph", "_source", "_heap", "_dist", "_settled", "_radius")
+    __slots__ = (
+        "_graph",
+        "_source",
+        "_heap",
+        "_dist",
+        "_settled",
+        "_order",
+        "_radius",
+        "_indptr",
+        "_indices",
+        "_weights",
+    )
 
     def __init__(self, graph: SpatialNetwork, source: int):
         graph._check_vertex(source)
         self._graph = graph
         self._source = source
+        csr = graph.csr
+        self._indptr = csr.indptr_list
+        self._indices = csr.indices_list
+        self._weights = csr.weights_list
+        n = graph.num_vertices
         self._heap: list[tuple[float, int]] = [(0.0, source)]
-        self._dist: dict[int, float] = {source: 0.0}
-        self._settled: dict[int, float] = {}
+        self._dist: list[float] = [_INF] * n
+        self._dist[source] = 0.0
+        self._settled = bytearray(n)
+        self._order: list[tuple[int, float]] = []
         self._radius = 0.0
 
     # ------------------------------------------------------------ properties
@@ -64,12 +88,13 @@ class IncrementalExpansion:
     def radius(self) -> float:
         """Distance of the last settled vertex.
 
-        Monotonically non-decreasing; a valid lower bound on the distance of
-        every unsettled vertex.  Becomes ``inf`` once the component is
-        exhausted (nothing unexplored remains).
+        Monotonically non-decreasing; a valid lower bound on the distance
+        of every unsettled vertex.  Stays at the last settled distance once
+        the component is exhausted — an exhausted source can reach nothing
+        further, so callers that zero out exhausted frontiers must check
+        :attr:`exhausted` rather than wait for an infinite radius (which a
+        mid-batch exhaustion never produces).
         """
-        if self.exhausted:
-            return _INF
         return self._radius
 
     @property
@@ -80,7 +105,7 @@ class IncrementalExpansion:
     @property
     def num_settled(self) -> int:
         """How many vertices have been settled so far."""
-        return len(self._settled)
+        return len(self._order)
 
     # ------------------------------------------------------------- stepping
     def expand(self) -> tuple[int, float] | None:
@@ -89,23 +114,48 @@ class IncrementalExpansion:
         Returns ``(vertex, distance)`` or ``None`` when the reachable
         component is exhausted.
         """
+        steps = self.expand_steps(1)
+        return steps[0] if steps else None
+
+    def expand_steps(self, max_steps: int) -> list[tuple[int, float]]:
+        """Settle up to ``max_steps`` next-closest vertices in one call.
+
+        Returns the settled ``(vertex, distance)`` pairs in settle order;
+        fewer than ``max_steps`` entries (possibly none) means the
+        reachable component ran out mid-batch — :attr:`exhausted` is then
+        true and :attr:`radius` keeps its last settled value.
+        """
+        out: list[tuple[int, float]] = []
         heap = self._heap
+        if not heap:
+            return out
         settled = self._settled
         dist = self._dist
-        adjacency = self._graph.adjacency
-        while heap:
-            d, u = heapq.heappop(heap)
-            if u in settled:
+        indptr = self._indptr
+        indices = self._indices
+        weights = self._weights
+        pop = heapq.heappop
+        push = heapq.heappush
+        while heap and len(out) < max_steps:
+            d, u = pop(heap)
+            if settled[u]:
                 continue  # stale heap entry (lazy deletion)
-            settled[u] = d
+            settled[u] = 1
             self._radius = d
-            for v, w in adjacency[u]:
-                nd = d + w
-                if v not in settled and nd < dist.get(v, _INF):
+            for k in range(indptr[u], indptr[u + 1]):
+                v = indices[k]
+                nd = d + weights[k]
+                if nd < dist[v]:
                     dist[v] = nd
-                    heapq.heappush(heap, (nd, v))
-            return u, d
-        return None
+                    push(heap, (nd, v))
+            out.append((u, d))
+        if out:
+            self._order.extend(out)
+        # Drain trailing stale entries so `exhausted` flips as soon as the
+        # last real vertex is settled, not one call later.
+        while heap and settled[heap[0][1]]:
+            pop(heap)
+        return out
 
     def expand_until(self, radius: float) -> Iterator[tuple[int, float]]:
         """Yield settled vertices until :attr:`radius` exceeds ``radius``."""
@@ -122,7 +172,7 @@ class IncrementalExpansion:
         """Distance of the next vertex to be settled, without settling it."""
         heap = self._heap
         settled = self._settled
-        while heap and heap[0][1] in settled:
+        while heap and settled[heap[0][1]]:
             heapq.heappop(heap)  # drop stale entries
         if not heap:
             return None
@@ -131,14 +181,17 @@ class IncrementalExpansion:
     # --------------------------------------------------------------- lookup
     def distance(self, vertex: int) -> float | None:
         """Settled distance to ``vertex`` (``None`` if not settled yet)."""
-        return self._settled.get(vertex)
+        if self._settled[vertex]:
+            return self._dist[vertex]
+        return None
 
     def settled_vertices(self) -> dict[int, float]:
-        """All settled ``vertex -> distance`` entries (read-only view)."""
-        return self._settled
+        """All settled ``vertex -> distance`` entries (snapshot)."""
+        return dict(self._order)
 
     def __repr__(self) -> str:
         return (
             f"IncrementalExpansion(source={self._source}, "
-            f"settled={len(self._settled)}, radius={self.radius:.3f})"
+            f"settled={len(self._order)}, radius={self._radius:.3f}, "
+            f"exhausted={self.exhausted})"
         )

@@ -37,7 +37,15 @@ class SpatialNetwork:
         out-of-range endpoints, duplicates).
     """
 
-    __slots__ = ("_xs", "_ys", "_adjacency", "_edges", "_edge_index", "_total_weight")
+    __slots__ = (
+        "_xs",
+        "_ys",
+        "_adjacency",
+        "_edges",
+        "_edge_index",
+        "_total_weight",
+        "_csr",
+    )
 
     def __init__(
         self,
@@ -78,6 +86,7 @@ class SpatialNetwork:
         self._adjacency = adjacency
         self._edge_index = edge_index
         self._total_weight = total
+        self._csr = None
 
     # ------------------------------------------------------------------ size
     @property
@@ -119,6 +128,20 @@ class SpatialNetwork:
     def adjacency(self) -> list[list[tuple[int, float]]]:
         """The raw adjacency structure (treat as read-only)."""
         return self._adjacency
+
+    @property
+    def csr(self):
+        """The flat CSR adjacency (:class:`repro.network.csr.CSRAdjacency`).
+
+        Built on first access and cached — the graph is immutable, so the
+        arrays never go stale.  Every shortest-path kernel runs against
+        this layout instead of the per-vertex tuple lists.
+        """
+        if self._csr is None:
+            from repro.network.csr import CSRAdjacency
+
+            self._csr = CSRAdjacency.from_edges(self.num_vertices, self._edges)
+        return self._csr
 
     def degree(self, vertex: int) -> int:
         """Number of edges incident to ``vertex``."""

@@ -8,17 +8,20 @@ triangle inequality then gives, for any pair ``(u, v)``,
 
 and the maximum over landmarks is a (often tight) lower bound usable both as
 an A* heuristic and as a cheap pre-filter before running an exact search.
+The vectorised :meth:`LandmarkIndex.lower_bounds_to_set` extends the bound
+to point-to-set distances (``min over p in P of sd(o, p)``), which is what
+the collaborative search needs to cap a blocked trajectory's frontier
+contribution before paying for its refinement Dijkstra.
 """
 
 from __future__ import annotations
 
-import random
 from typing import Sequence
 
 import numpy as np
 
 from repro.errors import GraphError
-from repro.network.dijkstra import single_source_distances
+from repro.network.csr import sssp_arrays_batch
 from repro.network.graph import SpatialNetwork
 
 __all__ = ["LandmarkIndex"]
@@ -37,22 +40,34 @@ class LandmarkIndex:
         cls,
         graph: SpatialNetwork,
         num_landmarks: int = 8,
-        seed: int | None = None,
+        seed: int | np.random.Generator | None = None,
     ) -> "LandmarkIndex":
         """Select landmarks by farthest-point traversal and precompute distances.
 
-        The first landmark is random (seeded); each subsequent landmark is
+        The first landmark is random (``seed`` is anything
+        :func:`numpy.random.default_rng` accepts — an int, a ``Generator``,
+        or ``None`` — consistent with the rest of the codebase; no
+        module-level random state is touched).  Each subsequent landmark is
         the vertex maximizing the minimum distance to the already chosen
         ones, which spreads landmarks to the periphery where ALT bounds are
         tightest.
+
+        Raises :class:`GraphError` when the graph is empty or disconnected,
+        or when ``num_landmarks`` is not in ``[1, num_vertices]``.
         """
         if graph.num_vertices == 0:
             raise GraphError("cannot build landmarks on an empty graph")
+        if num_landmarks < 1:
+            raise GraphError(f"num_landmarks must be >= 1, got {num_landmarks}")
+        if num_landmarks > graph.num_vertices:
+            raise GraphError(
+                f"num_landmarks={num_landmarks} exceeds the graph's "
+                f"{graph.num_vertices} vertices"
+            )
         if not graph.is_connected():
             raise GraphError("LandmarkIndex requires a connected graph")
-        num_landmarks = min(num_landmarks, graph.num_vertices)
-        rng = random.Random(seed)
-        first = rng.randrange(graph.num_vertices)
+        rng = np.random.default_rng(seed)
+        first = int(rng.integers(graph.num_vertices))
 
         landmarks = [first]
         rows = [_distance_row(graph, first)]
@@ -83,6 +98,23 @@ class LandmarkIndex:
         column_v = self._table[:, v]
         return float(np.max(np.abs(column_u - column_v)))
 
+    def lower_bounds_to_set(
+        self, sources: np.ndarray, vertices: np.ndarray
+    ) -> np.ndarray:
+        """Per-source lower bounds on the point-to-set network distance.
+
+        Entry ``i`` lower-bounds ``min over p in vertices of
+        sd(sources[i], p)``: the ALT pair bound, maximised over landmarks
+        and minimised over the vertex set, fully vectorised — one call
+        prices every query location against one trajectory's vertex set.
+        """
+        table = self._table
+        # (L, m, 1) - (L, 1, P) -> (L, m, P): |sd(l, o) - sd(l, p)|
+        diff = np.abs(
+            table[:, sources][:, :, None] - table[:, vertices][:, None, :]
+        )
+        return diff.max(axis=0).min(axis=1)
+
     def heuristic(self, target: int):
         """An admissible A* heuristic ``h(v) = lower_bound(v, target)``."""
         self._graph._check_vertex(target)
@@ -100,7 +132,4 @@ class LandmarkIndex:
 
 
 def _distance_row(graph: SpatialNetwork, source: int) -> np.ndarray:
-    row = np.full(graph.num_vertices, np.inf)
-    for v, d in single_source_distances(graph, source).items():
-        row[v] = d
-    return row
+    return sssp_arrays_batch(graph.csr, (source,))[0]

@@ -1,0 +1,26 @@
+"""Performance layer: cross-query caching and cache observability.
+
+Grown for the serving workload the ROADMAP targets — one long-lived
+process answering heavy query traffic over an immutable network.  The
+pieces:
+
+- :class:`~repro.perf.cache.LRUCache` / :class:`~repro.perf.cache.CacheStats`
+  — the bounded container and its counters;
+- :class:`~repro.perf.query_cache.QueryCaches` — the per-database cache
+  block (refinement distances, text score tables) the searchers consult.
+"""
+
+from repro.perf.cache import CacheStats, LRUCache
+from repro.perf.query_cache import (
+    DEFAULT_DISTANCE_CAPACITY,
+    DEFAULT_TEXT_CAPACITY,
+    QueryCaches,
+)
+
+__all__ = [
+    "CacheStats",
+    "LRUCache",
+    "QueryCaches",
+    "DEFAULT_DISTANCE_CAPACITY",
+    "DEFAULT_TEXT_CAPACITY",
+]

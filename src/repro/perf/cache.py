@@ -1,0 +1,146 @@
+"""Bounded LRU caching with observable statistics.
+
+The serving-workload layer of the search: one process answers many queries
+against the same immutable network, so exact intermediate results —
+point-to-trajectory network distances, per-keyword-set text scores — are
+worth keeping across queries.  :class:`LRUCache` is the single bounded
+container both caches build on; :class:`CacheStats` is the counter block
+surfaced through ``SearchStats`` and the CLI.
+
+Fork-safety: caches hold only *exact, immutable* values keyed by immutable
+keys, so a forked worker's copy-on-write snapshot is always internally
+consistent — workers warm their private copies independently and results
+never depend on cache contents (a miss recomputes the same exact value).
+No locks are needed because the library is single-threaded per process
+(parallelism is process-based, see :mod:`repro.parallel`).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Hashable
+
+__all__ = ["CacheStats", "LRUCache"]
+
+_MISSING = object()
+
+
+class CacheStats:
+    """Hit/miss/eviction counters for one cache."""
+
+    __slots__ = ("hits", "misses", "evictions")
+
+    def __init__(self, hits: int = 0, misses: int = 0, evictions: int = 0):
+        self.hits = hits
+        self.misses = misses
+        self.evictions = evictions
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups observed."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0 when unused)."""
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def delta_since(self, snapshot: "CacheStats") -> "CacheStats":
+        """Counters accumulated since ``snapshot`` (for per-query stats)."""
+        return CacheStats(
+            hits=self.hits - snapshot.hits,
+            misses=self.misses - snapshot.misses,
+            evictions=self.evictions - snapshot.evictions,
+        )
+
+    def snapshot(self) -> "CacheStats":
+        """An independent copy of the current counters."""
+        return CacheStats(self.hits, self.misses, self.evictions)
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict form for JSON reporting."""
+        return {"hits": self.hits, "misses": self.misses, "evictions": self.evictions}
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheStats(hits={self.hits}, misses={self.misses}, "
+            f"evictions={self.evictions})"
+        )
+
+
+class LRUCache:
+    """A bounded mapping with least-recently-used eviction.
+
+    ``capacity <= 0`` disables the cache entirely: every ``get`` misses,
+    every ``put`` is dropped — callers need no separate on/off branch.
+    Lookups and insertions are O(1); eviction removes the least recently
+    *used* (read or written) entry.
+    """
+
+    __slots__ = ("_capacity", "_data", "stats")
+
+    def __init__(self, capacity: int):
+        self._capacity = int(capacity)
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self.stats = CacheStats()
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of entries (``<= 0`` means disabled)."""
+        return self._capacity
+
+    @property
+    def enabled(self) -> bool:
+        """Whether the cache stores anything at all."""
+        return self._capacity > 0
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """The cached value, counting a hit or a miss."""
+        value = self._data.get(key, _MISSING)
+        if value is _MISSING:
+            self.stats.misses += 1
+            return default
+        self.stats.hits += 1
+        self._data.move_to_end(key)
+        return value
+
+    def peek(self, key: Hashable, default: Any = None) -> Any:
+        """Like :meth:`get` but without touching counters or recency."""
+        value = self._data.get(key, _MISSING)
+        return default if value is _MISSING else value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert or refresh an entry, evicting the LRU one when full."""
+        if self._capacity <= 0:
+            return
+        data = self._data
+        if key in data:
+            data.move_to_end(key)
+        data[key] = value
+        if len(data) > self._capacity:
+            data.popitem(last=False)
+            self.stats.evictions += 1
+
+    def invalidate_where(self, predicate: Callable[[Hashable], bool]) -> int:
+        """Drop every entry whose key satisfies ``predicate``; returns count."""
+        doomed = [key for key in self._data if predicate(key)]
+        for key in doomed:
+            del self._data[key]
+        return len(doomed)
+
+    def clear(self) -> None:
+        """Drop all entries (counters are kept — they describe history)."""
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def __repr__(self) -> str:
+        return (
+            f"LRUCache(size={len(self._data)}/{self._capacity}, "
+            f"stats={self.stats!r})"
+        )

@@ -1,0 +1,85 @@
+"""Cross-query caches for the hot search path.
+
+A serving workload asks many UOTS queries against one immutable network and
+a slowly changing trajectory set.  Two classes of exact intermediate
+results recur across queries and are cached here:
+
+- **distance cache** — refinement distances ``d(o, tau)`` keyed on the
+  ``(trajectory_id, location)`` pair.  A refinement Dijkstra prices every
+  query location against one trajectory; queries that share locations (the
+  common case for popular places) skip the traversal entirely on a full
+  hit and shrink it to the missing locations on a partial hit.
+- **text-score cache** — the keyword-postings evaluation in front of
+  ``_exact_text_scores``, keyed on ``(keyword set, measure)``.  Queries
+  with the same preference text reuse the whole score table.
+
+Both caches hold exact values only, so hits never change results — the
+semantics-preserving invariant the benchmark asserts.  Mutating the
+database (``add``/``remove``) invalidates affected entries.  See
+:mod:`repro.perf.cache` for the fork-safety argument.
+"""
+
+from __future__ import annotations
+
+from repro.perf.cache import CacheStats, LRUCache
+
+__all__ = ["QueryCaches", "DEFAULT_DISTANCE_CAPACITY", "DEFAULT_TEXT_CAPACITY"]
+
+#: Default bound on cached (trajectory, location) distance pairs.
+DEFAULT_DISTANCE_CAPACITY = 65536
+
+#: Default bound on cached per-keyword-set text score tables.
+DEFAULT_TEXT_CAPACITY = 512
+
+
+class QueryCaches:
+    """The cache block one :class:`~repro.index.database.TrajectoryDatabase` owns.
+
+    ``capacity`` scales both member caches: ``None`` keeps the defaults,
+    ``0`` disables caching entirely, any positive value bounds the distance
+    cache directly (the text cache gets a proportional share, at least 8).
+    """
+
+    __slots__ = ("distances", "text")
+
+    def __init__(self, capacity: int | None = None):
+        if capacity is None:
+            distance_capacity = DEFAULT_DISTANCE_CAPACITY
+            text_capacity = DEFAULT_TEXT_CAPACITY
+        elif capacity <= 0:
+            distance_capacity = 0
+            text_capacity = 0
+        else:
+            distance_capacity = capacity
+            text_capacity = max(8, capacity // 128)
+        self.distances = LRUCache(distance_capacity)
+        self.text = LRUCache(text_capacity)
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any caching is in force."""
+        return self.distances.enabled or self.text.enabled
+
+    # ---------------------------------------------------------- invalidation
+    def invalidate_trajectory(self, trajectory_id: int) -> None:
+        """Drop everything that mentions ``trajectory_id``.
+
+        Distance entries are keyed ``(trajectory_id, location)``; text
+        score tables cover the whole database, so the text cache is cleared
+        wholesale (its tables are cheap to rebuild relative to Dijkstras).
+        """
+        self.distances.invalidate_where(lambda key: key[0] == trajectory_id)
+        self.text.clear()
+
+    def clear(self) -> None:
+        """Drop all cached entries from both caches."""
+        self.distances.clear()
+        self.text.clear()
+
+    # -------------------------------------------------------------- metrics
+    def stats(self) -> dict[str, CacheStats]:
+        """Current counters per cache, by name."""
+        return {"distances": self.distances.stats, "text": self.text.stats}
+
+    def __repr__(self) -> str:
+        return f"QueryCaches(distances={self.distances!r}, text={self.text!r})"

@@ -11,16 +11,22 @@ from __future__ import annotations
 
 from pathlib import Path
 
-from repro.errors import DatasetError
+import numpy as np
+
+from repro.errors import DatasetError, GraphError
 from repro.index.vertex_index import VertexTrajectoryIndex
 from repro.network.graph import SpatialNetwork
+from repro.network.landmarks import LandmarkIndex
 from repro.network.stats import characteristic_distance
+from repro.perf import QueryCaches
 from repro.storage.pages import DEFAULT_PAGE_SIZE
 from repro.storage.store import DiskTrajectoryStore
 from repro.text.index import InvertedKeywordIndex
 from repro.trajectory.model import Trajectory, TrajectorySet
 
 __all__ = ["DiskTrajectoryDatabase"]
+
+_UNSET = object()
 
 
 class _DiskBackedSet:
@@ -62,6 +68,9 @@ class DiskTrajectoryDatabase:
         self._keyword_index = keyword_index
         self._sigma = sigma
         self._view = _DiskBackedSet(store)
+        self._caches = QueryCaches()
+        self._landmark_index: LandmarkIndex | None | object = _UNSET
+        self._vertex_arrays: dict[int, np.ndarray] = {}
 
     @classmethod
     def build(
@@ -118,6 +127,37 @@ class DiskTrajectoryDatabase:
     def sigma(self) -> float:
         """Distance scale of the exponential spatial similarity decay."""
         return self._sigma
+
+    @property
+    def caches(self) -> QueryCaches:
+        """The cross-query caches shared by every searcher on this database."""
+        return self._caches
+
+    @property
+    def landmark_index(self) -> LandmarkIndex | None:
+        """The ALT landmark index, built on first access (memory-resident).
+
+        ``None`` on disconnected graphs; the outcome is computed once.
+        """
+        if self._landmark_index is _UNSET:
+            try:
+                self._landmark_index = LandmarkIndex.build(
+                    self._graph,
+                    num_landmarks=min(8, max(1, self._graph.num_vertices)),
+                    seed=0,
+                )
+            except GraphError:
+                self._landmark_index = None
+        return self._landmark_index
+
+    def vertex_array(self, trajectory_id: int) -> np.ndarray:
+        """The trajectory's vertex set as a cached integer array (for ALT)."""
+        array = self._vertex_arrays.get(trajectory_id)
+        if array is None:
+            vertex_set = self._store.get(trajectory_id).vertex_set
+            array = np.fromiter(vertex_set, dtype=np.intp, count=len(vertex_set))
+            self._vertex_arrays[trajectory_id] = array
+        return array
 
     def get(self, trajectory_id: int) -> Trajectory:
         """Read a trajectory from disk (through the LRU buffer)."""

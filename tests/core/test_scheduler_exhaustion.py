@@ -1,0 +1,100 @@
+"""Regression: exhausted sources keep a finite radius but zero frontier.
+
+The expansion's ``radius`` used to jump to ``inf`` at exhaustion, and both
+the frontier weighting and the schedulers leaned on that.  The radius now
+stays at the last settled distance (it is still a valid lower bound — there
+is nothing left to settle), so everything downstream must key off the
+``exhausted`` flag instead.  These tests pin that behaviour on a
+disconnected graph where one source runs dry long before the other.
+"""
+
+import math
+
+import pytest
+
+from repro.core.bounds import BoundTracker
+from repro.core.scheduler import HeuristicScheduler, RoundRobinScheduler
+from repro.core.sources import QuerySource, current_radii_weights
+from repro.network.builder import GraphBuilder
+
+
+@pytest.fixture()
+def lopsided_graph():
+    """Component A: a 6-vertex path (0..5).  Component B: one edge (6-7)."""
+    builder = GraphBuilder()
+    for i in range(8):
+        builder.add_vertex(float(i), 0.0)
+    for i in range(5):
+        builder.add_edge(i, i + 1, 1.0)
+    builder.add_edge(6, 7, 1.0)
+    return builder.build(require_connected=False)
+
+
+@pytest.fixture()
+def sources(lopsided_graph):
+    return [
+        QuerySource(0, 0, lopsided_graph),  # big component
+        QuerySource(1, 6, lopsided_graph),  # tiny component: dies after 2
+    ]
+
+
+def _exhaust(source):
+    while not source.exhausted:
+        source.expand_steps(4)
+
+
+class TestExhaustedSourceState:
+    def test_radius_stays_finite(self, sources):
+        small = sources[1]
+        _exhaust(small)
+        assert small.exhausted
+        assert small.radius == pytest.approx(1.0)  # last settled, not inf
+        assert math.isfinite(small.radius)
+
+    def test_frontier_weight_is_zero_despite_finite_radius(self, sources):
+        small = sources[1]
+        _exhaust(small)
+        weights = current_radii_weights(sources, sigma=1.0, alpha=0.5)
+        assert weights.weights[1] == 0.0
+        assert weights.weights[0] > 0.0
+
+
+class TestSchedulersSkipExhausted:
+    @pytest.mark.parametrize("scheduler_cls", [RoundRobinScheduler, HeuristicScheduler])
+    def test_never_selects_exhausted(self, sources, scheduler_cls):
+        small = sources[1]
+        _exhaust(small)
+        scheduler = scheduler_cls()
+        tracker = BoundTracker(num_sources=2, text_weight=0.5, text_scores={})
+        while not sources[0].exhausted:
+            weights = current_radii_weights(sources, sigma=1.0, alpha=0.5)
+            selected = scheduler.select(sources, tracker, weights)
+            assert selected is sources[0]  # the exhausted source is skipped
+            sources[0].expand_steps(1)
+
+    @pytest.mark.parametrize("scheduler_cls", [RoundRobinScheduler, HeuristicScheduler])
+    def test_returns_none_when_all_exhausted(self, sources, scheduler_cls):
+        for source in sources:
+            _exhaust(source)
+        scheduler = scheduler_cls()
+        tracker = BoundTracker(num_sources=2, text_weight=0.5, text_scores={})
+        weights = current_radii_weights(sources, sigma=1.0, alpha=0.5)
+        assert scheduler.select(sources, tracker, weights) is None
+
+    def test_heuristic_drops_cached_source_on_exhaustion(self, lopsided_graph):
+        """The heuristic caches its pick between refreshes; a cached source
+        that exhausts mid-streak must not be returned again."""
+        sources = [
+            QuerySource(0, 6, lopsided_graph),  # tiny: will exhaust first
+            QuerySource(1, 0, lopsided_graph),
+        ]
+        scheduler = HeuristicScheduler(refresh_every=100)  # cache aggressively
+        tracker = BoundTracker(num_sources=2, text_weight=0.5, text_scores={})
+        for __ in range(12):
+            weights = current_radii_weights(sources, sigma=1.0, alpha=0.5)
+            selected = scheduler.select(sources, tracker, weights)
+            if selected is None:
+                break
+            assert not selected.exhausted
+            selected.expand_steps(1)
+        assert sources[0].exhausted

@@ -1,0 +1,171 @@
+"""Property tests: CSR kernels vs the dict reference kernel vs SciPy.
+
+The array-backed kernels in :mod:`repro.network.csr` replaced the original
+dict-based Dijkstra.  ``dict_reference_sssp`` is kept as the executable
+specification; hypothesis drives random connected weighted graphs through
+both implementations (and, when SciPy is importable, through
+``scipy.sparse.csgraph.dijkstra`` as an independent third opinion) and
+requires identical settled sets and distances — including the cutoff and
+early-exit target variants.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.builder import GraphBuilder
+from repro.network.csr import (
+    CSRAdjacency,
+    _sssp_python,
+    array_to_distance_dict,
+    scipy_available,
+    sssp_array,
+    sssp_arrays_batch,
+    targets_array,
+)
+from repro.network.dijkstra import dict_reference_sssp
+
+_INF = float("inf")
+
+
+@st.composite
+def connected_graphs(draw):
+    """A random connected weighted graph (random tree + extra edges)."""
+    n = draw(st.integers(min_value=2, max_value=24))
+    weight = st.floats(min_value=0.1, max_value=10.0, allow_nan=False)
+    builder = GraphBuilder()
+    for i in range(n):
+        builder.add_vertex(float(i), 0.0)
+    for v in range(1, n):  # random spanning tree: connectivity guaranteed
+        u = draw(st.integers(min_value=0, max_value=v - 1))
+        builder.add_edge(u, v, draw(weight))
+    for __ in range(draw(st.integers(min_value=0, max_value=n))):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u != v:  # re-adding an edge keeps the smaller weight: still valid
+            builder.add_edge(u, v, draw(weight))
+    return builder.build(require_connected=True)
+
+
+def _as_dict(distances):
+    return array_to_distance_dict(distances)
+
+
+def _assert_same(got: dict, want: dict):
+    assert set(got) == set(want)
+    for v, d in want.items():
+        assert got[v] == pytest.approx(d, abs=1e-9)
+
+
+class TestAgainstDictReference:
+    @settings(max_examples=60, deadline=None)
+    @given(graph=connected_graphs(), data=st.data())
+    def test_single_source_full(self, graph, data):
+        source = data.draw(st.integers(0, graph.num_vertices - 1))
+        got = _as_dict(sssp_array(graph.csr, (source,)))
+        _assert_same(got, dict_reference_sssp(graph, (source,)))
+
+    @settings(max_examples=60, deadline=None)
+    @given(graph=connected_graphs(), data=st.data())
+    def test_multi_source_full(self, graph, data):
+        k = data.draw(st.integers(1, min(3, graph.num_vertices)))
+        sources = [
+            data.draw(st.integers(0, graph.num_vertices - 1)) for __ in range(k)
+        ]
+        got = _as_dict(sssp_array(graph.csr, tuple(set(sources))))
+        _assert_same(got, dict_reference_sssp(graph, tuple(set(sources))))
+
+    @settings(max_examples=60, deadline=None)
+    @given(graph=connected_graphs(), data=st.data())
+    def test_cutoff(self, graph, data):
+        source = data.draw(st.integers(0, graph.num_vertices - 1))
+        cutoff = data.draw(st.floats(min_value=0.0, max_value=30.0))
+        got = _as_dict(sssp_array(graph.csr, (source,), cutoff=cutoff))
+        _assert_same(got, dict_reference_sssp(graph, (source,), cutoff=cutoff))
+
+    @settings(max_examples=60, deadline=None)
+    @given(graph=connected_graphs(), data=st.data())
+    def test_target_early_exit(self, graph, data):
+        source = data.draw(st.integers(0, graph.num_vertices - 1))
+        target = data.draw(st.integers(0, graph.num_vertices - 1))
+        got = sssp_array(graph.csr, (source,), target=target)
+        want = dict_reference_sssp(graph, (source,), target=target)
+        # The early exit guarantees the target entry; everything settled on
+        # the way must carry its exact (full-search) distance.
+        assert got[target] == pytest.approx(want[target], abs=1e-9)
+        full = dict_reference_sssp(graph, (source,))
+        for v, d in _as_dict(got).items():
+            assert d == pytest.approx(full[v], abs=1e-9)
+
+    @settings(max_examples=60, deadline=None)
+    @given(graph=connected_graphs(), data=st.data())
+    def test_targets_array(self, graph, data):
+        source = data.draw(st.integers(0, graph.num_vertices - 1))
+        k = data.draw(st.integers(1, min(4, graph.num_vertices)))
+        targets = list(
+            dict.fromkeys(
+                data.draw(st.integers(0, graph.num_vertices - 1))
+                for __ in range(k)
+            )
+        )
+        got = targets_array(graph.csr, (source,), targets)
+        full = dict_reference_sssp(graph, (source,))
+        for t, d in zip(targets, got):
+            assert d == pytest.approx(full[t], abs=1e-9)
+
+
+@pytest.mark.skipif(not scipy_available(), reason="scipy not installed")
+class TestAgainstScipy:
+    """SciPy csgraph as an independent third implementation."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(graph=connected_graphs(), data=st.data())
+    def test_python_tier_matches_scipy(self, graph, data):
+        from scipy.sparse.csgraph import dijkstra
+
+        source = data.draw(st.integers(0, graph.num_vertices - 1))
+        ours = _sssp_python(graph.csr, (source,), None, None)
+        ref = dijkstra(graph.csr.matrix(), directed=True, indices=source)
+        assert ours == pytest.approx(ref, abs=1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(graph=connected_graphs(), data=st.data())
+    def test_batch_matches_scipy(self, graph, data):
+        from scipy.sparse.csgraph import dijkstra
+
+        k = data.draw(st.integers(1, min(3, graph.num_vertices)))
+        sources = sorted(
+            {data.draw(st.integers(0, graph.num_vertices - 1)) for __ in range(k)}
+        )
+        ours = sssp_arrays_batch(graph.csr, sources)
+        for row, s in zip(ours, sources):
+            ref = dijkstra(graph.csr.matrix(), directed=True, indices=s)
+            assert row == pytest.approx(ref, abs=1e-9)
+
+
+class TestDisconnected:
+    def test_unreachable_is_inf(self):
+        builder = GraphBuilder()
+        for i in range(4):
+            builder.add_vertex(float(i), 0.0)
+        builder.add_edge(0, 1, 1.0)
+        builder.add_edge(2, 3, 1.0)
+        graph = builder.build(require_connected=False)
+        dist = sssp_array(graph.csr, (0,))
+        assert dist[1] == pytest.approx(1.0)
+        assert math.isinf(dist[2]) and math.isinf(dist[3])
+        assert targets_array(graph.csr, (0,), [3]) == [_INF]
+
+    def test_empty_edge_graph(self):
+        builder = GraphBuilder()
+        builder.add_vertex(0.0, 0.0)
+        graph = builder.build(require_connected=False)
+        dist = sssp_array(graph.csr, (0,))
+        assert dist[0] == 0.0
+
+    def test_csr_from_no_edges(self):
+        csr = CSRAdjacency.from_edges(3, [])
+        assert csr.num_vertices == 3
+        assert list(csr.indptr) == [0, 0, 0, 0]

@@ -37,11 +37,36 @@ class TestStepping:
 
     def test_exhaustion_returns_none_repeatedly(self, line_graph):
         ex = IncrementalExpansion(line_graph, 0)
-        while ex.expand() is not None:
-            pass
+        last_distance = 0.0
+        while (item := ex.expand()) is not None:
+            last_distance = item[1]
         assert ex.exhausted
         assert ex.expand() is None
-        assert ex.radius == float("inf")
+        # The radius stays at the last settled distance — still a valid
+        # lower bound on unsettled vertices (there are none); callers must
+        # use `exhausted`, not an infinite radius, to zero the frontier.
+        assert ex.radius == pytest.approx(last_distance)
+
+    def test_batched_matches_single_steps(self, grid10):
+        single = IncrementalExpansion(grid10, 3)
+        order = []
+        while (item := single.expand()) is not None:
+            order.append(item)
+        batched = IncrementalExpansion(grid10, 3)
+        got = []
+        while not batched.exhausted:
+            got.extend(batched.expand_steps(7))
+        assert got == order
+        assert batched.expand_steps(7) == []
+
+    def test_exhausted_flips_at_last_settle_mid_batch(self, line_graph):
+        ex = IncrementalExpansion(line_graph, 0)
+        steps = ex.expand_steps(line_graph.num_vertices + 10)
+        # The component ran out inside the batch: exhaustion is visible
+        # immediately, not one call later.
+        assert len(steps) == line_graph.num_vertices
+        assert ex.exhausted
+        assert ex.radius == pytest.approx(steps[-1][1])
 
     def test_invalid_source_rejected(self, line_graph):
         with pytest.raises(VertexNotFoundError):

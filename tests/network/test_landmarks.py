@@ -20,9 +20,25 @@ class TestBuild:
         index = LandmarkIndex.build(grid10, num_landmarks=6, seed=1)
         assert len(set(index.landmarks)) == len(index.landmarks)
 
-    def test_count_capped_by_graph_size(self, line_graph):
-        index = LandmarkIndex.build(line_graph, num_landmarks=50, seed=0)
-        assert len(index.landmarks) <= line_graph.num_vertices
+    def test_count_exceeding_graph_size_rejected(self, line_graph):
+        with pytest.raises(GraphError, match="num_landmarks"):
+            LandmarkIndex.build(line_graph, num_landmarks=50, seed=0)
+
+    def test_nonpositive_count_rejected(self, grid10):
+        with pytest.raises(GraphError, match="num_landmarks"):
+            LandmarkIndex.build(grid10, num_landmarks=0, seed=0)
+
+    def test_generator_seed_accepted(self, grid10):
+        import numpy as np
+
+        rng = np.random.default_rng(7)
+        index = LandmarkIndex.build(grid10, num_landmarks=4, seed=rng)
+        assert len(index.landmarks) == 4
+
+    def test_int_seed_is_deterministic(self, grid10):
+        a = LandmarkIndex.build(grid10, num_landmarks=5, seed=3)
+        b = LandmarkIndex.build(grid10, num_landmarks=5, seed=3)
+        assert a.landmarks == b.landmarks
 
     def test_disconnected_rejected(self):
         g = SpatialNetwork(xs=[0, 1, 9], ys=[0, 0, 0], edges=[(0, 1, 1.0)])

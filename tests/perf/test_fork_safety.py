@@ -1,0 +1,63 @@
+"""Fork-safety of the cross-query caches.
+
+The caches hold only exact, immutable values, so a forked worker's
+copy-on-write snapshot is always consistent: results must be identical
+whether the parent's caches were cold or pre-warmed before the fork, and
+whether workers run in-process or forked.
+"""
+
+import pytest
+
+from repro.core.query import UOTSQuery
+from repro.core.search import CollaborativeSearcher
+from repro.index.database import TrajectoryDatabase
+from repro.parallel.executor import fork_available, parallel_search
+
+
+@pytest.fixture(scope="module")
+def queries():
+    return [
+        UOTSQuery.create([i * 13 % 400, (i * 29 + 3) % 400], ["park"], lam=0.5, k=4)
+        for i in range(5)
+    ]
+
+
+class TestForkedCaches:
+    @pytest.mark.skipif(not fork_available(), reason="fork not available")
+    def test_warmed_parent_caches_do_not_change_results(
+        self, grid20, annotated_trips, queries
+    ):
+        cold_db = TrajectoryDatabase(grid20, annotated_trips)
+        cold = parallel_search(cold_db, queries, workers=2)
+
+        warm_db = TrajectoryDatabase(grid20, annotated_trips)
+        searcher = CollaborativeSearcher(warm_db)
+        for query in queries:  # warm parent-side caches before forking
+            searcher.search(query)
+        assert warm_db.caches.text.stats.lookups > 0
+        warm = parallel_search(warm_db, queries, workers=2)
+
+        for a, b in zip(cold, warm):
+            assert a.ids == b.ids
+            assert a.scores == pytest.approx(b.scores)
+
+    @pytest.mark.skipif(not fork_available(), reason="fork not available")
+    def test_worker_hits_stay_in_worker(self, grid20, annotated_trips, queries):
+        """Workers warm private copies; the parent's counters are untouched
+        by forked work (no shared mutable state across processes)."""
+        database = TrajectoryDatabase(grid20, annotated_trips)
+        before = database.caches.text.stats.snapshot()
+        parallel_search(database, queries, workers=2)
+        delta = database.caches.text.stats.delta_since(before)
+        assert delta.lookups == 0
+
+    def test_sequential_path_shares_the_cache(self, grid20, annotated_trips, queries):
+        database = TrajectoryDatabase(grid20, annotated_trips)
+        results_a = parallel_search(database, queries, workers=1)
+        lookups_after_first = database.caches.text.stats.lookups
+        results_b = parallel_search(database, queries, workers=1)
+        assert database.caches.text.stats.lookups > lookups_after_first
+        assert database.caches.text.stats.hits > 0  # second pass reuses tables
+        for a, b in zip(results_a, results_b):
+            assert a.ids == b.ids
+            assert a.scores == pytest.approx(b.scores)

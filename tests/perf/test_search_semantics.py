@@ -1,0 +1,144 @@
+"""Semantics preservation: ALT and caches must never change results.
+
+The acceptance bar for the performance layer — landmark bound tightening
+and cross-query caching are pure speedups: the exact top-k (ids, scores,
+order) is identical with and without them, on first and repeated queries,
+and after database mutation invalidates cache entries.
+"""
+
+import pytest
+
+from repro.core.engine import make_searcher
+from repro.core.query import UOTSQuery
+from repro.core.search import CollaborativeSearcher
+from repro.index.database import TrajectoryDatabase
+
+
+@pytest.fixture(scope="module")
+def fresh_database(grid20, annotated_trips):
+    """A module-private database (tests here warm its caches)."""
+    return TrajectoryDatabase(grid20, annotated_trips)
+
+
+def _queries(database):
+    vocab = sorted(
+        {kw for tid in database.trajectories.ids()[:40]
+         for kw in database.get(tid).keywords}
+    )
+    return [
+        UOTSQuery.create([5, 180, 333], vocab[:3], lam=0.5, k=5),
+        UOTSQuery.create([0, 399], vocab[3:5], lam=0.7, k=3),
+        UOTSQuery.create([17, 230], vocab[:2], lam=0.3, k=8),
+        UOTSQuery.create([5, 180, 333], vocab[:3], lam=0.5, k=5),  # repeat
+    ]
+
+
+def _run(database, **kwargs):
+    searcher = CollaborativeSearcher(database, **kwargs)
+    out = []
+    for query in _queries(database):
+        result = searcher.search(query)
+        out.append([(i.trajectory_id, round(i.score, 12)) for i in result.items])
+    return out
+
+
+class TestSemanticsPreserved:
+    def test_alt_on_off_identical(self, grid20, annotated_trips):
+        with_alt = _run(TrajectoryDatabase(grid20, annotated_trips), alt=True)
+        without = _run(TrajectoryDatabase(grid20, annotated_trips), alt=False)
+        assert with_alt == without
+
+    def test_cache_on_off_identical(self, grid20, annotated_trips):
+        cached = _run(TrajectoryDatabase(grid20, annotated_trips))
+        uncached = _run(TrajectoryDatabase(grid20, annotated_trips, cache_size=0))
+        assert cached == uncached
+
+    def test_repeated_query_identical_and_hits_cache(self, fresh_database):
+        searcher = CollaborativeSearcher(fresh_database)
+        query = _queries(fresh_database)[0]
+        first = searcher.search(query)
+        second = searcher.search(query)
+        assert first.ids == second.ids
+        assert first.scores == pytest.approx(second.scores)
+        # The second identical query reuses the text score table at least.
+        assert second.stats.text_cache_hits >= 1
+
+    def test_against_brute_force(self, fresh_database):
+        brute = make_searcher(fresh_database, "brute-force")
+        fast = make_searcher(fresh_database, "collaborative")
+        for query in _queries(fresh_database):
+            want = brute.search(query)
+            got = fast.search(query)
+            assert got.ids == want.ids
+            assert got.scores == pytest.approx(want.scores)
+
+    def test_mutation_invalidates_caches(self, grid20, annotated_trips):
+        database = TrajectoryDatabase(grid20, annotated_trips)
+        searcher = CollaborativeSearcher(database)
+        query = _queries(database)[0]
+        before = searcher.search(query)
+        victim = before.ids[0]
+        removed = database.remove(victim)
+        after = searcher.search(query)
+        assert victim not in after.ids
+        database.add(removed)
+        restored = searcher.search(query)
+        assert restored.ids == before.ids
+        assert restored.scores == pytest.approx(before.scores)
+
+
+class TestCounters:
+    def test_new_counters_populated(self, fresh_database):
+        searcher = CollaborativeSearcher(fresh_database)
+        result = searcher.search(_queries(fresh_database)[0])
+        stats = result.stats
+        assert stats.expand_batches > 0
+        assert stats.expanded_vertices > 0
+        assert stats.alt_pruned >= 0
+        assert stats.distance_cache_hits >= 0
+        assert stats.text_cache_misses + stats.text_cache_hits >= 1
+
+    def test_no_alt_reports_zero_alt_pruned(self, grid20, annotated_trips):
+        database = TrajectoryDatabase(grid20, annotated_trips)
+        searcher = CollaborativeSearcher(database, alt=False)
+        for query in _queries(database):
+            assert searcher.search(query).stats.alt_pruned == 0
+
+    def test_merge_accumulates_new_fields(self):
+        from repro.core.results import SearchStats
+
+        a = SearchStats(expand_batches=2, alt_pruned=1, distance_cache_hits=3)
+        b = SearchStats(expand_batches=5, text_cache_misses=2)
+        a.merge(b)
+        assert a.expand_batches == 7
+        assert a.alt_pruned == 1
+        assert a.distance_cache_hits == 3
+        assert a.text_cache_misses == 2
+
+
+class TestDisabledAltFallbacks:
+    def test_disconnected_graph_searches_without_alt(self):
+        """A disconnected graph has no landmark index; the search still runs."""
+        from repro.network.builder import GraphBuilder
+        from repro.trajectory.model import Trajectory, TrajectoryPoint, TrajectorySet
+
+        builder = GraphBuilder()
+        for i in range(6):
+            builder.add_vertex(float(i), 0.0)
+        for i in range(2):
+            builder.add_edge(i, i + 1, 1.0)
+        builder.add_edge(4, 5, 1.0)  # second component
+        graph = builder.build(require_connected=False)
+
+        def trip(tid, vertices, keywords):
+            points = [TrajectoryPoint(v, float(60 * i)) for i, v in enumerate(vertices)]
+            return Trajectory(tid, points, keywords)
+
+        trips = TrajectorySet(
+            [trip(1, (0, 1, 2), {"a"}), trip(2, (4, 5), {"b"})]
+        )
+        database = TrajectoryDatabase(graph, trips, sigma=1.0)
+        assert database.landmark_index is None
+        searcher = CollaborativeSearcher(database)
+        result = searcher.search(UOTSQuery.create([0, 5], ["a"], lam=0.5, k=2))
+        assert len(result.items) == 2
