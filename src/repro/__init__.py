@@ -23,10 +23,13 @@ Quickstart
 
 from repro.core import (
     ALGORITHMS,
+    AlgorithmSpec,
     BruteForceSearcher,
     CollaborativeSearcher,
+    QueryPlan,
     Recommendation,
     ScoredTrajectory,
+    Searcher,
     SearchResult,
     SearchStats,
     SpatialFirstSearcher,
@@ -90,6 +93,7 @@ from repro.resilience import (
     RetryPolicy,
     SearchBudget,
 )
+from repro.service import AdmissionController, QueryService, ServiceStats
 from repro.storage import DiskTrajectoryDatabase, DiskTrajectoryStore
 from repro.viz import SvgCanvas, draw_network, draw_search_result, draw_trajectories
 from repro.text import (
@@ -111,6 +115,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ALGORITHMS",
+    "AdmissionController",
+    "AlgorithmSpec",
     "BruteForceJoin",
     "BruteForcePTMMatcher",
     "BruteForceSearcher",
@@ -133,13 +139,17 @@ __all__ = [
     "PTMMatcher",
     "PTMQuery",
     "QueryError",
+    "QueryPlan",
+    "QueryService",
     "Recommendation",
     "ReproError",
     "RetryPolicy",
     "ScoredTrajectory",
     "SearchBudget",
+    "Searcher",
     "SearchResult",
     "SearchStats",
+    "ServiceStats",
     "SpatialFirstSearcher",
     "SpatialNetwork",
     "StorageError",

@@ -4,19 +4,32 @@ Each experiment sweeps one parameter and, per parameter value, runs the same
 query batch through every algorithm, aggregating the paper's two main
 metrics — CPU time and number of visited trajectories — plus the pruning
 counters needed for the pruning-effectiveness table.
+
+The battery runs through one :class:`~repro.service.service.QueryService`
+per algorithm, the same serving substrate production callers use, so the
+numbers include the service's (negligible) dispatch overhead and the
+service-level latency percentiles come for free.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from repro.bench.datasets import DatasetBundle
-from repro.core.engine import make_searcher
 from repro.core.query import UOTSQuery
+from repro.service.service import QueryService
 
 __all__ = ["AlgoMetrics", "run_battery", "sweep"]
+
+
+def _percentile(samples: list[float], p: float) -> float:
+    """Nearest-rank percentile; 0.0 on an empty sample."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(1, -(-len(ordered) * p // 100))
+    return ordered[int(rank) - 1]
 
 
 @dataclass
@@ -30,11 +43,22 @@ class AlgoMetrics:
     expanded_vertices: int = 0
     similarity_evaluations: int = 0
     pruned_trajectories: int = 0
+    latencies: list[float] = field(default_factory=list)
 
     @property
     def mean_ms(self) -> float:
         """Mean per-query runtime in milliseconds."""
         return 1000.0 * self.total_seconds / max(1, self.queries)
+
+    @property
+    def p50_ms(self) -> float:
+        """Median per-query runtime in milliseconds."""
+        return 1000.0 * _percentile(self.latencies, 50.0)
+
+    @property
+    def p95_ms(self) -> float:
+        """95th-percentile per-query runtime in milliseconds."""
+        return 1000.0 * _percentile(self.latencies, 95.0)
 
     @property
     def mean_visited(self) -> float:
@@ -53,17 +77,18 @@ def run_battery(
 ) -> dict[str, AlgoMetrics]:
     """Run every algorithm over every query; aggregate per algorithm.
 
-    Fresh searcher per algorithm (they are stateless across queries apart
-    from shared indexes, which belong to the bundle's database).
+    One :class:`QueryService` (hence one stateless searcher) per algorithm;
+    the shared indexes belong to the bundle's database.
     """
     results: dict[str, AlgoMetrics] = {}
     for algorithm in algorithms:
-        searcher = make_searcher(bundle.database, algorithm)
+        service = QueryService(bundle.database, algorithm)
         metrics = AlgoMetrics(algorithm=algorithm)
         for query in queries:
-            started = time.perf_counter()
-            result = searcher.search(query)
-            metrics.total_seconds += time.perf_counter() - started
+            result = service.search(query)
+            elapsed = result.stats.elapsed_seconds
+            metrics.total_seconds += elapsed
+            metrics.latencies.append(elapsed)
             metrics.queries += 1
             metrics.visited_trajectories += result.stats.visited_trajectories
             metrics.expanded_vertices += result.stats.expanded_vertices

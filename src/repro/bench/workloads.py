@@ -59,7 +59,10 @@ def make_queries(bundle: DatasetBundle, config: WorkloadConfig) -> list[UOTSQuer
             locations = rng.sample(
                 vertices, min(config.num_locations, len(vertices))
             )
-            keywords = list(anchor.keywords)[: config.num_keywords]
+            # Sorted: frozenset iteration order varies with the per-process
+            # string hash seed, which would make the workload (and every
+            # benchmark comparison on it) unreproducible across runs.
+            keywords = sorted(anchor.keywords)[: config.num_keywords]
         while len(locations) < config.num_locations:
             candidate = rng.randrange(graph.num_vertices)
             if candidate not in locations:

@@ -1,7 +1,8 @@
 """Command-line interface.
 
 ``repro generate`` builds a synthetic dataset on disk, ``repro query`` runs
-one UOTS query against it, ``repro join`` runs a similarity self join, and
+one UOTS query against it, ``repro explain`` prints the query's execution
+plan without running it, ``repro join`` runs a similarity self join, and
 ``repro bench`` prints a quick benchmark battery — enough to exercise the
 whole system without writing Python.
 """
@@ -18,9 +19,10 @@ from repro.bench.reporting import format_table
 from repro.bench.workloads import WorkloadConfig, make_queries
 from repro.core.engine import ALGORITHMS, make_searcher
 from repro.core.query import UOTSQuery
-from repro.errors import ReproError
+from repro.errors import QueryError, ReproError
 from repro.resilience.budget import SearchBudget
 from repro.index.database import TrajectoryDatabase
+from repro.service.service import QueryService
 from repro.join.tsjoin import TwoPhaseJoin
 from repro.network import io as network_io
 from repro.network.generators import grid_network, ring_radial_network
@@ -63,22 +65,40 @@ def _load_database(
     return TrajectoryDatabase(graph, trips, cache_size=cache_size)
 
 
-def _cmd_query(args: argparse.Namespace) -> int:
-    database = _load_database(args.data, cache_size=args.cache_size)
-    query = UOTSQuery.create(
+def _parse_query(args: argparse.Namespace) -> UOTSQuery:
+    return UOTSQuery.create(
         locations=[int(v) for v in args.locations.split(",")],
         preference=args.preference,
         lam=args.lam,
         k=args.k,
     )
+
+
+def _make_service(database: TrajectoryDatabase, args: argparse.Namespace) -> QueryService:
+    """A one-shot query service configured from the CLI tuning flags.
+
+    Unset flags arrive as ``None`` and mean "keep the algorithm default"
+    (the registry drops them).
+    """
+    return QueryService(
+        database,
+        args.algorithm,
+        alt=False if args.no_alt else None,
+        batch_size=args.batch_size,
+        scheduler=args.scheduler,
+    )
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    database = _load_database(args.data, cache_size=args.cache_size)
+    query = _parse_query(args)
     budget = None
     if args.deadline_ms is not None or args.max_expansions is not None:
         budget = SearchBudget.from_millis(
             deadline_ms=args.deadline_ms,
             max_expanded_vertices=args.max_expansions,
         )
-    searcher = make_searcher(database, args.algorithm, alt=not args.no_alt)
-    result = searcher.search(query, budget=budget)
+    result = _make_service(database, args).search(query, budget=budget)
     rows = [
         (item.trajectory_id, f"{item.score:.4f}",
          f"{item.spatial_similarity:.4f}", f"{item.text_similarity:.4f}",
@@ -106,6 +126,13 @@ def _cmd_query(args: argparse.Namespace) -> int:
             f"scores <= {result.residual_bound:.4f} "
             f"(confirmed top-{len(result.confirmed_prefix())})"
         )
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    database = _load_database(args.data, cache_size=args.cache_size)
+    query = _parse_query(args)
+    print(_make_service(database, args).explain(query))
     return 0
 
 
@@ -139,16 +166,29 @@ def _cmd_visualize(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.algorithms is None:
+        algorithms = list(ALGORITHMS)
+    else:
+        algorithms = [name.strip() for name in args.algorithms.split(",") if name.strip()]
+        unknown = [name for name in algorithms if name not in ALGORITHMS]
+        if unknown:
+            raise QueryError(
+                f"unknown algorithm(s) {unknown}; choose from {sorted(ALGORITHMS)}"
+            )
+        if not algorithms:
+            raise QueryError("--algorithms must name at least one algorithm")
     bundle = build_bundle(args.dataset, seed=args.seed)
     print(bundle.describe())
     queries = make_queries(bundle, WorkloadConfig(num_queries=args.queries))
-    battery = run_battery(bundle, queries, list(ALGORITHMS))
+    battery = run_battery(bundle, queries, algorithms)
     rows = [
-        (name, f"{m.mean_ms:.1f}", f"{m.mean_visited:.0f}",
+        (name, f"{m.mean_ms:.1f}", f"{m.p95_ms:.1f}", f"{m.mean_visited:.0f}",
          f"{m.candidate_ratio(len(bundle.database)):.3f}")
         for name, m in battery.items()
     ]
-    print(format_table(["algorithm", "mean ms", "visited", "cand. ratio"], rows))
+    print(format_table(
+        ["algorithm", "mean ms", "p95 ms", "visited", "cand. ratio"], rows
+    ))
     return 0
 
 
@@ -169,13 +209,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_generate)
 
+    def add_query_args(p: argparse.ArgumentParser) -> None:
+        """The flags ``query`` and ``explain`` share (dataset, query, tuning)."""
+        p.add_argument("--data", required=True, help="dataset directory")
+        p.add_argument(
+            "--locations", required=True, help="comma-separated vertex ids"
+        )
+        p.add_argument("--preference", default="", help="free-text preference")
+        p.add_argument("--lam", type=float, default=0.5)
+        p.add_argument("--k", type=int, default=5)
+        p.add_argument(
+            "--algorithm", choices=sorted(ALGORITHMS), default="collaborative"
+        )
+        p.add_argument(
+            "--no-alt", action="store_true",
+            help="disable landmark (ALT) bound tightening (same results, "
+                 "more expansion work)",
+        )
+        p.add_argument(
+            "--batch-size", type=int, default=None, metavar="N",
+            help="expansion steps per scheduler round "
+                 "(default keeps the algorithm's built-in batch size)",
+        )
+        p.add_argument(
+            "--scheduler", choices=["heuristic", "round-robin"], default=None,
+            help="expansion scheduling strategy "
+                 "(default keeps the algorithm's built-in scheduler)",
+        )
+        p.add_argument(
+            "--cache-size", type=int, default=None, metavar="N",
+            help="bound on the cross-query distance cache "
+                 "(0 disables caching; default keeps the built-in bounds)",
+        )
+
     p = sub.add_parser("query", help="run one UOTS query")
-    p.add_argument("--data", required=True, help="dataset directory")
-    p.add_argument("--locations", required=True, help="comma-separated vertex ids")
-    p.add_argument("--preference", default="", help="free-text preference")
-    p.add_argument("--lam", type=float, default=0.5)
-    p.add_argument("--k", type=int, default=5)
-    p.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="collaborative")
+    add_query_args(p)
     p.add_argument(
         "--deadline-ms", type=float, default=None, metavar="MS",
         help="wall-clock budget; past it the best-so-far answer is returned",
@@ -184,17 +252,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-expansions", type=int, default=None, metavar="N",
         help="cap on expanded vertices before the search degrades",
     )
-    p.add_argument(
-        "--no-alt", action="store_true",
-        help="disable landmark (ALT) bound tightening (same results, "
-             "more expansion work)",
-    )
-    p.add_argument(
-        "--cache-size", type=int, default=None, metavar="N",
-        help="bound on the cross-query distance cache "
-             "(0 disables caching; default keeps the built-in bounds)",
-    )
     p.set_defaults(func=_cmd_query)
+
+    p = sub.add_parser(
+        "explain", help="print a query's execution plan without running it"
+    )
+    add_query_args(p)
+    p.set_defaults(func=_cmd_explain)
 
     p = sub.add_parser("join", help="run a trajectory similarity self join")
     p.add_argument("--data", required=True, help="dataset directory")
@@ -215,6 +279,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dataset", choices=["brn", "nrn"], default="brn")
     p.add_argument("--queries", type=int, default=20)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--algorithms", default=None, metavar="A,B,...",
+        help="comma-separated subset of the registry to run "
+             "(default: the full battery)",
+    )
     p.set_defaults(func=_cmd_bench)
     return parser
 

@@ -3,7 +3,9 @@
 from repro.core.baselines import BruteForceSearcher, TextFirstSearcher
 from repro.core.bounds import BoundTracker, SourceRadiiWeights
 from repro.core.engine import ALGORITHMS, Recommendation, TripRecommender, make_searcher
+from repro.core.plan import QueryPlan, Searcher
 from repro.core.query import UOTSQuery
+from repro.core.registry import AlgorithmSpec
 from repro.core.results import ScoredTrajectory, SearchResult, SearchStats, TopK
 from repro.core.scheduler import (
     HeuristicScheduler,
@@ -23,15 +25,18 @@ from repro.core.sources import QuerySource, current_radii_weights, make_sources
 
 __all__ = [
     "ALGORITHMS",
+    "AlgorithmSpec",
     "BoundTracker",
     "BruteForceSearcher",
     "CollaborativeSearcher",
     "ExactScorer",
     "HeuristicScheduler",
+    "QueryPlan",
     "QuerySource",
     "Recommendation",
     "RoundRobinScheduler",
     "Scheduler",
+    "Searcher",
     "ScoredTrajectory",
     "SearchResult",
     "SearchStats",

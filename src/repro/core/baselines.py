@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import time
 
+from repro.core.plan import QueryPlan
 from repro.core.query import UOTSQuery
 from repro.core.results import ScoredTrajectory, SearchResult, SearchStats, TopK
 from repro.core.similarity import ExactScorer, combine, spatial_similarity
@@ -58,11 +59,67 @@ def _degraded(topk: TopK, stats: SearchStats, reason: str, started: float,
     )
 
 
+def _baseline_plan(
+    searcher,
+    query: UOTSQuery,
+    *,
+    use_text_in_bounds: bool,
+    use_refinement: bool,
+    estimated_cost: float,
+    notes: tuple[str, ...],
+) -> QueryPlan:
+    """The shared (trivial) plan of the baselines: no scheduling, no ALT."""
+    database = searcher._database
+    query.validate_against(database.graph)
+    candidate_count = (
+        len(database.keyword_index.candidates(query.keywords)) if query.keywords else 0
+    )
+    return QueryPlan(
+        algorithm=searcher.plan_name,
+        query=query,
+        scheduler="none",
+        batch_size=0,
+        use_text_in_bounds=use_text_in_bounds,
+        use_refinement=use_refinement,
+        alt_enabled=False,
+        alt_reason="not applicable (no bound-driven expansion)",
+        text_measure=query.text_measure,
+        source_vertices=query.locations,
+        candidate_count=candidate_count,
+        database_size=len(database),
+        cache_enabled=database.caches.distances.enabled,
+        estimated_cost=estimated_cost,
+        notes=notes,
+    )
+
+
 class BruteForceSearcher:
     """Exact exhaustive scoring — the oracle all fast algorithms must match."""
 
+    plan_name = "brute-force"
+
     def __init__(self, database: TrajectoryDatabase):
         self._database = database
+
+    def plan(self, query: UOTSQuery) -> QueryPlan:
+        """Resolve the (trivial) execution decisions without running."""
+        database = self._database
+        return _baseline_plan(
+            self,
+            query,
+            use_text_in_bounds=False,
+            use_refinement=False,
+            estimated_cost=float(
+                query.num_locations * database.graph.num_vertices + len(database)
+            ),
+            notes=("exhaustive: every trajectory is scored exactly",),
+        )
+
+    def execute(
+        self, plan: QueryPlan, budget: SearchBudget | None = None
+    ) -> SearchResult:
+        """Run a previously built plan (trivial for brute force)."""
+        return self.search(plan.query, budget)
 
     def search(
         self, query: UOTSQuery, budget: SearchBudget | None = None
@@ -113,8 +170,42 @@ class TextFirstSearcher:
     documented degeneration of a text-first strategy.
     """
 
+    plan_name = "text-first"
+
     def __init__(self, database: TrajectoryDatabase):
         self._database = database
+
+    def plan(self, query: UOTSQuery) -> QueryPlan:
+        """Resolve the (trivial) execution decisions without running."""
+        database = self._database
+        query.validate_against(database.graph)
+        candidate_count = (
+            len(database.keyword_index.candidates(query.keywords))
+            if query.keywords
+            else 0
+        )
+        notes = ["candidates scanned in descending textual similarity"]
+        if query.lam > 0.0 and candidate_count == 0:
+            notes.append("no keyword candidates: degenerates to exhaustive scoring")
+        return _baseline_plan(
+            self,
+            query,
+            use_text_in_bounds=True,
+            use_refinement=True,
+            # Worst case: every candidate refined via the shared expansions
+            # (bounded by settling the whole graph per location), plus the
+            # exhaustive fallback.
+            estimated_cost=float(
+                candidate_count + query.num_locations * database.graph.num_vertices
+            ),
+            notes=tuple(notes),
+        )
+
+    def execute(
+        self, plan: QueryPlan, budget: SearchBudget | None = None
+    ) -> SearchResult:
+        """Run a previously built plan."""
+        return self.search(plan.query, budget)
 
     def search(
         self, query: UOTSQuery, budget: SearchBudget | None = None

@@ -3,6 +3,13 @@
 Wraps a :class:`TrajectoryDatabase` and a searcher behind the interface the
 paper's motivating application needs: "here are the places I want to pass
 and what I like — recommend me trips".
+
+The facade sits on the serving layer: each recommender owns a
+:class:`~repro.service.service.QueryService`, so its queries flow through
+the same admission/stats/isolation substrate as every other caller.  The
+algorithm registry itself lives in :mod:`repro.core.registry`;
+``ALGORITHMS`` and :func:`make_searcher` are re-exported here for
+backwards compatibility.
 """
 
 from __future__ import annotations
@@ -10,49 +17,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable
 
-from repro.core.baselines import BruteForceSearcher, TextFirstSearcher
+from repro.core.plan import QueryPlan
 from repro.core.query import UOTSQuery
+from repro.core.registry import ALGORITHMS, make_searcher
 from repro.core.results import SearchResult
-from repro.core.search import CollaborativeSearcher, SpatialFirstSearcher
-from repro.errors import QueryError
 from repro.index.database import TrajectoryDatabase
 from repro.resilience.budget import SearchBudget
+from repro.service.service import QueryService
 from repro.trajectory.model import Trajectory
 
 __all__ = ["Recommendation", "TripRecommender", "make_searcher", "ALGORITHMS"]
-
-#: Algorithm registry: name -> searcher factory.  Factories accept the
-#: collaborative searcher's tuning keywords (``alt=``, ``batch_size=``);
-#: ablation baselines ignore the ones that don't apply to them.
-ALGORITHMS = {
-    "collaborative": lambda db, **kw: CollaborativeSearcher(
-        db, scheduler="heuristic", **kw
-    ),
-    "collaborative-rr": lambda db, **kw: CollaborativeSearcher(
-        db, scheduler="round-robin", **kw
-    ),
-    "collaborative-nr": lambda db, **kw: CollaborativeSearcher(
-        db, refinement=False, **kw
-    ),
-    "spatial-first": lambda db, **kw: SpatialFirstSearcher(db),
-    "text-first": lambda db, **kw: TextFirstSearcher(db),
-    "brute-force": lambda db, **kw: BruteForceSearcher(db),
-}
-
-
-def make_searcher(database: TrajectoryDatabase, algorithm: str = "collaborative", **kwargs):
-    """Instantiate a registered searcher by name.
-
-    Extra keyword arguments (``alt=False``, ``batch_size=...``) reach the
-    collaborative factories; the baselines ignore them.
-    """
-    try:
-        factory = ALGORITHMS[algorithm]
-    except KeyError:
-        raise QueryError(
-            f"unknown algorithm {algorithm!r}; choose from {sorted(ALGORITHMS)}"
-        ) from None
-    return factory(database, **kwargs)
 
 
 @dataclass(frozen=True)
@@ -66,16 +40,30 @@ class Recommendation:
 
 
 class TripRecommender:
-    """User-facing trip recommendation over a trajectory database."""
+    """User-facing trip recommendation over a trajectory database.
 
-    def __init__(self, database: TrajectoryDatabase, algorithm: str = "collaborative"):
-        self._database = database
-        self._searcher = make_searcher(database, algorithm)
+    Tuning keywords (``alt=``, ``batch_size=``, ``scheduler=``,
+    ``refinement=``) are forwarded to the algorithm's registry factory, so
+    the facade can configure the search exactly as the CLI can.
+    """
+
+    def __init__(
+        self,
+        database: TrajectoryDatabase,
+        algorithm: str = "collaborative",
+        **searcher_kwargs,
+    ):
+        self._service = QueryService(database, algorithm, **searcher_kwargs)
 
     @property
     def database(self) -> TrajectoryDatabase:
         """The underlying trajectory database."""
-        return self._database
+        return self._service.database
+
+    @property
+    def service(self) -> QueryService:
+        """The query service answering this recommender's searches."""
+        return self._service
 
     def recommend(
         self,
@@ -98,9 +86,10 @@ class TripRecommender:
             ),
             budget=budget,
         )
+        database = self._service.database
         return [
             Recommendation(
-                trajectory=self._database.get(item.trajectory_id),
+                trajectory=database.get(item.trajectory_id),
                 score=item.score,
                 spatial_similarity=item.spatial_similarity,
                 text_similarity=item.text_similarity,
@@ -112,4 +101,8 @@ class TripRecommender:
         self, query: UOTSQuery, budget: SearchBudget | None = None
     ) -> SearchResult:
         """Run a fully specified :class:`UOTSQuery` (optionally budgeted)."""
-        return self._searcher.search(query, budget=budget)
+        return self._service.search(query, budget=budget)
+
+    def explain(self, query: UOTSQuery) -> QueryPlan:
+        """The query's execution plan, without running the search."""
+        return self._service.plan(query)

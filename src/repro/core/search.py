@@ -15,6 +15,28 @@ The search explores the spatial and textual domains together:
 search (text enters only at refinement), which demonstrates the value of the
 textual collaboration; the round-robin scheduler option is the ablation for
 the scheduling heuristic.
+
+Plan/execute split
+------------------
+Searchers are *stateless*: they hold only the database handle and immutable
+configuration.  Every piece of per-query mutable state — sources, scheduler
+instance, bound tracker, top-k collector, budget meter, stats — lives in a
+:class:`SearchContext` created inside :meth:`CollaborativeSearcher.execute`,
+so one searcher instance is shareable across queries, callers, and threads.
+The search itself is a loop over named pipeline stages operating on that
+context::
+
+    plan(query)          resolve decisions (scheduler, ALT, candidates)
+    _resolve_text        exact SimT table from the inverted index
+    per round:
+      _begin_round       refresh radii weights, check the budget
+      _terminate         the bound-vs-threshold termination test
+      _refine_blocked    directly resolve candidates expansion can't prune
+      _expand_round      one scheduled batch of incremental expansion
+    _finalize            drain / degrade / wrap up stats
+
+``search(query)`` remains the one-call convenience:
+``execute(plan(query), budget)``.
 """
 
 from __future__ import annotations
@@ -26,6 +48,7 @@ from typing import Callable
 import numpy as np
 
 from repro.core.bounds import BoundTracker
+from repro.core.plan import QueryPlan
 from repro.core.query import UOTSQuery
 from repro.core.results import ScoredTrajectory, SearchResult, SearchStats, TopK
 from repro.core.scheduler import Scheduler, make_scheduler
@@ -40,14 +63,79 @@ from repro.index.database import TrajectoryDatabase
 from repro.resilience.budget import SearchBudget
 from repro.text.similarity import get_measure
 
-__all__ = ["CollaborativeSearcher", "SpatialFirstSearcher"]
+__all__ = ["CollaborativeSearcher", "SpatialFirstSearcher", "SearchContext"]
 
 _EPS = 1e-9
 _MISS = object()
 
 
+class SearchContext:
+    """All per-query mutable state of one search execution.
+
+    Created by :meth:`CollaborativeSearcher.execute` and threaded through
+    the pipeline stages; nothing in it outlives the query.  State-ownership
+    rule: the searcher owns configuration and shared indexes (immutable
+    during a search), the context owns everything that changes — so two
+    concurrent executions on the same searcher never share mutable state
+    (the database's cross-query caches are themselves safe to share).
+    """
+
+    __slots__ = (
+        "query",
+        "budget",
+        "meter",
+        "started",
+        "stats",
+        "scheduler",
+        "sources",
+        "tracker",
+        "topk",
+        "measure",
+        "text_scores",
+        "lam",
+        "alpha",
+        "frontier_caps",
+        "radii_weights",
+        "round_threshold",
+        "round_best_id",
+        "terminated_early",
+        "degradation_reason",
+        "caches",
+        "distance_snapshot",
+        "text_snapshot",
+    )
+
+    def __init__(self, query: UOTSQuery, budget: SearchBudget | None):
+        self.query = query
+        self.budget = budget
+        self.meter = None if budget is None or budget.unlimited else budget.start()
+        self.started = time.perf_counter()
+        self.stats = SearchStats()
+        self.lam = query.lam
+        self.alpha = query.lam / query.num_locations
+        self.scheduler: Scheduler | None = None
+        self.sources = None
+        self.tracker: BoundTracker | None = None
+        self.topk: TopK | None = None
+        self.measure = None
+        self.text_scores: dict[int, float] = {}
+        self.frontier_caps = None
+        self.radii_weights = None
+        self.round_threshold: float | None = None
+        self.round_best_id: int | None = None
+        self.terminated_early = False
+        self.degradation_reason: str | None = None
+        self.caches = None
+        self.distance_snapshot = None
+        self.text_snapshot = None
+
+
 class CollaborativeSearcher:
     """Top-k UOTS search with spatial-textual pruning.
+
+    Stateless and shareable: instances carry only the database handle and
+    tuning configuration; per-query state lives in a :class:`SearchContext`
+    created per :meth:`execute` call.
 
     Parameters
     ----------
@@ -55,11 +143,16 @@ class CollaborativeSearcher:
         The indexed trajectory database to search.
     scheduler:
         ``"heuristic"`` (the paper's strategy, default), ``"round-robin"``
-        (the w/o-h ablation), or a custom :class:`Scheduler`.
+        (the w/o-h ablation), or a custom :class:`Scheduler` *instance*.
+        Named schedulers are instantiated fresh per query; a custom
+        instance is reused as-is (the caller owns its state).
     batch_size:
         Expansion steps granted to the selected source between scheduler and
         termination re-evaluations.
     """
+
+    #: Registry-facing algorithm name reported in query plans.
+    plan_name = "collaborative"
 
     #: Whether textual similarities participate in the search bounds.
     use_text_in_bounds: bool = True
@@ -98,223 +191,363 @@ class CollaborativeSearcher:
             self.use_alt = alt
 
     # ----------------------------------------------------------------- API
-    def search(
-        self, query: UOTSQuery, budget: SearchBudget | None = None
-    ) -> SearchResult:
-        """Run the query; exact top-k, or the best-so-far under a budget.
+    def plan(self, query: UOTSQuery) -> QueryPlan:
+        """Resolve the query's execution decisions without running it."""
+        database = self._database
+        query.validate_against(database.graph)
+        spec = self._scheduler_spec
+        notes: list[str] = []
+        if isinstance(spec, str):
+            scheduler_name = spec
+        else:
+            scheduler_name = type(spec).__name__
+            notes.append("custom scheduler instance supplied by the caller")
+        alt_enabled, alt_reason = self._resolve_alt(query)
+        candidate_count = (
+            len(database.keyword_index.candidates(query.keywords))
+            if query.keywords
+            else 0
+        )
+        if query.lam == 0.0:
+            scheduler_name = "none"
+            estimated_cost = float(candidate_count)
+            notes.append("text-only fast path: the ranking is the text ranking")
+        else:
+            # Worst case: every source settles the whole graph, plus one
+            # textual evaluation per keyword candidate.
+            estimated_cost = float(
+                candidate_count + query.num_locations * database.graph.num_vertices
+            )
+        return QueryPlan(
+            algorithm=self.plan_name,
+            query=query,
+            scheduler=scheduler_name,
+            batch_size=self._batch_size,
+            use_text_in_bounds=self.use_text_in_bounds,
+            use_refinement=self.use_refinement,
+            alt_enabled=alt_enabled,
+            alt_reason=alt_reason,
+            text_measure=query.text_measure,
+            source_vertices=query.locations,
+            candidate_count=candidate_count,
+            database_size=len(database),
+            cache_enabled=database.caches.distances.enabled,
+            estimated_cost=estimated_cost,
+            notes=tuple(notes),
+        )
 
-        ``budget`` (or ``query.budget`` when none is passed) caps the work:
-        when it trips, the search stops at the next batch boundary and
-        returns its current top-k flagged ``exact=False``, with the bound
-        tracker's residual upper bound as the score error bar — the
+    def execute(
+        self, plan: QueryPlan, budget: SearchBudget | None = None
+    ) -> SearchResult:
+        """Run a previously built plan; exact top-k, or best-so-far under a
+        budget.
+
+        ``budget`` (or ``plan.query.budget`` when none is passed) caps the
+        work: when it trips, the search stops at the next batch boundary
+        and returns its current top-k flagged ``exact=False``, with the
+        bound tracker's residual upper bound as the score error bar — the
         anytime behaviour a latency-bound service needs.  Strict budgets
         raise :class:`~repro.errors.BudgetExceededError` instead.
         """
-        database = self._database
-        query.validate_against(database.graph)
+        query: UOTSQuery = plan.query
+        query.validate_against(self._database.graph)
         if budget is None:
             budget = query.budget
-        meter = None if budget is None or budget.unlimited else budget.start()
-        started = time.perf_counter()
-        stats = SearchStats()
-        caches = database.caches
-        distance_snapshot = caches.distances.stats.snapshot()
-        text_snapshot = caches.text.stats.snapshot()
-
-        def capture_cache_stats() -> None:
-            """Attribute this query's share of the shared cache traffic."""
-            d = caches.distances.stats.delta_since(distance_snapshot)
-            t = caches.text.stats.delta_since(text_snapshot)
-            stats.distance_cache_hits = d.hits
-            stats.distance_cache_misses = d.misses
-            stats.text_cache_hits = t.hits
-            stats.text_cache_misses = t.misses
-
-        if self.use_text_in_bounds or query.lam == 0.0:
-            text_scores = self._exact_text_scores(query, stats)
-        else:
-            text_scores = {}  # spatial-first defers all text evaluation
+        ctx = self._open_context(query, budget)
+        self._resolve_text(ctx)
         if query.lam == 0.0:
-            result = self._text_only(query, text_scores, stats)
-            capture_cache_stats()
-            result.stats.elapsed_seconds = time.perf_counter() - started
-            return result
-
-        scheduler = (
-            make_scheduler(self._scheduler_spec)
-            if isinstance(self._scheduler_spec, str)
-            else self._scheduler_spec
-        )
-        lam = query.lam
-        alpha = lam / query.num_locations  # per-source score weight
-        sigma = database.sigma
-        frontier_caps = (
-            self._make_frontier_caps(query, alpha, sigma) if self.use_alt else None
-        )
-        tracker = self._make_tracker(query, text_scores, frontier_caps)
-        sources = make_sources(database.graph, query.locations)
-        topk = TopK(query.k)
-        measure = get_measure(query.text_measure)
-
-        def finalize_exact(trajectory_id: int, spatial: float, text_hint: float) -> None:
-            if self.use_text_in_bounds:
-                text = text_hint
-            else:  # spatial-first: text evaluated only now, at refinement
-                text = measure(
-                    query.keywords, database.get(trajectory_id).keywords
-                )
-            stats.similarity_evaluations += 1
-            topk.offer(
-                ScoredTrajectory(
-                    trajectory_id=trajectory_id,
-                    score=combine(lam, spatial, text),
-                    spatial_similarity=spatial,
-                    text_similarity=text,
-                )
-            )
-
-        def finalize(trajectory_id: int, weight_sum: float, text_from_tracker: float) -> None:
-            finalize_exact(trajectory_id, weight_sum / lam, text_from_tracker)
-
-        distance_cache = caches.distances
-
-        def refined_distances(trajectory_id: int) -> list[float]:
-            """Exact per-location distances, via the cross-query cache.
-
-            Full hits skip the Dijkstra entirely; partial hits shrink it to
-            the missing locations.  ``stats.refinements`` counts only the
-            traversals actually run, so budgets meter real work.
-            """
-            if not distance_cache.enabled:
-                stats.refinements += 1
-                return trajectory_to_locations_distances(
-                    database.graph,
-                    database.get(trajectory_id).vertex_set,
-                    query.locations,
-                )
-            resolved: dict[int, float] = {}
-            missing: list[int] = []
-            for location in query.locations:
-                if location in resolved or location in missing:
-                    continue
-                hit = distance_cache.get((trajectory_id, location), _MISS)
-                if hit is _MISS:
-                    missing.append(location)
-                else:
-                    resolved[location] = hit
-            if missing:
-                stats.refinements += 1
-                computed = trajectory_to_locations_distances(
-                    database.graph,
-                    database.get(trajectory_id).vertex_set,
-                    tuple(missing),
-                )
-                for location, distance in zip(missing, computed):
-                    resolved[location] = distance
-                    distance_cache.put((trajectory_id, location), distance)
-            return [resolved[location] for location in query.locations]
-
-        def refine(trajectory_id: int, text_hint: float) -> None:
-            """Resolve one blocked candidate exactly: a single multi-source
-            Dijkstra from the candidate's vertices prices every query
-            location at once (stopping as soon as all are settled)."""
-            tracker.finish(trajectory_id)
-            distances = refined_distances(trajectory_id)
-            finalize_exact(
-                trajectory_id,
-                spatial_similarity(distances, query.num_locations, sigma),
-                text_hint,
-            )
-
-        vertex_index = database.vertex_index
-        terminated_early = False
-        degradation_reason = None
+            return self._finalize_text_only(ctx)
+        self._prepare_domain(ctx, plan.alt_enabled)
         while True:
-            radii_weights = current_radii_weights(sources, sigma, alpha)
-            if meter is not None:
-                # Budget checks live at batch boundaries: work counters are
-                # compared first, the deadline costs one perf_counter call.
-                reason = meter.exceeded(stats.expanded_vertices, stats.refinements)
-                if reason is not None:
-                    if budget.strict:
-                        raise BudgetExceededError(reason)
-                    degradation_reason = reason
-                    break
-            if topk.full:
-                threshold = topk.threshold
-                unseen = tracker.unseen_upper_bound(radii_weights)
-                best_bound, best_id = tracker.best_active_bound(radii_weights)
-                if max(unseen, best_bound) <= threshold + _EPS:
-                    if frontier_caps is not None:
-                        stats.alt_pruned = tracker.count_alt_pruned(
-                            radii_weights, threshold
-                        )
-                    terminated_early = True
-                    break
-                if self.use_refinement:
-                    # A candidate whose irreducible bound (known + text)
-                    # already beats the threshold can never be pruned by
-                    # more expansion — evaluate it exactly instead.
-                    if (
-                        best_id is not None
-                        and tracker.irreducible_bound_of(best_id) > threshold + _EPS
-                    ):
-                        refine(best_id, tracker.text_score(best_id))
-                        continue
-                    text_score, text_id = tracker.best_unseen_text_candidate()
-                    if (
-                        text_id is not None
-                        and (1.0 - lam) * text_score > threshold + _EPS
-                    ):
-                        refine(text_id, text_score)
-                        continue
-            source = scheduler.select(sources, tracker, radii_weights)
-            if source is None:
-                break  # every component fully settled
-            stats.expand_batches += 1
-            steps = source.expand_steps(self._batch_size)
-            if steps:
-                stats.expanded_vertices += len(steps)
-                source_index = source.index
-                trajectories_at = vertex_index.trajectories_at
-                record_hit = tracker.record_hit
-                exp = math.exp
-                for vertex, distance in steps:
-                    hit_weight = alpha * exp(-distance / sigma)
-                    for trajectory_id in trajectories_at(vertex):
-                        completed = record_hit(
-                            trajectory_id, source_index, hit_weight, radii_weights
-                        )
-                        if completed is not None:
-                            finalize(trajectory_id, *completed)
-            if source.exhausted:
-                for item in tracker.mark_source_exhausted(source.index):
-                    finalize(*item)
+            self._begin_round(ctx)
+            if ctx.degradation_reason is not None:
+                break
+            if self._terminate(ctx):
+                break
+            if self._refine_blocked(ctx):
+                continue
+            if not self._expand_round(ctx):
+                break
+        return self._finalize(ctx)
 
-        if degradation_reason is not None:
+    def search(
+        self, query: UOTSQuery, budget: SearchBudget | None = None
+    ) -> SearchResult:
+        """Run the query end to end: ``execute(plan(query), budget)``."""
+        return self.execute(self.plan(query), budget)
+
+    # ------------------------------------------------------ pipeline stages
+    def _open_context(
+        self, query: UOTSQuery, budget: SearchBudget | None
+    ) -> SearchContext:
+        """Stage 0: the per-query state container plus cache snapshots."""
+        ctx = SearchContext(query, budget)
+        caches = self._database.caches
+        ctx.caches = caches
+        ctx.distance_snapshot = caches.distances.stats.snapshot()
+        ctx.text_snapshot = caches.text.stats.snapshot()
+        return ctx
+
+    def _resolve_text(self, ctx: SearchContext) -> None:
+        """Stage ``resolve_text``: the exact SimT table (or nothing, for the
+        spatial-first ablation that defers text to refinement)."""
+        if self.use_text_in_bounds or ctx.query.lam == 0.0:
+            ctx.text_scores = self._exact_text_scores(ctx.query, ctx.stats)
+        else:
+            ctx.text_scores = {}  # spatial-first defers all text evaluation
+
+    def _prepare_domain(self, ctx: SearchContext, alt_enabled: bool) -> None:
+        """Build the spatial-domain state: scheduler, tracker, sources."""
+        query = ctx.query
+        spec = self._scheduler_spec
+        ctx.scheduler = make_scheduler(spec) if isinstance(spec, str) else spec
+        ctx.frontier_caps = (
+            self._make_frontier_caps(query, ctx.alpha, self._database.sigma)
+            if alt_enabled
+            else None
+        )
+        ctx.tracker = self._make_tracker(query, ctx.text_scores, ctx.frontier_caps)
+        ctx.sources = make_sources(self._database.graph, query.locations)
+        ctx.topk = TopK(query.k)
+        ctx.measure = get_measure(query.text_measure)
+
+    def _begin_round(self, ctx: SearchContext) -> None:
+        """Refresh the frontier radii weights and check the budget.
+
+        Budget checks live at batch boundaries: work counters are compared
+        first, the deadline costs one perf_counter call.  A tripped strict
+        budget raises; a plain budget records the degradation reason and
+        the main loop stops at this round.
+        """
+        ctx.radii_weights = current_radii_weights(
+            ctx.sources, self._database.sigma, ctx.alpha
+        )
+        meter = ctx.meter
+        if meter is not None:
+            reason = meter.exceeded(
+                ctx.stats.expanded_vertices, ctx.stats.refinements
+            )
+            if reason is not None:
+                if ctx.budget.strict:
+                    raise BudgetExceededError(reason)
+                ctx.degradation_reason = reason
+
+    def _terminate(self, ctx: SearchContext) -> bool:
+        """Stage ``terminate?``: the bound-vs-threshold termination test.
+
+        Also stashes the round's threshold and loosest candidate for
+        :meth:`_refine_blocked`, so the (heap-refining) bound computation
+        runs once per round.
+        """
+        topk = ctx.topk
+        if not topk.full:
+            ctx.round_threshold = None
+            ctx.round_best_id = None
+            return False
+        tracker = ctx.tracker
+        radii_weights = ctx.radii_weights
+        threshold = topk.threshold
+        unseen = tracker.unseen_upper_bound(radii_weights)
+        best_bound, best_id = tracker.best_active_bound(radii_weights)
+        if max(unseen, best_bound) <= threshold + _EPS:
+            if ctx.frontier_caps is not None:
+                ctx.stats.alt_pruned = tracker.count_alt_pruned(
+                    radii_weights, threshold
+                )
+            ctx.terminated_early = True
+            return True
+        ctx.round_threshold = threshold
+        ctx.round_best_id = best_id
+        return False
+
+    def _refine_blocked(self, ctx: SearchContext) -> bool:
+        """Stage ``refine_blocked``: directly resolve candidates that more
+        expansion can never prune.  Returns whether one was refined (the
+        round restarts to re-check budget and termination)."""
+        if not self.use_refinement or ctx.round_threshold is None:
+            return False
+        tracker = ctx.tracker
+        threshold = ctx.round_threshold
+        best_id = ctx.round_best_id
+        # A candidate whose irreducible bound (known + text) already beats
+        # the threshold can never be pruned by more expansion — evaluate it
+        # exactly instead.
+        if (
+            best_id is not None
+            and tracker.irreducible_bound_of(best_id) > threshold + _EPS
+        ):
+            self._refine_one(ctx, best_id, tracker.text_score(best_id))
+            return True
+        text_score, text_id = tracker.best_unseen_text_candidate()
+        if text_id is not None and (1.0 - ctx.lam) * text_score > threshold + _EPS:
+            self._refine_one(ctx, text_id, text_score)
+            return True
+        return False
+
+    def _expand_round(self, ctx: SearchContext) -> bool:
+        """Stage ``expand_round``: one scheduled batch of expansion.
+
+        Returns ``False`` when every component is fully settled (nothing
+        left to expand)."""
+        source = ctx.scheduler.select(ctx.sources, ctx.tracker, ctx.radii_weights)
+        if source is None:
+            return False
+        stats = ctx.stats
+        stats.expand_batches += 1
+        steps = source.expand_steps(self._batch_size)
+        if steps:
+            stats.expanded_vertices += len(steps)
+            source_index = source.index
+            trajectories_at = self._database.vertex_index.trajectories_at
+            record_hit = ctx.tracker.record_hit
+            radii_weights = ctx.radii_weights
+            finalize = self._finalize_completed
+            alpha = ctx.alpha
+            sigma = self._database.sigma
+            exp = math.exp
+            for vertex, distance in steps:
+                hit_weight = alpha * exp(-distance / sigma)
+                for trajectory_id in trajectories_at(vertex):
+                    completed = record_hit(
+                        trajectory_id, source_index, hit_weight, radii_weights
+                    )
+                    if completed is not None:
+                        finalize(ctx, trajectory_id, *completed)
+        if source.exhausted:
+            for item in ctx.tracker.mark_source_exhausted(source.index):
+                self._finalize_completed(ctx, *item)
+        return True
+
+    def _finalize(self, ctx: SearchContext) -> SearchResult:
+        """Stage ``finalize``: degraded wrap-up or exhaustion drain, then
+        the stats bookkeeping shared by both outcomes."""
+        stats = ctx.stats
+        if ctx.degradation_reason is not None:
             stats.degraded_queries = 1
-            residual = tracker.global_upper_bound(radii_weights)
-            items = self._best_effort_items(query, tracker, topk)
-            stats.visited_trajectories = tracker.num_seen
-            stats.pruned_trajectories = len(database) - stats.similarity_evaluations
-            capture_cache_stats()
-            stats.elapsed_seconds = time.perf_counter() - started
+            residual = ctx.tracker.global_upper_bound(ctx.radii_weights)
+            items = self._best_effort_items(ctx.query, ctx.tracker, ctx.topk)
+            stats.visited_trajectories = ctx.tracker.num_seen
+            stats.pruned_trajectories = (
+                len(self._database) - stats.similarity_evaluations
+            )
+            self._capture_cache_stats(ctx)
+            stats.elapsed_seconds = time.perf_counter() - ctx.started
             return SearchResult(
                 items=items,
                 stats=stats,
                 exact=False,
-                degradation_reason=degradation_reason,
+                degradation_reason=ctx.degradation_reason,
                 residual_bound=residual,
             )
 
-        if not terminated_early:
-            self._drain_at_exhaustion(query, tracker, text_scores, finalize, topk)
+        if not ctx.terminated_early:
+            self._drain_at_exhaustion(ctx)
 
-        stats.visited_trajectories = tracker.num_seen
-        stats.pruned_trajectories = len(database) - stats.similarity_evaluations
-        capture_cache_stats()
-        stats.elapsed_seconds = time.perf_counter() - started
-        return SearchResult(items=topk.ranked(), stats=stats)
+        stats.visited_trajectories = ctx.tracker.num_seen
+        stats.pruned_trajectories = len(self._database) - stats.similarity_evaluations
+        self._capture_cache_stats(ctx)
+        stats.elapsed_seconds = time.perf_counter() - ctx.started
+        return SearchResult(items=ctx.topk.ranked(), stats=stats)
+
+    # ------------------------------------------------------------- helpers
+    def _resolve_alt(self, query: UOTSQuery) -> tuple[bool, str]:
+        """The query-time ALT decision and its reason (for the plan)."""
+        if not self.use_alt:
+            return False, "disabled by configuration"
+        if query.lam == 0.0:
+            return False, "text-only query (lam=0) performs no spatial expansion"
+        if self._database.landmark_index is None:
+            return False, "no landmark index (disconnected graph)"
+        return True, "landmark lower bounds cap frontier terms of blocking candidates"
+
+    def _capture_cache_stats(self, ctx: SearchContext) -> None:
+        """Attribute this query's share of the shared cache traffic."""
+        stats = ctx.stats
+        d = ctx.caches.distances.stats.delta_since(ctx.distance_snapshot)
+        t = ctx.caches.text.stats.delta_since(ctx.text_snapshot)
+        stats.distance_cache_hits = d.hits
+        stats.distance_cache_misses = d.misses
+        stats.text_cache_hits = t.hits
+        stats.text_cache_misses = t.misses
+
+    def _finalize_exact(
+        self, ctx: SearchContext, trajectory_id: int, spatial: float, text_hint: float
+    ) -> None:
+        """Offer one exactly scored trajectory to the top-k collector."""
+        if self.use_text_in_bounds:
+            text = text_hint
+        else:  # spatial-first: text evaluated only now, at refinement
+            text = ctx.measure(
+                ctx.query.keywords, self._database.get(trajectory_id).keywords
+            )
+        ctx.stats.similarity_evaluations += 1
+        ctx.topk.offer(
+            ScoredTrajectory(
+                trajectory_id=trajectory_id,
+                score=combine(ctx.lam, spatial, text),
+                spatial_similarity=spatial,
+                text_similarity=text,
+            )
+        )
+
+    def _finalize_completed(
+        self, ctx: SearchContext, trajectory_id: int, weight_sum: float, text: float
+    ) -> None:
+        """Finalize a trajectory fully scanned by the expansions."""
+        self._finalize_exact(ctx, trajectory_id, weight_sum / ctx.lam, text)
+
+    def _refined_distances(self, ctx: SearchContext, trajectory_id: int) -> list[float]:
+        """Exact per-location distances, via the cross-query cache.
+
+        Full hits skip the Dijkstra entirely; partial hits shrink it to
+        the missing locations.  ``stats.refinements`` counts only the
+        traversals actually run, so budgets meter real work.
+        """
+        query = ctx.query
+        distance_cache = ctx.caches.distances
+        if not distance_cache.enabled:
+            ctx.stats.refinements += 1
+            return trajectory_to_locations_distances(
+                self._database.graph,
+                self._database.get(trajectory_id).vertex_set,
+                query.locations,
+            )
+        resolved: dict[int, float] = {}
+        missing: list[int] = []
+        for location in query.locations:
+            if location in resolved or location in missing:
+                continue
+            hit = distance_cache.get((trajectory_id, location), _MISS)
+            if hit is _MISS:
+                missing.append(location)
+            else:
+                resolved[location] = hit
+        if missing:
+            ctx.stats.refinements += 1
+            computed = trajectory_to_locations_distances(
+                self._database.graph,
+                self._database.get(trajectory_id).vertex_set,
+                tuple(missing),
+            )
+            for location, distance in zip(missing, computed):
+                resolved[location] = distance
+                distance_cache.put((trajectory_id, location), distance)
+        return [resolved[location] for location in query.locations]
+
+    def _refine_one(
+        self, ctx: SearchContext, trajectory_id: int, text_hint: float
+    ) -> None:
+        """Resolve one blocked candidate exactly: a single multi-source
+        Dijkstra from the candidate's vertices prices every query
+        location at once (stopping as soon as all are settled)."""
+        ctx.tracker.finish(trajectory_id)
+        distances = self._refined_distances(ctx, trajectory_id)
+        self._finalize_exact(
+            ctx,
+            trajectory_id,
+            spatial_similarity(distances, ctx.query.num_locations, self._database.sigma),
+            text_hint,
+        )
 
     def _best_effort_items(
         self, query: UOTSQuery, tracker: BoundTracker, topk: TopK
@@ -420,22 +653,24 @@ class CollaborativeSearcher:
             frontier_caps=frontier_caps,
         )
 
-    def _text_only(
-        self, query: UOTSQuery, text_scores: dict[int, float], stats: SearchStats
-    ) -> SearchResult:
+    def _finalize_text_only(self, ctx: SearchContext) -> SearchResult:
         """Fast path for ``lam == 0``: the ranking is the text ranking."""
+        query = ctx.query
+        stats = ctx.stats
         topk = TopK(query.k)
-        for trajectory_id, text in text_scores.items():
+        for trajectory_id, text in ctx.text_scores.items():
             stats.similarity_evaluations += 1
             topk.offer(
                 ScoredTrajectory(trajectory_id, text * (1.0 - query.lam), 0.0, text)
             )
-        self._zero_fill(topk, stats, exclude=text_scores.keys())
-        stats.visited_trajectories = len(text_scores)
+        self._zero_fill(topk, stats, exclude=ctx.text_scores.keys())
+        stats.visited_trajectories = len(ctx.text_scores)
         stats.pruned_trajectories = len(self._database) - stats.similarity_evaluations
+        self._capture_cache_stats(ctx)
+        stats.elapsed_seconds = time.perf_counter() - ctx.started
         return SearchResult(items=topk.ranked(), stats=stats)
 
-    def _drain_at_exhaustion(self, query, tracker, text_scores, finalize, topk) -> None:
+    def _drain_at_exhaustion(self, ctx: SearchContext) -> None:
         """Every source is exhausted: all remaining scores are now exact.
 
         Partly scanned trajectories keep their accumulated spatial weight
@@ -444,24 +679,24 @@ class CollaborativeSearcher:
         positive text can score, plus zero-score filler if k exceeds the
         number of scoring trajectories.
         """
-        for trajectory_id, known_weight, text in list(tracker.active_states()):
-            finalize(trajectory_id, known_weight, text)
+        for trajectory_id, known_weight, text in list(ctx.tracker.active_states()):
+            self._finalize_completed(ctx, trajectory_id, known_weight, text)
         candidate_ids = (
-            text_scores
+            ctx.text_scores
             if self.use_text_in_bounds
-            else self._database.keyword_index.candidates(query.keywords)
+            else self._database.keyword_index.candidates(ctx.query.keywords)
         )
         for trajectory_id in candidate_ids:
-            if not tracker.is_seen(trajectory_id):
-                finalize(trajectory_id, 0.0, text_scores.get(trajectory_id, 0.0))
-        if not topk.full:
+            if not ctx.tracker.is_seen(trajectory_id):
+                self._finalize_completed(
+                    ctx, trajectory_id, 0.0, ctx.text_scores.get(trajectory_id, 0.0)
+                )
+        if not ctx.topk.full:
             stats_probe = SearchStats()  # zero-fill shouldn't inflate counters
             self._zero_fill(
-                topk,
+                ctx.topk,
                 stats_probe,
-                exclude={
-                    item.trajectory_id for item in topk.ranked()
-                },
+                exclude={item.trajectory_id for item in ctx.topk.ranked()},
             )
 
     def _zero_fill(self, topk: TopK, stats: SearchStats, exclude) -> None:
@@ -486,6 +721,7 @@ class SpatialFirstSearcher(CollaborativeSearcher):
     this ablation is the pure expansion strategy.
     """
 
+    plan_name = "spatial-first"
     use_text_in_bounds = False
     use_refinement = False
     use_alt = False  # the ablation is the *pure* expansion strategy

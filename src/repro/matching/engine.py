@@ -37,6 +37,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.core.bounds import BoundTracker, SourceRadiiWeights
+from repro.core.plan import QueryPlan
 from repro.core.results import ScoredTrajectory, SearchResult, SearchStats, TopK
 from repro.errors import QueryError
 from repro.index.database import TrajectoryDatabase
@@ -131,7 +132,16 @@ class CandidateSet:
 
 
 class DirectionalSearchEngine:
-    """Spatio-temporal filter-and-refine search over a trajectory database."""
+    """Spatio-temporal filter-and-refine search over a trajectory database.
+
+    Conforms to the :class:`~repro.core.plan.Searcher` protocol over
+    :class:`~repro.matching.ptm.PTMQuery` queries (``plan`` / ``execute`` /
+    ``search``); the lower-level ``threshold_search`` / ``topk_search``
+    entry points remain for the join and the matcher.
+    """
+
+    #: Registry-facing algorithm name reported in query plans.
+    plan_name = "directional"
 
     def __init__(
         self,
@@ -201,6 +211,70 @@ class DirectionalSearchEngine:
             if gap != _INF:
                 temporal += math.exp(-gap / sigma_t)
         return (lam * spatial + (1.0 - lam) * temporal) / len(points)
+
+    # ----------------------------------------------------- Searcher protocol
+    def plan(self, query) -> QueryPlan:
+        """Resolve a :class:`~repro.matching.ptm.PTMQuery`'s decisions.
+
+        Each query point contributes one spatial expansion *and* one
+        temporal expanding-window source; domains with a zero weight
+        (``lam`` at either extreme) are pruned before any expansion.
+        """
+        points = query.points
+        if not points:
+            raise QueryError("a directional search needs at least one query point")
+        if not (0.0 <= query.lam <= 1.0):
+            raise QueryError(f"lam must be in [0, 1], got {query.lam}")
+        database = self._database
+        notes = ["one temporal expanding-window source per query point"]
+        if query.lam == 0.0:
+            notes.append("lam=0: spatial domain pruned before expansion")
+        elif query.lam == 1.0:
+            notes.append("lam=1: temporal domain pruned before expansion")
+        num_samples = len(self._timestamp_index)
+        return QueryPlan(
+            algorithm=self.plan_name,
+            query=query,
+            scheduler="round-robin",
+            batch_size=self._batch_size,
+            use_text_in_bounds=False,
+            use_refinement=True,
+            alt_enabled=False,
+            alt_reason="not applicable (spatio-temporal bounds, no landmark table)",
+            text_measure=None,
+            source_vertices=tuple(vertex for vertex, __ in points),
+            candidate_count=0,
+            database_size=len(database),
+            cache_enabled=self._max_transforms > 0,
+            # Worst case: every spatial source settles the graph and every
+            # temporal window scans all stored sample points.
+            estimated_cost=float(
+                len(points) * (database.graph.num_vertices + num_samples)
+            ),
+            notes=tuple(notes),
+        )
+
+    def execute(self, plan: QueryPlan, budget=None) -> SearchResult:
+        """Run a previously built PTM plan (top-k mode).
+
+        The directional engine has no anytime degradation path — its bounds
+        span two domains with no residual accounting — so passing a real
+        budget is an error rather than a silent ignore.
+        """
+        query = plan.query
+        if budget is None:
+            budget = getattr(query, "budget", None)
+        if budget is not None and not budget.unlimited:
+            raise QueryError(
+                "the directional engine does not support search budgets; "
+                "submit PTM queries without one"
+            )
+        exclude = query.trajectory.id if query.trajectory.id is not None else None
+        return self.topk_search(query.points, query.lam, query.k, exclude_id=exclude)
+
+    def search(self, query, budget=None) -> SearchResult:
+        """``execute(plan(query), budget)`` — the one-call convenience."""
+        return self.execute(self.plan(query), budget)
 
     # -------------------------------------------------------------- search
     def threshold_search(

@@ -19,6 +19,11 @@ Two execution tiers share the layout:
   importable.  SciPy is an optional accelerator, never a requirement:
   every kernel falls back to the Python tier.
 
+SciPy is resolved *lazily*, on the first kernel call that could use it —
+importing this module (and therefore ``repro.core.search`` and the serving
+layer above it) never pays the scipy import, keeping service cold-start
+light.
+
 All kernels return dense ``float64`` distance arrays with ``inf`` marking
 vertices that were not settled (unreachable, or beyond the cutoff), which
 callers convert to the historical dict form where needed.
@@ -31,13 +36,6 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-try:  # optional accelerator — gated, never required
-    from scipy.sparse import csr_matrix as _scipy_csr_matrix
-    from scipy.sparse.csgraph import dijkstra as _scipy_dijkstra
-except ImportError:  # pragma: no cover - exercised only without scipy
-    _scipy_csr_matrix = None
-    _scipy_dijkstra = None
-
 __all__ = [
     "CSRAdjacency",
     "scipy_available",
@@ -49,10 +47,28 @@ __all__ = [
 
 _INF = float("inf")
 
+# Lazily resolved (csr_matrix, dijkstra) pair; None = not yet attempted.
+# (None, None) after a failed import — the Python tier serves everything.
+_SCIPY_KERNELS: tuple | None = None
+
+
+def _scipy_kernels() -> tuple:
+    """Resolve the optional SciPy accelerator on first use (cached)."""
+    global _SCIPY_KERNELS
+    if _SCIPY_KERNELS is None:
+        try:
+            from scipy.sparse import csr_matrix
+            from scipy.sparse.csgraph import dijkstra
+        except ImportError:  # pragma: no cover - exercised only without scipy
+            _SCIPY_KERNELS = (None, None)
+        else:
+            _SCIPY_KERNELS = (csr_matrix, dijkstra)
+    return _SCIPY_KERNELS
+
 
 def scipy_available() -> bool:
     """Whether the SciPy ``csgraph`` fast path is importable."""
-    return _scipy_dijkstra is not None
+    return _scipy_kernels()[1] is not None
 
 
 class CSRAdjacency:
@@ -115,11 +131,12 @@ class CSRAdjacency:
 
     def matrix(self):
         """The SciPy CSR matrix (cached; ``None`` when SciPy is absent)."""
-        if _scipy_csr_matrix is None:
+        csr_matrix = _scipy_kernels()[0]
+        if csr_matrix is None:
             return None
         if self._matrix is None:
             n = self.num_vertices
-            self._matrix = _scipy_csr_matrix(
+            self._matrix = csr_matrix(
                 (self.weights, self.indices, self.indptr), shape=(n, n)
             )
         return self._matrix
@@ -193,14 +210,15 @@ def sssp_array(
     can actually stop early.
     """
     source_list = list(sources)
-    if target is None and _scipy_dijkstra is not None and csr.num_vertices > 0:
+    dijkstra = _scipy_kernels()[1]
+    if target is None and dijkstra is not None and csr.num_vertices > 0:
         matrix = csr.matrix()
         limit = np.inf if cutoff is None else float(cutoff)
         if len(source_list) == 1:
-            return _scipy_dijkstra(
+            return dijkstra(
                 matrix, directed=True, indices=source_list[0], limit=limit
             )
-        return _scipy_dijkstra(
+        return dijkstra(
             matrix, directed=True, indices=source_list, limit=limit, min_only=True
         )
     return _sssp_python(csr, source_list, cutoff, target)
@@ -214,9 +232,10 @@ def sssp_arrays_batch(csr: CSRAdjacency, sources: Sequence[int]) -> np.ndarray:
     """
     if not len(sources):
         return np.empty((0, csr.num_vertices))
-    if _scipy_dijkstra is not None and csr.num_vertices > 0:
+    dijkstra = _scipy_kernels()[1]
+    if dijkstra is not None and csr.num_vertices > 0:
         return np.atleast_2d(
-            _scipy_dijkstra(csr.matrix(), directed=True, indices=list(sources))
+            dijkstra(csr.matrix(), directed=True, indices=list(sources))
         )
     return np.vstack([_sssp_python(csr, (s,), None, None) for s in sources])
 
@@ -242,7 +261,11 @@ def targets_array(
     """
     n = csr.num_vertices
     sources = list(sources)
-    if sources and _scipy_dijkstra is not None and n >= _SCIPY_TARGETS_MIN_VERTICES:
+    if (
+        sources
+        and n >= _SCIPY_TARGETS_MIN_VERTICES
+        and _scipy_kernels()[1] is not None
+    ):
         row = sssp_array(csr, sources, cutoff=cutoff)
         return [float(row[t]) for t in targets]
     remaining = set(targets)

@@ -39,7 +39,6 @@ from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from typing import Sequence
 
-from repro.core.engine import make_searcher
 from repro.core.query import UOTSQuery
 from repro.core.results import SearchResult, SearchStats
 from repro.errors import QueryError, ReproError
@@ -139,19 +138,17 @@ def parallel_search(
     yields an error-marked result; a crashed worker's tasks are retried up
     to ``max_task_retries`` pool rounds, then finished sequentially —
     see the module docstring for the containment contract.
+
+    This is a convenience over a one-shot
+    :class:`~repro.service.service.QueryService` (imported lazily — the
+    serving layer sits above this module); long-lived callers should hold
+    a service of their own to keep its aggregated stats.
     """
-    if workers < 1:
-        raise QueryError(f"workers must be >= 1, got {workers}")
-    if max_task_retries < 0:
-        raise QueryError(f"max_task_retries must be >= 0, got {max_task_retries}")
-    searcher = make_searcher(database, algorithm)
-    if workers == 1 or not fork_available() or len(queries) <= 1:
-        results = [_safe_search(searcher, query, budget) for query in queries]
-        for result in results:
-            result.stats.executor = "sequential"
-        return results
-    return _fork_search_batch(
-        searcher, list(queries), budget, workers, max_task_retries
+    from repro.service.service import QueryService
+
+    service = QueryService(database, algorithm)
+    return service.execute_many(
+        queries, budget=budget, workers=workers, max_task_retries=max_task_retries
     )
 
 

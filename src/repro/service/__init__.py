@@ -1,0 +1,12 @@
+"""The serving layer: query front-end, admission control, service stats."""
+
+from repro.service.admission import AdmissionController
+from repro.service.service import QueryService
+from repro.service.stats import LatencyReservoir, ServiceStats
+
+__all__ = [
+    "AdmissionController",
+    "LatencyReservoir",
+    "QueryService",
+    "ServiceStats",
+]

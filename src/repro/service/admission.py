@@ -1,0 +1,45 @@
+"""Admission control: the bounded-concurrency seam of the serving layer.
+
+A production front-end protects itself by *rejecting* excess load instead
+of queueing it without bound.  :class:`AdmissionController` is that seam in
+its simplest honest form — a non-blocking in-flight cap.  ``submit`` asks
+``try_acquire``; a ``False`` means the query is turned away immediately
+(recorded as rejected, never executed) rather than piling onto a queue
+whose latency the caller can no longer reason about.
+
+The default controller is unbounded, which keeps single-tenant and test
+usage friction-free; services facing real concurrency pass
+``max_inflight``.  Multi-tenant policies (per-user quotas, priority
+classes) slot in by subclassing — see the ROADMAP open items.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """A non-blocking in-flight query cap (unbounded when ``None``)."""
+
+    def __init__(self, max_inflight: int | None = None):
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        self.max_inflight = max_inflight
+        self._semaphore = (
+            threading.BoundedSemaphore(max_inflight)
+            if max_inflight is not None
+            else None
+        )
+
+    def try_acquire(self) -> bool:
+        """Claim an in-flight slot without blocking; ``False`` = reject."""
+        if self._semaphore is None:
+            return True
+        return self._semaphore.acquire(blocking=False)
+
+    def release(self) -> None:
+        """Return a slot claimed by a successful :meth:`try_acquire`."""
+        if self._semaphore is not None:
+            self._semaphore.release()

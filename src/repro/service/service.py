@@ -1,0 +1,203 @@
+"""The serving layer: one database, one searcher, many queries.
+
+:class:`QueryService` is the single substrate every batch-ish caller sits
+on — the :class:`~repro.core.engine.TripRecommender` facade, the CLI's
+``query``/``bench``/``explain`` commands, :func:`repro.parallel.executor.
+parallel_search`, and the bench harness.  It owns one database plus one
+stateless searcher (searchers hold no per-query state, so a single
+instance serves arbitrarily many queries, sequentially or concurrently)
+and layers on what a front-end needs and individual searchers should not
+carry:
+
+- **admission control** — a bounded in-flight cap that *rejects* excess
+  load (:mod:`repro.service.admission`);
+- **failure isolation** — a query that raises a library error comes back
+  as an error-marked result, never as an exception that takes the batch
+  down;
+- **observability** — aggregated :class:`~repro.service.stats.ServiceStats`
+  (outcome counters, cache hit rates, p50/p95 latency) and per-query
+  :meth:`explain` plans without execution.
+
+``execute_many`` keeps the fork-based fan-out of the parallel executor:
+with ``workers > 1`` on a fork platform the batch runs across processes
+(the database shared copy-on-write), otherwise sequentially in-process —
+same results either way, by the executor's containment contract.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+from typing import Sequence
+
+from repro.core.plan import QueryPlan, Searcher
+from repro.core.query import UOTSQuery
+from repro.core.registry import make_searcher
+from repro.core.results import SearchResult
+from repro.errors import QueryError
+from repro.index.database import TrajectoryDatabase
+from repro.parallel.executor import _fork_search_batch, _safe_search, fork_available
+from repro.resilience.budget import SearchBudget
+from repro.service.admission import AdmissionController
+from repro.service.stats import ServiceStats
+
+__all__ = ["QueryService"]
+
+
+class QueryService:
+    """A query front-end over one database and one shared searcher.
+
+    Parameters
+    ----------
+    database:
+        The indexed trajectory database to serve.
+    algorithm:
+        Registry name of the search algorithm (see
+        :mod:`repro.core.registry`).
+    admission:
+        ``None`` (unbounded), an in-flight cap as an ``int``, or a
+        pre-built :class:`AdmissionController`.
+    **searcher_kwargs:
+        Tuning kwargs forwarded to the registry factory (``alt=``,
+        ``batch_size=``, ``refinement=``, ``scheduler=``).
+    """
+
+    def __init__(
+        self,
+        database: TrajectoryDatabase,
+        algorithm: str = "collaborative",
+        admission: AdmissionController | int | None = None,
+        **searcher_kwargs,
+    ):
+        self._database = database
+        self._algorithm = algorithm
+        self._searcher = make_searcher(database, algorithm, **searcher_kwargs)
+        self._admission = (
+            admission
+            if isinstance(admission, AdmissionController)
+            else AdmissionController(admission)
+        )
+        self._stats = ServiceStats()
+
+    # ------------------------------------------------------------ accessors
+    @property
+    def database(self) -> TrajectoryDatabase:
+        """The underlying trajectory database."""
+        return self._database
+
+    @property
+    def searcher(self) -> Searcher:
+        """The shared, stateless searcher instance."""
+        return self._searcher
+
+    @property
+    def algorithm(self) -> str:
+        """The registry name the service was built with."""
+        return self._algorithm
+
+    @property
+    def admission(self) -> AdmissionController:
+        """The admission controller guarding :meth:`submit`."""
+        return self._admission
+
+    @property
+    def stats(self) -> ServiceStats:
+        """Aggregated service-level statistics."""
+        return self._stats
+
+    # ------------------------------------------------------------- planning
+    def plan(self, query: UOTSQuery) -> QueryPlan:
+        """The searcher's plan, stamped with the *registry* name.
+
+        Variants share searcher classes (``collaborative-rr`` is a pinned
+        ``CollaborativeSearcher``), so the class-level plan name is
+        rewritten to the name the service actually serves under.
+        """
+        plan = self._searcher.plan(query)
+        if plan.algorithm != self._algorithm:
+            plan = replace(plan, algorithm=self._algorithm)
+        return plan
+
+    def explain(self, query: UOTSQuery) -> str:
+        """Render the query's plan without executing it."""
+        return self.plan(query).describe()
+
+    # ------------------------------------------------------------ execution
+    def search(
+        self, query: UOTSQuery, budget: SearchBudget | None = None
+    ) -> SearchResult:
+        """Answer one query, letting library errors propagate.
+
+        The exception-transparent sibling of :meth:`submit`, for embedded
+        callers (the :class:`~repro.core.engine.TripRecommender` facade)
+        where a strict budget or an invalid query should raise rather than
+        come back as an error-marked result.  Successful answers are still
+        recorded in the service stats.
+        """
+        started = time.perf_counter()
+        result = self._searcher.search(query, budget=budget)
+        self._stats.record(result, time.perf_counter() - started)
+        return result
+
+    def submit(
+        self, query: UOTSQuery, budget: SearchBudget | None = None
+    ) -> SearchResult:
+        """Answer one query through admission control and stats recording.
+
+        Library errors come back as error-marked results (the executor's
+        isolation contract); a query turned away by admission control
+        returns an error-marked result with ``degradation_reason``
+        ``"rejected by admission control"`` and is counted as rejected,
+        not served.
+        """
+        if not self._admission.try_acquire():
+            self._stats.record_rejection()
+            return SearchResult(
+                items=[],
+                exact=False,
+                degradation_reason="rejected by admission control",
+                error="AdmissionError: service at its in-flight query cap",
+            )
+        try:
+            started = time.perf_counter()
+            result = _safe_search(self._searcher, query, budget)
+            self._stats.record(result, time.perf_counter() - started)
+            return result
+        finally:
+            self._admission.release()
+
+    def execute_many(
+        self,
+        queries: Sequence[UOTSQuery],
+        budget: SearchBudget | None = None,
+        workers: int = 1,
+        max_task_retries: int = 2,
+    ) -> list[SearchResult]:
+        """Answer a batch of queries, in query order.
+
+        ``workers > 1`` fans out over forked processes where the platform
+        allows (crashed workers retried up to ``max_task_retries`` pool
+        rounds, then finished sequentially); otherwise the batch runs
+        through :meth:`submit` in-process.  Every result's
+        ``stats.executor`` records the path that produced it.
+        """
+        if workers < 1:
+            raise QueryError(f"workers must be >= 1, got {workers}")
+        if max_task_retries < 0:
+            raise QueryError(f"max_task_retries must be >= 0, got {max_task_retries}")
+        queries = list(queries)
+        if workers > 1 and fork_available() and len(queries) > 1:
+            results = _fork_search_batch(
+                self._searcher, queries, budget, workers, max_task_retries
+            )
+            for result in results:
+                # Worker wall-clock is the honest latency of a forked query.
+                self._stats.record(result, result.stats.elapsed_seconds)
+            return results
+        results = []
+        for query in queries:
+            result = self.submit(query, budget)
+            if not result.stats.executor:
+                result.stats.executor = "sequential"
+            results.append(result)
+        return results

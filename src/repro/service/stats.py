@@ -1,0 +1,166 @@
+"""Service-level aggregated statistics.
+
+One :class:`ServiceStats` instance rides along with a
+:class:`~repro.service.service.QueryService` and accumulates across every
+query the service answers: outcome counters (served / exact / degraded /
+failed / rejected), the merged per-query work counters, cache hit rates
+over the database's cross-query caches, and a bounded latency reservoir
+from which p50/p95 are read.  All mutation is lock-guarded so concurrent
+``submit`` callers can share one service.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.results import SearchResult, SearchStats
+
+__all__ = ["LatencyReservoir", "ServiceStats"]
+
+
+class LatencyReservoir:
+    """A bounded sample of per-query latencies (most recent ``capacity``).
+
+    A plain ring buffer, not reservoir sampling: a serving dashboard wants
+    *recent* percentiles, and recency is also the cheapest eviction rule.
+    """
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._samples: list[float] = []
+        self._cursor = 0
+        self._total = 0
+
+    def record(self, seconds: float) -> None:
+        """Add one latency sample, evicting the oldest when full."""
+        if len(self._samples) < self._capacity:
+            self._samples.append(seconds)
+        else:
+            self._samples[self._cursor] = seconds
+            self._cursor = (self._cursor + 1) % self._capacity
+        self._total += 1
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile (``p`` in [0, 100]) over the sample.
+
+        Returns 0.0 while empty (a dashboard-friendly neutral value).
+        """
+        if not (0.0 <= p <= 100.0):
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = max(1, -(-len(ordered) * p // 100))  # ceil without math import
+        return ordered[int(rank) - 1]
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+
+class ServiceStats:
+    """Aggregated, thread-safe statistics of one query service."""
+
+    def __init__(self, latency_capacity: int = 4096):
+        self._lock = threading.Lock()
+        self.queries_served = 0
+        self.exact_results = 0
+        self.degraded_results = 0
+        self.failed_queries = 0
+        self.rejected_queries = 0
+        #: Merged per-query work counters (:meth:`SearchStats.merge`).
+        self.totals = SearchStats()
+        self._latencies = LatencyReservoir(latency_capacity)
+
+    # ------------------------------------------------------------ recording
+    def record(self, result: SearchResult, elapsed_seconds: float) -> None:
+        """Fold one answered query into the aggregates."""
+        with self._lock:
+            self.queries_served += 1
+            if result.error is not None:
+                self.failed_queries += 1
+            elif result.exact:
+                self.exact_results += 1
+            else:
+                self.degraded_results += 1
+            self.totals.merge(result.stats)
+            self._latencies.record(elapsed_seconds)
+
+    def record_rejection(self) -> None:
+        """Count a query turned away by admission control (never executed)."""
+        with self._lock:
+            self.rejected_queries += 1
+
+    # ------------------------------------------------------------- readouts
+    def latency_ms(self, p: float) -> float:
+        """The ``p``-th percentile latency, in milliseconds."""
+        with self._lock:
+            return self._latencies.percentile(p) * 1000.0
+
+    @property
+    def p50_ms(self) -> float:
+        """Median per-query latency (ms)."""
+        return self.latency_ms(50.0)
+
+    @property
+    def p95_ms(self) -> float:
+        """95th-percentile per-query latency (ms)."""
+        return self.latency_ms(95.0)
+
+    @staticmethod
+    def _hit_rate(hits: int, misses: int) -> float:
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    @property
+    def distance_cache_hit_rate(self) -> float:
+        """Cross-query distance cache hit rate over all served queries."""
+        return self._hit_rate(
+            self.totals.distance_cache_hits, self.totals.distance_cache_misses
+        )
+
+    @property
+    def text_cache_hit_rate(self) -> float:
+        """Cross-query text-score cache hit rate over all served queries."""
+        return self._hit_rate(self.totals.text_cache_hits, self.totals.text_cache_misses)
+
+    def snapshot(self) -> dict:
+        """A plain-dict view (stable keys; for logging/serialisation)."""
+        with self._lock:
+            p50 = self._latencies.percentile(50.0) * 1000.0
+            p95 = self._latencies.percentile(95.0) * 1000.0
+            return {
+                "queries_served": self.queries_served,
+                "exact_results": self.exact_results,
+                "degraded_results": self.degraded_results,
+                "failed_queries": self.failed_queries,
+                "rejected_queries": self.rejected_queries,
+                "p50_ms": p50,
+                "p95_ms": p95,
+                "distance_cache_hit_rate": self._hit_rate(
+                    self.totals.distance_cache_hits,
+                    self.totals.distance_cache_misses,
+                ),
+                "text_cache_hit_rate": self._hit_rate(
+                    self.totals.text_cache_hits, self.totals.text_cache_misses
+                ),
+                "expanded_vertices": self.totals.expanded_vertices,
+                "refinements": self.totals.refinements,
+            }
+
+    def describe(self) -> str:
+        """A human-readable multi-line rendering (CLI / logs)."""
+        s = self.snapshot()
+        return "\n".join(
+            [
+                f"queries served:  {s['queries_served']} "
+                f"(exact {s['exact_results']}, degraded {s['degraded_results']}, "
+                f"failed {s['failed_queries']}, rejected {s['rejected_queries']})",
+                f"latency:         p50 {s['p50_ms']:.2f} ms, p95 {s['p95_ms']:.2f} ms",
+                f"cache hit rate:  distance {s['distance_cache_hit_rate']:.1%}, "
+                f"text {s['text_cache_hit_rate']:.1%}",
+                f"work:            {s['expanded_vertices']} expanded vertices, "
+                f"{s['refinements']} refinements",
+            ]
+        )

@@ -1,0 +1,115 @@
+"""The algorithm registry as a contract.
+
+Every registered algorithm must: build through :func:`make_searcher` with
+the full tuning vocabulary (inapplicable knobs dropped, ``None`` meaning
+"keep the default"), satisfy the :class:`Searcher` protocol (``plan`` /
+``execute`` / ``search``), produce a :class:`QueryPlan` without executing,
+behave statelessly (one instance, many queries), and return the
+brute-force top-k on a seeded dataset.
+"""
+
+import pytest
+
+from repro.core.plan import QueryPlan, Searcher
+from repro.core.query import UOTSQuery
+from repro.core.registry import ALGORITHMS, TUNING_KWARGS, get_spec, make_searcher
+from repro.errors import QueryError
+
+ALL = sorted(ALGORITHMS)
+
+QUERY = UOTSQuery.create([0, 150], ["park", "museum"], lam=0.5, k=3)
+
+
+@pytest.fixture(scope="module")
+def reference(database):
+    return make_searcher(database, "brute-force").search(QUERY)
+
+
+@pytest.mark.parametrize("algorithm", ALL)
+class TestContract:
+    def test_accepts_full_tuning_vocabulary(self, database, algorithm):
+        searcher = make_searcher(
+            database,
+            algorithm,
+            alt=False,
+            batch_size=8,
+            refinement=None,
+            scheduler="round-robin",
+        )
+        assert searcher.search(QUERY).items
+
+    def test_satisfies_searcher_protocol(self, database, algorithm):
+        searcher = make_searcher(database, algorithm)
+        assert isinstance(searcher, Searcher)
+
+    def test_plan_resolves_without_executing(self, database, algorithm):
+        plan = make_searcher(database, algorithm).plan(QUERY)
+        assert isinstance(plan, QueryPlan)
+        assert plan.query is QUERY
+        assert plan.source_vertices == QUERY.locations
+        assert plan.database_size == len(database)
+        assert plan.candidate_count >= QUERY.k  # park/museum are common words
+        assert plan.alt_reason
+        assert plan.estimated_cost > 0
+        described = plan.describe()
+        assert plan.algorithm in described
+        assert plan.alt_reason in described
+
+    def test_execute_equals_search(self, database, algorithm):
+        searcher = make_searcher(database, algorithm)
+        via_search = searcher.search(QUERY)
+        via_plan = searcher.execute(searcher.plan(QUERY))
+        assert via_plan.ids == via_search.ids
+        assert via_plan.scores == pytest.approx(via_search.scores, abs=1e-12)
+
+    def test_matches_brute_force(self, database, algorithm, reference):
+        result = make_searcher(database, algorithm).search(QUERY)
+        assert result.ids == reference.ids
+        assert result.scores == pytest.approx(reference.scores, abs=1e-9)
+
+    def test_stateless_across_queries(self, database, algorithm):
+        searcher = make_searcher(database, algorithm)
+        other = UOTSQuery.create([10, 200], ["seafood"], lam=0.7, k=2)
+        first = searcher.search(QUERY)
+        searcher.search(other)  # interleave a different query
+        again = searcher.search(QUERY)
+        assert again.ids == first.ids
+        assert again.scores == pytest.approx(first.scores, abs=1e-12)
+
+
+class TestKwargSemantics:
+    def test_none_means_keep_default(self, database):
+        searcher = make_searcher(
+            database, "collaborative", alt=None, batch_size=None, scheduler=None
+        )
+        assert searcher.use_alt
+        assert searcher._scheduler_spec == "heuristic"
+
+    def test_pinned_settings_win(self, database):
+        searcher = make_searcher(database, "collaborative-rr", scheduler="heuristic")
+        assert searcher._scheduler_spec == "round-robin"
+        searcher = make_searcher(database, "collaborative-nr", refinement=True)
+        assert not searcher.use_refinement
+
+    def test_unknown_option_rejected(self, database):
+        with pytest.raises(QueryError, match="unknown searcher option"):
+            make_searcher(database, "collaborative", turbo=True)
+
+    def test_unknown_algorithm_rejected(self, database):
+        with pytest.raises(QueryError, match="unknown algorithm"):
+            make_searcher(database, "quantum")
+
+    def test_inapplicable_knobs_dropped(self, database):
+        # brute force has no scheduler/batch/alt, but batch callers tune one
+        # vocabulary across the whole battery.
+        searcher = make_searcher(
+            database, "brute-force", alt=False, batch_size=4, scheduler="heuristic"
+        )
+        assert searcher.search(QUERY).items
+
+    def test_specs_expose_identity(self):
+        for name, spec in ALGORITHMS.items():
+            assert spec.name == name
+            assert spec.accepts <= TUNING_KWARGS
+            assert spec.description
+        assert get_spec("collaborative-rr").pinned["scheduler"] == "round-robin"

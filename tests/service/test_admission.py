@@ -1,0 +1,80 @@
+"""Admission control: the bounded in-flight seam of the serving layer."""
+
+import pytest
+
+from repro.core.query import UOTSQuery
+from repro.service import AdmissionController, LatencyReservoir, QueryService
+
+QUERY = UOTSQuery.create([0, 150], ["park"], lam=0.5, k=3)
+
+
+class TestController:
+    def test_unbounded_always_admits(self):
+        controller = AdmissionController()
+        assert all(controller.try_acquire() for _ in range(100))
+
+    def test_bounded_caps_and_releases(self):
+        controller = AdmissionController(max_inflight=2)
+        assert controller.try_acquire()
+        assert controller.try_acquire()
+        assert not controller.try_acquire()
+        controller.release()
+        assert controller.try_acquire()
+
+    def test_rejects_nonpositive_cap(self):
+        with pytest.raises(ValueError, match="max_inflight"):
+            AdmissionController(max_inflight=0)
+
+
+class TestServiceRejection:
+    def test_rejected_submit_returns_error_marked_result(self, database):
+        service = QueryService(database, "collaborative", admission=1)
+        assert service.admission.try_acquire()  # occupy the only slot
+        try:
+            result = service.submit(QUERY)
+        finally:
+            service.admission.release()
+        assert result.error is not None
+        assert result.degradation_reason == "rejected by admission control"
+        assert result.items == []
+        assert service.stats.rejected_queries == 1
+        assert service.stats.queries_served == 0
+
+    def test_submit_admits_after_release(self, database):
+        service = QueryService(database, "collaborative", admission=1)
+        result = service.submit(QUERY)
+        assert result.error is None
+        assert result.exact
+        assert service.stats.rejected_queries == 0
+
+    def test_prebuilt_controller_is_used_verbatim(self, database):
+        controller = AdmissionController(max_inflight=3)
+        service = QueryService(database, admission=controller)
+        assert service.admission is controller
+
+
+class TestLatencyReservoir:
+    def test_nearest_rank_percentiles(self):
+        reservoir = LatencyReservoir()
+        for value in [5.0, 1.0, 3.0, 2.0, 4.0]:
+            reservoir.record(value)
+        assert reservoir.percentile(50.0) == 3.0
+        assert reservoir.percentile(100.0) == 5.0
+        assert reservoir.percentile(0.0) == 1.0
+
+    def test_empty_reads_zero(self):
+        assert LatencyReservoir().percentile(95.0) == 0.0
+
+    def test_ring_evicts_oldest(self):
+        reservoir = LatencyReservoir(capacity=3)
+        for value in [10.0, 20.0, 30.0, 1.0]:
+            reservoir.record(value)  # 10.0 evicted
+        assert len(reservoir) == 3
+        assert reservoir.percentile(100.0) == 30.0
+        assert reservoir.percentile(0.0) == 1.0
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError, match="capacity"):
+            LatencyReservoir(capacity=0)
+        with pytest.raises(ValueError, match="percentile"):
+            LatencyReservoir().percentile(101.0)

@@ -1,0 +1,120 @@
+"""QueryService: the batch front-end (ISSUE 3 acceptance surface).
+
+``execute_many`` over a small ``brn`` bundle must match the sequential
+per-query ``search()`` answers exactly, and the service must report
+aggregated stats including p50/p95 latency.
+"""
+
+import pytest
+
+from repro.bench.datasets import build_bundle
+from repro.bench.workloads import WorkloadConfig, make_queries
+from repro.core.query import UOTSQuery
+from repro.core.registry import make_searcher
+from repro.errors import QueryError
+from repro.parallel.executor import fork_available
+from repro.resilience.budget import SearchBudget
+from repro.service import QueryService
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return build_bundle("brn", num_trajectories=120, scale=0.02, seed=5)
+
+
+@pytest.fixture(scope="module")
+def workload(bundle):
+    return make_queries(
+        bundle, WorkloadConfig(num_queries=8, num_locations=3, k=5, seed=11)
+    )
+
+
+def _assert_matches(results, references):
+    assert len(results) == len(references)
+    for got, want in zip(results, references):
+        assert got.error is None
+        assert got.ids == want.ids
+        assert got.scores == pytest.approx(want.scores, abs=1e-9)
+        assert got.exact == want.exact
+
+
+def test_execute_many_matches_sequential_search(bundle, workload):
+    service = QueryService(bundle.database, "collaborative")
+    searcher = make_searcher(bundle.database, "collaborative")
+    references = [searcher.search(q) for q in workload]
+    _assert_matches(service.execute_many(workload), references)
+
+
+def test_execute_many_reports_percentile_latency(bundle, workload):
+    service = QueryService(bundle.database, "collaborative")
+    service.execute_many(workload)
+    stats = service.stats
+    assert stats.queries_served == len(workload)
+    assert stats.exact_results == len(workload)
+    assert stats.p50_ms > 0.0
+    assert stats.p95_ms >= stats.p50_ms
+    snapshot = stats.snapshot()
+    assert snapshot["p50_ms"] == stats.p50_ms
+    assert snapshot["p95_ms"] == stats.p95_ms
+    assert "p50" in stats.describe()
+
+
+@pytest.mark.skipif(not fork_available(), reason="needs a fork platform")
+def test_execute_many_forked_matches_sequential(bundle, workload):
+    service = QueryService(bundle.database, "collaborative")
+    searcher = make_searcher(bundle.database, "collaborative")
+    references = [searcher.search(q) for q in workload]
+    results = service.execute_many(workload, workers=2)
+    _assert_matches(results, references)
+    assert service.stats.queries_served == len(workload)
+    assert service.stats.p95_ms > 0.0
+
+
+def test_submit_isolates_library_errors(bundle):
+    service = QueryService(bundle.database, "collaborative")
+    bad = UOTSQuery.create([bundle.graph.num_vertices + 7], ["park"], lam=0.5, k=3)
+    result = service.submit(bad)
+    assert result.error is not None
+    assert result.items == []
+    assert service.stats.failed_queries == 1
+
+
+def test_search_propagates_library_errors(bundle):
+    service = QueryService(bundle.database, "collaborative")
+    bad = UOTSQuery.create([bundle.graph.num_vertices + 7], ["park"], lam=0.5, k=3)
+    with pytest.raises(QueryError):
+        service.search(bad)
+
+
+def test_submit_records_degraded_results(bundle, workload):
+    service = QueryService(bundle.database, "collaborative")
+    result = service.submit(workload[0], SearchBudget(max_expanded_vertices=5))
+    assert not result.exact
+    assert service.stats.degraded_results == 1
+
+
+def test_execute_many_validates_arguments(bundle, workload):
+    service = QueryService(bundle.database, "collaborative")
+    with pytest.raises(QueryError, match="workers"):
+        service.execute_many(workload, workers=0)
+    with pytest.raises(QueryError, match="max_task_retries"):
+        service.execute_many(workload, max_task_retries=-1)
+
+
+def test_service_forwards_tuning_kwargs(bundle):
+    service = QueryService(
+        bundle.database, "collaborative", alt=False, scheduler="round-robin"
+    )
+    assert not service.searcher.use_alt
+    assert service.searcher._scheduler_spec == "round-robin"
+
+
+def test_plan_is_stamped_with_registry_name(bundle, workload):
+    service = QueryService(bundle.database, "collaborative-rr")
+    plan = service.plan(workload[0])
+    assert plan.algorithm == "collaborative-rr"
+    assert plan.scheduler == "round-robin"
+    explained = service.explain(workload[0])
+    assert "collaborative-rr" in explained
+    # explain never executes: nothing recorded.
+    assert service.stats.queries_served == 0

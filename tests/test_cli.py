@@ -75,6 +75,88 @@ class TestQuery:
         assert code == 1
         assert "error" in capsys.readouterr().err
 
+    def test_tuning_flags(self, dataset_dir, capsys):
+        code = main(
+            [
+                "query", "--data", str(dataset_dir), "--locations", "1,5",
+                "--preference", "park", "--scheduler", "round-robin",
+                "--batch-size", "8", "--no-alt",
+            ]
+        )
+        assert code == 0
+        assert "trajectory" in capsys.readouterr().out
+
+    def test_rejects_unknown_scheduler(self, dataset_dir):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "query", "--data", str(dataset_dir), "--locations", "1",
+                    "--scheduler", "fifo",
+                ]
+            )
+
+
+class TestExplain:
+    def test_prints_plan_without_executing(self, dataset_dir, capsys):
+        code = main(
+            [
+                "explain", "--data", str(dataset_dir), "--locations", "1,5,9",
+                "--preference", "park seafood", "--k", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "QueryPlan[collaborative]" in out
+        assert "scheduler:" in out
+        assert "est. cost:" in out
+        # No execution: none of the result/stats output appears.
+        assert "visited=" not in out
+        assert "score" not in out
+
+    def test_reflects_tuning_flags(self, dataset_dir, capsys):
+        code = main(
+            [
+                "explain", "--data", str(dataset_dir), "--locations", "2,7",
+                "--preference", "park", "--scheduler", "round-robin", "--no-alt",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "round-robin" in out
+        assert "alt:          off" in out
+
+    def test_every_algorithm_explains(self, dataset_dir, capsys):
+        for algorithm in ("brute-force", "text-first", "spatial-first"):
+            code = main(
+                [
+                    "explain", "--data", str(dataset_dir), "--locations", "2,7",
+                    "--preference", "park", "--algorithm", algorithm,
+                ]
+            )
+            assert code == 0
+            assert f"QueryPlan[{algorithm}]" in capsys.readouterr().out
+
+
+class TestBench:
+    def test_algorithms_filter(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_SCALE", "0.02")
+        code = main(
+            ["bench", "--queries", "2",
+             "--algorithms", "collaborative,brute-force"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "collaborative" in out
+        assert "brute-force" in out
+        assert "text-first" not in out
+        assert "p95 ms" in out
+
+    def test_unknown_algorithm_fails(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_SCALE", "0.02")
+        code = main(["bench", "--queries", "2", "--algorithms", "quantum"])
+        assert code == 1
+        assert "unknown algorithm" in capsys.readouterr().err
+
 
 class TestJoin:
     def test_join_runs(self, dataset_dir, capsys):

@@ -1,0 +1,48 @@
+"""Cold-start import hygiene of the serving stack.
+
+The serving layer's cold start must not pay for optional accelerators:
+SciPy is a *lazily resolved* accelerator (see ``repro.network.csr``), so
+importing the search core, the serving layer, or the whole package must
+not pull it in.  Each check runs in a fresh subprocess — this process's
+``sys.modules`` is already polluted by other tests.
+"""
+
+import subprocess
+import sys
+
+import pytest
+
+_PROBE = """\
+import sys
+assert "scipy" not in sys.modules, "scipy leaked before the import under test"
+import {module}  # noqa: F401
+leaked = sorted(name for name in sys.modules if name.split(".")[0] == "scipy")
+assert not leaked, f"importing {module} pulled in scipy: {{leaked}}"
+"""
+
+
+@pytest.mark.parametrize(
+    "module",
+    [
+        "repro.core.search",
+        "repro.core.plan",
+        "repro.core.registry",
+        "repro.service",
+        "repro",
+    ],
+)
+def test_import_stays_scipy_free(module):
+    proc = subprocess.run(
+        [sys.executable, "-c", _PROBE.format(module=module)],
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stderr
+
+
+def test_scipy_tier_still_reachable_after_lazy_resolution():
+    """Laziness must not cost the accelerator: first kernel use resolves it."""
+    pytest.importorskip("scipy")
+    from repro.network.csr import scipy_available
+
+    assert scipy_available()
