@@ -70,6 +70,12 @@ from repro.matching import (
     PTMQuery,
     TimestampIndex,
 )
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    format_trace,
+    get_registry,
+)
 from repro.network import (
     GraphBuilder,
     IncrementalExpansion,
@@ -136,6 +142,7 @@ __all__ = [
     "IncrementalExpansion",
     "InvertedKeywordIndex",
     "JoinResult",
+    "MetricsRegistry",
     "PTMMatcher",
     "PTMQuery",
     "QueryError",
@@ -158,6 +165,7 @@ __all__ = [
     "TopKJoin",
     "TextFirstSearcher",
     "TimestampIndex",
+    "Tracer",
     "Trajectory",
     "TrajectoryDatabase",
     "TrajectoryError",
@@ -174,7 +182,9 @@ __all__ = [
     "annotate_trajectories",
     "assign_vertex_keywords",
     "fork_available",
+    "format_trace",
     "generate_trips",
+    "get_registry",
     "grid_network",
     "make_searcher",
     "parallel_join",

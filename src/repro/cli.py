@@ -2,14 +2,17 @@
 
 ``repro generate`` builds a synthetic dataset on disk, ``repro query`` runs
 one UOTS query against it, ``repro explain`` prints the query's execution
-plan without running it, ``repro join`` runs a similarity self join, and
-``repro bench`` prints a quick benchmark battery — enough to exercise the
-whole system without writing Python.
+plan without running it, ``repro trace`` runs a query with tracing on and
+prints its per-stage time breakdown, ``repro metrics`` dumps the metrics
+registry after serving a query, ``repro join`` runs a similarity self join,
+and ``repro bench`` prints a quick benchmark battery — enough to exercise
+the whole system without writing Python.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -20,6 +23,8 @@ from repro.bench.workloads import WorkloadConfig, make_queries
 from repro.core.engine import ALGORITHMS, make_searcher
 from repro.core.query import UOTSQuery
 from repro.errors import QueryError, ReproError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import format_trace
 from repro.resilience.budget import SearchBudget
 from repro.index.database import TrajectoryDatabase
 from repro.service.service import QueryService
@@ -74,7 +79,12 @@ def _parse_query(args: argparse.Namespace) -> UOTSQuery:
     )
 
 
-def _make_service(database: TrajectoryDatabase, args: argparse.Namespace) -> QueryService:
+def _make_service(
+    database: TrajectoryDatabase,
+    args: argparse.Namespace,
+    trace: bool = False,
+    metrics: MetricsRegistry | None = None,
+) -> QueryService:
     """A one-shot query service configured from the CLI tuning flags.
 
     Unset flags arrive as ``None`` and mean "keep the algorithm default"
@@ -83,6 +93,8 @@ def _make_service(database: TrajectoryDatabase, args: argparse.Namespace) -> Que
     return QueryService(
         database,
         args.algorithm,
+        trace=trace,
+        metrics=metrics,
         alt=False if args.no_alt else None,
         batch_size=args.batch_size,
         scheduler=args.scheduler,
@@ -98,7 +110,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
             deadline_ms=args.deadline_ms,
             max_expanded_vertices=args.max_expansions,
         )
-    result = _make_service(database, args).search(query, budget=budget)
+    service = _make_service(database, args, trace=bool(args.trace_out))
+    result = service.search(query, budget=budget)
     rows = [
         (item.trajectory_id, f"{item.score:.4f}",
          f"{item.spatial_similarity:.4f}", f"{item.text_similarity:.4f}",
@@ -126,6 +139,41 @@ def _cmd_query(args: argparse.Namespace) -> int:
             f"scores <= {result.residual_bound:.4f} "
             f"(confirmed top-{len(result.confirmed_prefix())})"
         )
+    if args.trace_out:
+        count = service.tracer.export_jsonl(args.trace_out)
+        print(f"wrote {count} trace(s) to {args.trace_out}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    database = _load_database(args.data, cache_size=args.cache_size)
+    query = _parse_query(args)
+    service = _make_service(database, args, trace=True)
+    result = service.search(query)
+    root = service.tracer.last_trace()
+    print(format_trace(root, top_n=args.top))
+    print(
+        f"\nresult: {len(result.items)} trajectories, "
+        f"{'exact' if result.exact else 'degraded'}, "
+        f"{result.stats.elapsed_seconds * 1000:.1f} ms"
+    )
+    if args.trace_out:
+        count = service.tracer.export_jsonl(args.trace_out)
+        print(f"wrote {count} trace(s) to {args.trace_out}")
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    database = _load_database(args.data, cache_size=args.cache_size)
+    query = _parse_query(args)
+    registry = MetricsRegistry()
+    service = _make_service(database, args, metrics=registry)
+    for _ in range(args.repeat):
+        service.submit(query)
+    if args.format == "json":
+        print(json.dumps(registry.snapshot(), indent=2, sort_keys=True))
+    else:
+        sys.stdout.write(registry.render_prometheus())
     return 0
 
 
@@ -178,9 +226,32 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         if not algorithms:
             raise QueryError("--algorithms must name at least one algorithm")
     bundle = build_bundle(args.dataset, seed=args.seed)
-    print(bundle.describe())
+    if not args.json:
+        print(bundle.describe())
     queries = make_queries(bundle, WorkloadConfig(num_queries=args.queries))
     battery = run_battery(bundle, queries, algorithms)
+    if args.json:
+        # Machine-readable rows (CI diffs these without text parsing).
+        payload = {
+            "dataset": args.dataset,
+            "num_queries": args.queries,
+            "seed": args.seed,
+            "database_size": len(bundle.database),
+            "rows": [
+                {
+                    "algorithm": name,
+                    "mean_ms": round(m.mean_ms, 3),
+                    "p95_ms": round(m.p95_ms, 3),
+                    "mean_visited": round(m.mean_visited, 3),
+                    "candidate_ratio": round(
+                        m.candidate_ratio(len(bundle.database)), 6
+                    ),
+                }
+                for name, m in battery.items()
+            ],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     rows = [
         (name, f"{m.mean_ms:.1f}", f"{m.p95_ms:.1f}", f"{m.mean_visited:.0f}",
          f"{m.candidate_ratio(len(bundle.database)):.3f}")
@@ -252,6 +323,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-expansions", type=int, default=None, metavar="N",
         help="cap on expanded vertices before the search degrades",
     )
+    p.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="trace the query and write the span tree as JSONL to FILE",
+    )
     p.set_defaults(func=_cmd_query)
 
     p = sub.add_parser(
@@ -259,6 +334,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_query_args(p)
     p.set_defaults(func=_cmd_explain)
+
+    p = sub.add_parser(
+        "trace", help="run one query with tracing and print the time breakdown"
+    )
+    add_query_args(p)
+    p.add_argument(
+        "--top", type=int, default=5, metavar="N",
+        help="how many slowest spans to list under the breakdown tree",
+    )
+    p.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="also write the span tree as JSONL to FILE",
+    )
+    p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
+        "metrics", help="serve a query with metrics bound and dump the registry"
+    )
+    add_query_args(p)
+    p.add_argument(
+        "--repeat", type=int, default=1, metavar="N",
+        help="serve the query N times before dumping (exercises the caches)",
+    )
+    p.add_argument(
+        "--format", choices=["prometheus", "json"], default="prometheus",
+        help="dump as Prometheus text exposition (default) or a JSON snapshot",
+    )
+    p.set_defaults(func=_cmd_metrics)
 
     p = sub.add_parser("join", help="run a trajectory similarity self join")
     p.add_argument("--data", required=True, help="dataset directory")
@@ -283,6 +386,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--algorithms", default=None, metavar="A,B,...",
         help="comma-separated subset of the registry to run "
              "(default: the full battery)",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable rows instead of the text table",
     )
     p.set_defaults(func=_cmd_bench)
     return parser

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import time
 
+from repro.core.instrument import annotate_search_span, execute_span
 from repro.core.plan import QueryPlan
 from repro.core.query import UOTSQuery
 from repro.core.results import ScoredTrajectory, SearchResult, SearchStats, TopK
@@ -130,6 +131,14 @@ class BruteForceSearcher:
         items form the degraded answer); the work caps do not apply — brute
         force performs no expansions or refinements.
         """
+        with execute_span(self.plan_name) as span:
+            result = self._search_impl(query, budget)
+            annotate_search_span(span, result)
+            return result
+
+    def _search_impl(
+        self, query: UOTSQuery, budget: SearchBudget | None
+    ) -> SearchResult:
         started = time.perf_counter()
         budget, meter = _start_meter(query, budget)
         scorer = ExactScorer(self._database, query)
@@ -215,6 +224,14 @@ class TextFirstSearcher:
         Budget deadlines and the expansion cap are honoured between
         candidate refinements (each refinement is the unit of work here).
         """
+        with execute_span(self.plan_name) as span:
+            result = self._search_impl(query, budget)
+            annotate_search_span(span, result)
+            return result
+
+    def _search_impl(
+        self, query: UOTSQuery, budget: SearchBudget | None
+    ) -> SearchResult:
         database = self._database
         query.validate_against(database.graph)
         started = time.perf_counter()

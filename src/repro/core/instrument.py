@@ -1,0 +1,66 @@
+"""Shared span instrumentation for searchers.
+
+Every registry searcher (and the directional engine) wraps its execution
+in one ``execute`` span and annotates it with the work counters of the
+result it produced; the collaborative searcher additionally attaches the
+per-stage breakdown (see :class:`~repro.obs.trace.StageTimer`).  The
+helpers here keep that uniform — and keep the cost of *disabled* tracing
+to a single ambient-tracer check per query.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import TYPE_CHECKING
+
+from repro.obs.trace import Span, current_tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.results import SearchResult
+
+__all__ = ["execute_span", "annotate_search_span"]
+
+
+@contextmanager
+def execute_span(algorithm: str):
+    """An ``execute`` span under the ambient tracer (``None`` when off)."""
+    tracer = current_tracer()
+    if not tracer.enabled:
+        yield None
+        return
+    span = tracer.begin("execute", algorithm=algorithm)
+    try:
+        yield span
+    finally:
+        tracer.end(span)
+
+
+def annotate_search_span(span: Span | None, result: "SearchResult") -> None:
+    """Stamp a finished search's work counters onto its span."""
+    if span is None:
+        return
+    stats = result.stats
+    attributes = {
+        "exact": result.exact,
+        "visited": stats.visited_trajectories,
+        "expanded_vertices": stats.expanded_vertices,
+        "evaluations": stats.similarity_evaluations,
+        "pruned": stats.pruned_trajectories,
+        "refinements": stats.refinements,
+    }
+    if stats.expand_batches:
+        attributes["expand_batches"] = stats.expand_batches
+    if stats.alt_pruned:
+        attributes["alt_pruned"] = stats.alt_pruned
+    if stats.retries:
+        attributes["retries"] = stats.retries
+    cache_hits = stats.distance_cache_hits + stats.text_cache_hits
+    cache_misses = stats.distance_cache_misses + stats.text_cache_misses
+    if cache_hits or cache_misses:
+        attributes["cache_hits"] = cache_hits
+        attributes["cache_misses"] = cache_misses
+    if result.degradation_reason is not None:
+        attributes["degradation_reason"] = result.degradation_reason
+    if result.error is not None:
+        attributes["error"] = result.error
+    span.update(attributes)

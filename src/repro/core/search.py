@@ -48,6 +48,7 @@ from typing import Callable
 import numpy as np
 
 from repro.core.bounds import BoundTracker
+from repro.core.instrument import annotate_search_span, execute_span
 from repro.core.plan import QueryPlan
 from repro.core.query import UOTSQuery
 from repro.core.results import ScoredTrajectory, SearchResult, SearchStats, TopK
@@ -60,6 +61,7 @@ from repro.core.similarity import (
 from repro.core.sources import current_radii_weights, make_sources
 from repro.errors import BudgetExceededError
 from repro.index.database import TrajectoryDatabase
+from repro.obs.trace import StageTimer, current_tracer
 from repro.resilience.budget import SearchBudget
 from repro.text.similarity import get_measure
 
@@ -253,28 +255,82 @@ class CollaborativeSearcher:
         query.validate_against(self._database.graph)
         if budget is None:
             budget = query.budget
+        with execute_span(self.plan_name) as span:
+            timer = StageTimer() if span is not None else None
+            result = self._run_stages(plan, query, budget, timer)
+            if span is not None:
+                timer.attach_to(span)
+                annotate_search_span(span, result)
+            return result
+
+    def _run_stages(
+        self,
+        plan: QueryPlan,
+        query: UOTSQuery,
+        budget: SearchBudget | None,
+        timer: StageTimer | None = None,
+    ) -> SearchResult:
+        """The pipeline-stage loop, optionally metered by a stage timer.
+
+        The untraced branch is the whole hot path when tracing is off (the
+        default); the traced branch is the same loop with one clock read per
+        stage transition, which is what makes the per-stage breakdown sum to
+        the execute-span total by construction.
+        """
         ctx = self._open_context(query, budget)
+        if timer is not None:
+            timer.enter("resolve_text")
         self._resolve_text(ctx)
         if query.lam == 0.0:
+            if timer is not None:
+                timer.enter("finalize")
             return self._finalize_text_only(ctx)
+        if timer is not None:
+            timer.enter("prepare_domain")
         self._prepare_domain(ctx, plan.alt_enabled)
-        while True:
-            self._begin_round(ctx)
-            if ctx.degradation_reason is not None:
-                break
-            if self._terminate(ctx):
-                break
-            if self._refine_blocked(ctx):
-                continue
-            if not self._expand_round(ctx):
-                break
+        if timer is None:
+            while True:
+                self._begin_round(ctx)
+                if ctx.degradation_reason is not None:
+                    break
+                if self._terminate(ctx):
+                    break
+                if self._refine_blocked(ctx):
+                    continue
+                if not self._expand_round(ctx):
+                    break
+        else:
+            while True:
+                timer.enter("begin_round")
+                self._begin_round(ctx)
+                if ctx.degradation_reason is not None:
+                    break
+                timer.enter("terminate")
+                if self._terminate(ctx):
+                    break
+                timer.enter("refine_blocked")
+                if self._refine_blocked(ctx):
+                    continue
+                timer.enter("expand_round")
+                if not self._expand_round(ctx):
+                    break
+            timer.enter("finalize")
         return self._finalize(ctx)
 
     def search(
         self, query: UOTSQuery, budget: SearchBudget | None = None
     ) -> SearchResult:
         """Run the query end to end: ``execute(plan(query), budget)``."""
-        return self.execute(self.plan(query), budget)
+        tracer = current_tracer()
+        if not tracer.enabled:
+            return self.execute(self.plan(query), budget)
+        with tracer.span("plan", algorithm=self.plan_name) as span:
+            plan = self.plan(query)
+            if span is not None:
+                span.set("scheduler", plan.scheduler)
+                span.set("candidates", plan.candidate_count)
+                span.set("estimated_cost", plan.estimated_cost)
+        return self.execute(plan, budget)
 
     # ------------------------------------------------------ pipeline stages
     def _open_context(

@@ -37,6 +37,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.core.bounds import BoundTracker, SourceRadiiWeights
+from repro.core.instrument import annotate_search_span, execute_span
 from repro.core.plan import QueryPlan
 from repro.core.results import ScoredTrajectory, SearchResult, SearchStats, TopK
 from repro.errors import QueryError
@@ -270,7 +271,12 @@ class DirectionalSearchEngine:
                 "submit PTM queries without one"
             )
         exclude = query.trajectory.id if query.trajectory.id is not None else None
-        return self.topk_search(query.points, query.lam, query.k, exclude_id=exclude)
+        with execute_span(self.plan_name) as span:
+            result = self.topk_search(
+                query.points, query.lam, query.k, exclude_id=exclude
+            )
+            annotate_search_span(span, result)
+            return result
 
     def search(self, query, budget=None) -> SearchResult:
         """``execute(plan(query), budget)`` — the one-call convenience."""

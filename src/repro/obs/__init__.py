@@ -1,0 +1,66 @@
+"""Observability: structured tracing + a process-wide metrics registry.
+
+Pure-stdlib measurement substrate for the plan/execute/serve stack:
+
+- :mod:`repro.obs.trace` — nested span trees (query → plan → stage →
+  round), ambient activation, JSONL export, CLI rendering;
+- :mod:`repro.obs.metrics` — counters / gauges / fixed-bucket histograms
+  with Prometheus text exposition and a JSON snapshot;
+- :mod:`repro.obs.adapters` — collectors mirroring the existing stats
+  classes into the registry.
+
+See DESIGN.md §8 for the span model, naming convention, and overhead
+budget.
+"""
+
+from repro.obs.adapters import (
+    bind_buffer_stats,
+    bind_cache_stats,
+    bind_database,
+    bind_fault_injector,
+    bind_network_stats,
+    bind_search_stats,
+    bind_service_stats,
+    bind_trajectory_stats,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+from repro.obs.trace import (
+    Span,
+    StageTimer,
+    Tracer,
+    activated,
+    current_tracer,
+    format_trace,
+)
+
+__all__ = [
+    "Span",
+    "StageTimer",
+    "Tracer",
+    "activated",
+    "current_tracer",
+    "format_trace",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "get_registry",
+    "set_registry",
+    "bind_search_stats",
+    "bind_service_stats",
+    "bind_buffer_stats",
+    "bind_cache_stats",
+    "bind_network_stats",
+    "bind_trajectory_stats",
+    "bind_fault_injector",
+    "bind_database",
+]

@@ -1,0 +1,331 @@
+"""Adapters publishing the existing stats classes into the registry.
+
+The library already keeps six stats surfaces — ``SearchStats``,
+``ServiceStats``, ``BufferStats``, ``CacheStats``, ``NetworkStats``,
+``TrajectoryStats`` — plus the chaos-testing ``FaultInjector`` counters.
+Each ``bind_*`` function here takes a *live* stats object and a
+:class:`~repro.obs.metrics.MetricsRegistry`, registers a collector that
+mirrors the object's current totals into named instruments at export
+time, and returns that collector (tests call it directly).  The stats
+objects stay the source of truth; nothing double-counts.
+
+Metric names follow the DESIGN.md §8 convention
+(``repro_<subsystem>_<what>[_total]``); all ``bind_*`` functions default
+to the process-wide registry when ``registry`` is omitted.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, keeps import light
+    from repro.core.results import SearchStats
+    from repro.index.database import TrajectoryDatabase
+    from repro.network.stats import NetworkStats
+    from repro.perf.cache import CacheStats
+    from repro.resilience.faults import FaultInjector
+    from repro.service.stats import ServiceStats
+    from repro.storage.buffer import BufferStats
+    from repro.trajectory.stats import TrajectoryStats
+
+__all__ = [
+    "bind_search_stats",
+    "bind_service_stats",
+    "bind_buffer_stats",
+    "bind_cache_stats",
+    "bind_network_stats",
+    "bind_trajectory_stats",
+    "bind_fault_injector",
+    "bind_database",
+]
+
+Collector = Callable[[], None]
+
+#: SearchStats counter fields exported one-to-one, with help strings.
+_SEARCH_FIELDS = {
+    "visited_trajectories": "Trajectories visited across served queries",
+    "expanded_vertices": "Dijkstra/expansion vertices settled",
+    "similarity_evaluations": "Exact similarity evaluations",
+    "pruned_trajectories": "Candidates eliminated by bounds",
+    "text_candidates": "Candidates surviving the text filter",
+    "refinements": "Point-to-set refinement computations",
+    "retries": "Transient faults absorbed by retry inside searches",
+    "degraded_queries": "Queries answered inexactly under a budget",
+    "failed_queries": "Queries that raised inside the search core",
+    "expand_batches": "Batched expansion rounds",
+    "alt_pruned": "Frontier caps tightened by ALT lower bounds",
+}
+
+
+def bind_search_stats(
+    stats: "SearchStats",
+    registry: MetricsRegistry | None = None,
+    **labels,
+) -> Collector:
+    """Mirror a live (monotone) :class:`SearchStats` into the registry.
+
+    Bind accumulating instances — a service's ``stats.totals`` — not a
+    single query's result stats, which a later bind would regress.
+    """
+    if registry is None:
+        registry = get_registry()
+    counters = {
+        field: registry.counter(f"repro_search_{field}_total", help)
+        for field, help in _SEARCH_FIELDS.items()
+    }
+    elapsed = registry.counter(
+        "repro_search_elapsed_seconds_total", "Wall time spent inside searches"
+    )
+    cache_hits = registry.counter(
+        "repro_search_cache_hits_total", "Per-query cache hits, by cache"
+    )
+    cache_misses = registry.counter(
+        "repro_search_cache_misses_total", "Per-query cache misses, by cache"
+    )
+
+    def collect() -> None:
+        for field, counter in counters.items():
+            counter.set_total(getattr(stats, field), **labels)
+        elapsed.set_total(stats.elapsed_seconds, **labels)
+        cache_hits.set_total(stats.distance_cache_hits, cache="distance", **labels)
+        cache_hits.set_total(stats.text_cache_hits, cache="text", **labels)
+        cache_misses.set_total(stats.distance_cache_misses, cache="distance", **labels)
+        cache_misses.set_total(stats.text_cache_misses, cache="text", **labels)
+
+    registry.register_collector(collect)
+    return collect
+
+
+def bind_service_stats(
+    stats: "ServiceStats",
+    registry: MetricsRegistry | None = None,
+    **labels,
+) -> Collector:
+    """Mirror a :class:`ServiceStats` (outcomes, latency percentiles, totals)."""
+    if registry is None:
+        registry = get_registry()
+    outcomes = registry.counter(
+        "repro_service_queries_total", "Queries by outcome (served + rejected)"
+    )
+    p50 = registry.gauge(
+        "repro_service_latency_p50_seconds", "Median latency over the recent window"
+    )
+    p95 = registry.gauge(
+        "repro_service_latency_p95_seconds", "p95 latency over the recent window"
+    )
+    hit_rate = registry.gauge(
+        "repro_service_cache_hit_rate", "Cross-query cache hit rate, by cache"
+    )
+    totals = bind_search_stats(stats.totals, registry, **labels)
+
+    def collect() -> None:
+        snapshot = stats.snapshot()
+        outcomes.set_total(snapshot["exact_results"], outcome="exact", **labels)
+        outcomes.set_total(snapshot["degraded_results"], outcome="degraded", **labels)
+        outcomes.set_total(snapshot["failed_queries"], outcome="failed", **labels)
+        outcomes.set_total(snapshot["rejected_queries"], outcome="rejected", **labels)
+        p50.set(snapshot["p50_ms"] / 1000.0, **labels)
+        p95.set(snapshot["p95_ms"] / 1000.0, **labels)
+        hit_rate.set(snapshot["distance_cache_hit_rate"], cache="distance", **labels)
+        hit_rate.set(snapshot["text_cache_hit_rate"], cache="text", **labels)
+
+    registry.register_collector(collect)
+
+    def collect_both() -> None:
+        collect()
+        totals()
+
+    return collect_both
+
+
+def bind_buffer_stats(
+    stats: "BufferStats",
+    registry: MetricsRegistry | None = None,
+    **labels,
+) -> Collector:
+    """Mirror a buffer pool's :class:`BufferStats` (hits/misses/retries)."""
+    if registry is None:
+        registry = get_registry()
+    hits = registry.counter(
+        "repro_storage_page_hits_total", "Page requests served from the buffer pool"
+    )
+    misses = registry.counter(
+        "repro_storage_page_misses_total", "Page requests that went to disk"
+    )
+    evictions = registry.counter(
+        "repro_storage_page_evictions_total", "Pages evicted from the buffer pool"
+    )
+    retries = registry.counter(
+        "repro_storage_read_retries_total", "Physical reads retried after transient faults"
+    )
+    hit_ratio = registry.gauge(
+        "repro_storage_page_hit_ratio", "Fraction of page requests served from memory"
+    )
+
+    def collect() -> None:
+        hits.set_total(stats.hits, **labels)
+        misses.set_total(stats.misses, **labels)
+        evictions.set_total(stats.evictions, **labels)
+        retries.set_total(stats.retries, **labels)
+        hit_ratio.set(stats.hit_ratio, **labels)
+
+    registry.register_collector(collect)
+    return collect
+
+
+def bind_cache_stats(
+    stats: "CacheStats",
+    cache: str,
+    registry: MetricsRegistry | None = None,
+    **labels,
+) -> Collector:
+    """Mirror one perf-cache :class:`CacheStats` under a ``cache=`` label."""
+    if registry is None:
+        registry = get_registry()
+    hits = registry.counter("repro_cache_hits_total", "Cache hits, by cache")
+    misses = registry.counter("repro_cache_misses_total", "Cache misses, by cache")
+    evictions = registry.counter(
+        "repro_cache_evictions_total", "Cache evictions, by cache"
+    )
+    hit_rate = registry.gauge("repro_cache_hit_rate", "Lifetime hit rate, by cache")
+
+    def collect() -> None:
+        hits.set_total(stats.hits, cache=cache, **labels)
+        misses.set_total(stats.misses, cache=cache, **labels)
+        evictions.set_total(stats.evictions, cache=cache, **labels)
+        hit_rate.set(stats.hit_rate, cache=cache, **labels)
+
+    registry.register_collector(collect)
+    return collect
+
+
+def bind_network_stats(
+    stats: "NetworkStats",
+    registry: MetricsRegistry | None = None,
+    **labels,
+) -> Collector:
+    """Publish a (frozen) :class:`NetworkStats` as dataset gauges."""
+    if registry is None:
+        registry = get_registry()
+    gauges = {
+        "num_vertices": registry.gauge(
+            "repro_dataset_network_vertices", "Vertices in the spatial network"
+        ),
+        "num_edges": registry.gauge(
+            "repro_dataset_network_edges", "Edges in the spatial network"
+        ),
+        "total_weight": registry.gauge(
+            "repro_dataset_network_total_weight", "Sum of edge weights"
+        ),
+        "avg_degree": registry.gauge(
+            "repro_dataset_network_avg_degree", "Average vertex degree"
+        ),
+        "avg_edge_weight": registry.gauge(
+            "repro_dataset_network_avg_edge_weight", "Average edge weight"
+        ),
+        "diameter_lower_bound": registry.gauge(
+            "repro_dataset_network_diameter_lower_bound",
+            "Lower bound on the network diameter",
+        ),
+    }
+
+    def collect() -> None:
+        for field, gauge in gauges.items():
+            gauge.set(getattr(stats, field), **labels)
+
+    registry.register_collector(collect)
+    return collect
+
+
+def bind_trajectory_stats(
+    stats: "TrajectoryStats",
+    registry: MetricsRegistry | None = None,
+    **labels,
+) -> Collector:
+    """Publish a (frozen) :class:`TrajectoryStats` as dataset gauges."""
+    if registry is None:
+        registry = get_registry()
+    gauges = {
+        "count": registry.gauge(
+            "repro_dataset_trajectories", "Trajectories in the database"
+        ),
+        "avg_points": registry.gauge(
+            "repro_dataset_trajectory_avg_points", "Average points per trajectory"
+        ),
+        "min_points": registry.gauge(
+            "repro_dataset_trajectory_min_points", "Shortest trajectory length"
+        ),
+        "max_points": registry.gauge(
+            "repro_dataset_trajectory_max_points", "Longest trajectory length"
+        ),
+        "avg_duration": registry.gauge(
+            "repro_dataset_trajectory_avg_duration_seconds",
+            "Average trajectory duration",
+        ),
+        "distinct_vertices": registry.gauge(
+            "repro_dataset_trajectory_distinct_vertices",
+            "Vertices covered by at least one trajectory",
+        ),
+        "avg_keywords": registry.gauge(
+            "repro_dataset_trajectory_avg_keywords", "Average keywords per trajectory"
+        ),
+        "distinct_keywords": registry.gauge(
+            "repro_dataset_trajectory_distinct_keywords", "Distinct keywords"
+        ),
+    }
+
+    def collect() -> None:
+        for field, gauge in gauges.items():
+            gauge.set(getattr(stats, field), **labels)
+
+    registry.register_collector(collect)
+    return collect
+
+
+def bind_fault_injector(
+    injector: "FaultInjector",
+    registry: MetricsRegistry | None = None,
+    **labels,
+) -> Collector:
+    """Mirror a chaos :class:`FaultInjector`'s counters into the registry."""
+    if registry is None:
+        registry = get_registry()
+    injected = registry.counter(
+        "repro_faults_injected_transients_total", "Transient read faults injected"
+    )
+    observed = registry.counter(
+        "repro_faults_observed_reads_total", "Physical reads seen by the injector"
+    )
+    corrupted = registry.counter(
+        "repro_faults_corrupted_pages_total", "Pages deliberately corrupted"
+    )
+
+    def collect() -> None:
+        injected.set_total(injector.injected_transients, **labels)
+        observed.set_total(injector.observed_reads, **labels)
+        corrupted.set_total(len(injector.corrupted_pages), **labels)
+
+    registry.register_collector(collect)
+    return collect
+
+
+def bind_database(
+    database: "TrajectoryDatabase",
+    registry: MetricsRegistry | None = None,
+    **labels,
+) -> Collector:
+    """Bind a database's cross-query caches (one collector for both)."""
+    if registry is None:
+        registry = get_registry()
+    collectors = [
+        bind_cache_stats(stats, cache=name, registry=registry, **labels)
+        for name, stats in database.caches.stats().items()
+    ]
+
+    def collect() -> None:
+        for collector in collectors:
+            collector()
+
+    return collect

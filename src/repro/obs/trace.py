@@ -1,0 +1,435 @@
+"""Structured tracing: where did this query spend its time?
+
+A :class:`Tracer` produces nested :class:`Span` trees — query → plan →
+stage → expansion round / refinement batch / storage read — with monotonic
+wall-clock timing (``time.perf_counter``), free-form span attributes
+(expansions, ALT prunes, cache hits, retries, fault injections), bounded
+per-query buffers, and JSONL export.  It is the measurement substrate the
+metrics registry (:mod:`repro.obs.metrics`) aggregates and the ``repro
+trace`` CLI renders.
+
+Design constraints, in order:
+
+- **Off by default, ~zero cost when off.**  The ambient tracer is a
+  disabled singleton; instrumented code checks one ``enabled`` attribute
+  (or holds ``None``) and skips everything else.  Nothing in the library
+  ever *requires* a tracer.
+- **Bounded.**  A trace records at most ``max_spans`` spans and
+  ``max_events`` point events per root span; overflow is counted
+  (``dropped_spans`` / ``dropped_events``), never stored — a pathological
+  query cannot eat the heap.  Finished traces keep only the most recent
+  ``max_traces`` roots.
+- **Cheap per-round accounting.**  Pipeline stages repeat thousands of
+  times per query; :class:`StageTimer` attributes wall time to the current
+  stage with *one* ``perf_counter`` call per stage transition, so the
+  per-stage breakdown sums to the query total by construction (the
+  acceptance bar: within 10%).
+- **Fork-safe, like the caches.**  State is plain process memory shared
+  copy-on-write; forked workers mutate their private copies and the parent
+  never sees them.  Export (:meth:`Tracer.export_jsonl`) is an explicit
+  parent-side call, so concurrent children never interleave writes.
+
+Activation is ambient: ``with activated(tracer): ...`` installs the tracer
+process-wide for the dynamic extent of a call, and instrumented layers pick
+it up via :func:`current_tracer` — the searchers stay stateless and the
+:class:`~repro.core.plan.Searcher` protocol keeps its signature.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator
+
+__all__ = [
+    "Span",
+    "StageTimer",
+    "Tracer",
+    "activated",
+    "current_tracer",
+    "format_trace",
+]
+
+_perf_counter = time.perf_counter
+
+
+class Span:
+    """One timed node of a trace tree.
+
+    ``duration_s`` is wall time between :meth:`finish` and construction for
+    ordinary spans.  *Aggregated* spans (created via
+    :meth:`Span.aggregate`) instead carry the accumulated duration of many
+    repetitions of a stage — their ``calls`` attribute says how many — so a
+    hot loop costs one span, not thousands.
+    """
+
+    __slots__ = (
+        "name",
+        "started_s",
+        "duration_s",
+        "attributes",
+        "children",
+        "events",
+        "dropped_spans",
+        "dropped_events",
+        "_trace_started",
+        "_recorded_spans",
+        "_recorded_events",
+    )
+
+    def __init__(self, name: str, trace_started: float | None = None):
+        self.name = name
+        now = _perf_counter()
+        self._trace_started = trace_started if trace_started is not None else now
+        #: Offset from the root span's start, in seconds.
+        self.started_s = now - self._trace_started
+        self.duration_s = 0.0
+        self.attributes: dict = {}
+        self.children: list[Span] = []
+        self.events: list[dict] = []
+        self.dropped_spans = 0
+        self.dropped_events = 0
+        # Root-span bookkeeping for the tracer's per-trace buffer bounds.
+        self._recorded_spans = 1
+        self._recorded_events = 0
+
+    # ------------------------------------------------------------ recording
+    def set(self, key: str, value) -> None:
+        """Set one span attribute."""
+        self.attributes[key] = value
+
+    def update(self, attributes: dict) -> None:
+        """Merge a batch of attributes."""
+        self.attributes.update(attributes)
+
+    def finish(self) -> None:
+        """Stamp the duration from the monotonic clock."""
+        self.duration_s = _perf_counter() - self._trace_started - self.started_s
+
+    def aggregate(self, name: str, seconds: float, calls: int, **attributes) -> "Span":
+        """Attach an aggregated child covering ``calls`` repetitions."""
+        child = Span(name, self._trace_started)
+        child.started_s = self.started_s
+        child.duration_s = seconds
+        child.attributes["calls"] = calls
+        child.attributes.update(attributes)
+        self.children.append(child)
+        return child
+
+    # -------------------------------------------------------------- export
+    def to_dict(self) -> dict:
+        """A JSON-ready nested dict (the JSONL record shape)."""
+        record = {
+            "name": self.name,
+            "started_s": round(self.started_s, 9),
+            "duration_s": round(self.duration_s, 9),
+        }
+        if self.attributes:
+            record["attributes"] = self.attributes
+        if self.events:
+            record["events"] = self.events
+        if self.children:
+            record["children"] = [child.to_dict() for child in self.children]
+        if self.dropped_spans:
+            record["dropped_spans"] = self.dropped_spans
+        if self.dropped_events:
+            record["dropped_events"] = self.dropped_events
+        return record
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, {self.duration_s * 1000:.3f} ms, "
+            f"{len(self.children)} children)"
+        )
+
+
+class StageTimer:
+    """Attribute wall time to named stages, one clock read per transition.
+
+    ``enter(stage)`` charges the time since the previous transition to the
+    stage that was running and makes ``stage`` current; ``stop()`` closes
+    the last stage.  Because every instant between ``start`` and ``stop``
+    belongs to exactly one stage, the per-stage totals sum to the overall
+    elapsed time minus nothing — the property the trace rendering's
+    "stage times sum to total" check rides on.
+    """
+
+    __slots__ = ("seconds", "calls", "_current", "_mark")
+
+    def __init__(self):
+        self.seconds: dict[str, float] = {}
+        self.calls: dict[str, int] = {}
+        self._current: str | None = None
+        self._mark = _perf_counter()
+
+    def enter(self, stage: str) -> None:
+        """Close the running stage and start ``stage``."""
+        now = _perf_counter()
+        current = self._current
+        if current is not None:
+            self.seconds[current] = self.seconds.get(current, 0.0) + now - self._mark
+        self.calls[stage] = self.calls.get(stage, 0) + 1
+        self._current = stage
+        self._mark = now
+
+    def stop(self) -> None:
+        """Close the running stage (idempotent)."""
+        now = _perf_counter()
+        current = self._current
+        if current is not None:
+            self.seconds[current] = self.seconds.get(current, 0.0) + now - self._mark
+        self._current = None
+        self._mark = now
+
+    def attach_to(self, span: Span) -> None:
+        """Publish the accumulated stages as aggregated children of ``span``."""
+        self.stop()
+        for stage, seconds in self.seconds.items():
+            span.aggregate(stage, seconds, self.calls.get(stage, 0))
+
+
+class Tracer:
+    """Produces bounded, nested span trees and keeps the finished ones.
+
+    Parameters
+    ----------
+    enabled:
+        A disabled tracer refuses to record anything; every begin call
+        returns ``None`` so instrumentation can guard with one ``is not
+        None`` check.
+    max_spans / max_events:
+        Per-trace caps on recorded child spans and point events; overflow
+        increments the root's ``dropped_spans`` / ``dropped_events``.
+    max_traces:
+        Finished root spans kept (oldest evicted first).
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        max_spans: int = 4096,
+        max_events: int = 1024,
+        max_traces: int = 256,
+    ):
+        if max_spans < 1 or max_events < 0 or max_traces < 1:
+            raise ValueError("tracer buffer bounds must be positive")
+        self.enabled = enabled
+        self.max_spans = max_spans
+        self.max_events = max_events
+        self.max_traces = max_traces
+        #: Finished root spans, oldest first (bounded by ``max_traces``).
+        self.traces: list[Span] = []
+        # Per-thread open-span stack: concurrent submit() callers on one
+        # service must not parent each other's spans.
+        self._local = threading.local()
+
+    # ------------------------------------------------------------ recording
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def begin(self, name: str, **attributes) -> Span | None:
+        """Open a span (a root if none is open); ``None`` when disabled.
+
+        Past ``max_spans`` recorded spans in the current trace the span is
+        not materialised — the root counts it in ``dropped_spans`` and the
+        caller gets ``None``, the same contract as a disabled tracer.
+        """
+        if not self.enabled:
+            return None
+        stack = self._stack()
+        if stack:
+            root = stack[0]
+            if root._recorded_spans >= self.max_spans:
+                root.dropped_spans += 1
+                return None
+            root._recorded_spans += 1
+            span = Span(name, root._trace_started)
+            stack[-1].children.append(span)
+        else:
+            span = Span(name)
+        if attributes:
+            span.attributes.update(attributes)
+        stack.append(span)
+        return span
+
+    def end(self, span: Span | None) -> None:
+        """Finish ``span`` and pop it; finished roots join :attr:`traces`."""
+        if span is None:
+            return
+        stack = self._stack()
+        span.finish()
+        # Tolerate unbalanced instrumentation (an exception may skip ends):
+        # pop through to the span being ended.
+        while stack:
+            top = stack.pop()
+            if top is span:
+                break
+            top.finish()
+        if not stack:
+            self.traces.append(span)
+            if len(self.traces) > self.max_traces:
+                del self.traces[: len(self.traces) - self.max_traces]
+
+    @contextmanager
+    def span(self, name: str, **attributes):
+        """Context-managed :meth:`begin`/:meth:`end` pair."""
+        span = self.begin(name, **attributes)
+        try:
+            yield span
+        finally:
+            self.end(span)
+
+    def event(self, name: str, **attributes) -> None:
+        """Record a point event on the innermost open span (bounded).
+
+        Events are for things with no meaningful duration at trace
+        granularity — an injected fault, a retried read, a worker crash.
+        With no open span (or a disabled tracer) the event is dropped
+        silently: events decorate traces, they are not a log.
+        """
+        if not self.enabled:
+            return
+        stack = self._stack()
+        if not stack:
+            return
+        root = stack[0]
+        if root._recorded_events >= self.max_events:
+            root.dropped_events += 1
+            return
+        root._recorded_events += 1
+        record = {"name": name, "at_s": _perf_counter() - root._trace_started}
+        if attributes:
+            record.update(attributes)
+        stack[-1].events.append(record)
+
+    # -------------------------------------------------------------- export
+    def last_trace(self) -> Span | None:
+        """The most recently finished root span."""
+        return self.traces[-1] if self.traces else None
+
+    def export_jsonl(self, path: str | Path) -> int:
+        """Write every finished trace as one JSON line; returns the count."""
+        path = Path(path)
+        with path.open("w", encoding="utf-8") as sink:
+            for root in self.traces:
+                sink.write(json.dumps(root.to_dict(), sort_keys=True))
+                sink.write("\n")
+        return len(self.traces)
+
+    def clear(self) -> None:
+        """Drop all finished traces (open spans are unaffected)."""
+        self.traces.clear()
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return f"Tracer({state}, traces={len(self.traces)})"
+
+
+#: The ambient tracer when nothing is activated: permanently disabled.
+_DISABLED = Tracer(enabled=False)
+
+#: Process-wide active tracer (fork-inherited copy-on-write, like the
+#: caches); swapped only via :func:`activated`.
+_ACTIVE: Tracer = _DISABLED
+
+
+def current_tracer() -> Tracer:
+    """The ambient tracer instrumented layers record into.
+
+    Disabled unless a caller is inside an :func:`activated` block, so the
+    common case costs one global read and one attribute check.
+    """
+    return _ACTIVE
+
+
+@contextmanager
+def activated(tracer: Tracer):
+    """Install ``tracer`` as the ambient tracer for the dynamic extent.
+
+    Nesting restores the previous tracer on exit.  The service layer wraps
+    each searcher call in this, which is what lets stateless searchers
+    trace without carrying observability configuration.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = tracer
+    try:
+        yield tracer
+    finally:
+        _ACTIVE = previous
+
+
+# ------------------------------------------------------------------ rendering
+def format_trace(root: Span, top_n: int = 5) -> str:
+    """Render one trace: the nested breakdown tree plus the slowest spans.
+
+    The per-stage lines show duration, share of the parent, and call counts
+    for aggregated stages; a final section lists the ``top_n`` slowest
+    spans across the whole tree (the "where did it go" shortlist).
+    """
+    lines: list[str] = []
+
+    def pct(child: Span, parent: Span) -> str:
+        if parent.duration_s <= 0:
+            return "-"
+        return f"{100.0 * child.duration_s / parent.duration_s:.1f}%"
+
+    def walk(span: Span, parent: Span | None, depth: int) -> None:
+        label = f"{'  ' * depth}{span.name}"
+        calls = span.attributes.get("calls")
+        suffix = f"  x{calls}" if calls is not None else ""
+        share = f"  ({pct(span, parent)})" if parent is not None else ""
+        lines.append(
+            f"{label:<40} {span.duration_s * 1000:>10.3f} ms{share}{suffix}"
+        )
+        interesting = {
+            key: value
+            for key, value in span.attributes.items()
+            if key != "calls" and value not in ("", None)
+        }
+        if interesting:
+            rendered = ", ".join(f"{k}={v}" for k, v in sorted(interesting.items()))
+            lines.append(f"{'  ' * (depth + 1)}| {rendered}")
+        for event in span.events:
+            name = event["name"]
+            extras = ", ".join(
+                f"{k}={v}" for k, v in event.items() if k not in ("name", "at_s")
+            )
+            lines.append(
+                f"{'  ' * (depth + 1)}! {name} @ {event['at_s'] * 1000:.3f} ms"
+                + (f" ({extras})" if extras else "")
+            )
+        for child in span.children:
+            walk(child, span, depth + 1)
+
+    walk(root, None, 0)
+    if root.dropped_spans or root.dropped_events:
+        lines.append(
+            f"(buffers full: {root.dropped_spans} spans, "
+            f"{root.dropped_events} events dropped)"
+        )
+
+    spans = [span for span in root.walk() if span is not root]
+    if spans:
+        slowest = sorted(spans, key=lambda s: s.duration_s, reverse=True)[:top_n]
+        lines.append("")
+        lines.append(f"top {len(slowest)} slowest spans:")
+        for span in slowest:
+            calls = span.attributes.get("calls")
+            suffix = f" over {calls} calls" if calls is not None else ""
+            lines.append(
+                f"  {span.duration_s * 1000:>10.3f} ms  {span.name}{suffix}"
+            )
+    return "\n".join(lines)

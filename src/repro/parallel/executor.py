@@ -45,6 +45,7 @@ from repro.errors import QueryError, ReproError
 from repro.index.database import TrajectoryDatabase
 from repro.join.tsjoin import JoinResult, TwoPhaseJoin, _validate_theta
 from repro.matching.engine import DirectionalSearchEngine
+from repro.obs.trace import current_tracer
 from repro.resilience.budget import SearchBudget
 
 __all__ = ["parallel_search", "parallel_self_join", "parallel_join", "fork_available"]
@@ -109,11 +110,19 @@ def _error_result(exc: BaseException) -> SearchResult:
 
 
 def _safe_search(searcher, query: UOTSQuery, budget: SearchBudget | None) -> SearchResult:
-    """One isolated search: library errors become error-marked results."""
+    """One isolated search: library errors become error-marked results.
+
+    Failed queries get the wall time they burned stamped into
+    ``stats.elapsed_seconds`` — the service records latency from that field
+    on every path, so an error must not report as a 0-latency query.
+    """
+    started = time.perf_counter()
     try:
         return searcher.search(query, budget=budget)
     except ReproError as exc:
-        return _error_result(exc)
+        result = _error_result(exc)
+        result.stats.elapsed_seconds = time.perf_counter() - started
+        return result
 
 
 def _search_worker(query: UOTSQuery) -> SearchResult:
@@ -164,6 +173,7 @@ def _fork_search_batch(
     retry_counts = [0] * len(queries)
     pending = list(range(len(queries)))
     rounds_failed = 0
+    tracer = current_tracer()
     with _worker_handoff({"searcher": searcher, "budget": budget}):
         while pending and rounds_failed <= max_task_retries:
             failed: list[int] = []
@@ -191,9 +201,14 @@ def _fork_search_batch(
                 rounds_failed += 1
                 for i in failed:
                     retry_counts[i] += 1
+                tracer.event(
+                    "worker_crash", stranded=len(failed), round=rounds_failed
+                )
             pending = sorted(failed)
     # Pool kept dying: finish the stranded queries in-process so the batch
     # still completes (the documented last-resort degradation).
+    if pending:
+        tracer.event("sequential_fallback", queries=len(pending))
     for i in pending:
         results[i] = _safe_search(searcher, queries[i], budget)
         results[i].stats.executor = "sequential-fallback"

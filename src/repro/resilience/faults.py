@@ -27,6 +27,7 @@ import time
 from dataclasses import dataclass
 
 from repro.errors import QueryError
+from repro.obs.trace import current_tracer
 from repro.storage.pages import PageFile
 
 __all__ = ["FaultPolicy", "FaultInjector"]
@@ -104,6 +105,9 @@ class FaultInjector:
             and self._rng.random() < self.policy.transient_fault_rate
         ):
             self.injected_transients += 1
+            current_tracer().event(
+                "fault_injected", kind="transient", page=page_id
+            )
             raise OSError(
                 f"injected transient I/O fault reading page {page_id} "
                 f"(fault {self.injected_transients})"

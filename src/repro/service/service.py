@@ -27,6 +27,7 @@ same results either way, by the executor's containment contract.
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from dataclasses import replace
 from typing import Sequence
 
@@ -36,6 +37,9 @@ from repro.core.registry import make_searcher
 from repro.core.results import SearchResult
 from repro.errors import QueryError
 from repro.index.database import TrajectoryDatabase
+from repro.obs.adapters import bind_database, bind_service_stats
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.trace import Tracer, activated
 from repro.parallel.executor import _fork_search_batch, _safe_search, fork_available
 from repro.resilience.budget import SearchBudget
 from repro.service.admission import AdmissionController
@@ -57,6 +61,19 @@ class QueryService:
     admission:
         ``None`` (unbounded), an in-flight cap as an ``int``, or a
         pre-built :class:`AdmissionController`.
+    trace:
+        ``None``/``False`` (default, tracing off), ``True`` for a fresh
+        :class:`~repro.obs.trace.Tracer`, or a pre-built tracer to share.
+        When set, every query the service answers runs under an ambient
+        ``query`` span with plan/execute/stage children (read them back
+        via :attr:`tracer`).
+    metrics:
+        ``None``/``False`` (default, no registry binding), ``True`` for
+        the process-wide default registry, or an explicit
+        :class:`~repro.obs.metrics.MetricsRegistry`.  When set, the
+        service's stats and the database's cross-query caches are bound
+        as collectors, and per-query latency/executor-path instruments
+        are recorded live.
     **searcher_kwargs:
         Tuning kwargs forwarded to the registry factory (``alt=``,
         ``batch_size=``, ``refinement=``, ``scheduler=``).
@@ -67,6 +84,8 @@ class QueryService:
         database: TrajectoryDatabase,
         algorithm: str = "collaborative",
         admission: AdmissionController | int | None = None,
+        trace: Tracer | bool | None = None,
+        metrics: MetricsRegistry | bool | None = None,
         **searcher_kwargs,
     ):
         self._database = database
@@ -78,6 +97,37 @@ class QueryService:
             else AdmissionController(admission)
         )
         self._stats = ServiceStats()
+        if trace is True:
+            trace = Tracer()
+        elif trace is False:
+            trace = None
+        self._tracer: Tracer | None = trace
+        if metrics is True:
+            metrics = get_registry()
+        elif metrics is False:
+            # Not `metrics or None`: an empty registry has len() == 0 and
+            # would be discarded by truthiness.
+            metrics = None
+        self._metrics: MetricsRegistry | None = metrics
+        if self._metrics is not None:
+            bind_service_stats(self._stats, self._metrics)
+            bind_database(database, self._metrics)
+            self._latency = self._metrics.histogram(
+                "repro_service_latency_seconds", "Per-query service latency"
+            )
+            self._executor_paths = self._metrics.counter(
+                "repro_executor_queries_total",
+                "Queries answered, by executor path",
+            )
+            self._executor_retries = self._metrics.counter(
+                "repro_executor_retries_total",
+                "Query re-submissions after worker crashes plus absorbed "
+                "storage retries",
+            )
+        else:
+            self._latency = None
+            self._executor_paths = None
+            self._executor_retries = None
 
     # ------------------------------------------------------------ accessors
     @property
@@ -105,6 +155,16 @@ class QueryService:
         """Aggregated service-level statistics."""
         return self._stats
 
+    @property
+    def tracer(self) -> Tracer | None:
+        """The tracer queries run under (``None`` when tracing is off)."""
+        return self._tracer
+
+    @property
+    def metrics(self) -> MetricsRegistry | None:
+        """The bound metrics registry (``None`` when metrics are off)."""
+        return self._metrics
+
     # ------------------------------------------------------------- planning
     def plan(self, query: UOTSQuery) -> QueryPlan:
         """The searcher's plan, stamped with the *registry* name.
@@ -123,6 +183,31 @@ class QueryService:
         return self.plan(query).describe()
 
     # ------------------------------------------------------------ execution
+    @contextmanager
+    def _traced(self, name: str, **attributes):
+        """Run a block under the service tracer (a no-op when tracing is
+        off); yields the open span or ``None``."""
+        if self._tracer is None:
+            yield None
+            return
+        with activated(self._tracer):
+            with self._tracer.span(name, **attributes) as span:
+                yield span
+
+    def _record(self, result: SearchResult, elapsed_seconds: float) -> None:
+        """THE recording path: every answered query — ``search``,
+        ``submit``, both ``execute_many`` branches — folds into the
+        service stats (and live metrics) through here, so outcome
+        counters and the latency reservoir can never diverge between
+        single-process and forked execution.
+        """
+        self._stats.record(result, elapsed_seconds)
+        if self._metrics is not None:
+            self._latency.observe(elapsed_seconds)
+            self._executor_paths.inc(path=result.stats.executor or "in-process")
+            if result.stats.retries:
+                self._executor_retries.inc(result.stats.retries)
+
     def search(
         self, query: UOTSQuery, budget: SearchBudget | None = None
     ) -> SearchResult:
@@ -135,8 +220,9 @@ class QueryService:
         recorded in the service stats.
         """
         started = time.perf_counter()
-        result = self._searcher.search(query, budget=budget)
-        self._stats.record(result, time.perf_counter() - started)
+        with self._traced("query", algorithm=self._algorithm, k=query.k):
+            result = self._searcher.search(query, budget=budget)
+        self._record(result, time.perf_counter() - started)
         return result
 
     def submit(
@@ -150,6 +236,14 @@ class QueryService:
         ``"rejected by admission control"`` and is counted as rejected,
         not served.
         """
+        return self._submit(query, budget, None)
+
+    def _submit(
+        self,
+        query: UOTSQuery,
+        budget: SearchBudget | None,
+        executor_label: str | None,
+    ) -> SearchResult:
         if not self._admission.try_acquire():
             self._stats.record_rejection()
             return SearchResult(
@@ -160,8 +254,11 @@ class QueryService:
             )
         try:
             started = time.perf_counter()
-            result = _safe_search(self._searcher, query, budget)
-            self._stats.record(result, time.perf_counter() - started)
+            with self._traced("query", algorithm=self._algorithm, k=query.k):
+                result = _safe_search(self._searcher, query, budget)
+            if executor_label is not None and not result.stats.executor:
+                result.stats.executor = executor_label
+            self._record(result, time.perf_counter() - started)
             return result
         finally:
             self._admission.release()
@@ -187,17 +284,15 @@ class QueryService:
             raise QueryError(f"max_task_retries must be >= 0, got {max_task_retries}")
         queries = list(queries)
         if workers > 1 and fork_available() and len(queries) > 1:
-            results = _fork_search_batch(
-                self._searcher, queries, budget, workers, max_task_retries
-            )
+            with self._traced(
+                "execute_many", queries=len(queries), workers=workers
+            ):
+                results = _fork_search_batch(
+                    self._searcher, queries, budget, workers, max_task_retries
+                )
             for result in results:
                 # Worker wall-clock is the honest latency of a forked query.
-                self._stats.record(result, result.stats.elapsed_seconds)
+                self._record(result, result.stats.elapsed_seconds)
             return results
-        results = []
-        for query in queries:
-            result = self.submit(query, budget)
-            if not result.stats.executor:
-                result.stats.executor = "sequential"
-            results.append(result)
-        return results
+        with self._traced("execute_many", queries=len(queries), workers=1):
+            return [self._submit(query, budget, "sequential") for query in queries]

@@ -19,7 +19,8 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from repro.errors import DatasetError, StorageError
+from repro.errors import CorruptPageError, DatasetError, StorageError
+from repro.obs.trace import current_tracer
 from repro.storage.pages import PageFile
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
@@ -106,6 +107,9 @@ class LRUBufferPool:
             return self._retry.call(
                 self._pagefile.read_page, page_id, on_retry=self._count_retry
             )
+        except CorruptPageError:
+            current_tracer().event("page_corrupt", page=page_id)
+            raise
         except OSError as exc:
             raise StorageError(
                 f"reading page {page_id} of {self._pagefile.path} failed "
@@ -114,6 +118,9 @@ class LRUBufferPool:
 
     def _count_retry(self, attempt: int, exc: BaseException) -> None:
         self.stats.retries += 1
+        current_tracer().event(
+            "storage_retry", attempt=attempt, error=type(exc).__name__
+        )
 
     def invalidate(self, page_id: int | None = None) -> None:
         """Drop one page (or everything) from the cache."""

@@ -1,0 +1,99 @@
+"""Fault-injection visibility: a chaos run must show up in the telemetry.
+
+ISSUE 4 satellite: with a :class:`FaultInjector` armed, injected faults
+and absorbed retries must surface in *both* the metrics snapshot and the
+trace (as point events on the query spans) — resilience that cannot be
+observed cannot be trusted.
+"""
+
+import pytest
+
+from repro.core.query import UOTSQuery
+from repro.obs.adapters import bind_buffer_stats, bind_fault_injector
+from repro.obs.metrics import MetricsRegistry
+from repro.resilience.faults import FaultInjector, FaultPolicy
+from repro.resilience.retry import RetryPolicy
+from repro.service import QueryService
+from repro.storage.database import DiskTrajectoryDatabase
+
+_NO_SLEEP = {"sleep": lambda _d: None}
+
+QUERIES = [
+    UOTSQuery.create([5, 210], "park lakeside", lam=0.5, k=5),
+    UOTSQuery.create([0, 399], "seafood", lam=0.3, k=3),
+    UOTSQuery.create([37, 199, 361], "museum walk", lam=0.7, k=5),
+]
+
+
+@pytest.fixture()
+def chaos(tmp_path, grid20, annotated_trips):
+    """A disk database with a tiny buffer pool and an armed injector."""
+    db = DiskTrajectoryDatabase.build(
+        tmp_path / "chaos", grid20, annotated_trips,
+        buffer_capacity=8,
+        retry=RetryPolicy(max_attempts=8, **_NO_SLEEP),
+    )
+    injector = FaultInjector(FaultPolicy(seed=42, transient_fault_rate=0.2))
+    injector.attach(db.store.pagefile)
+    return db, injector
+
+
+def _all_events(tracer):
+    events = []
+    for root in tracer.traces:
+        for span in root.walk():
+            events.extend(span.events)
+    return events
+
+
+class TestChaosVisibility:
+    def test_faults_surface_in_metrics_and_traces(self, chaos):
+        db, injector = chaos
+        registry = MetricsRegistry()
+        bind_fault_injector(injector, registry)
+        bind_buffer_stats(db.store.buffer.stats, registry)
+        service = QueryService(
+            db, "collaborative", trace=True, metrics=registry
+        )
+        for query in QUERIES:
+            result = service.submit(query)
+            assert result.error is None
+
+        assert injector.injected_transients > 0, "chaos run injected nothing"
+
+        # Metrics side: counts in the snapshot match the injector exactly.
+        snapshot = registry.snapshot()
+        assert (
+            snapshot["repro_faults_injected_transients_total"]
+            == injector.injected_transients
+        )
+        assert (
+            snapshot["repro_storage_read_retries_total"]
+            == db.store.buffer.stats.retries
+        )
+        assert snapshot["repro_storage_read_retries_total"] > 0
+        assert (
+            snapshot["repro_faults_observed_reads_total"]
+            == injector.observed_reads
+        )
+
+        # Trace side: every injected fault and every absorbed retry left a
+        # point event on some query span.
+        events = _all_events(service.tracer)
+        faults = [e for e in events if e["name"] == "fault_injected"]
+        retries = [e for e in events if e["name"] == "storage_retry"]
+        assert len(faults) == injector.injected_transients
+        assert len(retries) == db.store.buffer.stats.retries
+        assert all(e["kind"] == "transient" for e in faults)
+        assert all(e["error"] == "OSError" for e in retries)
+
+    def test_clean_run_reports_zero_faults(self, tmp_path, grid20, annotated_trips):
+        db = DiskTrajectoryDatabase.build(
+            tmp_path / "clean", grid20, annotated_trips, buffer_capacity=8
+        )
+        registry = MetricsRegistry()
+        bind_buffer_stats(db.store.buffer.stats, registry)
+        service = QueryService(db, "collaborative", trace=True, metrics=registry)
+        service.submit(QUERIES[0])
+        assert registry.snapshot()["repro_storage_read_retries_total"] == 0
+        assert _all_events(service.tracer) == []

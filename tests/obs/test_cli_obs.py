@@ -1,0 +1,121 @@
+"""CLI observability surface: repro trace / repro metrics / --trace-out /
+bench --json."""
+
+import json
+import re
+
+import pytest
+
+from repro.cli import main
+
+#: One Prometheus exposition sample line: name{labels} value.
+SAMPLE_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [^ ]+$"
+)
+
+
+@pytest.fixture(scope="module")
+def dataset_dir(tmp_path_factory):
+    path = tmp_path_factory.mktemp("obs-cli-data")
+    code = main(
+        [
+            "generate", "--output", str(path), "--vertices", "100",
+            "--trajectories", "40", "--seed", "7",
+        ]
+    )
+    assert code == 0
+    return path
+
+
+def _query_args(dataset_dir):
+    return ["--data", str(dataset_dir), "--locations", "1,9", "--k", "3"]
+
+
+class TestTraceCommand:
+    def test_prints_breakdown_tree(self, dataset_dir, capsys):
+        code = main(["trace", *_query_args(dataset_dir), "--top", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "query" in out
+        assert "execute" in out
+        assert "expand_round" in out
+        assert "slowest spans" in out
+        assert "result:" in out
+
+    def test_trace_out_writes_jsonl(self, dataset_dir, tmp_path, capsys):
+        out_file = tmp_path / "trace.jsonl"
+        code = main(
+            ["trace", *_query_args(dataset_dir), "--trace-out", str(out_file)]
+        )
+        assert code == 0
+        records = [
+            json.loads(line) for line in out_file.read_text().splitlines()
+        ]
+        assert len(records) == 1
+        assert records[0]["name"] == "query"
+        assert any(c["name"] == "execute" for c in records[0]["children"])
+
+
+class TestQueryTraceOut:
+    def test_query_exports_trace(self, dataset_dir, tmp_path, capsys):
+        out_file = tmp_path / "q.jsonl"
+        code = main(
+            ["query", *_query_args(dataset_dir), "--trace-out", str(out_file)]
+        )
+        assert code == 0
+        assert "trace(s)" in capsys.readouterr().out
+        assert out_file.exists()
+        record = json.loads(out_file.read_text().splitlines()[0])
+        assert record["name"] == "query"
+
+
+class TestMetricsCommand:
+    def test_prometheus_exposition_parses(self, dataset_dir, capsys):
+        code = main(["metrics", *_query_args(dataset_dir), "--repeat", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "repro_service_queries_total" in out
+        assert "repro_service_latency_seconds_bucket" in out
+        for line in out.rstrip("\n").splitlines():
+            if line.startswith("#"):
+                continue
+            assert SAMPLE_LINE.match(line), f"malformed line: {line!r}"
+
+    def test_json_snapshot(self, dataset_dir, capsys):
+        code = main(
+            ["metrics", *_query_args(dataset_dir), "--format", "json"]
+        )
+        assert code == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert "repro_service_queries_total" in snapshot
+        assert "repro_search_expanded_vertices_total" in snapshot
+
+
+class TestBenchJson:
+    def test_json_rows(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_SCALE", "0.02")
+        code = main(
+            ["bench", "--queries", "2",
+             "--algorithms", "collaborative,brute-force", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["num_queries"] == 2
+        algorithms = {row["algorithm"] for row in payload["rows"]}
+        assert algorithms == {"collaborative", "brute-force"}
+        for row in payload["rows"]:
+            assert set(row) >= {
+                "algorithm", "mean_ms", "p95_ms", "mean_visited",
+                "candidate_ratio",
+            }
+
+    def test_table_unchanged_without_flag(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_SCALE", "0.02")
+        code = main(
+            ["bench", "--queries", "2", "--algorithms", "collaborative"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "p95 ms" in out
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(out)

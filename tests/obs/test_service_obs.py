@@ -1,0 +1,164 @@
+"""QueryService observability: tracing, metrics, unified stat recording.
+
+Covers the ISSUE 4 acceptance bar (per-stage times sum to within 10% of
+the query total) and the satellite fix: every execution path — ``search``,
+``submit``, both ``execute_many`` branches — must fold latency and outcome
+counters through one recording path.
+"""
+
+import pytest
+
+from repro.core.query import UOTSQuery
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.trace import Tracer
+from repro.parallel.executor import fork_available
+from repro.service import QueryService
+
+
+@pytest.fixture()
+def query():
+    return UOTSQuery.create([5, 210, 360], "park lakeside", lam=0.5, k=5)
+
+
+@pytest.fixture()
+def queries(query):
+    return [
+        query,
+        UOTSQuery.create([0, 399], "seafood", lam=0.3, k=3),
+        UOTSQuery.create([37, 199], "museum walk", lam=0.7, k=4),
+    ]
+
+
+class TestTracing:
+    def test_submit_produces_nested_trace(self, database, query):
+        service = QueryService(database, "collaborative", trace=True)
+        service.submit(query)
+        root = service.tracer.last_trace()
+        assert root.name == "query"
+        assert root.attributes["algorithm"] == "collaborative"
+        children = [c.name for c in root.children]
+        assert "execute" in children
+        execute = next(c for c in root.children if c.name == "execute")
+        stage_names = {c.name for c in execute.children}
+        assert "expand_round" in stage_names
+        assert execute.attributes["visited"] > 0
+
+    def test_stage_times_sum_to_query_total(self, database, query):
+        """Acceptance: the per-stage breakdown accounts for >=90% of the
+        query span's wall time."""
+        service = QueryService(database, "collaborative", trace=True)
+        service.submit(query)
+        root = service.tracer.last_trace()
+        direct = sum(c.duration_s for c in root.children)
+        assert direct >= 0.90 * root.duration_s
+        execute = next(c for c in root.children if c.name == "execute")
+        stages = sum(c.duration_s for c in execute.children)
+        assert stages >= 0.90 * execute.duration_s
+
+    def test_search_and_baselines_trace_too(self, database, query):
+        for algorithm in ("brute-force", "text-first", "spatial-first"):
+            service = QueryService(database, algorithm, trace=True)
+            service.search(query)
+            root = service.tracer.last_trace()
+            assert root.name == "query"
+            execute = next(c for c in root.children if c.name == "execute")
+            assert execute.attributes["visited"] >= 0
+
+    def test_tracing_off_by_default(self, database, query):
+        service = QueryService(database, "collaborative")
+        service.submit(query)
+        assert service.tracer is None
+
+    def test_explicit_tracer_shared(self, database, query):
+        tracer = Tracer(max_traces=8)
+        service = QueryService(database, "collaborative", trace=tracer)
+        assert service.tracer is tracer
+        service.submit(query)
+        assert tracer.last_trace() is not None
+
+    def test_execute_many_sequential_traces_batch(self, database, queries):
+        service = QueryService(database, "collaborative", trace=True)
+        service.execute_many(queries, workers=1)
+        root = service.tracer.last_trace()
+        assert root.name == "execute_many"
+        assert root.attributes["queries"] == len(queries)
+        assert [c.name for c in root.children] == ["query"] * len(queries)
+
+
+class TestUnifiedRecording:
+    """Satellite fix: one record() path for every execution route."""
+
+    def test_submit_and_execute_many_agree(self, database, queries):
+        via_submit = QueryService(database, "collaborative")
+        for q in queries:
+            via_submit.submit(q)
+        via_batch = QueryService(database, "collaborative")
+        via_batch.execute_many(queries, workers=1)
+        a, b = via_submit.stats.snapshot(), via_batch.stats.snapshot()
+        for key in ("queries_served", "exact_results", "degraded_results",
+                    "failed_queries", "rejected_queries"):
+            assert a[key] == b[key], key
+        assert a["p50_ms"] > 0.0
+        assert b["p50_ms"] > 0.0
+
+    def test_sequential_batch_labels_executor(self, database, queries):
+        service = QueryService(database, "collaborative")
+        results = service.execute_many(queries, workers=1)
+        assert all(r.stats.executor == "sequential" for r in results)
+
+    @pytest.mark.skipif(not fork_available(), reason="needs fork")
+    def test_fork_batch_records_latency_and_outcomes(self, database, queries):
+        service = QueryService(database, "collaborative")
+        results = service.execute_many(queries, workers=2)
+        stats = service.stats
+        assert stats.queries_served == len(queries)
+        assert stats.exact_results == len(queries)
+        # The regression: forked results must land in the latency
+        # reservoir too, not only in the outcome counters.
+        assert stats.p50_ms > 0.0
+        assert all(r.stats.executor for r in results)
+
+    def test_failed_query_still_records_latency(self, database):
+        service = QueryService(database, "collaborative")
+        bad = UOTSQuery.create([999_999], "park", k=3)
+        result = service.submit(bad)
+        assert result.error is not None
+        snapshot = service.stats.snapshot()
+        assert snapshot["failed_queries"] == 1
+        # The regression: error results used to report 0 latency on some
+        # paths; the unified path stamps real wall time.
+        assert snapshot["p50_ms"] > 0.0
+
+
+class TestMetricsIntegration:
+    def test_explicit_registry_gets_service_instruments(
+        self, database, queries
+    ):
+        registry = MetricsRegistry()
+        service = QueryService(database, "collaborative", metrics=registry)
+        assert service.metrics is registry
+        for q in queries:
+            service.submit(q)
+        text = registry.render_prometheus()
+        assert 'repro_service_queries_total{outcome="exact"} 3' in text
+        assert "repro_service_latency_seconds_bucket" in text
+        assert 'repro_executor_queries_total{path="in-process"} 3' in text
+        assert "repro_search_expanded_vertices_total" in text
+        assert 'repro_cache_hits_total{cache="distances"}' in text
+
+    def test_metrics_true_binds_default_registry(self, database):
+        service = QueryService(database, "collaborative", metrics=True)
+        assert service.metrics is get_registry()
+
+    def test_metrics_off_by_default(self, database, query):
+        service = QueryService(database, "collaborative")
+        assert service.metrics is None
+        service.submit(query)  # no instruments, no crash
+
+    def test_histogram_counts_match_served_queries(self, database, queries):
+        registry = MetricsRegistry()
+        service = QueryService(database, "collaborative", metrics=registry)
+        service.execute_many(queries, workers=1)
+        histogram = registry.histogram("repro_service_latency_seconds")
+        assert histogram.count() == len(queries)
+        assert histogram.sum() > 0.0

@@ -1,0 +1,204 @@
+"""Tracer core: spans, stage timers, bounds, export, rendering."""
+
+import json
+
+import pytest
+
+from repro.obs.trace import (
+    Span,
+    StageTimer,
+    Tracer,
+    activated,
+    current_tracer,
+    format_trace,
+)
+
+
+class TestSpan:
+    def test_nesting_and_attributes(self):
+        tracer = Tracer()
+        with tracer.span("query", k=5) as root:
+            with tracer.span("plan", scheduler="heuristic"):
+                pass
+            with tracer.span("execute") as ex:
+                ex.set("visited", 12)
+        assert root.name == "query"
+        assert root.attributes["k"] == 5
+        assert [c.name for c in root.children] == ["plan", "execute"]
+        assert root.children[1].attributes["visited"] == 12
+
+    def test_durations_monotone_and_nested(self):
+        tracer = Tracer()
+        with tracer.span("query") as root:
+            with tracer.span("child") as child:
+                pass
+        assert root.duration_s >= child.duration_s >= 0.0
+
+    def test_to_dict_round_trips_through_json(self):
+        tracer = Tracer()
+        with tracer.span("query"):
+            with tracer.span("plan"):
+                tracer.event("note", detail="x")
+        root = tracer.last_trace()
+        payload = json.loads(json.dumps(root.to_dict()))
+        assert payload["name"] == "query"
+        assert payload["children"][0]["name"] == "plan"
+        assert payload["children"][0]["events"][0]["name"] == "note"
+
+    def test_walk_yields_depth_first(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+            with tracer.span("d"):
+                pass
+        names = [span.name for span in tracer.last_trace().walk()]
+        assert names == ["a", "b", "c", "d"]
+
+    def test_unbalanced_end_pops_through(self):
+        tracer = Tracer()
+        outer = tracer.begin("outer")
+        tracer.begin("inner")  # never explicitly ended
+        tracer.end(outer)
+        assert tracer.last_trace() is outer
+        assert outer.children[0].name == "inner"
+        assert outer.children[0].duration_s >= 0.0
+
+
+class TestStageTimer:
+    def test_stage_totals_sum_and_call_counts(self):
+        timer = StageTimer()
+        for stage in ("expand", "terminate", "expand", "finalize"):
+            timer.enter(stage)
+        timer.stop()
+        span = Span("execute")
+        span.finish()
+        timer.attach_to(span)
+        stages = {c.name: c for c in span.children}
+        assert set(stages) == {"expand", "terminate", "finalize"}
+        assert stages["expand"].attributes["calls"] == 2
+        total = sum(c.duration_s for c in span.children)
+        assert total == pytest.approx(sum(timer.seconds.values()), rel=1e-9)
+        assert total > 0.0
+
+    def test_stop_is_idempotent(self):
+        timer = StageTimer()
+        timer.enter("only")
+        timer.stop()
+        before = dict(timer.seconds)
+        timer.stop()
+        assert timer.seconds == before
+
+
+class TestBounds:
+    def test_span_cap_drops_and_counts(self):
+        tracer = Tracer(max_spans=4)
+        with tracer.span("root") as root:
+            for i in range(10):
+                with tracer.span(f"s{i}"):
+                    pass
+        # root + 3 children recorded, the rest counted as dropped.
+        assert len(root.children) == 3
+        assert root.dropped_spans == 7
+
+    def test_event_cap_drops_and_counts(self):
+        tracer = Tracer(max_events=3)
+        with tracer.span("root") as root:
+            for i in range(8):
+                tracer.event("e", i=i)
+        assert len(root.events) == 3
+        assert root.dropped_events == 5
+
+    def test_trace_cap_keeps_most_recent(self):
+        tracer = Tracer(max_traces=2)
+        for i in range(5):
+            with tracer.span(f"t{i}"):
+                pass
+        assert [t.name for t in tracer.traces] == ["t3", "t4"]
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(max_spans=0)
+
+
+class TestDisabledTracer:
+    def test_disabled_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("query") as span:
+            tracer.event("e")
+        assert span is None
+        assert tracer.last_trace() is None
+
+    def test_ambient_default_is_disabled(self):
+        tracer = current_tracer()
+        assert not tracer.enabled
+        with tracer.span("anything") as span:
+            assert span is None
+
+    def test_activated_installs_and_restores(self):
+        mine = Tracer()
+        assert current_tracer() is not mine
+        with activated(mine):
+            assert current_tracer() is mine
+            with current_tracer().span("q"):
+                pass
+        assert current_tracer() is not mine
+        assert mine.last_trace().name == "q"
+
+    def test_event_without_open_span_is_dropped(self):
+        tracer = Tracer()
+        tracer.event("orphan")
+        assert tracer.last_trace() is None
+
+
+class TestExport:
+    def test_export_jsonl(self, tmp_path):
+        tracer = Tracer()
+        for i in range(3):
+            with tracer.span("query", i=i):
+                with tracer.span("plan"):
+                    pass
+        out = tmp_path / "traces.jsonl"
+        count = tracer.export_jsonl(out)
+        assert count == 3
+        lines = [json.loads(line) for line in out.read_text().splitlines()]
+        assert len(lines) == 3
+        assert all(line["name"] == "query" for line in lines)
+
+    def test_clear_empties_buffer(self):
+        tracer = Tracer()
+        with tracer.span("q"):
+            pass
+        tracer.clear()
+        assert tracer.last_trace() is None
+
+
+class TestFormat:
+    def test_tree_and_slowest_sections(self):
+        tracer = Tracer()
+        with tracer.span("query", k=3) as root:
+            with tracer.span("plan"):
+                pass
+            with tracer.span("execute") as ex:
+                ex.set("visited", 7)
+        text = format_trace(root, top_n=2)
+        assert "query" in text
+        assert "plan" in text
+        assert "execute" in text
+        assert "visited=7" in text
+        assert "slowest spans" in text
+        assert "ms" in text
+
+    def test_events_and_drops_rendered(self):
+        tracer = Tracer(max_spans=2)
+        with tracer.span("query") as root:
+            tracer.event("storage_retry", attempt=1)
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        text = format_trace(root)
+        assert "! storage_retry" in text
+        assert "attempt=1" in text
+        assert "buffers full" in text
