@@ -95,6 +95,7 @@ def _make_service(
         args.algorithm,
         trace=trace,
         metrics=metrics,
+        result_cache=args.result_cache_size,
         alt=False if args.no_alt else None,
         batch_size=args.batch_size,
         scheduler=args.scheduler,
@@ -127,11 +128,18 @@ def _cmd_query(args: argparse.Namespace) -> int:
         f"refinements={stats.refinements} "
         f"time={stats.elapsed_seconds * 1000:.1f}ms"
     )
+    if stats.cache == "result":
+        result_cache = "hit"
+    elif service.result_cache is not None:
+        result_cache = "miss"
+    else:
+        result_cache = "off"
     print(
         f"alt_pruned={stats.alt_pruned} "
         f"distance_cache={stats.distance_cache_hits}h/"
         f"{stats.distance_cache_misses}m "
-        f"text_cache={stats.text_cache_hits}h/{stats.text_cache_misses}m"
+        f"text_cache={stats.text_cache_hits}h/{stats.text_cache_misses}m "
+        f"result_cache={result_cache}"
     )
     if not result.exact:
         print(
@@ -229,7 +237,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if not args.json:
         print(bundle.describe())
     queries = make_queries(bundle, WorkloadConfig(num_queries=args.queries))
-    battery = run_battery(bundle, queries, algorithms)
+    battery = run_battery(
+        bundle, queries, algorithms, result_cache=args.result_cache_size
+    )
     if args.json:
         # Machine-readable rows (CI diffs these without text parsing).
         payload = {
@@ -237,6 +247,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             "num_queries": args.queries,
             "seed": args.seed,
             "database_size": len(bundle.database),
+            "result_cache_size": args.result_cache_size,
             "rows": [
                 {
                     "algorithm": name,
@@ -246,6 +257,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                     "candidate_ratio": round(
                         m.candidate_ratio(len(bundle.database)), 6
                     ),
+                    "result_cache_hits": m.result_cache_hits,
                 }
                 for name, m in battery.items()
             ],
@@ -260,6 +272,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(format_table(
         ["algorithm", "mean ms", "p95 ms", "visited", "cand. ratio"], rows
     ))
+    if args.result_cache_size:
+        hits = ", ".join(
+            f"{name} {m.result_cache_hits}/{m.queries}"
+            for name, m in battery.items()
+        )
+        print(f"result cache hits: {hits}")
     return 0
 
 
@@ -311,6 +329,12 @@ def build_parser() -> argparse.ArgumentParser:
             "--cache-size", type=int, default=None, metavar="N",
             help="bound on the cross-query distance cache "
                  "(0 disables caching; default keeps the built-in bounds)",
+        )
+        p.add_argument(
+            "--result-cache-size", type=int, default=None, metavar="N",
+            help="bound on the service-level result cache answering "
+                 "identical repeated queries in O(1) "
+                 "(0 or unset disables it; exact un-budgeted results only)",
         )
 
     p = sub.add_parser("query", help="run one UOTS query")
@@ -382,6 +406,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dataset", choices=["brn", "nrn"], default="brn")
     p.add_argument("--queries", type=int, default=20)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--result-cache-size", type=int, default=None, metavar="N",
+        help="serve the battery through a bounded result cache and report "
+             "per-algorithm hits (0 or unset keeps caching off)",
+    )
     p.add_argument(
         "--algorithms", default=None, metavar="A,B,...",
         help="comma-separated subset of the registry to run "

@@ -63,8 +63,17 @@ class AlgorithmSpec:
     pinned: Mapping[str, object] = field(default_factory=lambda: MappingProxyType({}))
     description: str = ""
 
-    def build(self, database: TrajectoryDatabase, **kwargs) -> Searcher:
-        """Instantiate the variant, applying the kwarg semantics above."""
+    def resolve_tuning(self, **kwargs) -> dict[str, object]:
+        """The effective tuning the factory receives, kwarg semantics applied.
+
+        ``None`` values are dropped (keep the default), kwargs outside the
+        vocabulary raise, inapplicable knobs are dropped, and pinned variant
+        settings win.  This resolved mapping — not the caller's raw kwargs —
+        is what identifies a serving configuration: the service-level
+        result cache keys on ``(algorithm, resolved tuning)``, so two
+        services differing only in dropped/defaulted kwargs alias the same
+        entries while genuinely different tunings never collide.
+        """
         tuning = {key: value for key, value in kwargs.items() if value is not None}
         unknown = set(tuning) - TUNING_KWARGS
         if unknown:
@@ -78,7 +87,11 @@ class AlgorithmSpec:
             if key in self.accepts and key not in self.pinned
         }
         effective.update(self.pinned)
-        return self.factory(database, **effective)
+        return effective
+
+    def build(self, database: TrajectoryDatabase, **kwargs) -> Searcher:
+        """Instantiate the variant, applying the kwarg semantics above."""
+        return self.factory(database, **self.resolve_tuning(**kwargs))
 
 
 def _spec(name, factory, accepts=(), pinned=None, description=""):

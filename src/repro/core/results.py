@@ -59,6 +59,11 @@ class SearchStats:
     terminated while the pure radius bound still exceeded it — the states
     ALT retired early; the ``*_cache_*`` fields are this query's share of
     the cross-query distance/text cache traffic.
+
+    ``cache`` records whether the answer was served from a cache instead
+    of a search: ``"result"`` marks a service-level result-cache hit
+    (zero work counters, O(1) serve), ``""`` an actually executed query —
+    dashboards and the semantics oracle distinguish the two paths by it.
     """
 
     visited_trajectories: int = 0
@@ -78,6 +83,7 @@ class SearchStats:
     distance_cache_misses: int = 0
     text_cache_hits: int = 0
     text_cache_misses: int = 0
+    cache: str = ""
 
     def merge(self, other: "SearchStats") -> None:
         """Accumulate another stats record into this one (for batch runs)."""
@@ -99,6 +105,8 @@ class SearchStats:
         self.distance_cache_misses += other.distance_cache_misses
         self.text_cache_hits += other.text_cache_hits
         self.text_cache_misses += other.text_cache_misses
+        if not self.cache:
+            self.cache = other.cache
 
 
 @dataclass

@@ -19,6 +19,8 @@ survives trajectory churn.
 
 from __future__ import annotations
 
+from typing import Callable
+
 import numpy as np
 
 from repro.errors import DatasetError, GraphError
@@ -71,6 +73,7 @@ class TrajectoryDatabase:
         self._num_landmarks = num_landmarks
         self._landmark_index: LandmarkIndex | None | object = _UNSET
         self._vertex_arrays: dict[int, np.ndarray] = {}
+        self._invalidation_listeners: list[Callable[[int], None]] = []
 
     # ------------------------------------------------------------ accessors
     @property
@@ -168,10 +171,25 @@ class TrajectoryDatabase:
         self._invalidate(trajectory_id)
         return trajectory
 
+    def add_invalidation_listener(self, listener: Callable[[int], None]) -> None:
+        """Register a callback fired on every mutation (``add``/``remove``).
+
+        The listener receives the mutated trajectory id, through the same
+        hook that scrubs the database's own cross-query caches — this is
+        how derived caches living *above* the database (the service-level
+        :class:`~repro.perf.result_cache.ResultCache`) stay consistent
+        without the database knowing about the serving layer.  Listeners
+        live as long as the database; register per long-lived cache, not
+        per query.
+        """
+        self._invalidation_listeners.append(listener)
+
     def _invalidate(self, trajectory_id: int) -> None:
         """Drop cached state that mentions a mutated trajectory id."""
         self._caches.invalidate_trajectory(trajectory_id)
         self._vertex_arrays.pop(trajectory_id, None)
+        for listener in self._invalidation_listeners:
+            listener(trajectory_id)
 
     def __repr__(self) -> str:
         return (

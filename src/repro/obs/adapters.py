@@ -25,6 +25,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, keeps import light
     from repro.index.database import TrajectoryDatabase
     from repro.network.stats import NetworkStats
     from repro.perf.cache import CacheStats
+    from repro.perf.result_cache import ResultCache
     from repro.resilience.faults import FaultInjector
     from repro.service.stats import ServiceStats
     from repro.storage.buffer import BufferStats
@@ -35,6 +36,7 @@ __all__ = [
     "bind_service_stats",
     "bind_buffer_stats",
     "bind_cache_stats",
+    "bind_result_cache",
     "bind_network_stats",
     "bind_trajectory_stats",
     "bind_fault_injector",
@@ -196,6 +198,47 @@ def bind_cache_stats(
         misses.set_total(stats.misses, cache=cache, **labels)
         evictions.set_total(stats.evictions, cache=cache, **labels)
         hit_rate.set(stats.hit_rate, cache=cache, **labels)
+
+    registry.register_collector(collect)
+    return collect
+
+
+def bind_result_cache(
+    cache: "ResultCache",
+    registry: MetricsRegistry | None = None,
+    **labels,
+) -> Collector:
+    """Mirror the service-level result cache into the registry.
+
+    Counters follow the service namespace (the cache is a serving-layer
+    structure, not a per-database one): only *eligible* lookups count —
+    budgeted queries bypass the cache entirely and appear in neither hits
+    nor misses.
+    """
+    if registry is None:
+        registry = get_registry()
+    hits = registry.counter(
+        "repro_service_result_cache_hits_total",
+        "Queries answered from the service-level result cache",
+    )
+    misses = registry.counter(
+        "repro_service_result_cache_misses_total",
+        "Cache-eligible queries that had to execute the search",
+    )
+    evictions = registry.counter(
+        "repro_service_result_cache_evictions_total",
+        "Result-cache entries evicted by the LRU bound",
+    )
+    entries = registry.gauge(
+        "repro_service_result_cache_entries", "Results currently cached"
+    )
+
+    def collect() -> None:
+        stats = cache.stats
+        hits.set_total(stats.hits, **labels)
+        misses.set_total(stats.misses, **labels)
+        evictions.set_total(stats.evictions, **labels)
+        entries.set(len(cache), **labels)
 
     registry.register_collector(collect)
     return collect

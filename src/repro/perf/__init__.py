@@ -7,7 +7,10 @@ pieces:
 - :class:`~repro.perf.cache.LRUCache` / :class:`~repro.perf.cache.CacheStats`
   — the bounded container and its counters;
 - :class:`~repro.perf.query_cache.QueryCaches` — the per-database cache
-  block (refinement distances, text score tables) the searchers consult.
+  block (refinement distances, text score tables) the searchers consult;
+- :class:`~repro.perf.result_cache.ResultCache` — the service-level
+  (query fingerprint -> SearchResult) cache that answers hot repeated
+  trips in O(1) without re-running the search.
 """
 
 from repro.perf.cache import CacheStats, LRUCache
@@ -16,11 +19,19 @@ from repro.perf.query_cache import (
     DEFAULT_TEXT_CAPACITY,
     QueryCaches,
 )
+from repro.perf.result_cache import (
+    DEFAULT_RESULT_CAPACITY,
+    ResultCache,
+    query_fingerprint,
+)
 
 __all__ = [
     "CacheStats",
     "LRUCache",
     "QueryCaches",
+    "ResultCache",
+    "query_fingerprint",
     "DEFAULT_DISTANCE_CAPACITY",
+    "DEFAULT_RESULT_CAPACITY",
     "DEFAULT_TEXT_CAPACITY",
 ]

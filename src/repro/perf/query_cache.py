@@ -37,7 +37,9 @@ class QueryCaches:
 
     ``capacity`` scales both member caches: ``None`` keeps the defaults,
     ``0`` disables caching entirely, any positive value bounds the distance
-    cache directly (the text cache gets a proportional share, at least 8).
+    cache directly.  The text cache gets a proportional share (at least 8)
+    clamped to the distance bound — a tiny overall capacity must not hand
+    the secondary cache a *larger* budget than the primary one.
     """
 
     __slots__ = ("distances", "text")
@@ -51,7 +53,7 @@ class QueryCaches:
             text_capacity = 0
         else:
             distance_capacity = capacity
-            text_capacity = max(8, capacity // 128)
+            text_capacity = min(distance_capacity, max(8, capacity // 128))
         self.distances = LRUCache(distance_capacity)
         self.text = LRUCache(text_capacity)
 

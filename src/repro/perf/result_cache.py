@@ -1,0 +1,194 @@
+"""Service-level result cache: hot repeated trips become O(1) lookups.
+
+The UOTS serving workload is many travelers asking for trips over one
+slowly-changing trajectory set — popular queries repeat.  The cross-query
+caches (:mod:`repro.perf.query_cache`) memoise *intermediates* (refinement
+distances, text score tables), so a repeated identical query still pays
+the full collaborative search.  :class:`ResultCache` closes that gap at
+the layer above: a canonical :func:`query_fingerprint` maps a completed
+:class:`~repro.core.results.SearchResult` to the query that produced it,
+and an identical repeat is answered from memory.
+
+Correctness invariants (the semantics oracle in
+``tests/service/test_result_cache_service.py`` enforces all three):
+
+- **Exact-only.**  Only un-budgeted, error-free, ``exact=True`` results
+  are stored (:meth:`ResultCache.cacheable`); budgeted or degraded runs
+  bypass the cache entirely — both read and write — because a degraded
+  answer is execution policy, not query semantics.
+- **Invalidation on mutation.**  Any ``database.add``/``remove`` clears
+  the cache wholesale, through the same
+  :meth:`~repro.index.database.TrajectoryDatabase._invalidate` hook that
+  already scrubs ``database.caches`` (an added trajectory can enter *any*
+  top-k, so per-entry invalidation would be wrong for half the mutations
+  and is not worth the asymmetry).
+- **Copy-out.**  A hit returns a *fresh* :class:`SearchResult` (items are
+  immutable frozen dataclasses and safely shared; the list and the stats
+  block are new), marked ``stats.cache = "result"`` with zero work
+  counters — the honest accounting for a query that did no search work.
+
+Fork-safety follows the :mod:`repro.perf.cache` argument: entries hold
+only exact immutable values under immutable keys, forked workers see a
+copy-on-write snapshot and never write back, and the parent-side probe in
+``QueryService.execute_many`` is the only reader on the fork path.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Hashable, Iterable
+
+from repro.core.results import SearchResult, SearchStats
+from repro.perf.cache import CacheStats, LRUCache
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.core.query import UOTSQuery
+    from repro.resilience.budget import SearchBudget
+
+__all__ = ["ResultCache", "query_fingerprint", "DEFAULT_RESULT_CAPACITY"]
+
+#: Default bound on cached (query fingerprint -> result) entries.
+DEFAULT_RESULT_CAPACITY = 1024
+
+#: The ``SearchStats.cache`` marker stamped on served cache hits.
+RESULT_CACHE_MARKER = "result"
+
+
+def query_fingerprint(
+    query: UOTSQuery,
+    algorithm: str,
+    tuning: Iterable[tuple[str, object]] = (),
+) -> Hashable:
+    """The canonical cache key of one query under one serving configuration.
+
+    ``q.O`` is order-normalized (spatial similarity sums over the intended
+    places, so ``(3, 7)`` and ``(7, 3)`` are the same trip request),
+    ``q.T`` is already a frozenset, and ``lam``/``k``/``text_measure``
+    complete the query identity.  ``algorithm`` plus the *resolved* tuning
+    kwargs (sorted key/value pairs, pins applied — see
+    :meth:`~repro.core.registry.AlgorithmSpec.resolve_tuning`) pin the
+    serving configuration: two services tuned differently never alias,
+    even over one shared cache.  The carried ``query.budget`` is execution
+    policy and deliberately excluded — budgeted queries never reach the
+    cache at all.
+    """
+    return (
+        algorithm,
+        tuple(sorted(tuning)),
+        tuple(sorted(query.locations)),
+        query.keywords,
+        query.lam,
+        query.k,
+        query.text_measure,
+    )
+
+
+class ResultCache:
+    """A bounded (query fingerprint -> SearchResult) LRU cache.
+
+    ``capacity=None`` keeps :data:`DEFAULT_RESULT_CAPACITY`; ``0`` (or any
+    non-positive value) disables the cache — every :meth:`get` misses and
+    every :meth:`put` is dropped, mirroring :class:`~repro.perf.cache.
+    LRUCache` semantics so callers need no separate on/off branch.
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(self, capacity: int | None = None):
+        if capacity is None:
+            capacity = DEFAULT_RESULT_CAPACITY
+        self._entries = LRUCache(capacity)
+
+    # ------------------------------------------------------------ accessors
+    @property
+    def capacity(self) -> int:
+        """Maximum number of cached results (``<= 0`` means disabled)."""
+        return self._entries.capacity
+
+    @property
+    def enabled(self) -> bool:
+        """Whether the cache stores anything at all."""
+        return self._entries.enabled
+
+    @property
+    def stats(self) -> CacheStats:
+        """Hit/miss/eviction counters (only eligible lookups are counted —
+        budgeted queries bypass the cache and leave no trace here)."""
+        return self._entries.stats
+
+    # ------------------------------------------------------------- caching
+    @staticmethod
+    def cacheable(result: SearchResult, budget: SearchBudget | None = None) -> bool:
+        """Whether a completed result may populate the cache.
+
+        Only exact, error-free, undegraded answers from un-budgeted (or
+        never-tripping unlimited-budget) runs qualify — the exact-only
+        invariant that makes hits correctness-preserving.
+        """
+        if budget is not None and not budget.unlimited:
+            return False
+        return (
+            result.error is None
+            and result.exact
+            and result.degradation_reason is None
+        )
+
+    def get(self, key: Hashable) -> SearchResult | None:
+        """The cached answer as a fresh result object, or ``None``.
+
+        Every hit constructs a new :class:`SearchResult` with a new items
+        list and a zeroed :class:`SearchStats` marked ``cache="result"``:
+        callers stamp wall time and executor labels onto results, and a
+        shared mutable object would let one caller corrupt the next hit.
+        """
+        items = self._entries.get(key)
+        if items is None:
+            return None
+        return SearchResult(
+            items=list(items),
+            stats=SearchStats(cache=RESULT_CACHE_MARKER),
+            exact=True,
+        )
+
+    def put(
+        self,
+        key: Hashable,
+        result: SearchResult,
+        budget: SearchBudget | None = None,
+    ) -> bool:
+        """Store a completed result if it is :meth:`cacheable`.
+
+        Only the immutable item ranking is kept — stats are per-execution
+        and rebuilt fresh on every hit.  Returns whether the entry was
+        stored.
+        """
+        if not self.enabled or not self.cacheable(result, budget):
+            return False
+        self._entries.put(key, tuple(result.items))
+        return True
+
+    # ---------------------------------------------------------- invalidation
+    def on_mutation(self, trajectory_id: int) -> None:
+        """Database mutation hook: any trajectory churn clears everything.
+
+        A removed trajectory invalidates every result that ranked it; an
+        added one can enter any top-k.  Wholesale clearing is the simplest
+        rule that is correct for both, and entries are cheap to rebuild
+        (one search) relative to reasoning about partial invalidation.
+        """
+        self.clear()
+
+    def clear(self) -> None:
+        """Drop all cached results (counters are kept — they are history)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultCache(size={len(self._entries)}/{self.capacity}, "
+            f"stats={self.stats!r})"
+        )

@@ -16,12 +16,23 @@ carry:
   down;
 - **observability** — aggregated :class:`~repro.service.stats.ServiceStats`
   (outcome counters, cache hit rates, p50/p95 latency) and per-query
-  :meth:`explain` plans without execution.
+  :meth:`explain` plans without execution;
+- **result caching** — an optional bounded
+  :class:`~repro.perf.result_cache.ResultCache` mapping a canonical query
+  fingerprint to a completed result, so hot repeated trips are answered in
+  O(1).  Hits carry ``stats.cache = "result"`` and are served *before*
+  admission control (they do no search work, so they never compete for an
+  in-flight slot); budgeted queries bypass the cache in both directions,
+  and any database mutation clears it through the database's invalidation
+  hook.
 
 ``execute_many`` keeps the fork-based fan-out of the parallel executor:
 with ``workers > 1`` on a fork platform the batch runs across processes
 (the database shared copy-on-write), otherwise sequentially in-process —
-same results either way, by the executor's containment contract.
+same results either way, by the executor's containment contract.  Both
+paths pass the same admission gate: the forked fan-out claims one batch
+slot up front and rejects the whole batch when the controller is
+saturated, exactly as the sequential path would reject each query.
 """
 
 from __future__ import annotations
@@ -29,18 +40,19 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import replace
-from typing import Sequence
+from typing import Hashable, Sequence
 
 from repro.core.plan import QueryPlan, Searcher
 from repro.core.query import UOTSQuery
-from repro.core.registry import make_searcher
+from repro.core.registry import get_spec, make_searcher
 from repro.core.results import SearchResult
 from repro.errors import QueryError
 from repro.index.database import TrajectoryDatabase
-from repro.obs.adapters import bind_database, bind_service_stats
+from repro.obs.adapters import bind_database, bind_result_cache, bind_service_stats
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.obs.trace import Tracer, activated
 from repro.parallel.executor import _fork_search_batch, _safe_search, fork_available
+from repro.perf.result_cache import ResultCache, query_fingerprint
 from repro.resilience.budget import SearchBudget
 from repro.service.admission import AdmissionController
 from repro.service.stats import ServiceStats
@@ -74,6 +86,14 @@ class QueryService:
         service's stats and the database's cross-query caches are bound
         as collectors, and per-query latency/executor-path instruments
         are recorded live.
+    result_cache:
+        ``None``/``False``/``0`` (default, no result caching), an entry
+        bound as an ``int``, ``True`` for the default bound, or a
+        pre-built :class:`~repro.perf.result_cache.ResultCache` to share
+        between services.  When enabled, exact un-budgeted answers are
+        cached under a canonical query fingerprint and identical repeats
+        are served in O(1); the cache is registered with the database's
+        invalidation hook so ``add``/``remove`` clear it.
     **searcher_kwargs:
         Tuning kwargs forwarded to the registry factory (``alt=``,
         ``batch_size=``, ``refinement=``, ``scheduler=``).
@@ -86,6 +106,7 @@ class QueryService:
         admission: AdmissionController | int | None = None,
         trace: Tracer | bool | None = None,
         metrics: MetricsRegistry | bool | None = None,
+        result_cache: ResultCache | int | bool | None = None,
         **searcher_kwargs,
     ):
         self._database = database
@@ -97,6 +118,23 @@ class QueryService:
             else AdmissionController(admission)
         )
         self._stats = ServiceStats()
+        if result_cache is True:
+            result_cache = ResultCache()
+        elif not isinstance(result_cache, ResultCache):
+            # int capacity (0/None/False mean disabled, like LRUCache).
+            result_cache = ResultCache(int(result_cache)) if result_cache else None
+        if result_cache is not None and not result_cache.enabled:
+            result_cache = None
+        self._result_cache: ResultCache | None = result_cache
+        if result_cache is not None:
+            # The fingerprint pins the *resolved* serving configuration, so
+            # services sharing one cache can never alias across tunings.
+            self._tuning_key = tuple(
+                sorted(get_spec(algorithm).resolve_tuning(**searcher_kwargs).items())
+            )
+            database.add_invalidation_listener(result_cache.on_mutation)
+        else:
+            self._tuning_key = ()
         if trace is True:
             trace = Tracer()
         elif trace is False:
@@ -112,6 +150,8 @@ class QueryService:
         if self._metrics is not None:
             bind_service_stats(self._stats, self._metrics)
             bind_database(database, self._metrics)
+            if self._result_cache is not None:
+                bind_result_cache(self._result_cache, self._metrics)
             self._latency = self._metrics.histogram(
                 "repro_service_latency_seconds", "Per-query service latency"
             )
@@ -165,6 +205,11 @@ class QueryService:
         """The bound metrics registry (``None`` when metrics are off)."""
         return self._metrics
 
+    @property
+    def result_cache(self) -> ResultCache | None:
+        """The service-level result cache (``None`` when disabled)."""
+        return self._result_cache
+
     # ------------------------------------------------------------- planning
     def plan(self, query: UOTSQuery) -> QueryPlan:
         """The searcher's plan, stamped with the *registry* name.
@@ -196,18 +241,68 @@ class QueryService:
 
     def _record(self, result: SearchResult, elapsed_seconds: float) -> None:
         """THE recording path: every answered query — ``search``,
-        ``submit``, both ``execute_many`` branches — folds into the
-        service stats (and live metrics) through here, so outcome
-        counters and the latency reservoir can never diverge between
-        single-process and forked execution.
+        ``submit``, both ``execute_many`` branches, result-cache hits —
+        folds into the service stats (and live metrics) through here, so
+        outcome counters and the latency reservoir can never diverge
+        between single-process and forked execution.
         """
         self._stats.record(result, elapsed_seconds)
         if self._metrics is not None:
             self._latency.observe(elapsed_seconds)
-            self._executor_paths.inc(path=result.stats.executor or "in-process")
+            if result.stats.cache == "result":
+                path = "result-cache"
+            else:
+                path = result.stats.executor or "in-process"
+            self._executor_paths.inc(path=path)
             if result.stats.retries:
                 self._executor_retries.inc(result.stats.retries)
 
+    # ------------------------------------------------------- result caching
+    def _cache_key(
+        self, query: UOTSQuery, budget: SearchBudget | None
+    ) -> Hashable | None:
+        """The query's result-cache key, or ``None`` when the cache must
+        be bypassed (cache disabled, or the query runs under a budget that
+        can trip — degraded answers are execution policy, never cacheable
+        and never served from cache)."""
+        if self._result_cache is None:
+            return None
+        effective = budget if budget is not None else query.budget
+        if effective is not None and not effective.unlimited:
+            return None
+        return query_fingerprint(query, self._algorithm, self._tuning_key)
+
+    def _serve_hit(
+        self, query: UOTSQuery, hit: SearchResult, started: float
+    ) -> SearchResult:
+        """Record and return a result-cache hit (an O(1) served query)."""
+        with self._traced(
+            "query", algorithm=self._algorithm, k=query.k, result_cache="hit"
+        ):
+            pass  # no execution: the span marks the served hit
+        elapsed = time.perf_counter() - started
+        hit.stats.elapsed_seconds = elapsed
+        self._record(hit, elapsed)
+        return hit
+
+    def _query_span_attrs(self, key: Hashable | None) -> dict:
+        """Extra ``query`` span attributes for an executed (miss) query."""
+        return {"result_cache": "miss"} if key is not None else {}
+
+    @staticmethod
+    def _rejected(started: float) -> SearchResult:
+        """An admission-rejected result, wall time stamped like every other
+        outcome — dashboards must not see zero-latency rejections."""
+        result = SearchResult(
+            items=[],
+            exact=False,
+            degradation_reason="rejected by admission control",
+            error="AdmissionError: service at its in-flight query cap",
+        )
+        result.stats.elapsed_seconds = time.perf_counter() - started
+        return result
+
+    # ------------------------------------------------------------ execution
     def search(
         self, query: UOTSQuery, budget: SearchBudget | None = None
     ) -> SearchResult:
@@ -220,8 +315,18 @@ class QueryService:
         recorded in the service stats.
         """
         started = time.perf_counter()
-        with self._traced("query", algorithm=self._algorithm, k=query.k):
+        key = self._cache_key(query, budget)
+        if key is not None:
+            hit = self._result_cache.get(key)
+            if hit is not None:
+                return self._serve_hit(query, hit, started)
+        with self._traced(
+            "query", algorithm=self._algorithm, k=query.k,
+            **self._query_span_attrs(key),
+        ):
             result = self._searcher.search(query, budget=budget)
+        if key is not None:
+            self._result_cache.put(key, result)
         self._record(result, time.perf_counter() - started)
         return result
 
@@ -234,7 +339,9 @@ class QueryService:
         isolation contract); a query turned away by admission control
         returns an error-marked result with ``degradation_reason``
         ``"rejected by admission control"`` and is counted as rejected,
-        not served.
+        not served.  A result-cache hit is answered *before* the admission
+        gate — it does no search work, so it never competes for (or is
+        turned away from) an in-flight slot.
         """
         return self._submit(query, budget, None)
 
@@ -244,20 +351,26 @@ class QueryService:
         budget: SearchBudget | None,
         executor_label: str | None,
     ) -> SearchResult:
+        started = time.perf_counter()
+        key = self._cache_key(query, budget)
+        if key is not None:
+            hit = self._result_cache.get(key)
+            if hit is not None:
+                return self._serve_hit(query, hit, started)
         if not self._admission.try_acquire():
             self._stats.record_rejection()
-            return SearchResult(
-                items=[],
-                exact=False,
-                degradation_reason="rejected by admission control",
-                error="AdmissionError: service at its in-flight query cap",
-            )
+            return self._rejected(started)
         try:
             started = time.perf_counter()
-            with self._traced("query", algorithm=self._algorithm, k=query.k):
+            with self._traced(
+                "query", algorithm=self._algorithm, k=query.k,
+                **self._query_span_attrs(key),
+            ):
                 result = _safe_search(self._searcher, query, budget)
             if executor_label is not None and not result.stats.executor:
                 result.stats.executor = executor_label
+            if key is not None:
+                self._result_cache.put(key, result)
             self._record(result, time.perf_counter() - started)
             return result
         finally:
@@ -277,6 +390,14 @@ class QueryService:
         rounds, then finished sequentially); otherwise the batch runs
         through :meth:`submit` in-process.  Every result's
         ``stats.executor`` records the path that produced it.
+
+        The forked fan-out passes the same admission gate as the
+        sequential path: the batch claims one in-flight slot before
+        forking (released when the batch completes), so a saturated
+        controller rejects every query of the batch exactly as sequential
+        submission would, and ``rejected`` counters agree across executor
+        paths.  With a result cache enabled, queries are probed in the
+        parent first — hits are answered O(1) and only misses fork.
         """
         if workers < 1:
             raise QueryError(f"workers must be >= 1, got {workers}")
@@ -284,15 +405,64 @@ class QueryService:
             raise QueryError(f"max_task_retries must be >= 0, got {max_task_retries}")
         queries = list(queries)
         if workers > 1 and fork_available() and len(queries) > 1:
-            with self._traced(
-                "execute_many", queries=len(queries), workers=workers
-            ):
-                results = _fork_search_batch(
-                    self._searcher, queries, budget, workers, max_task_retries
-                )
-            for result in results:
-                # Worker wall-clock is the honest latency of a forked query.
-                self._record(result, result.stats.elapsed_seconds)
-            return results
+            return self._execute_forked(queries, budget, workers, max_task_retries)
         with self._traced("execute_many", queries=len(queries), workers=1):
             return [self._submit(query, budget, "sequential") for query in queries]
+
+    def _execute_forked(
+        self,
+        queries: list[UOTSQuery],
+        budget: SearchBudget | None,
+        workers: int,
+        max_task_retries: int,
+    ) -> list[SearchResult]:
+        """The forked branch of :meth:`execute_many`: admission-gated,
+        result-cache probed in the parent, misses fanned out over fork."""
+        batch_started = time.perf_counter()
+        if not self._admission.try_acquire():
+            results = []
+            for _ in queries:
+                self._stats.record_rejection()
+                results.append(self._rejected(batch_started))
+            return results
+        try:
+            results: list[SearchResult | None] = [None] * len(queries)
+            keys: list[Hashable | None] = [None] * len(queries)
+            pending: list[int] = []
+            for i, query in enumerate(queries):
+                query_started = time.perf_counter()
+                keys[i] = self._cache_key(query, budget)
+                hit = (
+                    self._result_cache.get(keys[i])
+                    if keys[i] is not None
+                    else None
+                )
+                if hit is not None:
+                    results[i] = self._serve_hit(query, hit, query_started)
+                else:
+                    pending.append(i)
+            if pending:
+                attrs = (
+                    {"result_cache_hits": len(queries) - len(pending)}
+                    if self._result_cache is not None
+                    else {}
+                )
+                with self._traced(
+                    "execute_many", queries=len(queries), workers=workers, **attrs
+                ):
+                    forked = _fork_search_batch(
+                        self._searcher,
+                        [queries[i] for i in pending],
+                        budget,
+                        workers,
+                        max_task_retries,
+                    )
+                for i, result in zip(pending, forked):
+                    if keys[i] is not None:
+                        self._result_cache.put(keys[i], result)
+                    # Worker wall-clock is the honest latency of a forked query.
+                    self._record(result, result.stats.elapsed_seconds)
+                    results[i] = result
+            return results  # type: ignore[return-value]  # every slot filled
+        finally:
+            self._admission.release()

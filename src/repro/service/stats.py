@@ -69,6 +69,10 @@ class ServiceStats:
         self.degraded_results = 0
         self.failed_queries = 0
         self.rejected_queries = 0
+        #: Queries answered from the service-level result cache (these are
+        #: also counted in ``queries_served``/``exact_results`` — a hit is
+        #: a served exact answer, just an O(1) one).
+        self.result_cache_hits = 0
         #: Merged per-query work counters (:meth:`SearchStats.merge`).
         self.totals = SearchStats()
         self._latencies = LatencyReservoir(latency_capacity)
@@ -84,6 +88,8 @@ class ServiceStats:
                 self.exact_results += 1
             else:
                 self.degraded_results += 1
+            if result.stats.cache == "result":
+                self.result_cache_hits += 1
             self.totals.merge(result.stats)
             self._latencies.record(elapsed_seconds)
 
@@ -136,6 +142,7 @@ class ServiceStats:
                 "degraded_results": self.degraded_results,
                 "failed_queries": self.failed_queries,
                 "rejected_queries": self.rejected_queries,
+                "result_cache_hits": self.result_cache_hits,
                 "p50_ms": p50,
                 "p95_ms": p95,
                 "distance_cache_hit_rate": self._hit_rate(
@@ -159,7 +166,8 @@ class ServiceStats:
                 f"failed {s['failed_queries']}, rejected {s['rejected_queries']})",
                 f"latency:         p50 {s['p50_ms']:.2f} ms, p95 {s['p95_ms']:.2f} ms",
                 f"cache hit rate:  distance {s['distance_cache_hit_rate']:.1%}, "
-                f"text {s['text_cache_hit_rate']:.1%}",
+                f"text {s['text_cache_hit_rate']:.1%}, "
+                f"result hits {s['result_cache_hits']}",
                 f"work:            {s['expanded_vertices']} expanded vertices, "
                 f"{s['refinements']} refinements",
             ]

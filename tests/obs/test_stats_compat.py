@@ -36,6 +36,7 @@ SEARCH_STATS_FIELDS = (
     "distance_cache_misses",
     "text_cache_hits",
     "text_cache_misses",
+    "cache",
 )
 
 #: The frozen key set of ServiceStats.snapshot().
@@ -45,6 +46,7 @@ SERVICE_SNAPSHOT_KEYS = {
     "degraded_results",
     "failed_queries",
     "rejected_queries",
+    "result_cache_hits",
     "p50_ms",
     "p95_ms",
     "distance_cache_hit_rate",
@@ -62,8 +64,8 @@ class TestSearchStatsSurface:
     def test_fields_default_to_zeroes(self):
         stats = SearchStats()
         for field in SEARCH_STATS_FIELDS:
-            if field == "executor":
-                assert stats.executor == ""
+            if field in ("executor", "cache"):
+                assert getattr(stats, field) == ""
             else:
                 assert getattr(stats, field) == 0
 

@@ -1,0 +1,191 @@
+"""ResultCache unit behaviour: fingerprinting, exact-only storage, copy-out.
+
+The service-level integration (hits byte-equal to cold searches, mutation
+invalidation, budget bypass through a live ``QueryService``) lives in
+``tests/service/test_result_cache_service.py``; this module pins the cache
+container itself plus the ISSUE 5 ``QueryCaches`` capacity-split fix.
+"""
+
+import pytest
+
+from repro.core.query import UOTSQuery
+from repro.core.results import ScoredTrajectory, SearchResult
+from repro.perf import (
+    DEFAULT_RESULT_CAPACITY,
+    QueryCaches,
+    ResultCache,
+    query_fingerprint,
+)
+from repro.resilience.budget import SearchBudget
+
+
+def _query(locations=(3, 7), keywords=("park",), lam=0.5, k=3, measure="jaccard"):
+    return UOTSQuery(
+        locations=tuple(locations),
+        keywords=frozenset(keywords),
+        lam=lam,
+        k=k,
+        text_measure=measure,
+    )
+
+
+def _result(ids=(1, 2), exact=True, error=None, reason=None):
+    items = [
+        ScoredTrajectory(
+            trajectory_id=i,
+            score=1.0 - 0.1 * rank,
+            spatial_similarity=0.5,
+            text_similarity=0.5,
+        )
+        for rank, i in enumerate(ids)
+    ]
+    return SearchResult(
+        items=items, exact=exact, error=error, degradation_reason=reason
+    )
+
+
+class TestFingerprint:
+    def test_location_order_is_normalized(self):
+        assert query_fingerprint(_query((3, 7)), "collaborative") == (
+            query_fingerprint(_query((7, 3)), "collaborative")
+        )
+
+    def test_every_query_dimension_separates(self):
+        base = query_fingerprint(_query(), "collaborative")
+        assert query_fingerprint(_query(locations=(3, 8)), "collaborative") != base
+        assert query_fingerprint(_query(keywords=("lake",)), "collaborative") != base
+        assert query_fingerprint(_query(lam=0.7), "collaborative") != base
+        assert query_fingerprint(_query(k=5), "collaborative") != base
+        assert query_fingerprint(_query(measure="dice"), "collaborative") != base
+
+    def test_algorithm_and_tuning_separate(self):
+        base = query_fingerprint(_query(), "collaborative")
+        assert query_fingerprint(_query(), "spatial-first") != base
+        tuned = query_fingerprint(
+            _query(), "collaborative", (("scheduler", "round-robin"),)
+        )
+        assert tuned != base
+
+    def test_tuning_pair_order_is_canonical(self):
+        a = query_fingerprint(
+            _query(), "collaborative", (("alt", False), ("batch_size", 8))
+        )
+        b = query_fingerprint(
+            _query(), "collaborative", (("batch_size", 8), ("alt", False))
+        )
+        assert a == b
+
+    def test_budget_is_not_part_of_the_identity(self):
+        budgeted = UOTSQuery(
+            locations=(3, 7),
+            keywords=frozenset({"park"}),
+            budget=SearchBudget(max_expanded_vertices=5),
+            k=1,
+        )
+        bare = UOTSQuery(locations=(3, 7), keywords=frozenset({"park"}), k=1)
+        assert query_fingerprint(budgeted, "collaborative") == (
+            query_fingerprint(bare, "collaborative")
+        )
+
+
+class TestCacheability:
+    def test_exact_unbudgeted_results_qualify(self):
+        assert ResultCache.cacheable(_result())
+        assert ResultCache.cacheable(_result(), SearchBudget())  # unlimited
+
+    def test_degraded_error_and_budgeted_results_do_not(self):
+        assert not ResultCache.cacheable(_result(exact=False))
+        assert not ResultCache.cacheable(_result(error="boom"))
+        assert not ResultCache.cacheable(_result(reason="deadline"))
+        assert not ResultCache.cacheable(
+            _result(), SearchBudget(max_expanded_vertices=10)
+        )
+
+    def test_put_refuses_uncacheable_results(self):
+        cache = ResultCache(4)
+        assert not cache.put("k", _result(exact=False))
+        assert not cache.put("k", _result(), SearchBudget(deadline_seconds=0.1))
+        assert len(cache) == 0
+        assert cache.put("k", _result())
+        assert len(cache) == 1
+
+
+class TestContainer:
+    def test_default_capacity_and_disable(self):
+        assert ResultCache().capacity == DEFAULT_RESULT_CAPACITY
+        disabled = ResultCache(0)
+        assert not disabled.enabled
+        assert not disabled.put("k", _result())
+        assert disabled.get("k") is None
+
+    def test_lru_eviction_is_bounded(self):
+        cache = ResultCache(2)
+        for key in ("a", "b", "c"):
+            assert cache.put(key, _result())
+        assert len(cache) == 2
+        assert "a" not in cache
+        assert cache.stats.evictions == 1
+
+    def test_hits_and_misses_are_counted(self):
+        cache = ResultCache(4)
+        cache.put("k", _result())
+        assert cache.get("missing") is None
+        assert cache.get("k") is not None
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_hit_is_a_fresh_copy_marked_as_cached(self):
+        cache = ResultCache(4)
+        original = _result(ids=(5, 6))
+        cache.put("k", original)
+        first = cache.get("k")
+        second = cache.get("k")
+        assert first is not original and first is not second
+        assert first.items is not second.items
+        assert first.stats is not second.stats
+        assert first.stats.cache == "result"
+        assert first.stats.expanded_vertices == 0  # zero work, honestly
+        assert first.exact and first.error is None
+        # Caller-side mutation (the service stamps executor/latency) must
+        # never leak back into the cache or into the next hit.
+        first.stats.executor = "sequential"
+        first.stats.elapsed_seconds = 9.9
+        first.items.pop()
+        assert second.ids == [5, 6]
+        assert cache.get("k").stats.elapsed_seconds == 0.0
+
+    def test_mutation_hook_and_clear_drop_entries_keep_history(self):
+        cache = ResultCache(4)
+        cache.put("k", _result())
+        cache.get("k")
+        cache.on_mutation(trajectory_id=123)
+        assert len(cache) == 0
+        assert cache.stats.hits == 1  # counters describe history
+        assert cache.get("k") is None
+
+
+class TestQueryCachesCapacitySplit:
+    """ISSUE 5 satellite: the text share must never exceed the distance bound."""
+
+    def test_small_capacity_no_longer_inverts(self):
+        caches = QueryCaches(capacity=4)
+        assert caches.text.capacity <= caches.distances.capacity
+        assert caches.distances.capacity == 4
+        assert caches.text.capacity == 4
+
+    def test_proportional_share_is_kept_for_large_capacities(self):
+        caches = QueryCaches(capacity=2048)
+        assert caches.distances.capacity == 2048
+        assert caches.text.capacity == 16  # max(8, 2048 // 128)
+
+    @pytest.mark.parametrize("capacity", [0, -1])
+    def test_nonpositive_still_disables_both(self, capacity):
+        caches = QueryCaches(capacity=capacity)
+        assert not caches.enabled
+        assert caches.distances.capacity == 0
+        assert caches.text.capacity == 0
+
+    def test_defaults_are_untouched(self):
+        caches = QueryCaches()
+        assert caches.distances.capacity == 65536
+        assert caches.text.capacity == 512

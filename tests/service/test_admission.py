@@ -3,9 +3,15 @@
 import pytest
 
 from repro.core.query import UOTSQuery
+from repro.parallel.executor import fork_available
 from repro.service import AdmissionController, LatencyReservoir, QueryService
 
 QUERY = UOTSQuery.create([0, 150], ["park"], lam=0.5, k=3)
+BATCH = [
+    QUERY,
+    UOTSQuery.create([5, 210], ["lakeside"], lam=0.5, k=3),
+    UOTSQuery.create([37, 199], ["museum"], lam=0.5, k=3),
+]
 
 
 class TestController:
@@ -51,6 +57,69 @@ class TestServiceRejection:
         controller = AdmissionController(max_inflight=3)
         service = QueryService(database, admission=controller)
         assert service.admission is controller
+
+    def test_rejected_result_stamps_elapsed_seconds(self, database):
+        """ISSUE 5 satellite: a rejected result must carry real wall time
+        like every other outcome — callers summing ``elapsed_seconds``
+        over a mixed batch must not see zero-latency rejections."""
+        service = QueryService(database, "collaborative", admission=1)
+        assert service.admission.try_acquire()
+        try:
+            result = service.submit(QUERY)
+        finally:
+            service.admission.release()
+        assert result.degradation_reason == "rejected by admission control"
+        assert result.stats.elapsed_seconds > 0.0
+
+
+class TestBatchAdmissionParity:
+    """ISSUE 5 satellite: ``execute_many`` must gate its forked branch
+    through the same admission controller as the sequential branch — a
+    saturated controller rejects every query of the batch identically on
+    both paths."""
+
+    def _saturated(self, database):
+        service = QueryService(database, "collaborative", admission=1)
+        assert service.admission.try_acquire()  # occupy the only slot
+        return service
+
+    def _assert_all_rejected(self, service, results):
+        assert len(results) == len(BATCH)
+        for result in results:
+            assert result.error is not None
+            assert result.degradation_reason == "rejected by admission control"
+            assert result.items == []
+            assert result.stats.elapsed_seconds > 0.0
+        assert service.stats.rejected_queries == len(BATCH)
+        assert service.stats.queries_served == 0
+
+    def test_sequential_batch_rejects_when_saturated(self, database):
+        service = self._saturated(database)
+        try:
+            results = service.execute_many(BATCH, workers=1)
+        finally:
+            service.admission.release()
+        self._assert_all_rejected(service, results)
+
+    @pytest.mark.skipif(not fork_available(), reason="needs a fork platform")
+    def test_forked_batch_rejects_identically(self, database):
+        """The regression: the forked branch used to bypass admission and
+        serve the whole batch while ``workers=1`` rejected it."""
+        service = self._saturated(database)
+        try:
+            results = service.execute_many(BATCH, workers=2)
+        finally:
+            service.admission.release()
+        self._assert_all_rejected(service, results)
+
+    @pytest.mark.skipif(not fork_available(), reason="needs a fork platform")
+    def test_forked_batch_releases_its_slot(self, database):
+        service = QueryService(database, "collaborative", admission=1)
+        results = service.execute_many(BATCH, workers=2)
+        assert all(r.error is None for r in results)
+        assert service.stats.rejected_queries == 0
+        # The batch slot was released: a follow-up submit is admitted.
+        assert service.submit(QUERY).error is None
 
 
 class TestLatencyReservoir:
