@@ -99,7 +99,14 @@ from repro.resilience import (
     RetryPolicy,
     SearchBudget,
 )
-from repro.service import AdmissionController, QueryService, ServiceStats
+from repro.service import (
+    AdmissionController,
+    AdmissionPolicy,
+    CircuitBreaker,
+    OverloadController,
+    QueryService,
+    ServiceStats,
+)
 from repro.storage import DiskTrajectoryDatabase, DiskTrajectoryStore
 from repro.viz import SvgCanvas, draw_network, draw_search_result, draw_trajectories
 from repro.text import (
@@ -122,12 +129,14 @@ __version__ = "1.0.0"
 __all__ = [
     "ALGORITHMS",
     "AdmissionController",
+    "AdmissionPolicy",
     "AlgorithmSpec",
     "BruteForceJoin",
     "BruteForcePTMMatcher",
     "BruteForceSearcher",
     "BudgetExceededError",
     "BudgetMeter",
+    "CircuitBreaker",
     "CollaborativeSearcher",
     "CorruptPageError",
     "DatasetError",
@@ -143,6 +152,7 @@ __all__ = [
     "InvertedKeywordIndex",
     "JoinResult",
     "MetricsRegistry",
+    "OverloadController",
     "PTMMatcher",
     "PTMQuery",
     "QueryError",

@@ -27,6 +27,8 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import format_trace
 from repro.resilience.budget import SearchBudget
 from repro.index.database import TrajectoryDatabase
+from repro.service.admission import AdmissionController, OverloadController
+from repro.service.policy import PRIORITY_CLASSES, AdmissionPolicy
 from repro.service.service import QueryService
 from repro.join.tsjoin import TwoPhaseJoin
 from repro.network import io as network_io
@@ -79,6 +81,38 @@ def _parse_query(args: argparse.Namespace) -> UOTSQuery:
     )
 
 
+def _make_admission(args: argparse.Namespace) -> AdmissionController | None:
+    """An overload controller from the CLI policy flags, or ``None``.
+
+    ``None`` (no policy flag set) keeps the service's default unbounded
+    controller — the CLI's historical behaviour, byte for byte.
+    """
+    if (
+        args.max_inflight is None
+        and args.max_cost is None
+        and args.degrade_headroom is None
+    ):
+        return None
+    policy = AdmissionPolicy(
+        max_inflight=args.max_inflight,
+        max_cost=args.max_cost,
+        degrade_headroom=args.degrade_headroom,
+    )
+    return OverloadController(policy)
+
+
+def _uses_admission(args: argparse.Namespace) -> bool:
+    """Whether the query should go through the admission-gated ``submit``
+    path (any tenant/priority/policy flag present)."""
+    return (
+        args.tenant is not None
+        or args.priority is not None
+        or args.max_inflight is not None
+        or args.max_cost is not None
+        or args.degrade_headroom is not None
+    )
+
+
 def _make_service(
     database: TrajectoryDatabase,
     args: argparse.Namespace,
@@ -93,6 +127,7 @@ def _make_service(
     return QueryService(
         database,
         args.algorithm,
+        admission=_make_admission(args),
         trace=trace,
         metrics=metrics,
         result_cache=args.result_cache_size,
@@ -112,7 +147,19 @@ def _cmd_query(args: argparse.Namespace) -> int:
             max_expanded_vertices=args.max_expansions,
         )
     service = _make_service(database, args, trace=bool(args.trace_out))
-    result = service.search(query, budget=budget)
+    if _uses_admission(args):
+        # The admission-gated path: a shed query comes back error-marked
+        # (never executed) instead of raising.
+        result = service.submit(
+            query, budget=budget, tenant=args.tenant, priority=args.priority
+        )
+        if result.error is not None:
+            print(f"error: {result.error}", file=sys.stderr)
+            if result.degradation_reason:
+                print(f"reason: {result.degradation_reason}", file=sys.stderr)
+            return 1
+    else:
+        result = service.search(query, budget=budget)
     rows = [
         (item.trajectory_id, f"{item.score:.4f}",
          f"{item.spatial_similarity:.4f}", f"{item.text_similarity:.4f}",
@@ -157,7 +204,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     database = _load_database(args.data, cache_size=args.cache_size)
     query = _parse_query(args)
     service = _make_service(database, args, trace=True)
-    result = service.search(query)
+    result = service.search(query, tenant=args.tenant, priority=args.priority)
     root = service.tracer.last_trace()
     print(format_trace(root, top_n=args.top))
     print(
@@ -177,7 +224,7 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     registry = MetricsRegistry()
     service = _make_service(database, args, metrics=registry)
     for _ in range(args.repeat):
-        service.submit(query)
+        service.submit(query, tenant=args.tenant, priority=args.priority)
     if args.format == "json":
         print(json.dumps(registry.snapshot(), indent=2, sort_keys=True))
     else:
@@ -335,6 +382,31 @@ def build_parser() -> argparse.ArgumentParser:
             help="bound on the service-level result cache answering "
                  "identical repeated queries in O(1) "
                  "(0 or unset disables it; exact un-budgeted results only)",
+        )
+        p.add_argument(
+            "--tenant", default=None, metavar="NAME",
+            help="tenant the query is submitted as (labels stats/trace; "
+                 "subject to per-tenant quotas under an overload policy)",
+        )
+        p.add_argument(
+            "--priority", choices=PRIORITY_CLASSES, default=None,
+            help="priority class: under load, best_effort sheds first, "
+                 "batch next, interactive only at the hard cap",
+        )
+        p.add_argument(
+            "--max-inflight", type=int, default=None, metavar="N",
+            help="global in-flight cap enforced by the overload policy "
+                 "(enables utilization-based shedding)",
+        )
+        p.add_argument(
+            "--max-cost", type=float, default=None, metavar="COST",
+            help="shed queries whose planned estimated_cost exceeds COST "
+                 "(the ceiling tightens further under load)",
+        )
+        p.add_argument(
+            "--degrade-headroom", type=float, default=None, metavar="FACTOR",
+            help="instead of shedding, run queries up to FACTOR x over the "
+                 "cost ceiling under a tightened budget (anytime results)",
         )
 
     p = sub.add_parser("query", help="run one UOTS query")

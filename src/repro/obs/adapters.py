@@ -27,6 +27,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, keeps import light
     from repro.perf.cache import CacheStats
     from repro.perf.result_cache import ResultCache
     from repro.resilience.faults import FaultInjector
+    from repro.service.admission import AdmissionController
     from repro.service.stats import ServiceStats
     from repro.storage.buffer import BufferStats
     from repro.trajectory.stats import TrajectoryStats
@@ -34,6 +35,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, keeps import light
 __all__ = [
     "bind_search_stats",
     "bind_service_stats",
+    "bind_admission",
     "bind_buffer_stats",
     "bind_cache_stats",
     "bind_result_cache",
@@ -132,6 +134,45 @@ def bind_service_stats(
         p95.set(snapshot["p95_ms"] / 1000.0, **labels)
         hit_rate.set(snapshot["distance_cache_hit_rate"], cache="distance", **labels)
         hit_rate.set(snapshot["text_cache_hit_rate"], cache="text", **labels)
+        # Overload-policy series materialise only once a policy decision
+        # happened: an un-policied service exports exactly the pre-overload
+        # instrument set (get-or-create makes the repeats cheap).
+        if "shed_reasons" in snapshot:
+            shed = registry.counter(
+                "repro_service_shed_total", "Queries shed by policy, by reason"
+            )
+            for reason, count in snapshot["shed_reasons"].items():
+                shed.set_total(count, reason=reason, **labels)
+        if "policy_degraded_results" in snapshot:
+            degraded = registry.counter(
+                "repro_service_policy_degraded_total",
+                "Queries answered under an admission-tightened budget",
+            )
+            degraded.set_total(snapshot["policy_degraded_results"], **labels)
+        if "tenants" in snapshot:
+            per_tenant = registry.counter(
+                "repro_service_tenant_queries_total",
+                "Queries by tenant and admission outcome",
+            )
+            for tenant, lane in snapshot["tenants"].items():
+                per_tenant.set_total(
+                    lane["served"], tenant=tenant, outcome="served", **labels
+                )
+                per_tenant.set_total(
+                    lane["rejected"], tenant=tenant, outcome="rejected", **labels
+                )
+        if "priorities" in snapshot:
+            per_class = registry.counter(
+                "repro_service_priority_queries_total",
+                "Queries by priority class and admission outcome",
+            )
+            for priority, lane in snapshot["priorities"].items():
+                per_class.set_total(
+                    lane["served"], priority=priority, outcome="served", **labels
+                )
+                per_class.set_total(
+                    lane["rejected"], priority=priority, outcome="rejected", **labels
+                )
 
     registry.register_collector(collect)
 
@@ -140,6 +181,54 @@ def bind_service_stats(
         totals()
 
     return collect_both
+
+
+def bind_admission(
+    controller: "AdmissionController",
+    registry: MetricsRegistry | None = None,
+    **labels,
+) -> Collector:
+    """Mirror an admission controller (and its breaker) into the registry.
+
+    Publishes the current in-flight gauge; when the controller carries a
+    circuit breaker, also a state gauge (``0`` closed / ``1`` half-open /
+    ``2`` open — see :data:`~repro.service.breaker.BREAKER_STATE_CODES`)
+    and a transitions counter fed *eventfully* by chaining onto the
+    breaker's ``on_transition`` hook, so every trip/half-open/close is
+    counted even between scrapes (a previously installed hook keeps
+    firing).
+    """
+    if registry is None:
+        registry = get_registry()
+    inflight = registry.gauge(
+        "repro_service_inflight", "Queries currently holding an admission slot"
+    )
+    breaker = getattr(controller, "breaker", None)
+    if breaker is not None:
+        state = registry.gauge(
+            "repro_service_breaker_state",
+            "Circuit breaker state (0 closed, 1 half-open, 2 open)",
+        )
+        transitions = registry.counter(
+            "repro_service_breaker_transitions_total",
+            "Breaker state transitions, by target state",
+        )
+        previous = breaker.on_transition
+
+        def on_transition(to_state: str) -> None:
+            transitions.inc(to=to_state)
+            if previous is not None:
+                previous(to_state)
+
+        breaker.on_transition = on_transition
+
+    def collect() -> None:
+        inflight.set(controller.inflight, **labels)
+        if breaker is not None:
+            state.set(breaker.state_code, **labels)
+
+    registry.register_collector(collect)
+    return collect
 
 
 def bind_buffer_stats(

@@ -77,7 +77,14 @@ def _format_value(value: float) -> str:
 
 
 class _Instrument:
-    """Shared shape of one named metric family (all label sets)."""
+    """Shared shape of one named metric family (all label sets).
+
+    Every mutation and every read goes through a per-instrument lock:
+    one instrument is shared by every thread submitting through a
+    service, and ``+=`` on a dict slot is not atomic under free-threaded
+    interleavings.  The lock is uncontended in the common case and far
+    cheaper than a lost increment is confusing.
+    """
 
     kind = "untyped"
 
@@ -86,6 +93,7 @@ class _Instrument:
             raise ValueError(f"invalid metric name {name!r}")
         self.name = name
         self.help = help
+        self._lock = threading.Lock()
 
     @staticmethod
     def _check_labels(labels: dict) -> dict:
@@ -116,7 +124,8 @@ class Counter(_Instrument):
         if amount < 0:
             raise ValueError(f"counters only go up; got {amount}")
         key = _label_key(self._check_labels(labels))
-        self._values[key] = self._values.get(key, 0.0) + amount
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
 
     def set_total(self, total: float, **labels) -> None:
         """Publish an externally accumulated monotone total.
@@ -126,27 +135,33 @@ class Counter(_Instrument):
         value must not regress.
         """
         key = _label_key(self._check_labels(labels))
-        if total < self._values.get(key, 0.0):
-            raise ValueError(
-                f"counter {self.name} would regress from "
-                f"{self._values[key]} to {total}"
-            )
-        self._values[key] = float(total)
+        with self._lock:
+            if total < self._values.get(key, 0.0):
+                raise ValueError(
+                    f"counter {self.name} would regress from "
+                    f"{self._values[key]} to {total}"
+                )
+            self._values[key] = float(total)
 
     def value(self, **labels) -> float:
         """Current count of the labelled series (0 if never touched)."""
-        return self._values.get(_label_key(labels), 0.0)
+        with self._lock:
+            return self._values.get(_label_key(labels), 0.0)
 
     def samples(self) -> Iterable[tuple[str, float]]:
-        for key in sorted(self._values):
-            yield f"{self.name}{self._render_labels(key)}", self._values[key]
+        with self._lock:
+            items = sorted(self._values.items())
+        for key, value in items:
+            yield f"{self.name}{self._render_labels(key)}", value
 
     def snapshot_value(self):
-        if set(self._values) == {()}:
-            return self._values[()]
+        with self._lock:
+            values = dict(self._values)
+        if set(values) == {()}:
+            return values[()]
         return {
             self._render_labels(key) or "": value
-            for key, value in sorted(self._values.items())
+            for key, value in sorted(values.items())
         }
 
 
@@ -157,7 +172,8 @@ class Gauge(Counter):
 
     def inc(self, amount: float = 1.0, **labels) -> None:
         key = _label_key(self._check_labels(labels))
-        self._values[key] = self._values.get(key, 0.0) + amount
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
 
     def dec(self, amount: float = 1.0, **labels) -> None:
         self.inc(-amount, **labels)
@@ -165,7 +181,8 @@ class Gauge(Counter):
     def set(self, value: float, **labels) -> None:
         """Set the labelled series to ``value``."""
         key = _label_key(self._check_labels(labels))
-        self._values[key] = float(value)
+        with self._lock:
+            self._values[key] = float(value)
 
     set_total = set  # gauges have no monotonicity to protect
 
@@ -197,29 +214,38 @@ class Histogram(_Instrument):
 
     def observe(self, value: float, **labels) -> None:
         """Record one observation."""
-        counts, total, n = series = self._series_for(labels)
-        for i, bound in enumerate(self.buckets):
-            if value <= bound:
-                counts[i] += 1
-                break
-        else:
-            counts[-1] += 1
-        series[1] = total + value
-        series[2] = n + 1
+        with self._lock:
+            counts, total, n = series = self._series_for(labels)
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    counts[i] += 1
+                    break
+            else:
+                counts[-1] += 1
+            series[1] = total + value
+            series[2] = n + 1
 
     def count(self, **labels) -> int:
         """Observations recorded for the labelled series."""
-        series = self._series.get(_label_key(labels))
-        return series[2] if series else 0
+        with self._lock:
+            series = self._series.get(_label_key(labels))
+            return series[2] if series else 0
 
     def sum(self, **labels) -> float:
         """Sum of observed values for the labelled series."""
-        series = self._series.get(_label_key(labels))
-        return series[1] if series else 0.0
+        with self._lock:
+            series = self._series.get(_label_key(labels))
+            return series[1] if series else 0.0
+
+    def _snapshot_series(self) -> list[tuple[tuple, list, float, int]]:
+        with self._lock:
+            return [
+                (key, list(counts), total, n)
+                for key, (counts, total, n) in sorted(self._series.items())
+            ]
 
     def samples(self) -> Iterable[tuple[str, float]]:
-        for key in sorted(self._series):
-            counts, total, n = self._series[key]
+        for key, counts, total, n in self._snapshot_series():
             cumulative = 0
             for bound, bucket_count in zip(
                 self.buckets + (_INF,), counts
@@ -235,8 +261,7 @@ class Histogram(_Instrument):
 
     def snapshot_value(self):
         out = {}
-        for key in sorted(self._series):
-            counts, total, n = self._series[key]
+        for key, counts, total, n in self._snapshot_series():
             out[self._render_labels(key) or ""] = {
                 "buckets": {
                     _format_value(bound): count
@@ -252,8 +277,9 @@ class MetricsRegistry:
     """Get-or-create home of every instrument in one process.
 
     Instrument creation and collector registration are lock-guarded (they
-    happen at wiring time); increments are plain dict updates — safe under
-    the library's process-based parallelism and cheap enough for hot paths.
+    happen at wiring time); increments take a per-instrument lock so
+    threads submitting through one service never lose counts (see
+    ``_Instrument``).
     """
 
     def __init__(self):

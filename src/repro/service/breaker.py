@@ -1,0 +1,185 @@
+"""Failure-rate circuit breaker for the serving layer.
+
+A :class:`CircuitBreaker` protects the service from hammering a failing
+substrate (a dying disk, a crashing executor pool): repeated
+infrastructure failures *trip* it, after which queries are shed instantly
+instead of queueing up behind a storage layer that is only going to fail
+them slowly.  The state machine is the classic three-state one:
+
+- **closed** — normal serving; consecutive infrastructure failures are
+  counted, a success resets the count, and reaching
+  ``failure_threshold`` trips the breaker;
+- **open** — everything is shed (reason ``breaker_open``) for
+  ``cooldown_seconds``; the transition to half-open happens lazily on the
+  next state read, so no timer thread exists;
+- **half-open** — up to ``half_open_probes`` queries are admitted as
+  probes.  The first probe success closes the breaker; any probe failure
+  re-opens it for a fresh cooldown.
+
+The clock is injectable (``clock=time.monotonic`` by default) so tests
+drive cooldowns deterministically, and every state transition invokes the
+optional ``on_transition(to_state)`` hook — the metrics layer mirrors it
+into a state gauge and a transitions counter.  All methods are
+thread-safe; the breaker is shared by every thread submitting through one
+:class:`~repro.service.service.QueryService`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+__all__ = ["CircuitBreaker", "BREAKER_STATE_CODES"]
+
+#: Numeric encoding of breaker states for the ``repro_service_breaker_state``
+#: gauge (ordered by severity so dashboards can alert on ``>= 1``).
+BREAKER_STATE_CODES = {"closed": 0, "half_open": 1, "open": 2}
+
+
+class CircuitBreaker:
+    """A consecutive-failure circuit breaker with lazy timed recovery.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive infrastructure failures that trip the breaker.
+    cooldown_seconds:
+        How long the breaker stays open before probing again.
+    half_open_probes:
+        In-flight probe admissions allowed while half-open.
+    clock:
+        Monotonic time source (injectable for deterministic tests).
+    on_transition:
+        Optional ``callable(to_state: str)`` invoked on every state
+        change, under the breaker lock — keep it cheap and non-blocking.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        cooldown_seconds: float = 5.0,
+        half_open_probes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+        on_transition: Callable[[str], None] | None = None,
+    ):
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if cooldown_seconds < 0:
+            raise ValueError(
+                f"cooldown_seconds must be >= 0, got {cooldown_seconds}"
+            )
+        if half_open_probes < 1:
+            raise ValueError(
+                f"half_open_probes must be >= 1, got {half_open_probes}"
+            )
+        self.failure_threshold = failure_threshold
+        self.cooldown_seconds = cooldown_seconds
+        self.half_open_probes = half_open_probes
+        self._clock = clock
+        self.on_transition = on_transition
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probes_left = 0
+
+    # -------------------------------------------------------------- internals
+    def _transition(self, to_state: str) -> None:
+        self._state = to_state
+        if self.on_transition is not None:
+            self.on_transition(to_state)
+
+    def _trip(self) -> None:
+        self._consecutive_failures = 0
+        self._opened_at = self._clock()
+        self._transition(self.OPEN)
+
+    def _advance(self) -> str:
+        """Apply the lazy open -> half-open cooldown transition."""
+        if (
+            self._state == self.OPEN
+            and self._clock() - self._opened_at >= self.cooldown_seconds
+        ):
+            self._probes_left = self.half_open_probes
+            self._transition(self.HALF_OPEN)
+        return self._state
+
+    # -------------------------------------------------------------- admission
+    @property
+    def state(self) -> str:
+        """Current state (``closed`` / ``open`` / ``half_open``), cooldown
+        applied."""
+        with self._lock:
+            return self._advance()
+
+    @property
+    def state_code(self) -> int:
+        """The numeric state (see :data:`BREAKER_STATE_CODES`)."""
+        return BREAKER_STATE_CODES[self.state]
+
+    @property
+    def consecutive_failures(self) -> int:
+        """Consecutive infrastructure failures seen while closed."""
+        with self._lock:
+            return self._consecutive_failures
+
+    def preflight(self) -> str:
+        """The state an admission decision should be made against.
+
+        Identical to :attr:`state`; a separate name because the admission
+        path reads it exactly once per query and follows up with
+        :meth:`try_probe` only when it came back half-open.
+        """
+        return self.state
+
+    def try_probe(self) -> bool:
+        """Claim one half-open probe slot (``False`` = probe budget spent).
+
+        Only meaningful after a :meth:`preflight` that returned
+        ``half_open``; in any other state the answer is ``True`` (the
+        breaker imposes no probe limit while closed, and an open breaker
+        was already shed at preflight).
+        """
+        with self._lock:
+            if self._advance() != self.HALF_OPEN:
+                return True
+            if self._probes_left <= 0:
+                return False
+            self._probes_left -= 1
+            return True
+
+    # --------------------------------------------------------------- outcomes
+    def record_success(self) -> None:
+        """An admitted query completed without infrastructure failure."""
+        with self._lock:
+            if self._state == self.HALF_OPEN:
+                self._consecutive_failures = 0
+                self._transition(self.CLOSED)
+            elif self._state == self.CLOSED:
+                self._consecutive_failures = 0
+            # OPEN: a straggler from before the trip; nothing to learn.
+
+    def record_failure(self) -> None:
+        """An admitted query failed on infrastructure (storage/executor)."""
+        with self._lock:
+            if self._state == self.HALF_OPEN:
+                self._trip()  # the probe failed: back to a fresh cooldown
+            elif self._state == self.CLOSED:
+                self._consecutive_failures += 1
+                if self._consecutive_failures >= self.failure_threshold:
+                    self._trip()
+            # OPEN: already shedding; stragglers do not extend the cooldown.
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker(state={self.state!r}, "
+            f"threshold={self.failure_threshold}, "
+            f"cooldown={self.cooldown_seconds}s)"
+        )

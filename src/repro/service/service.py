@@ -10,7 +10,12 @@ and layers on what a front-end needs and individual searchers should not
 carry:
 
 - **admission control** — a bounded in-flight cap that *rejects* excess
-  load (:mod:`repro.service.admission`);
+  load (:mod:`repro.service.admission`); with an
+  :class:`~repro.service.admission.OverloadController` the gate grows
+  into full overload protection — per-tenant quotas, priority classes,
+  cost-based shedding over planned ``estimated_cost``, graceful
+  degradation under a policy-tightened budget, and a circuit breaker
+  (all off by default; an un-policied service behaves exactly as before);
 - **failure isolation** — a query that raises a library error comes back
   as an error-marked result, never as an exception that takes the batch
   down;
@@ -48,13 +53,19 @@ from repro.core.registry import get_spec, make_searcher
 from repro.core.results import SearchResult
 from repro.errors import QueryError
 from repro.index.database import TrajectoryDatabase
-from repro.obs.adapters import bind_database, bind_result_cache, bind_service_stats
+from repro.obs.adapters import (
+    bind_admission,
+    bind_database,
+    bind_result_cache,
+    bind_service_stats,
+)
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.obs.trace import Tracer, activated
 from repro.parallel.executor import _fork_search_batch, _safe_search, fork_available
 from repro.perf.result_cache import ResultCache, query_fingerprint
 from repro.resilience.budget import SearchBudget
 from repro.service.admission import AdmissionController
+from repro.service.policy import AdmissionDecision
 from repro.service.stats import ServiceStats
 
 __all__ = ["QueryService"]
@@ -72,7 +83,10 @@ class QueryService:
         :mod:`repro.core.registry`).
     admission:
         ``None`` (unbounded), an in-flight cap as an ``int``, or a
-        pre-built :class:`AdmissionController`.
+        pre-built :class:`AdmissionController` — in particular an
+        :class:`~repro.service.admission.OverloadController` carrying an
+        :class:`~repro.service.policy.AdmissionPolicy` for multi-tenant
+        quota / priority / cost / breaker protection.
     trace:
         ``None``/``False`` (default, tracing off), ``True`` for a fresh
         :class:`~repro.obs.trace.Tracer`, or a pre-built tracer to share.
@@ -149,6 +163,7 @@ class QueryService:
         self._metrics: MetricsRegistry | None = metrics
         if self._metrics is not None:
             bind_service_stats(self._stats, self._metrics)
+            bind_admission(self._admission, self._metrics)
             bind_database(database, self._metrics)
             if self._result_cache is not None:
                 bind_result_cache(self._result_cache, self._metrics)
@@ -239,14 +254,27 @@ class QueryService:
             with self._tracer.span(name, **attributes) as span:
                 yield span
 
-    def _record(self, result: SearchResult, elapsed_seconds: float) -> None:
+    def _record(
+        self,
+        result: SearchResult,
+        elapsed_seconds: float,
+        tenant: str | None = None,
+        priority: str | None = None,
+        policy_degraded: bool = False,
+    ) -> None:
         """THE recording path: every answered query — ``search``,
         ``submit``, both ``execute_many`` branches, result-cache hits —
         folds into the service stats (and live metrics) through here, so
         outcome counters and the latency reservoir can never diverge
         between single-process and forked execution.
         """
-        self._stats.record(result, elapsed_seconds)
+        self._stats.record(
+            result,
+            elapsed_seconds,
+            tenant=tenant,
+            priority=priority,
+            policy_degraded=policy_degraded,
+        )
         if self._metrics is not None:
             self._latency.observe(elapsed_seconds)
             if result.stats.cache == "result":
@@ -273,16 +301,22 @@ class QueryService:
         return query_fingerprint(query, self._algorithm, self._tuning_key)
 
     def _serve_hit(
-        self, query: UOTSQuery, hit: SearchResult, started: float
+        self,
+        query: UOTSQuery,
+        hit: SearchResult,
+        started: float,
+        tenant: str | None = None,
+        priority: str | None = None,
     ) -> SearchResult:
         """Record and return a result-cache hit (an O(1) served query)."""
         with self._traced(
-            "query", algorithm=self._algorithm, k=query.k, result_cache="hit"
+            "query", algorithm=self._algorithm, k=query.k, result_cache="hit",
+            **self._label_span_attrs(tenant, priority),
         ):
             pass  # no execution: the span marks the served hit
         elapsed = time.perf_counter() - started
         hit.stats.elapsed_seconds = elapsed
-        self._record(hit, elapsed)
+        self._record(hit, elapsed, tenant=tenant, priority=priority)
         return hit
 
     def _query_span_attrs(self, key: Hashable | None) -> dict:
@@ -290,21 +324,46 @@ class QueryService:
         return {"result_cache": "miss"} if key is not None else {}
 
     @staticmethod
-    def _rejected(started: float) -> SearchResult:
+    def _label_span_attrs(tenant: str | None, priority: str | None) -> dict:
+        """Tenant/priority span attributes (empty for unlabelled traffic,
+        keeping default-configuration traces byte-identical)."""
+        attrs = {}
+        if tenant is not None:
+            attrs["tenant"] = tenant
+        if priority is not None:
+            attrs["priority"] = priority
+        return attrs
+
+    @staticmethod
+    def _rejected(
+        started: float, decision: AdmissionDecision | None = None
+    ) -> SearchResult:
         """An admission-rejected result, wall time stamped like every other
-        outcome — dashboards must not see zero-latency rejections."""
+        outcome — dashboards must not see zero-latency rejections.
+
+        A policy shed (non-empty ``decision.reason``) carries the reason
+        slug and the human detail; the legacy un-policied cap keeps its
+        historical strings exactly.
+        """
+        if decision is None or not decision.reason:
+            reason = "rejected by admission control"
+            error = "AdmissionError: service at its in-flight query cap"
+        else:
+            reason = f"shed by admission policy ({decision.reason})"
+            error = f"AdmissionError: {decision.detail}"
         result = SearchResult(
-            items=[],
-            exact=False,
-            degradation_reason="rejected by admission control",
-            error="AdmissionError: service at its in-flight query cap",
+            items=[], exact=False, degradation_reason=reason, error=error
         )
         result.stats.elapsed_seconds = time.perf_counter() - started
         return result
 
     # ------------------------------------------------------------ execution
     def search(
-        self, query: UOTSQuery, budget: SearchBudget | None = None
+        self,
+        query: UOTSQuery,
+        budget: SearchBudget | None = None,
+        tenant: str | None = None,
+        priority: str | None = None,
     ) -> SearchResult:
         """Answer one query, letting library errors propagate.
 
@@ -312,69 +371,142 @@ class QueryService:
         callers (the :class:`~repro.core.engine.TripRecommender` facade)
         where a strict budget or an invalid query should raise rather than
         come back as an error-marked result.  Successful answers are still
-        recorded in the service stats.
+        recorded in the service stats.  ``tenant``/``priority`` label the
+        stats lanes and trace span; this path does not pass the admission
+        gate (it never rejects), so no quota or shed policy applies.
         """
         started = time.perf_counter()
         key = self._cache_key(query, budget)
         if key is not None:
             hit = self._result_cache.get(key)
             if hit is not None:
-                return self._serve_hit(query, hit, started)
+                return self._serve_hit(query, hit, started, tenant, priority)
         with self._traced(
             "query", algorithm=self._algorithm, k=query.k,
             **self._query_span_attrs(key),
+            **self._label_span_attrs(tenant, priority),
         ):
             result = self._searcher.search(query, budget=budget)
+        self._admission.record_outcome(result)
         if key is not None:
             self._result_cache.put(key, result)
-        self._record(result, time.perf_counter() - started)
+        self._record(
+            result, time.perf_counter() - started, tenant=tenant, priority=priority
+        )
         return result
 
     def submit(
-        self, query: UOTSQuery, budget: SearchBudget | None = None
+        self,
+        query: UOTSQuery,
+        budget: SearchBudget | None = None,
+        tenant: str | None = None,
+        priority: str | None = None,
     ) -> SearchResult:
         """Answer one query through admission control and stats recording.
 
         Library errors come back as error-marked results (the executor's
         isolation contract); a query turned away by admission control
         returns an error-marked result with ``degradation_reason``
-        ``"rejected by admission control"`` and is counted as rejected,
-        not served.  A result-cache hit is answered *before* the admission
-        gate — it does no search work, so it never competes for (or is
-        turned away from) an in-flight slot.
+        ``"rejected by admission control"`` (or the policy shed reason)
+        and is counted as rejected, not served.  A result-cache hit is
+        answered *before* the admission gate — it does no search work, so
+        it never competes for (or is turned away from) an in-flight slot.
+
+        ``tenant`` and ``priority`` identify the caller to the admission
+        policy (quotas, class-based shedding) and label the stats lanes
+        and trace span.  An unknown ``priority`` raises
+        :class:`~repro.errors.QueryError` — like invalid ``workers``, it
+        is an argument error, not a query outcome.  Under a cost policy
+        the query is planned first; a borderline-expensive admission may
+        come back *degraded*: the service attaches the policy's tightened
+        budget (a caller-supplied ``budget`` always wins) and the answer
+        is anytime (``exact=False`` with a usable ``confirmed_prefix()``),
+        counted under ``policy_degraded_results``.
         """
-        return self._submit(query, budget, None)
+        return self._submit(query, budget, None, tenant, priority)
 
     def _submit(
         self,
         query: UOTSQuery,
         budget: SearchBudget | None,
         executor_label: str | None,
+        tenant: str | None = None,
+        priority: str | None = None,
     ) -> SearchResult:
         started = time.perf_counter()
         key = self._cache_key(query, budget)
         if key is not None:
             hit = self._result_cache.get(key)
             if hit is not None:
-                return self._serve_hit(query, hit, started)
-        if not self._admission.try_acquire():
-            self._stats.record_rejection()
-            return self._rejected(started)
+                return self._serve_hit(query, hit, started, tenant, priority)
+        cost = None
+        if self._admission.needs_plan:
+            try:
+                cost = self.plan(query).estimated_cost
+            except Exception:
+                # An unplannable query is an invalid one; admission has no
+                # cost opinion and _safe_search produces the error result.
+                cost = None
+        decision = self._admission.admit(
+            tenant=tenant, priority=priority, cost=cost
+        )
+        if not decision.admitted:
+            self._stats.record_rejection(
+                reason=decision.reason or None, tenant=tenant, priority=priority
+            )
+            if decision.reason:
+                with self._traced(
+                    "query", algorithm=self._algorithm, k=query.k,
+                    admission="shed", shed_reason=decision.reason,
+                    **self._label_span_attrs(tenant, priority),
+                ):
+                    pass  # never executed; the span records the shed
+            return self._rejected(started, decision)
         try:
+            # The policy's tightened budget applies only when the caller
+            # did not bring their own — an explicit budget always wins.
+            policy_budget = decision.budget if budget is None else None
+            effective = policy_budget if policy_budget is not None else budget
+            degrade_attrs = (
+                {"admission": "degraded", "admission_reason": decision.reason}
+                if policy_budget is not None
+                else {}
+            )
             started = time.perf_counter()
             with self._traced(
                 "query", algorithm=self._algorithm, k=query.k,
                 **self._query_span_attrs(key),
+                **self._label_span_attrs(tenant, priority),
+                **degrade_attrs,
             ):
-                result = _safe_search(self._searcher, query, budget)
+                result = _safe_search(self._searcher, query, effective)
             if executor_label is not None and not result.stats.executor:
                 result.stats.executor = executor_label
+            self._admission.record_outcome(result)
+            policy_degraded = (
+                policy_budget is not None
+                and result.error is None
+                and not result.exact
+            )
+            if policy_degraded:
+                note = f"admission degrade: {decision.detail}"
+                result.degradation_reason = (
+                    f"{result.degradation_reason}; {note}"
+                    if result.degradation_reason
+                    else note
+                )
             if key is not None:
                 self._result_cache.put(key, result)
-            self._record(result, time.perf_counter() - started)
+            self._record(
+                result,
+                time.perf_counter() - started,
+                tenant=tenant,
+                priority=priority,
+                policy_degraded=policy_degraded,
+            )
             return result
         finally:
-            self._admission.release()
+            self._admission.release(decision)
 
     def execute_many(
         self,
@@ -382,6 +514,8 @@ class QueryService:
         budget: SearchBudget | None = None,
         workers: int = 1,
         max_task_retries: int = 2,
+        tenant: str | None = None,
+        priority: str | None = None,
     ) -> list[SearchResult]:
         """Answer a batch of queries, in query order.
 
@@ -398,16 +532,32 @@ class QueryService:
         submission would, and ``rejected`` counters agree across executor
         paths.  With a result cache enabled, queries are probed in the
         parent first — hits are answered O(1) and only misses fork.
+
+        ``tenant``/``priority`` apply to every query of the batch (the
+        forked path admits the whole batch under those labels).  While an
+        overload controller's circuit breaker is open or probing, the
+        batch runs sequentially even when ``workers > 1`` — a half-open
+        probe must not fan out over the pool that may be the broken part.
         """
         if workers < 1:
             raise QueryError(f"workers must be >= 1, got {workers}")
         if max_task_retries < 0:
             raise QueryError(f"max_task_retries must be >= 0, got {max_task_retries}")
         queries = list(queries)
-        if workers > 1 and fork_available() and len(queries) > 1:
-            return self._execute_forked(queries, budget, workers, max_task_retries)
+        if (
+            workers > 1
+            and fork_available()
+            and len(queries) > 1
+            and not self._admission.prefer_sequential
+        ):
+            return self._execute_forked(
+                queries, budget, workers, max_task_retries, tenant, priority
+            )
         with self._traced("execute_many", queries=len(queries), workers=1):
-            return [self._submit(query, budget, "sequential") for query in queries]
+            return [
+                self._submit(query, budget, "sequential", tenant, priority)
+                for query in queries
+            ]
 
     def _execute_forked(
         self,
@@ -415,15 +565,26 @@ class QueryService:
         budget: SearchBudget | None,
         workers: int,
         max_task_retries: int,
+        tenant: str | None = None,
+        priority: str | None = None,
     ) -> list[SearchResult]:
         """The forked branch of :meth:`execute_many`: admission-gated,
-        result-cache probed in the parent, misses fanned out over fork."""
+        result-cache probed in the parent, misses fanned out over fork.
+
+        The batch claims one admission slot under the caller's tenant and
+        priority (no per-query cost opinion: a batch is deliberate bulk
+        work, and cost shedding is a per-query interactive policy)."""
         batch_started = time.perf_counter()
-        if not self._admission.try_acquire():
+        decision = self._admission.admit(tenant=tenant, priority=priority)
+        if not decision.admitted:
             results = []
             for _ in queries:
-                self._stats.record_rejection()
-                results.append(self._rejected(batch_started))
+                self._stats.record_rejection(
+                    reason=decision.reason or None,
+                    tenant=tenant,
+                    priority=priority,
+                )
+                results.append(self._rejected(batch_started, decision))
             return results
         try:
             results: list[SearchResult | None] = [None] * len(queries)
@@ -438,7 +599,9 @@ class QueryService:
                     else None
                 )
                 if hit is not None:
-                    results[i] = self._serve_hit(query, hit, query_started)
+                    results[i] = self._serve_hit(
+                        query, hit, query_started, tenant, priority
+                    )
                 else:
                     pending.append(i)
             if pending:
@@ -460,9 +623,15 @@ class QueryService:
                 for i, result in zip(pending, forked):
                     if keys[i] is not None:
                         self._result_cache.put(keys[i], result)
+                    self._admission.record_outcome(result)
                     # Worker wall-clock is the honest latency of a forked query.
-                    self._record(result, result.stats.elapsed_seconds)
+                    self._record(
+                        result,
+                        result.stats.elapsed_seconds,
+                        tenant=tenant,
+                        priority=priority,
+                    )
                     results[i] = result
             return results  # type: ignore[return-value]  # every slot filled
         finally:
-            self._admission.release()
+            self._admission.release(decision)

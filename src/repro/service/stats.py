@@ -5,8 +5,23 @@ One :class:`ServiceStats` instance rides along with a
 query the service answers: outcome counters (served / exact / degraded /
 failed / rejected), the merged per-query work counters, cache hit rates
 over the database's cross-query caches, and a bounded latency reservoir
-from which p50/p95 are read.  All mutation is lock-guarded so concurrent
-``submit`` callers can share one service.
+from which p50/p95 are read.
+
+When the service runs under an overload policy, additional *lanes* are
+kept — per-tenant and per-priority served/rejected counts, shed counts by
+reason, and the policy-degraded count.  Lanes are created lazily the
+first time a labelled query arrives, and :meth:`snapshot` /
+:meth:`describe` only emit them when non-empty, so a service with no
+policy configured produces byte-identical output to a build that predates
+the overload layer.
+
+Thread-safety: every mutation and every readout goes through one
+instance-level lock — the counters, the ``totals`` merge, the lane dicts,
+and the latency ring buffer (``LatencyReservoir`` itself is *not* locked;
+it is only ever touched under the owning ``ServiceStats`` lock).  That is
+the whole contract concurrent ``submit`` callers rely on: interleaved
+records never lose increments, and a ``snapshot()`` taken mid-storm is a
+consistent cut.
 """
 
 from __future__ import annotations
@@ -23,6 +38,7 @@ class LatencyReservoir:
 
     A plain ring buffer, not reservoir sampling: a serving dashboard wants
     *recent* percentiles, and recency is also the cheapest eviction rule.
+    Not internally locked — callers (``ServiceStats``) serialise access.
     """
 
     def __init__(self, capacity: int = 4096):
@@ -73,13 +89,42 @@ class ServiceStats:
         #: also counted in ``queries_served``/``exact_results`` — a hit is
         #: a served exact answer, just an O(1) one).
         self.result_cache_hits = 0
+        #: Queries admitted with a policy-tightened budget that came back
+        #: inexact (a subset of ``degraded_results``).
+        self.policy_degraded_results = 0
+        #: Policy sheds by reason slug (legacy un-reasoned rejections only
+        #: count in ``rejected_queries``; this dict stays empty).
+        self.shed_reasons: dict[str, int] = {}
+        #: Per-tenant / per-priority ``{"served": n, "rejected": n}`` lanes,
+        #: created lazily on the first labelled query.
+        self.tenant_lanes: dict[str, dict[str, int]] = {}
+        self.priority_lanes: dict[str, dict[str, int]] = {}
         #: Merged per-query work counters (:meth:`SearchStats.merge`).
         self.totals = SearchStats()
         self._latencies = LatencyReservoir(latency_capacity)
 
     # ------------------------------------------------------------ recording
-    def record(self, result: SearchResult, elapsed_seconds: float) -> None:
-        """Fold one answered query into the aggregates."""
+    @staticmethod
+    def _lane(lanes: dict[str, dict[str, int]], key: str) -> dict[str, int]:
+        lane = lanes.get(key)
+        if lane is None:
+            lane = lanes[key] = {"served": 0, "rejected": 0}
+        return lane
+
+    def record(
+        self,
+        result: SearchResult,
+        elapsed_seconds: float,
+        tenant: str | None = None,
+        priority: str | None = None,
+        policy_degraded: bool = False,
+    ) -> None:
+        """Fold one answered query into the aggregates.
+
+        ``tenant``/``priority`` label the query's lanes (omitted for
+        unlabelled traffic); ``policy_degraded`` marks an answer produced
+        under an admission-tightened budget.
+        """
         with self._lock:
             self.queries_served += 1
             if result.error is not None:
@@ -88,15 +133,36 @@ class ServiceStats:
                 self.exact_results += 1
             else:
                 self.degraded_results += 1
+                if policy_degraded:
+                    self.policy_degraded_results += 1
             if result.stats.cache == "result":
                 self.result_cache_hits += 1
+            if tenant is not None:
+                self._lane(self.tenant_lanes, tenant)["served"] += 1
+            if priority is not None:
+                self._lane(self.priority_lanes, priority)["served"] += 1
             self.totals.merge(result.stats)
             self._latencies.record(elapsed_seconds)
 
-    def record_rejection(self) -> None:
-        """Count a query turned away by admission control (never executed)."""
+    def record_rejection(
+        self,
+        reason: str | None = None,
+        tenant: str | None = None,
+        priority: str | None = None,
+    ) -> None:
+        """Count a query turned away by admission control (never executed).
+
+        A ``reason`` slug attributes the shed to a policy rule; the legacy
+        un-policied cap passes none and leaves only ``rejected_queries``.
+        """
         with self._lock:
             self.rejected_queries += 1
+            if reason:
+                self.shed_reasons[reason] = self.shed_reasons.get(reason, 0) + 1
+            if tenant is not None:
+                self._lane(self.tenant_lanes, tenant)["rejected"] += 1
+            if priority is not None:
+                self._lane(self.priority_lanes, priority)["rejected"] += 1
 
     # ------------------------------------------------------------- readouts
     def latency_ms(self, p: float) -> float:
@@ -132,11 +198,17 @@ class ServiceStats:
         return self._hit_rate(self.totals.text_cache_hits, self.totals.text_cache_misses)
 
     def snapshot(self) -> dict:
-        """A plain-dict view (stable keys; for logging/serialisation)."""
+        """A plain-dict view (stable keys; for logging/serialisation).
+
+        Overload-policy keys (``shed_reasons``, ``policy_degraded_results``,
+        ``tenants``, ``priorities``) appear only once the corresponding
+        feature has been exercised — an un-policied service's snapshot is
+        byte-identical to the pre-overload layout.
+        """
         with self._lock:
             p50 = self._latencies.percentile(50.0) * 1000.0
             p95 = self._latencies.percentile(95.0) * 1000.0
-            return {
+            out = {
                 "queries_served": self.queries_served,
                 "exact_results": self.exact_results,
                 "degraded_results": self.degraded_results,
@@ -155,20 +227,63 @@ class ServiceStats:
                 "expanded_vertices": self.totals.expanded_vertices,
                 "refinements": self.totals.refinements,
             }
+            if self.policy_degraded_results:
+                out["policy_degraded_results"] = self.policy_degraded_results
+            if self.shed_reasons:
+                out["shed_reasons"] = dict(sorted(self.shed_reasons.items()))
+            if self.tenant_lanes:
+                out["tenants"] = {
+                    tenant: dict(lane)
+                    for tenant, lane in sorted(self.tenant_lanes.items())
+                }
+            if self.priority_lanes:
+                out["priorities"] = {
+                    priority: dict(lane)
+                    for priority, lane in sorted(self.priority_lanes.items())
+                }
+            return out
+
+    @staticmethod
+    def _render_lanes(lanes: dict[str, dict[str, int]]) -> str:
+        return ", ".join(
+            f"{name} {lane['served']}/{lane['rejected']}"
+            for name, lane in lanes.items()
+        )
 
     def describe(self) -> str:
-        """A human-readable multi-line rendering (CLI / logs)."""
+        """A human-readable multi-line rendering (CLI / logs).
+
+        Like :meth:`snapshot`, the overload-policy lines are appended only
+        when their lanes are populated.
+        """
         s = self.snapshot()
-        return "\n".join(
-            [
-                f"queries served:  {s['queries_served']} "
-                f"(exact {s['exact_results']}, degraded {s['degraded_results']}, "
-                f"failed {s['failed_queries']}, rejected {s['rejected_queries']})",
-                f"latency:         p50 {s['p50_ms']:.2f} ms, p95 {s['p95_ms']:.2f} ms",
-                f"cache hit rate:  distance {s['distance_cache_hit_rate']:.1%}, "
-                f"text {s['text_cache_hit_rate']:.1%}, "
-                f"result hits {s['result_cache_hits']}",
-                f"work:            {s['expanded_vertices']} expanded vertices, "
-                f"{s['refinements']} refinements",
-            ]
-        )
+        lines = [
+            f"queries served:  {s['queries_served']} "
+            f"(exact {s['exact_results']}, degraded {s['degraded_results']}, "
+            f"failed {s['failed_queries']}, rejected {s['rejected_queries']})",
+            f"latency:         p50 {s['p50_ms']:.2f} ms, p95 {s['p95_ms']:.2f} ms",
+            f"cache hit rate:  distance {s['distance_cache_hit_rate']:.1%}, "
+            f"text {s['text_cache_hit_rate']:.1%}, "
+            f"result hits {s['result_cache_hits']}",
+            f"work:            {s['expanded_vertices']} expanded vertices, "
+            f"{s['refinements']} refinements",
+        ]
+        if "shed_reasons" in s:
+            shed = ", ".join(f"{r} {n}" for r, n in s["shed_reasons"].items())
+            lines.append(f"shed:            {shed}")
+        if "policy_degraded_results" in s:
+            lines.append(
+                f"policy degraded: {s['policy_degraded_results']} "
+                f"(tightened budget under load)"
+            )
+        if "tenants" in s:
+            lines.append(
+                "tenants:         "
+                f"(served/rejected) {self._render_lanes(s['tenants'])}"
+            )
+        if "priorities" in s:
+            lines.append(
+                "priorities:      "
+                f"(served/rejected) {self._render_lanes(s['priorities'])}"
+            )
+        return "\n".join(lines)
