@@ -134,6 +134,8 @@ def _make_service(
         alt=False if args.no_alt else None,
         batch_size=args.batch_size,
         scheduler=args.scheduler,
+        shards=args.shards,
+        workers=args.workers,
     )
 
 
@@ -371,6 +373,16 @@ def build_parser() -> argparse.ArgumentParser:
             "--scheduler", choices=["heuristic", "round-robin"], default=None,
             help="expansion scheduling strategy "
                  "(default keeps the algorithm's built-in scheduler)",
+        )
+        p.add_argument(
+            "--shards", type=int, default=None, metavar="N",
+            help="number of spatial shards for --algorithm sharded "
+                 "(ignored by flat algorithms; default 8)",
+        )
+        p.add_argument(
+            "--workers", type=int, default=None, metavar="N",
+            help="parallel shard workers for --algorithm sharded "
+                 "(default scales to the machine's cores)",
         )
         p.add_argument(
             "--cache-size", type=int, default=None, metavar="N",

@@ -54,6 +54,10 @@ def annotate_search_span(span: Span | None, result: "SearchResult") -> None:
         attributes["alt_pruned"] = stats.alt_pruned
     if stats.retries:
         attributes["retries"] = stats.retries
+    if stats.shards_planned:
+        attributes["shards_planned"] = stats.shards_planned
+        attributes["shards_executed"] = stats.shards_executed
+        attributes["shards_pruned"] = stats.shards_pruned
     cache_hits = stats.distance_cache_hits + stats.text_cache_hits
     cache_misses = stats.distance_cache_misses + stats.text_cache_misses
     if cache_hits or cache_misses:

@@ -117,7 +117,13 @@ class QueryPlan:
             f"  candidates:   {self.candidate_count} keyword-sharing "
             f"of {self.database_size} trajectories",
             f"  caches:       {'enabled' if self.cache_enabled else 'disabled'}",
-            f"  est. cost:    {self.estimated_cost:.0f} units",
+            f"  est. cost:    {self.estimated_cost:.0f} units "
+            "(worst-case vertex settles + text evaluations)"
+            + (
+                f"; {self.candidate_count / self.estimated_cost:.3f} candidates/unit"
+                if self.estimated_cost > 0
+                else ""
+            ),
         ]
         lines.extend(f"  note:         {note}" for note in self.notes)
         return "\n".join(lines)

@@ -11,7 +11,7 @@ is guaranteed to satisfy the :class:`~repro.core.plan.Searcher` protocol
 Kwarg semantics
 ---------------
 - The universal tuning vocabulary is ``alt``, ``batch_size``,
-  ``refinement``, ``scheduler``.  Anything else raises
+  ``refinement``, ``scheduler``, ``shards``, ``workers``.  Anything else raises
   :class:`~repro.errors.QueryError` (typos should not pass silently).
 - ``None``-valued kwargs mean "keep the default" and are dropped — this is
   what lets the CLI forward unset flags wholesale.
@@ -34,6 +34,7 @@ from repro.core.plan import Searcher
 from repro.core.search import CollaborativeSearcher, SpatialFirstSearcher
 from repro.errors import QueryError
 from repro.index.database import TrajectoryDatabase
+from repro.shard.searcher import ShardedSearcher
 
 __all__ = [
     "ALGORITHMS",
@@ -44,7 +45,9 @@ __all__ = [
 ]
 
 #: The universal tuning vocabulary accepted by :func:`make_searcher`.
-TUNING_KWARGS = frozenset({"alt", "batch_size", "refinement", "scheduler"})
+TUNING_KWARGS = frozenset(
+    {"alt", "batch_size", "refinement", "scheduler", "shards", "workers"}
+)
 
 
 @dataclass(frozen=True)
@@ -143,6 +146,12 @@ ALGORITHMS: dict[str, AlgorithmSpec] = {
             "brute-force",
             BruteForceSearcher,
             description="exhaustive exact scoring (the oracle)",
+        ),
+        _spec(
+            "sharded",
+            ShardedSearcher,
+            accepts=("shards", "workers", "scheduler", "batch_size", "refinement", "alt"),
+            description="scatter-gather over spatial shards with bound-based shard pruning",
         ),
     )
 }

@@ -64,6 +64,15 @@ class SearchStats:
     of a search: ``"result"`` marks a service-level result-cache hit
     (zero work counters, O(1) serve), ``""`` an actually executed query —
     dashboards and the semantics oracle distinguish the two paths by it.
+
+    The sharding counters: ``shards_planned`` counts shards the sharded
+    planner considered, ``shards_executed`` the shards actually searched,
+    ``shards_pruned`` the shards skipped because their best-possible upper
+    bound fell below the running global kth score.  ``shard_seconds`` sums
+    per-shard search wall time; ``shard_critical_seconds`` sums, per
+    scheduling wave, only the *slowest* shard of the wave — the scatter
+    phase's critical path, i.e. what the shard portion of the query would
+    cost with one core per shard.  Flat searches leave all five at zero.
     """
 
     visited_trajectories: int = 0
@@ -84,6 +93,11 @@ class SearchStats:
     text_cache_hits: int = 0
     text_cache_misses: int = 0
     cache: str = ""
+    shards_planned: int = 0
+    shards_executed: int = 0
+    shards_pruned: int = 0
+    shard_seconds: float = 0.0
+    shard_critical_seconds: float = 0.0
 
     def merge(self, other: "SearchStats") -> None:
         """Accumulate another stats record into this one (for batch runs)."""
@@ -107,6 +121,11 @@ class SearchStats:
         self.text_cache_misses += other.text_cache_misses
         if not self.cache:
             self.cache = other.cache
+        self.shards_planned += other.shards_planned
+        self.shards_executed += other.shards_executed
+        self.shards_pruned += other.shards_pruned
+        self.shard_seconds += other.shard_seconds
+        self.shard_critical_seconds += other.shard_critical_seconds
 
 
 @dataclass

@@ -127,6 +127,17 @@ class TrajectoryDatabase:
                 self._landmark_index = None
         return self._landmark_index
 
+    def adopt_landmark_index(self, index: LandmarkIndex | None) -> None:
+        """Share a landmark table built by another database on the same graph.
+
+        The ALT table depends only on the immutable graph, so a view over a
+        subset of the trajectories (a shard) can reuse its parent's table
+        instead of re-running the landmark Dijkstras per shard.  Passing
+        ``None`` (the parent's graph is disconnected) pins the outcome so
+        the view does not attempt its own build either.
+        """
+        self._landmark_index = index
+
     def vertex_array(self, trajectory_id: int) -> np.ndarray:
         """The trajectory's vertex set as a cached integer array.
 

@@ -24,7 +24,16 @@ from repro.errors import GraphError
 from repro.network.csr import sssp_arrays_batch
 from repro.network.graph import SpatialNetwork
 
-__all__ = ["LandmarkIndex"]
+__all__ = ["LandmarkIndex", "clamp_events"]
+
+# Process-wide count of builds that asked for more landmarks than the graph
+# has vertices and were clamped (mirrored into metrics by repro.obs.adapters).
+_clamp_events = 0
+
+
+def clamp_events() -> int:
+    """How many :meth:`LandmarkIndex.build` calls clamped ``num_landmarks``."""
+    return _clamp_events
 
 
 class LandmarkIndex:
@@ -52,18 +61,22 @@ class LandmarkIndex:
         ones, which spreads landmarks to the periphery where ALT bounds are
         tightest.
 
+        ``num_landmarks`` larger than the vertex count is clamped to the
+        vertex count (every vertex becomes a landmark) rather than raised:
+        small shard subgraphs and tiny test graphs still get ALT bounds.
+        Each clamp bumps the process-wide :func:`clamp_events` counter.
+
         Raises :class:`GraphError` when the graph is empty or disconnected,
-        or when ``num_landmarks`` is not in ``[1, num_vertices]``.
+        or when ``num_landmarks < 1``.
         """
         if graph.num_vertices == 0:
             raise GraphError("cannot build landmarks on an empty graph")
         if num_landmarks < 1:
             raise GraphError(f"num_landmarks must be >= 1, got {num_landmarks}")
         if num_landmarks > graph.num_vertices:
-            raise GraphError(
-                f"num_landmarks={num_landmarks} exceeds the graph's "
-                f"{graph.num_vertices} vertices"
-            )
+            global _clamp_events
+            _clamp_events += 1
+            num_landmarks = graph.num_vertices
         if not graph.is_connected():
             raise GraphError("LandmarkIndex requires a connected graph")
         rng = np.random.default_rng(seed)

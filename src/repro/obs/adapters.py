@@ -43,6 +43,7 @@ __all__ = [
     "bind_trajectory_stats",
     "bind_fault_injector",
     "bind_database",
+    "bind_landmark_clamps",
 ]
 
 Collector = Callable[[], None]
@@ -82,6 +83,18 @@ def bind_search_stats(
     elapsed = registry.counter(
         "repro_search_elapsed_seconds_total", "Wall time spent inside searches"
     )
+    shard_planned = registry.counter(
+        "repro_shard_planned_total", "Shards considered by scatter-gather plans"
+    )
+    shard_executed = registry.counter(
+        "repro_shard_executed_total", "Shards actually searched"
+    )
+    shard_pruned = registry.counter(
+        "repro_shard_pruned_total", "Shards skipped by the bound-based filter"
+    )
+    shard_seconds = registry.counter(
+        "repro_shard_seconds_total", "Summed per-shard search time"
+    )
     cache_hits = registry.counter(
         "repro_search_cache_hits_total", "Per-query cache hits, by cache"
     )
@@ -93,6 +106,10 @@ def bind_search_stats(
         for field, counter in counters.items():
             counter.set_total(getattr(stats, field), **labels)
         elapsed.set_total(stats.elapsed_seconds, **labels)
+        shard_planned.set_total(stats.shards_planned, **labels)
+        shard_executed.set_total(stats.shards_executed, **labels)
+        shard_pruned.set_total(stats.shards_pruned, **labels)
+        shard_seconds.set_total(stats.shard_seconds, **labels)
         cache_hits.set_total(stats.distance_cache_hits, cache="distance", **labels)
         cache_hits.set_total(stats.text_cache_hits, cache="text", **labels)
         cache_misses.set_total(stats.distance_cache_misses, cache="distance", **labels)
@@ -438,6 +455,33 @@ def bind_fault_injector(
         injected.set_total(injector.injected_transients, **labels)
         observed.set_total(injector.observed_reads, **labels)
         corrupted.set_total(len(injector.corrupted_pages), **labels)
+
+    registry.register_collector(collect)
+    return collect
+
+
+def bind_landmark_clamps(
+    registry: MetricsRegistry | None = None,
+    **labels,
+) -> Collector:
+    """Mirror the process-wide landmark-count clamp counter.
+
+    :func:`repro.network.landmarks.clamp_events` counts every
+    ``LandmarkIndex.build`` call whose requested ``num_landmarks`` exceeded
+    the graph size and was clamped — a sizing-misconfiguration signal worth
+    a dashboard line even though each individual clamp is benign.
+    """
+    if registry is None:
+        registry = get_registry()
+    clamps = registry.counter(
+        "repro_index_landmark_clamps_total",
+        "LandmarkIndex builds whose landmark count was clamped to the graph size",
+    )
+
+    def collect() -> None:
+        from repro.network.landmarks import clamp_events
+
+        clamps.set_total(clamp_events(), **labels)
 
     registry.register_collector(collect)
     return collect

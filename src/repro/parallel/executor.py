@@ -216,6 +216,110 @@ def _fork_search_batch(
     return results  # type: ignore[return-value]  # every slot is filled
 
 
+# -------------------------------------------------------- sharded scatter
+def _shard_worker(index: int) -> SearchResult:
+    searchers = _WORKER_STATE["shard_searchers"]
+    plans = _WORKER_STATE["shard_plans"]
+    caps = _WORKER_STATE["shard_caps"]
+    floor = _WORKER_STATE["shard_floor"]
+    maps = _WORKER_STATE["shard_maps"]
+    return searchers[index].execute(
+        plans[index], score_floor=floor, unseen_caps=caps[index],
+        distance_maps=maps,
+    )
+
+
+def _fork_shard_batch(
+    searchers: list,
+    plans: list,
+    caps: list,
+    floor: float | None,
+    workers: int,
+    max_task_retries: int,
+    distance_maps=None,
+) -> list[SearchResult]:
+    """Execute one scatter wave of shard searches across forked workers.
+
+    Same containment contract as :func:`_fork_search_batch`, at shard
+    granularity: a shard stranded by a crashed worker is re-submitted up to
+    ``max_task_retries`` pool rounds, then falls back to *sequential
+    execution of that shard only* in the parent — the merged top-k never
+    loses a shard's results.  Library errors raised by a shard search
+    propagate to the caller (exactly as the flat sequential path would
+    raise them); they are not retried.
+    """
+    context = multiprocessing.get_context("fork")
+    results: list[SearchResult | None] = [None] * len(searchers)
+    retry_counts = [0] * len(searchers)
+    pending = list(range(len(searchers)))
+    rounds_failed = 0
+    tracer = current_tracer()
+    payload = {
+        "shard_searchers": searchers,
+        "shard_plans": plans,
+        "shard_caps": caps,
+        "shard_floor": floor,
+        # Shared per-source distance maps, inherited through fork's memory
+        # copy like everything else in the payload (never pickled).
+        "shard_maps": distance_maps,
+    }
+    with _worker_handoff(payload):
+        while pending and rounds_failed <= max_task_retries:
+            failed: list[int] = []
+            if rounds_failed == 0:
+                with ProcessPoolExecutor(
+                    max_workers=min(workers, len(pending)),
+                    mp_context=context,
+                    initializer=_worker_init,
+                ) as pool:
+                    futures = {pool.submit(_shard_worker, i): i for i in pending}
+                    for future in as_completed(futures):
+                        i = futures[future]
+                        try:
+                            results[i] = future.result()
+                            results[i].stats.executor = "fork"
+                            results[i].stats.retries = retry_counts[i]
+                        except (BrokenProcessPool, OSError):
+                            # A worker died mid-shard; the shard is
+                            # re-runnable.
+                            failed.append(i)
+            else:
+                # Quarantine retries: one single-worker pool per stranded
+                # shard, so a shard that crashes its worker *every* time
+                # cannot poison the pool and re-strand healthy shards —
+                # only the true crasher reaches the sequential fallback.
+                for i in pending:
+                    with ProcessPoolExecutor(
+                        max_workers=1,
+                        mp_context=context,
+                        initializer=_worker_init,
+                    ) as pool:
+                        try:
+                            results[i] = pool.submit(_shard_worker, i).result()
+                            results[i].stats.executor = "fork"
+                            results[i].stats.retries = retry_counts[i]
+                        except (BrokenProcessPool, OSError):
+                            failed.append(i)
+            if failed:
+                rounds_failed += 1
+                for i in failed:
+                    retry_counts[i] += 1
+                tracer.event(
+                    "worker_crash", stranded=len(failed), round=rounds_failed
+                )
+            pending = sorted(failed)
+    if pending:
+        tracer.event("sequential_fallback", shards=len(pending))
+    for i in pending:
+        results[i] = searchers[i].execute(
+            plans[i], score_floor=floor, unseen_caps=caps[i],
+            distance_maps=distance_maps,
+        )
+        results[i].stats.executor = "sequential-fallback"
+        results[i].stats.retries = retry_counts[i]
+    return results  # type: ignore[return-value]  # every slot is filled
+
+
 # -------------------------------------------------------------- join phase 1
 def _join_worker(trajectory_id: int) -> tuple[int, dict[int, float], SearchStats]:
     engine: DirectionalSearchEngine = _WORKER_STATE["engine"]

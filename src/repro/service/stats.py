@@ -227,6 +227,10 @@ class ServiceStats:
                 "expanded_vertices": self.totals.expanded_vertices,
                 "refinements": self.totals.refinements,
             }
+            if self.totals.shards_planned:
+                out["shards_planned"] = self.totals.shards_planned
+                out["shards_executed"] = self.totals.shards_executed
+                out["shards_pruned"] = self.totals.shards_pruned
             if self.policy_degraded_results:
                 out["policy_degraded_results"] = self.policy_degraded_results
             if self.shed_reasons:
@@ -268,6 +272,11 @@ class ServiceStats:
             f"work:            {s['expanded_vertices']} expanded vertices, "
             f"{s['refinements']} refinements",
         ]
+        if "shards_planned" in s:
+            lines.append(
+                f"shards:          {s['shards_planned']} planned, "
+                f"{s['shards_executed']} executed, {s['shards_pruned']} pruned"
+            )
         if "shed_reasons" in s:
             shed = ", ".join(f"{r} {n}" for r, n in s["shed_reasons"].items())
             lines.append(f"shed:            {shed}")

@@ -1,0 +1,21 @@
+"""Sharded scatter-gather trajectory database.
+
+Partition the trajectory set by spatial region (``partition``), precompute
+per-shard keyword/region summaries that upper-bound any member's similarity
+to a query (``summary``), and scatter a top-k search across per-shard
+:class:`~repro.index.database.TrajectoryDatabase` views, merging the
+per-shard streams while pruning whole shards whose best-possible score
+cannot reach the running global kth score (``searcher``).
+"""
+
+from repro.shard.partition import GridPartitioner, Partitioner
+from repro.shard.searcher import ShardedQueryPlan, ShardedSearcher
+from repro.shard.summary import ShardSummary
+
+__all__ = [
+    "GridPartitioner",
+    "Partitioner",
+    "ShardSummary",
+    "ShardedQueryPlan",
+    "ShardedSearcher",
+]

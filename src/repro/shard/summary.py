@@ -1,0 +1,136 @@
+"""Per-shard keyword/region summaries and the shard-level score bound.
+
+A shard summary is everything the scatter-gather planner needs to bound the
+score of *any* trajectory in the shard without touching its members:
+
+- the shard's keyword **vocabulary** — every member's textual similarity to
+  a query is bounded by a measure-specific function of
+  ``c = |Q ∩ vocabulary|`` (a member's keyword set is a subset of the
+  vocabulary, so its overlap with the query can never exceed ``c``);
+- per-landmark **distance intervals** ``[min, max]`` over the shard's
+  covered vertices — the triangle inequality then lower-bounds the network
+  distance from any query location ``o`` to the whole shard:
+  ``sd(o, shard) >= max_l max(sd(l,o) - max_l, min_l - sd(l,o), 0)``,
+  which caps every member's spatial contribution from source ``o`` at
+  ``alpha * exp(-lb / sigma)``.
+
+Both parts are upper bounds by construction, so a shard whose combined
+bound falls below the running global kth exact score can be skipped with
+the same guarantee the per-trajectory bounds give inside a search.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.index.database import TrajectoryDatabase
+from repro.network.landmarks import LandmarkIndex
+
+__all__ = ["ShardSummary", "text_upper_bound"]
+
+
+def text_upper_bound(
+    keywords: frozenset[str], measure: str, vocabulary: frozenset[str]
+) -> float:
+    """Upper bound on ``measure(keywords, T)`` over any ``T ⊆ vocabulary``.
+
+    With ``c = |keywords ∩ vocabulary|`` and ``q = |keywords|``, any member
+    keyword set ``T`` has ``i = |keywords ∩ T| <= c``, which bounds each
+    set measure by its monotone closed form in ``i`` (``|T| >= i`` in every
+    denominator).  Unknown measures fall back to the trivial bound (1 when
+    any overlap is possible) — admissible, never wrong, just unprunable.
+    """
+    if not keywords:
+        return 0.0
+    c = len(keywords & vocabulary)
+    if c == 0:
+        return 0.0
+    q = len(keywords)
+    if measure == "jaccard":
+        return c / q
+    if measure == "dice":
+        return 2.0 * c / (q + c)
+    if measure == "cosine":
+        return math.sqrt(c / q)
+    if measure == "overlap":
+        return 1.0
+    return 1.0
+
+
+class ShardSummary:
+    """Immutable bound-support data for one shard (rebuild on mutation)."""
+
+    __slots__ = ("size", "vocabulary", "covered", "landmark_min", "landmark_max")
+
+    def __init__(
+        self,
+        size: int,
+        vocabulary: frozenset[str],
+        covered: np.ndarray,
+        landmark_min: np.ndarray | None,
+        landmark_max: np.ndarray | None,
+    ):
+        self.size = size
+        self.vocabulary = vocabulary
+        self.covered = covered
+        self.landmark_min = landmark_min  # (L,) over covered vertices
+        self.landmark_max = landmark_max
+
+    @classmethod
+    def build(
+        cls, database: TrajectoryDatabase, landmark_index: LandmarkIndex | None
+    ) -> "ShardSummary":
+        """Summarise one shard view (vocabulary + landmark intervals)."""
+        vocabulary: set[str] = set()
+        covered_set: set[int] = set()
+        for trajectory in database.trajectories:
+            vocabulary.update(trajectory.keywords)
+            covered_set.update(trajectory.vertex_set)
+        covered = np.fromiter(covered_set, dtype=np.intp, count=len(covered_set))
+        landmark_min = landmark_max = None
+        if landmark_index is not None and covered.size:
+            table = landmark_index._table[:, covered]  # (L, |covered|)
+            landmark_min = table.min(axis=1)
+            landmark_max = table.max(axis=1)
+        return cls(
+            size=len(database),
+            vocabulary=frozenset(vocabulary),
+            covered=covered,
+            landmark_min=landmark_min,
+            landmark_max=landmark_max,
+        )
+
+    def distance_lower_bounds(
+        self, landmark_index: LandmarkIndex | None, sources: np.ndarray
+    ) -> np.ndarray | None:
+        """Per-source lower bounds on ``sd(source, any covered vertex)``.
+
+        ``None`` when no landmark table exists (disconnected graph) — the
+        caller then falls back to the trivial zero bound.
+        """
+        if landmark_index is None or self.landmark_min is None:
+            return None
+        columns = landmark_index._table[:, sources]  # (L, m)
+        below = columns - self.landmark_max[:, None]
+        above = self.landmark_min[:, None] - columns
+        return np.maximum(np.maximum(below, above), 0.0).max(axis=0)
+
+    def upper_bound(
+        self,
+        lam: float,
+        keywords: frozenset[str],
+        measure: str,
+        unseen_caps: list[float] | None,
+    ) -> float:
+        """Best possible combined score of any trajectory in this shard.
+
+        ``unseen_caps`` are the per-source spatial contribution caps already
+        derived from :meth:`distance_lower_bounds` (``None`` means no
+        spatial information: the spatial term is bounded by ``lam``).
+        """
+        spatial = sum(unseen_caps) if unseen_caps is not None else lam
+        return spatial + (1.0 - lam) * text_upper_bound(
+            keywords, measure, self.vocabulary
+        )

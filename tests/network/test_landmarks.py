@@ -20,9 +20,14 @@ class TestBuild:
         index = LandmarkIndex.build(grid10, num_landmarks=6, seed=1)
         assert len(set(index.landmarks)) == len(index.landmarks)
 
-    def test_count_exceeding_graph_size_rejected(self, line_graph):
-        with pytest.raises(GraphError, match="num_landmarks"):
-            LandmarkIndex.build(line_graph, num_landmarks=50, seed=0)
+    def test_count_exceeding_graph_size_clamped(self, line_graph):
+        from repro.network import landmarks as landmarks_module
+
+        before = landmarks_module.clamp_events()
+        index = LandmarkIndex.build(line_graph, num_landmarks=50, seed=0)
+        assert len(index.landmarks) == line_graph.num_vertices
+        assert len(set(index.landmarks)) == line_graph.num_vertices
+        assert landmarks_module.clamp_events() == before + 1
 
     def test_nonpositive_count_rejected(self, grid10):
         with pytest.raises(GraphError, match="num_landmarks"):

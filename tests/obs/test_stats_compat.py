@@ -37,6 +37,11 @@ SEARCH_STATS_FIELDS = (
     "text_cache_hits",
     "text_cache_misses",
     "cache",
+    "shards_planned",
+    "shards_executed",
+    "shards_pruned",
+    "shard_seconds",
+    "shard_critical_seconds",
 )
 
 #: The frozen key set of ServiceStats.snapshot().

@@ -1,0 +1,87 @@
+"""Worker-crash containment for the sharded scatter (satellite contract).
+
+A worker process dying mid-scatter must cost retries, never answers: the
+crashed shard is re-submitted across pool rounds and finally executed
+sequentially *in the parent* — only that shard, the surviving shards'
+forked results are kept — and the merged top-k still matches the flat
+oracle exactly.
+"""
+
+import os
+
+import pytest
+
+from repro.core.query import UOTSQuery
+from repro.core.registry import make_searcher
+from repro.obs.trace import Tracer, activated
+from repro.parallel.executor import fork_available
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(), reason="fork start method not available"
+)
+
+
+def _arm_crash(sharded, shard_id):
+    """Make one shard's searcher kill any forked worker that runs it.
+
+    The instance attribute survives into workers via fork's memory copy;
+    the parent pid guard keeps the sequential fallback (and any other
+    parent-side call) on the real implementation.
+    """
+    parent_pid = os.getpid()
+    victim = sharded._collection.shards[shard_id].searcher
+    real_execute = victim.execute
+
+    def crashing_execute(plan, budget=None, **kwargs):
+        if os.getpid() != parent_pid:
+            os._exit(17)
+        return real_execute(plan, budget, **kwargs)
+
+    victim.execute = crashing_execute
+    return victim
+
+
+class TestCrashFallback:
+    QUERY = UOTSQuery.create([5, 210], [], lam=0.9, k=5)
+
+    def test_crashed_shard_falls_back_sequentially(self, database):
+        flat = make_searcher(database, "collaborative")
+        reference = flat.search(self.QUERY)
+
+        sharded = make_searcher(database, "sharded", shards=4, workers=4)
+        _arm_crash(sharded, shard_id=1)
+        tracer = Tracer()
+        with activated(tracer):
+            result = sharded.search(self.QUERY)
+
+        assert result.ids == reference.ids
+        assert result.scores == pytest.approx(reference.scores, abs=1e-9)
+        assert result.exact
+
+        trace = tracer.last_trace()
+        events = [e["name"] for e in _all_events(trace)]
+        assert "worker_crash" in events
+        assert "sequential_fallback" in events
+        # Only the crashed shard fell back; the rest completed forked.
+        fallbacks = [
+            e for e in _all_events(trace) if e["name"] == "sequential_fallback"
+        ]
+        assert fallbacks[-1]["shards"] == 1
+
+    def test_healthy_scatter_records_no_fallback(self, database):
+        sharded = make_searcher(database, "sharded", shards=4, workers=4)
+        tracer = Tracer()
+        with activated(tracer):
+            result = sharded.search(self.QUERY)
+        assert result.stats.executor == "fork"
+        events = [e["name"] for e in _all_events(tracer.last_trace())]
+        assert "worker_crash" not in events
+        assert "sequential_fallback" not in events
+
+
+def _all_events(span):
+    if span is None:
+        return
+    yield from span.events
+    for child in span.children:
+        yield from _all_events(child)

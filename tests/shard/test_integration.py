@@ -1,0 +1,165 @@
+"""End-to-end wiring of the sharded searcher through the serving stack.
+
+Covers the routing contract of the issue: ``QueryService`` /
+``execute_many`` route through shards under admission control, the
+service stats grow (gated) shard lanes, the metrics registry exports
+``repro_shard_*`` counters, and trace spans nest
+``query -> shard[i]``.
+"""
+
+import pytest
+
+from repro.core.query import UOTSQuery
+from repro.obs.adapters import bind_landmark_clamps
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer, activated
+from repro.service import QueryService
+
+QUERY = UOTSQuery.create([5, 100], ["park", "museum"], lam=0.4, k=5)
+
+
+class TestServiceRouting:
+    def test_submit_routes_through_shards(self, database):
+        flat = QueryService(database, "collaborative")
+        sharded = QueryService(database, "sharded", shards=8, workers=1)
+        reference = flat.submit(QUERY)
+        result = sharded.submit(QUERY)
+        assert result.ids == reference.ids
+        assert result.scores == pytest.approx(reference.scores, abs=1e-9)
+        assert result.stats.shards_planned > 0
+
+    def test_execute_many_agrees_with_flat(self, database):
+        flat = QueryService(database, "collaborative")
+        sharded = QueryService(database, "sharded", shards=8, workers=1)
+        queries = [
+            QUERY,
+            UOTSQuery.create([0, 210], ["lake"], lam=0.6, k=3),
+            UOTSQuery.create([42], ["park"], lam=0.0, k=3),
+        ]
+        for r, ref in zip(
+            sharded.execute_many(queries, workers=1),
+            flat.execute_many(queries, workers=1),
+        ):
+            assert r.ids == ref.ids
+            assert r.scores == pytest.approx(ref.scores, abs=1e-9)
+
+    def test_execute_many_forked_batch_nests_safely(self, database):
+        """A forked batch of sharded queries must not nest fork pools:
+        inside a batch worker the scatter degrades to sequential."""
+        from repro.parallel.executor import fork_available
+
+        if not fork_available():
+            pytest.skip("fork start method not available")
+        flat = QueryService(database, "collaborative")
+        sharded = QueryService(database, "sharded", shards=4, workers=4)
+        queries = [QUERY, UOTSQuery.create([0, 210], ["lake"], lam=0.6, k=3)]
+        for r, ref in zip(
+            sharded.execute_many(queries, workers=2),
+            flat.execute_many(queries, workers=1),
+        ):
+            assert r.ids == ref.ids
+            assert r.scores == pytest.approx(ref.scores, abs=1e-9)
+
+    def test_admission_still_gates_sharded_queries(self, database):
+        from repro.service.admission import AdmissionController
+
+        service = QueryService(
+            database, "sharded", shards=4, workers=1,
+            admission=AdmissionController(max_inflight=1),
+        )
+        result = service.submit(QUERY)
+        assert result.error is None
+        assert service.stats.rejected_queries == 0
+
+    def test_explain_shows_shard_schedule(self, database):
+        service = QueryService(database, "sharded", shards=8, workers=1)
+        text = service.explain(QUERY)
+        assert "QueryPlan[sharded]" in text
+        assert "shards:" in text
+        assert "shard[" in text
+
+
+class TestServiceStatsLanes:
+    def test_shard_lanes_appear_after_sharded_traffic(self, database):
+        service = QueryService(database, "sharded", shards=8, workers=1)
+        service.submit(QUERY)
+        snapshot = service.stats.snapshot()
+        assert snapshot["shards_planned"] > 0
+        assert (
+            snapshot["shards_executed"] + snapshot["shards_pruned"]
+            == snapshot["shards_planned"]
+        )
+        assert "shards:" in service.stats.describe()
+
+    def test_flat_service_snapshot_is_unchanged(self, database):
+        """Gating: a flat service's snapshot has no shard keys at all."""
+        service = QueryService(database, "collaborative")
+        service.submit(QUERY)
+        snapshot = service.stats.snapshot()
+        assert "shards_planned" not in snapshot
+        assert "shards" not in service.stats.describe()
+
+
+class TestMetrics:
+    def test_shard_counters_exported(self, database):
+        registry = MetricsRegistry()
+        service = QueryService(
+            database, "sharded", shards=8, workers=1, metrics=registry
+        )
+        service.submit(QUERY)
+        registry.collect()
+        totals = service.stats.totals
+        planned = registry.counter("repro_shard_planned_total")
+        executed = registry.counter("repro_shard_executed_total")
+        pruned = registry.counter("repro_shard_pruned_total")
+        assert planned.value() == totals.shards_planned > 0
+        assert executed.value() == totals.shards_executed
+        assert pruned.value() == totals.shards_pruned
+        rendered = registry.render_prometheus()
+        assert "repro_shard_planned_total" in rendered
+        assert "repro_shard_executed_total" in rendered
+        assert "repro_shard_pruned_total" in rendered
+
+    def test_landmark_clamp_counter_exported(self):
+        from repro.network import landmarks
+
+        registry = MetricsRegistry()
+        bind_landmark_clamps(registry)
+        registry.collect()
+        counter = registry.counter("repro_index_landmark_clamps_total")
+        assert counter.value() == landmarks.clamp_events()
+
+
+class TestTraceNesting:
+    def test_spans_nest_query_shard(self, database):
+        service = QueryService(database, "sharded", shards=8, workers=1)
+        tracer = Tracer()
+        with activated(tracer):
+            service.submit(QUERY)
+        root = tracer.last_trace()
+        assert root is not None
+        execute = _find(root, "execute")
+        assert execute is not None
+        assert execute.attributes["algorithm"] == "sharded"
+        shard_spans = [
+            child for child in execute.children
+            if child.name.startswith("shard[")
+        ]
+        assert shard_spans  # per-shard children nested under execute
+        executed = [s for s in shard_spans if s.attributes.get("executed")]
+        pruned = [s for s in shard_spans if s.attributes.get("pruned")]
+        assert executed
+        assert pruned  # the selective query prunes at least one shard
+        for span in pruned:
+            assert "upper_bound" in span.attributes
+        assert execute.attributes["shards_planned"] == len(shard_spans)
+
+
+def _find(span, name):
+    if span.name == name:
+        return span
+    for child in span.children:
+        found = _find(child, name)
+        if found is not None:
+            return found
+    return None

@@ -1,0 +1,63 @@
+"""Unit tests for the spatial partitioner layer."""
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.shard.partition import GridPartitioner, Partitioner, trajectory_center
+
+
+class TestTrajectoryCenter:
+    def test_center_is_bbox_midpoint(self, grid20, annotated_trips):
+        trajectory = next(iter(annotated_trips))
+        cx, cy = trajectory_center(grid20, trajectory)
+        xs = [grid20.xs[v] for v in trajectory.vertex_set]
+        ys = [grid20.ys[v] for v in trajectory.vertex_set]
+        assert cx == pytest.approx((min(xs) + max(xs)) / 2.0)
+        assert cy == pytest.approx((min(ys) + max(ys)) / 2.0)
+
+    def test_center_inside_graph_bbox(self, grid20, annotated_trips):
+        min_x, min_y, max_x, max_y = grid20.bounding_box()
+        for trajectory in annotated_trips:
+            cx, cy = trajectory_center(grid20, trajectory)
+            assert min_x <= cx <= max_x
+            assert min_y <= cy <= max_y
+
+
+class TestGridPartitioner:
+    def test_every_trajectory_labelled(self, grid20, annotated_trips):
+        labels = GridPartitioner(8).assign(grid20, annotated_trips)
+        assert set(labels) == {t.id for t in annotated_trips}
+
+    def test_labels_within_grid(self, grid20, annotated_trips):
+        labels = GridPartitioner(8).assign(grid20, annotated_trips)
+        # cols = ceil(sqrt(8)) = 3, rows = ceil(8/3) = 3 -> labels in [0, 9)
+        assert all(0 <= label < 9 for label in labels.values())
+
+    def test_single_shard_collapses_to_one_label(self, grid20, annotated_trips):
+        labels = GridPartitioner(1).assign(grid20, annotated_trips)
+        assert set(labels.values()) == {0}
+
+    def test_deterministic(self, grid20, annotated_trips):
+        first = GridPartitioner(8).assign(grid20, annotated_trips)
+        second = GridPartitioner(8).assign(grid20, annotated_trips)
+        assert first == second
+
+    def test_nearby_trajectories_share_a_cell(self, grid20, annotated_trips):
+        """A trajectory always shares its cell with itself under re-assign
+        and the grid respects locality: identical centers -> same label."""
+        partitioner = GridPartitioner(8)
+        labels = partitioner.assign(grid20, annotated_trips)
+        centers = {
+            t.id: trajectory_center(grid20, t) for t in annotated_trips
+        }
+        by_center = {}
+        for tid, center in centers.items():
+            by_center.setdefault(center, set()).add(labels[tid])
+        assert all(len(cells) == 1 for cells in by_center.values())
+
+    def test_rejects_nonpositive_shards(self):
+        with pytest.raises(DatasetError):
+            GridPartitioner(0)
+
+    def test_satisfies_protocol(self):
+        assert isinstance(GridPartitioner(4), Partitioner)

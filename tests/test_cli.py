@@ -95,6 +95,17 @@ class TestQuery:
                 ]
             )
 
+    def test_sharded_algorithm_with_shard_flags(self, dataset_dir, capsys):
+        code = main(
+            [
+                "query", "--data", str(dataset_dir), "--locations", "1,5,9",
+                "--preference", "park seafood", "--k", "3",
+                "--algorithm", "sharded", "--shards", "4", "--workers", "1",
+            ]
+        )
+        assert code == 0
+        assert "trajectory" in capsys.readouterr().out
+
 
 class TestExplain:
     def test_prints_plan_without_executing(self, dataset_dir, capsys):
@@ -124,6 +135,24 @@ class TestExplain:
         out = capsys.readouterr().out
         assert "round-robin" in out
         assert "alt:          off" in out
+
+    def test_sharded_explain_shows_shard_schedule(self, dataset_dir, capsys):
+        code = main(
+            [
+                "explain", "--data", str(dataset_dir), "--locations", "1,5,9",
+                "--preference", "park seafood", "--algorithm", "sharded",
+                "--shards", "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "QueryPlan[sharded]" in out
+        assert "shards:" in out
+        assert "prunable at plan floor" in out
+        assert "shard[" in out
+        # Explain never executes; the plan rendering stays result-free.
+        assert "visited=" not in out
+        assert "score" not in out
 
     def test_every_algorithm_explains(self, dataset_dir, capsys):
         for algorithm in ("brute-force", "text-first", "spatial-first"):
