@@ -227,6 +227,14 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     service = _make_service(database, args, metrics=registry)
     for _ in range(args.repeat):
         service.submit(query, tenant=args.tenant, priority=args.priority)
+        if args.mutate > 0:
+            # Churn N stored trajectories: each remove+re-add round-trips
+            # the typed mutation events and populates the
+            # repro_invalidation_* series the obs smoke checks.
+            ids = [t.id for t in database.trajectories][: args.mutate]
+            for trajectory_id in ids:
+                trajectory = database.remove(trajectory_id)
+                database.add(trajectory)
     if args.format == "json":
         print(json.dumps(registry.snapshot(), indent=2, sort_keys=True))
     else:
@@ -464,6 +472,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--repeat", type=int, default=1, metavar="N",
         help="serve the query N times before dumping (exercises the caches)",
+    )
+    p.add_argument(
+        "--mutate", type=int, default=0, metavar="N",
+        help="between repeats, remove and re-add N stored trajectories "
+        "(exercises the scoped-invalidation series; needs "
+        "--result-cache-size > 0 to register the listener)",
     )
     p.add_argument(
         "--format", choices=["prometheus", "json"], default="prometheus",

@@ -88,6 +88,27 @@ class CorruptPageError(StorageError):
         super().__init__(message)
 
 
+class MutationDispatchError(ReproError):
+    """Raised when one or more mutation listeners failed during dispatch.
+
+    The database dispatches every :class:`~repro.index.events.MutationEvent`
+    to *all* registered listeners even when one raises — aborting
+    mid-dispatch would leave later caches stale relative to the already
+    mutated indexes.  The individual exceptions are collected and re-raised
+    together through this error (``.causes``); the database and every
+    listener that did not raise are fully consistent by the time it
+    propagates.
+    """
+
+    def __init__(self, event: object, causes: list[BaseException]):
+        self.event = event
+        self.causes = causes
+        details = "; ".join(f"{type(c).__name__}: {c}" for c in causes)
+        super().__init__(
+            f"{len(causes)} mutation listener(s) failed for {event!r}: {details}"
+        )
+
+
 class BudgetExceededError(ReproError):
     """Raised when a strict :class:`~repro.resilience.SearchBudget` trips.
 

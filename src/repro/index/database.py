@@ -23,7 +23,8 @@ from typing import Callable
 
 import numpy as np
 
-from repro.errors import DatasetError, GraphError
+from repro.errors import DatasetError, GraphError, MutationDispatchError
+from repro.index.events import MutationEvent
 from repro.index.vertex_index import VertexTrajectoryIndex
 from repro.network.graph import SpatialNetwork
 from repro.network.landmarks import LandmarkIndex
@@ -73,7 +74,7 @@ class TrajectoryDatabase:
         self._num_landmarks = num_landmarks
         self._landmark_index: LandmarkIndex | None | object = _UNSET
         self._vertex_arrays: dict[int, np.ndarray] = {}
-        self._invalidation_listeners: list[Callable[[int], None]] = []
+        self._mutation_listeners: list[Callable[[MutationEvent], None]] = []
 
     # ------------------------------------------------------------ accessors
     @property
@@ -167,40 +168,84 @@ class TrajectoryDatabase:
             self._vertex_index.add(trajectory)
             self._keyword_index.add(trajectory)
         except Exception:
-            # Keep the three structures consistent on partial failure.
+            # Keep the three structures consistent on partial failure.  No
+            # event fires for a rolled-back add: nothing changed.
             self._trajectories.remove(trajectory.id)
             if trajectory.id in self._vertex_index:
                 self._vertex_index.remove(trajectory.id)
             raise
-        self._invalidate(trajectory.id)
+        self._dispatch(self._event("add", trajectory))
 
     def remove(self, trajectory_id: int) -> Trajectory:
         """Remove a trajectory from the set and both indexes."""
         trajectory = self._trajectories.remove(trajectory_id)
         self._vertex_index.remove(trajectory_id)
         self._keyword_index.remove(trajectory_id)
-        self._invalidate(trajectory_id)
+        self._dispatch(self._event("remove", trajectory))
         return trajectory
 
-    def add_invalidation_listener(self, listener: Callable[[int], None]) -> None:
-        """Register a callback fired on every mutation (``add``/``remove``).
+    def add_mutation_listener(self, listener: Callable[[MutationEvent], None]) -> None:
+        """Register a callback fired with a typed event on every mutation.
 
-        The listener receives the mutated trajectory id, through the same
+        The listener receives the :class:`~repro.index.events.MutationEvent`
+        (kind, trajectory id, keyword set, vertex array) through the same
         hook that scrubs the database's own cross-query caches — this is
         how derived caches living *above* the database (the service-level
-        :class:`~repro.perf.result_cache.ResultCache`) stay consistent
-        without the database knowing about the serving layer.  Listeners
-        live as long as the database; register per long-lived cache, not
-        per query.
+        :class:`~repro.perf.result_cache.ResultCache`, the shard mirror)
+        stay consistent without the database knowing about those layers.
+        Listeners live as long as the database; register per long-lived
+        cache, not per query.  Every listener runs on every mutation even
+        when an earlier one raises — failures are aggregated into one
+        :class:`~repro.errors.MutationDispatchError` after full dispatch.
         """
-        self._invalidation_listeners.append(listener)
+        self._mutation_listeners.append(listener)
 
-    def _invalidate(self, trajectory_id: int) -> None:
-        """Drop cached state that mentions a mutated trajectory id."""
-        self._caches.invalidate_trajectory(trajectory_id)
-        self._vertex_arrays.pop(trajectory_id, None)
-        for listener in self._invalidation_listeners:
-            listener(trajectory_id)
+    def add_invalidation_listener(self, listener: Callable[[int], None]) -> None:
+        """Legacy hook: register an id-only mutation callback.
+
+        Kept for callers that only need the mutated trajectory id and none
+        of the event's scope.  New code should use
+        :meth:`add_mutation_listener`, which also carries the mutation kind,
+        keyword set, and vertex array needed for scoped invalidation.
+        """
+        self._mutation_listeners.append(lambda event: listener(event.trajectory_id))
+
+    def _event(self, kind: str, trajectory: Trajectory) -> MutationEvent:
+        """Build the scoped event for a just-applied mutation.
+
+        For removals the cached vertex array (if any) is reused — the
+        trajectory is already out of the set, so this is the last cheap
+        chance to capture its spatial reach.
+        """
+        vertices = self._vertex_arrays.get(trajectory.id)
+        if vertices is None:
+            vertex_set = trajectory.vertex_set
+            vertices = np.fromiter(vertex_set, dtype=np.intp, count=len(vertex_set))
+        return MutationEvent(
+            kind=kind,
+            trajectory_id=trajectory.id,
+            keywords=trajectory.keywords,
+            vertices=vertices,
+        )
+
+    def _dispatch(self, event: MutationEvent) -> None:
+        """Scrub own caches, then fan the event out to every listener.
+
+        Dispatch never stops early: a raising listener would otherwise
+        leave later caches stale relative to the already-mutated indexes.
+        Collected failures surface together as
+        :class:`~repro.errors.MutationDispatchError`.
+        """
+        self._caches.on_event(event)
+        self._vertex_arrays.pop(event.trajectory_id, None)
+        failures: list[BaseException] = []
+        for listener in self._mutation_listeners:
+            try:
+                listener(event)
+            except Exception as exc:  # noqa: BLE001 - aggregated below
+                failures.append(exc)
+        if failures:
+            raise MutationDispatchError(event, failures)
 
     def __repr__(self) -> str:
         return (

@@ -154,6 +154,22 @@ def bind_service_stats(
         # Overload-policy series materialise only once a policy decision
         # happened: an un-policied service exports exactly the pre-overload
         # instrument set (get-or-create makes the repeats cheap).
+        if "invalidation_events" in snapshot:
+            invalidation_events = registry.counter(
+                "repro_invalidation_events_total",
+                "Result-cache invalidation events, by mutation kind",
+            )
+            for kind, count in snapshot["invalidation_kinds"].items():
+                invalidation_events.set_total(count, kind=kind, **labels)
+            registry.counter(
+                "repro_invalidation_entries_dropped_total",
+                "Result-cache entries dropped by scoped invalidation",
+            ).set_total(snapshot["invalidation_entries_dropped"], **labels)
+            registry.counter(
+                "repro_invalidation_entries_retained_total",
+                "Result-cache entries proven unaffected and retained, "
+                "summed per event",
+            ).set_total(snapshot["invalidation_entries_retained"], **labels)
         if "shed_reasons" in snapshot:
             shed = registry.counter(
                 "repro_service_shed_total", "Queries shed by policy, by reason"

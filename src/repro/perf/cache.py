@@ -78,12 +78,18 @@ class LRUCache:
     *used* (read or written) entry.
     """
 
-    __slots__ = ("_capacity", "_data", "stats")
+    __slots__ = ("_capacity", "_data", "stats", "evict_hook")
 
     def __init__(self, capacity: int):
         self._capacity = int(capacity)
         self._data: OrderedDict[Hashable, Any] = OrderedDict()
         self.stats = CacheStats()
+        #: Optional ``(key, value)`` callback fired on capacity eviction —
+        #: lets owners of auxiliary indexes (e.g. the result cache's
+        #: trajectory reverse index) unlink evicted entries.  Not fired by
+        #: explicit ``pop``/``invalidate_where``/``clear``, whose callers
+        #: already know which keys they removed.
+        self.evict_hook: Callable[[Hashable, Any], None] | None = None
 
     @property
     def capacity(self) -> int:
@@ -119,8 +125,23 @@ class LRUCache:
             data.move_to_end(key)
         data[key] = value
         if len(data) > self._capacity:
-            data.popitem(last=False)
+            evicted_key, evicted_value = data.popitem(last=False)
             self.stats.evictions += 1
+            if self.evict_hook is not None:
+                self.evict_hook(evicted_key, evicted_value)
+
+    def pop(self, key: Hashable, default: Any = None) -> Any:
+        """Remove and return an entry without touching hit/miss counters."""
+        value = self._data.pop(key, _MISSING)
+        return default if value is _MISSING else value
+
+    def items(self) -> list[tuple[Hashable, Any]]:
+        """A snapshot of ``(key, value)`` pairs, LRU first.
+
+        A list copy, so callers may mutate the cache while iterating —
+        the scoped-invalidation scan relies on this.
+        """
+        return list(self._data.items())
 
     def invalidate_where(self, predicate: Callable[[Hashable], bool]) -> int:
         """Drop every entry whose key satisfies ``predicate``; returns count."""

@@ -15,13 +15,23 @@ results recur across queries and are cached here:
 
 Both caches hold exact values only, so hits never change results — the
 semantics-preserving invariant the benchmark asserts.  Mutating the
-database (``add``/``remove``) invalidates affected entries.  See
-:mod:`repro.perf.cache` for the fork-safety argument.
+database (``add``/``remove``) dispatches a typed
+:class:`~repro.index.events.MutationEvent` into :meth:`QueryCaches.on_event`,
+which drops only the entries the mutation can reach: the mutated
+trajectory's own distance rows, and text tables whose keyword set
+intersects the trajectory's (score tables store only positive scores, so
+a keyword-disjoint table can neither contain nor come to need the mutated
+trajectory).  See :mod:`repro.perf.cache` for the fork-safety argument.
 """
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.perf.cache import CacheStats, LRUCache
+
+if TYPE_CHECKING:  # pragma: no cover - import would cycle through repro.index
+    from repro.index.events import MutationEvent
 
 __all__ = ["QueryCaches", "DEFAULT_DISTANCE_CAPACITY", "DEFAULT_TEXT_CAPACITY"]
 
@@ -63,12 +73,30 @@ class QueryCaches:
         return self.distances.enabled or self.text.enabled
 
     # ---------------------------------------------------------- invalidation
-    def invalidate_trajectory(self, trajectory_id: int) -> None:
-        """Drop everything that mentions ``trajectory_id``.
+    def on_event(self, event: "MutationEvent") -> None:
+        """Scoped invalidation for one typed mutation event.
 
-        Distance entries are keyed ``(trajectory_id, location)``; text
-        score tables cover the whole database, so the text cache is cleared
-        wholesale (its tables are cheap to rebuild relative to Dijkstras).
+        Distance entries are keyed ``(trajectory_id, location)``, so only
+        the mutated trajectory's rows go.  Text tables are keyed
+        ``(query keyword set, measure)`` and store only trajectories with a
+        *positive* score; a table whose keyword set is disjoint from the
+        mutated trajectory's neither contains it (removal) nor would gain
+        it (add), so only intersecting tables are dropped.  A mutation with
+        no keywords touches no text table at all.
+        """
+        trajectory_id = event.trajectory_id
+        self.distances.invalidate_where(lambda key: key[0] == trajectory_id)
+        if event.keywords:
+            keywords = event.keywords
+            self.text.invalidate_where(lambda key: bool(key[0] & keywords))
+
+    def invalidate_trajectory(self, trajectory_id: int) -> None:
+        """Legacy conservative invalidation by id alone.
+
+        Without the mutation's keyword scope the text cache cannot tell
+        which tables are affected, so it clears wholesale.  The database
+        now dispatches typed events through :meth:`on_event`; this remains
+        for callers holding only an id.
         """
         self.distances.invalidate_where(lambda key: key[0] == trajectory_id)
         self.text.clear()

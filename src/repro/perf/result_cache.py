@@ -16,12 +16,33 @@ Correctness invariants (the semantics oracle in
   are stored (:meth:`ResultCache.cacheable`); budgeted or degraded runs
   bypass the cache entirely — both read and write — because a degraded
   answer is execution policy, not query semantics.
-- **Invalidation on mutation.**  Any ``database.add``/``remove`` clears
-  the cache wholesale, through the same
-  :meth:`~repro.index.database.TrajectoryDatabase._invalidate` hook that
-  already scrubs ``database.caches`` (an added trajectory can enter *any*
-  top-k, so per-entry invalidation would be wrong for half the mutations
-  and is not worth the asymmetry).
+- **Scoped invalidation on mutation.**  Every ``database.add``/``remove``
+  dispatches a typed :class:`~repro.index.events.MutationEvent` into
+  :meth:`ResultCache.on_event`, which drops exactly the entries the
+  mutation can affect:
+
+  * a **removal** only changes results that *ranked* the removed
+    trajectory (dropping a non-member cannot reorder or admit anyone),
+    so a reverse index ``trajectory_id -> fingerprints that ranked it``
+    names the doomed entries directly — zero-filled padding items count
+    as ranked, keeping underfull-database results covered;
+  * an **add** can only displace a cached top-k whose kth score the new
+    trajectory could reach.  Its best possible score against a cached
+    query is bounded by the landmark distance lower bound per query
+    location (``(lam/|O|) * exp(-lb/sigma)`` summed over sources) plus
+    the keyword-overlap text upper bound
+    (:func:`repro.text.similarity.text_upper_bound` with the new
+    trajectory's keywords as the vocabulary).  An entry whose cached kth
+    score *strictly* exceeds that bound provably survives — strict,
+    because score ties are broken by lower id and the newcomer could win
+    one.  The conservative path still drops the entry whenever the
+    proof is unavailable: no stored query metadata, an underfull or
+    zero-padded top-k (``kth_score == 0``), or no landmark table to
+    bound the spatial term below the trivial ``lam`` cap when that cap
+    alone cannot clear the kth score.
+
+  Constructing with ``scoped=False`` restores wholesale clear-on-anything
+  (the A/B baseline the ingest benchmark measures against).
 - **Copy-out.**  A hit returns a *fresh* :class:`SearchResult` (items are
   immutable frozen dataclasses and safely shared; the list and the stats
   block are new), marked ``stats.cache = "result"`` with zero work
@@ -37,11 +58,16 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Hashable, Iterable
 
+import numpy as np
+
 from repro.core.results import SearchResult, SearchStats
 from repro.perf.cache import CacheStats, LRUCache
+from repro.text.similarity import text_upper_bound
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
     from repro.core.query import UOTSQuery
+    from repro.index.database import TrajectoryDatabase
+    from repro.index.events import MutationEvent
     from repro.resilience.budget import SearchBudget
 
 __all__ = ["ResultCache", "query_fingerprint", "DEFAULT_RESULT_CAPACITY"]
@@ -82,6 +108,39 @@ def query_fingerprint(
     )
 
 
+class _CachedEntry:
+    """One cached result plus the query scope its survival proof needs.
+
+    ``locations is None`` marks an entry stored without query metadata
+    (legacy ``put`` callers): it still serves hits and still invalidates
+    correctly on removal through the reverse index, but it carries no
+    proof material, so any ``add`` drops it conservatively.
+    """
+
+    __slots__ = ("items", "locations", "keywords", "lam", "k", "text_measure")
+
+    def __init__(
+        self,
+        items: tuple,
+        locations: np.ndarray | None,
+        keywords: frozenset[str],
+        lam: float,
+        k: int,
+        text_measure: str,
+    ):
+        self.items = items
+        self.locations = locations  # intp array of q.O, or None
+        self.keywords = keywords
+        self.lam = lam
+        self.k = k
+        self.text_measure = text_measure
+
+    @property
+    def kth_score(self) -> float:
+        """The cached kth (worst ranked) score — the add-survival floor."""
+        return self.items[-1].score if self.items else 0.0
+
+
 class ResultCache:
     """A bounded (query fingerprint -> SearchResult) LRU cache.
 
@@ -89,14 +148,29 @@ class ResultCache:
     non-positive value) disables the cache — every :meth:`get` misses and
     every :meth:`put` is dropped, mirroring :class:`~repro.perf.cache.
     LRUCache` semantics so callers need no separate on/off branch.
+    ``scoped=False`` disables per-entry invalidation: every mutation event
+    clears the cache wholesale (the ingest benchmark's baseline arm).
     """
 
-    __slots__ = ("_entries",)
+    __slots__ = (
+        "_entries",
+        "_ranked_by",
+        "_scoped",
+        "invalidation_events",
+        "invalidation_entries_dropped",
+        "invalidation_entries_retained",
+    )
 
-    def __init__(self, capacity: int | None = None):
+    def __init__(self, capacity: int | None = None, scoped: bool = True):
         if capacity is None:
             capacity = DEFAULT_RESULT_CAPACITY
         self._entries = LRUCache(capacity)
+        self._entries.evict_hook = self._on_evict
+        self._ranked_by: dict[int, set[Hashable]] = {}
+        self._scoped = bool(scoped)
+        self.invalidation_events = 0
+        self.invalidation_entries_dropped = 0
+        self.invalidation_entries_retained = 0
 
     # ------------------------------------------------------------ accessors
     @property
@@ -108,6 +182,11 @@ class ResultCache:
     def enabled(self) -> bool:
         """Whether the cache stores anything at all."""
         return self._entries.enabled
+
+    @property
+    def scoped(self) -> bool:
+        """Whether mutation events invalidate per entry (vs wholesale)."""
+        return self._scoped
 
     @property
     def stats(self) -> CacheStats:
@@ -140,11 +219,11 @@ class ResultCache:
         callers stamp wall time and executor labels onto results, and a
         shared mutable object would let one caller corrupt the next hit.
         """
-        items = self._entries.get(key)
-        if items is None:
+        entry = self._entries.get(key)
+        if entry is None:
             return None
         return SearchResult(
-            items=list(items),
+            items=list(entry.items),
             stats=SearchStats(cache=RESULT_CACHE_MARKER),
             exact=True,
         )
@@ -154,32 +233,170 @@ class ResultCache:
         key: Hashable,
         result: SearchResult,
         budget: SearchBudget | None = None,
+        query: UOTSQuery | None = None,
     ) -> bool:
         """Store a completed result if it is :meth:`cacheable`.
 
         Only the immutable item ranking is kept — stats are per-execution
-        and rebuilt fresh on every hit.  Returns whether the entry was
+        and rebuilt fresh on every hit.  Passing ``query`` stores the
+        scope metadata (locations, keywords, lam, k, measure) that lets
+        :meth:`on_event` prove the entry unaffected by later adds; without
+        it the entry drops on any add.  Returns whether the entry was
         stored.
         """
         if not self.enabled or not self.cacheable(result, budget):
             return False
-        self._entries.put(key, tuple(result.items))
+        old = self._entries.peek(key)
+        if old is not None:
+            self._unlink(key, old)
+        if query is not None:
+            locations = np.array(sorted(query.locations), dtype=np.intp)
+            entry = _CachedEntry(
+                items=tuple(result.items),
+                locations=locations,
+                keywords=query.keywords,
+                lam=query.lam,
+                k=query.k,
+                text_measure=query.text_measure,
+            )
+        else:
+            entry = _CachedEntry(
+                items=tuple(result.items),
+                locations=None,
+                keywords=frozenset(),
+                lam=0.0,
+                k=len(result.items),
+                text_measure="jaccard",
+            )
+        self._entries.put(key, entry)
+        for item in entry.items:
+            self._ranked_by.setdefault(item.trajectory_id, set()).add(key)
         return True
 
     # ---------------------------------------------------------- invalidation
-    def on_mutation(self, trajectory_id: int) -> None:
-        """Database mutation hook: any trajectory churn clears everything.
+    def on_event(
+        self,
+        event: MutationEvent,
+        database: TrajectoryDatabase | None = None,
+    ) -> tuple[int, int]:
+        """Invalidate for one typed mutation event; ``(dropped, retained)``.
 
-        A removed trajectory invalidates every result that ranked it; an
-        added one can enter any top-k.  Wholesale clearing is the simplest
-        rule that is correct for both, and entries are cheap to rebuild
-        (one search) relative to reasoning about partial invalidation.
+        ``database`` supplies the landmark table and ``sigma`` that
+        tighten the add-survival spatial bound; without it the spatial
+        term falls back to the trivial ``lam`` cap (still correct, far
+        less selective).  In wholesale mode (``scoped=False``) every
+        event clears the cache.
+        """
+        self.invalidation_events += 1
+        size_before = len(self._entries)
+        if not self._scoped:
+            self.clear()
+            dropped = size_before
+        elif event.kind == "remove":
+            dropped = self._on_remove(event.trajectory_id)
+        else:
+            dropped = self._on_add(event, database)
+        retained = len(self._entries)
+        self.invalidation_entries_dropped += dropped
+        self.invalidation_entries_retained += retained
+        return dropped, retained
+
+    def _on_remove(self, trajectory_id: int) -> int:
+        """Drop exactly the entries that ranked the removed trajectory."""
+        keys = self._ranked_by.pop(trajectory_id, None)
+        if not keys:
+            return 0
+        dropped = 0
+        for key in keys:
+            entry = self._entries.pop(key)
+            if entry is not None:
+                dropped += 1
+                self._unlink(key, entry, skip=trajectory_id)
+        return dropped
+
+    def _on_add(
+        self, event: MutationEvent, database: TrajectoryDatabase | None
+    ) -> int:
+        """Drop entries the new trajectory could displace; keep the proven.
+
+        Survival proof per entry: the newcomer's best possible score
+        against the cached query is at most ``spatial_ub + (1-lam) *
+        text_upper_bound``; a cached kth score strictly above that cannot
+        be displaced (strict — at equal score the lower id wins, and the
+        newcomer might have one).
+        """
+        landmarks = sigma = None
+        if database is not None:
+            landmarks = database.landmark_index
+            sigma = database.sigma
+        dropped = 0
+        for key, entry in self._entries.items():
+            if self._survives_add(entry, event, landmarks, sigma):
+                continue
+            self._entries.pop(key)
+            self._unlink(key, entry)
+            dropped += 1
+        return dropped
+
+    @staticmethod
+    def _survives_add(
+        entry: _CachedEntry,
+        event: MutationEvent,
+        landmarks,
+        sigma: float | None,
+    ) -> bool:
+        if entry.locations is None:
+            return False  # no proof material stored
+        if len(entry.items) < entry.k or entry.kth_score <= 0.0:
+            return False  # underfull or zero-padded: anything can enter
+        lam = entry.lam
+        spatial_ub = 0.0
+        if lam > 0.0:
+            spatial_ub = lam  # trivial cap: exp(-d/sigma) <= 1 per source
+            if landmarks is not None and sigma is not None and event.vertices.size:
+                bounds = landmarks.lower_bounds_to_set(
+                    entry.locations, event.vertices
+                )
+                spatial_ub = float(
+                    np.exp(-bounds / sigma).sum() * (lam / entry.locations.size)
+                )
+        text_ub = (1.0 - lam) * text_upper_bound(
+            entry.keywords, entry.text_measure, event.keywords
+        )
+        return entry.kth_score > spatial_ub + text_ub
+
+    def _unlink(self, key: Hashable, entry: _CachedEntry, skip: int = -1) -> None:
+        """Remove ``key`` from every reverse-index posting of ``entry``."""
+        for item in entry.items:
+            trajectory_id = item.trajectory_id
+            if trajectory_id == skip:
+                continue
+            keys = self._ranked_by.get(trajectory_id)
+            if keys is not None:
+                keys.discard(key)
+                if not keys:
+                    del self._ranked_by[trajectory_id]
+
+    def _on_evict(self, key: Hashable, entry: _CachedEntry) -> None:
+        """LRU capacity eviction hook: keep the reverse index consistent."""
+        self._unlink(key, entry)
+
+    def on_mutation(self, trajectory_id: int) -> None:
+        """Legacy id-only mutation hook: clears everything.
+
+        Without the mutation's kind and scope neither the reverse index
+        (needs to know it was a removal) nor the add bound (needs keywords
+        and vertices) applies; wholesale clearing is the only correct
+        response to a bare id.  The database now dispatches typed events —
+        prefer wiring :meth:`on_event` through
+        ``database.add_mutation_listener``.
         """
         self.clear()
 
     def clear(self) -> None:
         """Drop all cached results (counters are kept — they are history)."""
         self._entries.clear()
+        self._ranked_by.clear()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -190,5 +407,5 @@ class ResultCache:
     def __repr__(self) -> str:
         return (
             f"ResultCache(size={len(self._entries)}/{self.capacity}, "
-            f"stats={self.stats!r})"
+            f"scoped={self._scoped}, stats={self.stats!r})"
         )

@@ -106,8 +106,10 @@ class QueryService:
         pre-built :class:`~repro.perf.result_cache.ResultCache` to share
         between services.  When enabled, exact un-budgeted answers are
         cached under a canonical query fingerprint and identical repeats
-        are served in O(1); the cache is registered with the database's
-        invalidation hook so ``add``/``remove`` clear it.
+        are served in O(1); the service registers a typed mutation
+        listener on the database so ``add``/``remove`` invalidate only
+        the entries they can affect (see
+        :meth:`~repro.perf.result_cache.ResultCache.on_event`).
     **searcher_kwargs:
         Tuning kwargs forwarded to the registry factory (``alt=``,
         ``batch_size=``, ``refinement=``, ``scheduler=``).
@@ -146,7 +148,7 @@ class QueryService:
             self._tuning_key = tuple(
                 sorted(get_spec(algorithm).resolve_tuning(**searcher_kwargs).items())
             )
-            database.add_invalidation_listener(result_cache.on_mutation)
+            database.add_mutation_listener(self._on_mutation)
         else:
             self._tuning_key = ()
         if trace is True:
@@ -286,6 +288,27 @@ class QueryService:
                 self._executor_retries.inc(result.stats.retries)
 
     # ------------------------------------------------------- result caching
+    def _on_mutation(self, event) -> None:
+        """Database mutation listener: scoped result-cache invalidation.
+
+        Routes the typed event into the result cache with the database's
+        landmark/sigma support (the add-survival bound), folds the scope
+        into the service stats, and — when tracing — records an
+        ``invalidation`` span carrying kind / trajectory id / dropped /
+        retained so ingest churn is visible next to the queries it
+        interleaves with.
+        """
+        dropped, retained = self._result_cache.on_event(event, self._database)
+        self._stats.record_invalidation(event.kind, dropped, retained)
+        with self._traced(
+            "invalidation",
+            kind=event.kind,
+            trajectory_id=event.trajectory_id,
+            entries_dropped=dropped,
+            entries_retained=retained,
+        ):
+            pass  # no body: the span records the invalidation scope
+
     def _cache_key(
         self, query: UOTSQuery, budget: SearchBudget | None
     ) -> Hashable | None:
@@ -389,7 +412,7 @@ class QueryService:
             result = self._searcher.search(query, budget=budget)
         self._admission.record_outcome(result)
         if key is not None:
-            self._result_cache.put(key, result)
+            self._result_cache.put(key, result, query=query)
         self._record(
             result, time.perf_counter() - started, tenant=tenant, priority=priority
         )
@@ -496,7 +519,7 @@ class QueryService:
                     else note
                 )
             if key is not None:
-                self._result_cache.put(key, result)
+                self._result_cache.put(key, result, query=query)
             self._record(
                 result,
                 time.perf_counter() - started,
@@ -622,7 +645,7 @@ class QueryService:
                     )
                 for i, result in zip(pending, forked):
                     if keys[i] is not None:
-                        self._result_cache.put(keys[i], result)
+                        self._result_cache.put(keys[i], result, query=queries[i])
                     self._admission.record_outcome(result)
                     # Worker wall-clock is the honest latency of a forked query.
                     self._record(

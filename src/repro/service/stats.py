@@ -99,6 +99,14 @@ class ServiceStats:
         #: created lazily on the first labelled query.
         self.tenant_lanes: dict[str, dict[str, int]] = {}
         self.priority_lanes: dict[str, dict[str, int]] = {}
+        #: Result-cache invalidation scope, folded in per mutation event
+        #: (populated only on services with a result cache under live
+        #: ingestion; like the policy lanes, keys stay out of snapshots
+        #: until the first event).
+        self.invalidation_events = 0
+        self.invalidation_kinds: dict[str, int] = {}
+        self.invalidation_entries_dropped = 0
+        self.invalidation_entries_retained = 0
         #: Merged per-query work counters (:meth:`SearchStats.merge`).
         self.totals = SearchStats()
         self._latencies = LatencyReservoir(latency_capacity)
@@ -143,6 +151,19 @@ class ServiceStats:
                 self._lane(self.priority_lanes, priority)["served"] += 1
             self.totals.merge(result.stats)
             self._latencies.record(elapsed_seconds)
+
+    def record_invalidation(self, kind: str, dropped: int, retained: int) -> None:
+        """Fold one result-cache invalidation event into the aggregates.
+
+        ``kind`` is the mutation kind (``add``/``remove``); ``dropped`` /
+        ``retained`` are the entry counts the scoped invalidation removed
+        and provably kept for this event.
+        """
+        with self._lock:
+            self.invalidation_events += 1
+            self.invalidation_kinds[kind] = self.invalidation_kinds.get(kind, 0) + 1
+            self.invalidation_entries_dropped += dropped
+            self.invalidation_entries_retained += retained
 
     def record_rejection(
         self,
@@ -231,6 +252,17 @@ class ServiceStats:
                 out["shards_planned"] = self.totals.shards_planned
                 out["shards_executed"] = self.totals.shards_executed
                 out["shards_pruned"] = self.totals.shards_pruned
+            if self.invalidation_events:
+                out["invalidation_events"] = self.invalidation_events
+                out["invalidation_kinds"] = dict(
+                    sorted(self.invalidation_kinds.items())
+                )
+                out["invalidation_entries_dropped"] = (
+                    self.invalidation_entries_dropped
+                )
+                out["invalidation_entries_retained"] = (
+                    self.invalidation_entries_retained
+                )
             if self.policy_degraded_results:
                 out["policy_degraded_results"] = self.policy_degraded_results
             if self.shed_reasons:
@@ -276,6 +308,15 @@ class ServiceStats:
             lines.append(
                 f"shards:          {s['shards_planned']} planned, "
                 f"{s['shards_executed']} executed, {s['shards_pruned']} pruned"
+            )
+        if "invalidation_events" in s:
+            kinds = ", ".join(
+                f"{kind} {n}" for kind, n in s["invalidation_kinds"].items()
+            )
+            lines.append(
+                f"invalidation:    {s['invalidation_events']} events ({kinds}), "
+                f"{s['invalidation_entries_dropped']} entries dropped, "
+                f"{s['invalidation_entries_retained']} retained"
             )
         if "shed_reasons" in s:
             shed = ", ".join(f"{r} {n}" for r, n in s["shed_reasons"].items())

@@ -114,9 +114,9 @@ class _ShardSearcher(CollaborativeSearcher):
     def __init__(self, view, scheduler, batch_size, refinement, alt):
         super().__init__(view, scheduler, batch_size, refinement, alt)
         self._scan_arrays = None
-        view.add_invalidation_listener(self._invalidate_scan)
+        view.add_mutation_listener(self._invalidate_scan)
 
-    def _invalidate_scan(self, _trajectory_id: int) -> None:
+    def _invalidate_scan(self, _event) -> None:
         self._scan_arrays = None
 
     def _member_arrays(self):
@@ -233,7 +233,7 @@ class ShardCollection:
         self.landmark_index: LandmarkIndex | None = landmark_index
         #: Total mutations mirrored; plans stamp it to detect staleness.
         self.mutations = 0
-        database.add_invalidation_listener(self._sync)
+        database.add_mutation_listener(self._sync)
 
     def summary_of(self, shard: _Shard) -> ShardSummary:
         """The shard's (possibly rebuilt) keyword/region summary."""
@@ -243,10 +243,16 @@ class ShardCollection:
         return shard.summary
 
     # ------------------------------------------------------- mutation sync
-    def _sync(self, trajectory_id: int) -> None:
-        """Mirror one parent mutation into the owning/receiving shard."""
+    def _sync(self, event) -> None:
+        """Mirror one parent mutation into the owning/receiving shard.
+
+        The typed event names the mutation kind directly — no more
+        re-deriving add-vs-remove from parent membership (which misreads a
+        remove-then-re-add of the same id arriving out of order).
+        """
         self.mutations += 1
-        if trajectory_id in self._parent.trajectories:
+        trajectory_id = event.trajectory_id
+        if event.kind == "add":
             trajectory = self._parent.get(trajectory_id)
             shard = self._route(trajectory)
             shard.database.add(trajectory)

@@ -21,42 +21,17 @@ the same guarantee the per-trajectory bounds give inside a search.
 
 from __future__ import annotations
 
-import math
-
 import numpy as np
 
 from repro.index.database import TrajectoryDatabase
 from repro.network.landmarks import LandmarkIndex
 
+# Re-exported from its import-light home (the result cache shares the
+# bound and must not pull in the shard layer); the shard-facing docs on
+# the function still apply here verbatim.
+from repro.text.similarity import text_upper_bound
+
 __all__ = ["ShardSummary", "text_upper_bound"]
-
-
-def text_upper_bound(
-    keywords: frozenset[str], measure: str, vocabulary: frozenset[str]
-) -> float:
-    """Upper bound on ``measure(keywords, T)`` over any ``T ⊆ vocabulary``.
-
-    With ``c = |keywords ∩ vocabulary|`` and ``q = |keywords|``, any member
-    keyword set ``T`` has ``i = |keywords ∩ T| <= c``, which bounds each
-    set measure by its monotone closed form in ``i`` (``|T| >= i`` in every
-    denominator).  Unknown measures fall back to the trivial bound (1 when
-    any overlap is possible) — admissible, never wrong, just unprunable.
-    """
-    if not keywords:
-        return 0.0
-    c = len(keywords & vocabulary)
-    if c == 0:
-        return 0.0
-    q = len(keywords)
-    if measure == "jaccard":
-        return c / q
-    if measure == "dice":
-        return 2.0 * c / (q + c)
-    if measure == "cosine":
-        return math.sqrt(c / q)
-    if measure == "overlap":
-        return 1.0
-    return 1.0
 
 
 class ShardSummary:

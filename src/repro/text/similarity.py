@@ -21,6 +21,7 @@ __all__ = [
     "cosine",
     "weighted_jaccard",
     "get_measure",
+    "text_upper_bound",
     "TextMeasure",
 ]
 
@@ -80,6 +81,40 @@ def weighted_jaccard(
         return sum(weight(k) for k in inter) / sum(weight(k) for k in union)
 
     return measure
+
+
+def text_upper_bound(
+    keywords: frozenset[str], measure: str, vocabulary: frozenset[str]
+) -> float:
+    """Upper bound on ``measure(keywords, T)`` over any ``T ⊆ vocabulary``.
+
+    With ``c = |keywords ∩ vocabulary|`` and ``q = |keywords|``, any member
+    keyword set ``T`` has ``i = |keywords ∩ T| <= c``, which bounds each
+    set measure by its monotone closed form in ``i`` (``|T| >= i`` in every
+    denominator).  Unknown measures fall back to the trivial bound (1 when
+    any overlap is possible) — admissible, never wrong, just unprunable.
+
+    Two layers share this bound: the shard planner proves whole shards
+    unable to beat the running kth score (``vocabulary`` = the shard's
+    union vocabulary, see :mod:`repro.shard.summary`), and the result
+    cache proves cached top-k entries unaffected by a freshly added
+    trajectory (``vocabulary`` = the new trajectory's keyword set).
+    """
+    if not keywords:
+        return 0.0
+    c = len(keywords & vocabulary)
+    if c == 0:
+        return 0.0
+    q = len(keywords)
+    if measure == "jaccard":
+        return c / q
+    if measure == "dice":
+        return 2.0 * c / (q + c)
+    if measure == "cosine":
+        return math.sqrt(c / q)
+    if measure == "overlap":
+        return 1.0
+    return 1.0
 
 
 _MEASURES: dict[str, TextMeasure] = {

@@ -1,6 +1,18 @@
 """Unit tests for the bounded LRU cache and its counters."""
 
+import numpy as np
+
+from repro.index.events import MutationEvent
 from repro.perf import CacheStats, LRUCache, QueryCaches
+
+
+def _event(kind="add", trajectory_id=7, keywords=(), vertices=(1, 2)):
+    return MutationEvent(
+        kind=kind,
+        trajectory_id=trajectory_id,
+        keywords=frozenset(keywords),
+        vertices=np.array(vertices, dtype=np.intp),
+    )
 
 
 class TestLRUCache:
@@ -70,6 +82,36 @@ class TestLRUCache:
         assert len(cache) == 0
         assert cache.stats.hits == 1
 
+    def test_pop_removes_without_counting(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        assert cache.pop("a") == 1
+        assert cache.pop("a", default=-1) == -1
+        assert cache.stats.lookups == 0
+
+    def test_items_snapshot_survives_mutation_during_iteration(self):
+        cache = LRUCache(8)
+        for tid in range(4):
+            cache.put(tid, tid * 10)
+        seen = []
+        for key, value in cache.items():
+            seen.append((key, value))
+            cache.pop(key)
+        assert seen == [(0, 0), (1, 10), (2, 20), (3, 30)]
+        assert len(cache) == 0
+
+    def test_evict_hook_fires_only_on_capacity_eviction(self):
+        evicted = []
+        cache = LRUCache(2)
+        cache.evict_hook = lambda key, value: evicted.append((key, value))
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)  # capacity eviction of "a"
+        assert evicted == [("a", 1)]
+        cache.pop("b")
+        cache.clear()
+        assert evicted == [("a", 1)]  # explicit removal never fires it
+
 
 class TestCacheStats:
     def test_hit_rate(self):
@@ -123,3 +165,38 @@ class TestQueryCaches:
         caches = QueryCaches()
         stats = caches.stats()
         assert set(stats) == {"distances", "text"}
+
+
+class TestQueryCachesOnEvent:
+    def _warm(self):
+        caches = QueryCaches(capacity=64)
+        caches.distances.put((7, 10), 1.0)
+        caches.distances.put((8, 10), 2.0)
+        caches.text.put((frozenset({"park"}), "jaccard"), {7: 0.5})
+        caches.text.put((frozenset({"museum"}), "jaccard"), {8: 0.5})
+        return caches
+
+    def test_event_drops_own_distances_only(self):
+        caches = self._warm()
+        caches.on_event(_event(trajectory_id=7, keywords=["park"]))
+        assert (7, 10) not in caches.distances
+        assert (8, 10) in caches.distances
+
+    def test_event_drops_only_intersecting_text_tables(self):
+        caches = self._warm()
+        caches.on_event(_event(trajectory_id=7, keywords=["park", "lake"]))
+        assert (frozenset({"park"}), "jaccard") not in caches.text
+        assert (frozenset({"museum"}), "jaccard") in caches.text
+
+    def test_keywordless_event_keeps_all_text_tables(self):
+        caches = self._warm()
+        caches.on_event(_event(trajectory_id=7, keywords=[]))
+        assert len(caches.text) == 2  # no textual reach: nothing to drop
+
+    def test_remove_event_scopes_identically(self):
+        caches = self._warm()
+        caches.on_event(_event(kind="remove", trajectory_id=8, keywords=["museum"]))
+        assert (8, 10) not in caches.distances
+        assert (7, 10) in caches.distances
+        assert (frozenset({"park"}), "jaccard") in caches.text
+        assert (frozenset({"museum"}), "jaccard") not in caches.text

@@ -6,10 +6,12 @@ invalidation, budget bypass through a live ``QueryService``) lives in
 container itself plus the ISSUE 5 ``QueryCaches`` capacity-split fix.
 """
 
+import numpy as np
 import pytest
 
 from repro.core.query import UOTSQuery
 from repro.core.results import ScoredTrajectory, SearchResult
+from repro.index.events import MutationEvent
 from repro.perf import (
     DEFAULT_RESULT_CAPACITY,
     QueryCaches,
@@ -162,6 +164,139 @@ class TestContainer:
         assert len(cache) == 0
         assert cache.stats.hits == 1  # counters describe history
         assert cache.get("k") is None
+
+
+def _event(kind="add", trajectory_id=99, keywords=(), vertices=(1, 2)):
+    return MutationEvent(
+        kind=kind,
+        trajectory_id=trajectory_id,
+        keywords=frozenset(keywords),
+        vertices=np.array(vertices, dtype=np.intp),
+    )
+
+
+class TestScopedEvents:
+    """Container-level scoped invalidation (no database: trivial spatial
+    bound ``lam``).  The landmark-tightened path and byte-equality against
+    fresh searches live in ``tests/service/test_scoped_invalidation.py``."""
+
+    def _put(self, cache, key, ids, scores=None, **query_kwargs):
+        query_kwargs.setdefault("k", len(ids))
+        query = _query(**query_kwargs)
+        items = [
+            ScoredTrajectory(
+                trajectory_id=i,
+                score=(scores[rank] if scores else 1.0 - 0.1 * rank),
+                spatial_similarity=0.0,
+                text_similarity=0.0,
+            )
+            for rank, i in enumerate(ids)
+        ]
+        assert cache.put(key, SearchResult(items=items), query=query)
+
+    def test_remove_drops_only_entries_that_ranked_it(self):
+        cache = ResultCache(8)
+        self._put(cache, "a", ids=(1, 2))
+        self._put(cache, "b", ids=(3, 4))
+        dropped, retained = cache.on_event(_event("remove", trajectory_id=2))
+        assert (dropped, retained) == (1, 1)
+        assert "a" not in cache and "b" in cache
+
+    def test_remove_of_unranked_id_keeps_everything(self):
+        cache = ResultCache(8)
+        self._put(cache, "a", ids=(1, 2))
+        dropped, retained = cache.on_event(_event("remove", trajectory_id=77))
+        assert (dropped, retained) == (0, 1)
+        assert "a" in cache
+
+    def test_add_drops_entries_stored_without_query_metadata(self):
+        cache = ResultCache(8)
+        cache.put("legacy", _result(ids=(1, 2)))  # no query= metadata
+        dropped, retained = cache.on_event(_event("add", keywords=["zzz"]))
+        assert (dropped, retained) == (1, 0)
+
+    def test_add_with_disjoint_keywords_and_pure_text_query_survives(self):
+        cache = ResultCache(8)
+        self._put(cache, "a", ids=(1, 2), lam=0.0, keywords=("park",))
+        dropped, retained = cache.on_event(_event("add", keywords=["zzz"]))
+        assert (dropped, retained) == (0, 1)
+        assert cache.get("a") is not None
+
+    def test_add_with_overlapping_keywords_drops(self):
+        cache = ResultCache(8)
+        self._put(cache, "a", ids=(1, 2), lam=0.0, keywords=("park",))
+        dropped, retained = cache.on_event(_event("add", keywords=["park"]))
+        assert (dropped, retained) == (1, 0)
+
+    def test_add_without_database_uses_the_trivial_lam_cap(self):
+        cache = ResultCache(8)
+        # kth score 0.9 > lam 0.3 + text 0: provably safe even blind.
+        self._put(
+            cache, "high", ids=(1, 2), scores=(0.95, 0.9), lam=0.3,
+            keywords=("park",),
+        )
+        # kth score 0.2 <= 0.3: the newcomer might reach it — drop.
+        self._put(
+            cache, "low", ids=(3, 4), scores=(0.4, 0.2), lam=0.3,
+            keywords=("park",),
+        )
+        dropped, retained = cache.on_event(_event("add", keywords=["zzz"]))
+        assert (dropped, retained) == (1, 1)
+        assert "high" in cache and "low" not in cache
+
+    def test_underfull_and_zero_padded_entries_drop_on_add(self):
+        cache = ResultCache(8)
+        self._put(cache, "underfull", ids=(1, 2), lam=0.0, k=5)
+        self._put(
+            cache, "padded", ids=(3, 4), scores=(0.5, 0.0), lam=0.0,
+            keywords=("park",),
+        )
+        dropped, retained = cache.on_event(_event("add", keywords=["zzz"]))
+        assert (dropped, retained) == (2, 0)
+
+    def test_tied_kth_score_is_not_proof(self):
+        cache = ResultCache(8)
+        # A newcomer bounding exactly at the kth score could win the id
+        # tie-break: strict inequality must drop the entry.
+        self._put(
+            cache, "a", ids=(1, 2), scores=(1.0, 0.5), lam=0.5,
+            keywords=("park",),
+        )
+        dropped, _ = cache.on_event(_event("add", keywords=[]))  # ub == lam == 0.5
+        assert dropped == 1
+
+    def test_eviction_keeps_the_reverse_index_consistent(self):
+        cache = ResultCache(2)
+        self._put(cache, "a", ids=(1, 2))
+        self._put(cache, "b", ids=(1, 3))
+        self._put(cache, "c", ids=(1, 4))  # evicts "a"
+        dropped, retained = cache.on_event(_event("remove", trajectory_id=1))
+        assert (dropped, retained) == (2, 0)  # only the live entries
+
+    def test_overwrite_unlinks_the_old_ranking(self):
+        cache = ResultCache(8)
+        self._put(cache, "a", ids=(1, 2))
+        self._put(cache, "a", ids=(3, 4))  # same key, new ranking
+        dropped, retained = cache.on_event(_event("remove", trajectory_id=1))
+        assert (dropped, retained) == (0, 1)  # old posting is gone
+        assert "a" in cache
+
+    def test_wholesale_mode_clears_on_any_event(self):
+        cache = ResultCache(8, scoped=False)
+        assert not cache.scoped
+        self._put(cache, "a", ids=(1, 2))
+        dropped, retained = cache.on_event(_event("remove", trajectory_id=77))
+        assert (dropped, retained) == (1, 0)
+
+    def test_invalidation_counters_accumulate(self):
+        cache = ResultCache(8)
+        self._put(cache, "a", ids=(1, 2))
+        self._put(cache, "b", ids=(3, 4))
+        cache.on_event(_event("remove", trajectory_id=1))
+        cache.on_event(_event("remove", trajectory_id=77))
+        assert cache.invalidation_events == 2
+        assert cache.invalidation_entries_dropped == 1
+        assert cache.invalidation_entries_retained == 2  # 1 + 1 per event
 
 
 class TestQueryCachesCapacitySplit:
