@@ -4,9 +4,10 @@
 one UOTS query against it, ``repro explain`` prints the query's execution
 plan without running it, ``repro trace`` runs a query with tracing on and
 prints its per-stage time breakdown, ``repro metrics`` dumps the metrics
-registry after serving a query, ``repro join`` runs a similarity self join,
-and ``repro bench`` prints a quick benchmark battery — enough to exercise
-the whole system without writing Python.
+registry after serving a query, ``repro slowlog`` serves a query repeatedly
+under the slow-query journal and renders the worst entries, ``repro join``
+runs a similarity self join, and ``repro bench`` prints a quick benchmark
+battery — enough to exercise the whole system without writing Python.
 """
 
 from __future__ import annotations
@@ -24,6 +25,7 @@ from repro.core.engine import ALGORITHMS, make_searcher
 from repro.core.query import UOTSQuery
 from repro.errors import QueryError, ReproError
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.slowlog import SlowQueryJournal
 from repro.obs.trace import format_trace
 from repro.resilience.budget import SearchBudget
 from repro.index.database import TrajectoryDatabase
@@ -118,6 +120,7 @@ def _make_service(
     args: argparse.Namespace,
     trace: bool = False,
     metrics: MetricsRegistry | None = None,
+    slowlog: SlowQueryJournal | bool | None = None,
 ) -> QueryService:
     """A one-shot query service configured from the CLI tuning flags.
 
@@ -131,6 +134,7 @@ def _make_service(
         trace=trace,
         metrics=metrics,
         result_cache=args.result_cache_size,
+        slowlog=slowlog,
         alt=False if args.no_alt else None,
         batch_size=args.batch_size,
         scheduler=args.scheduler,
@@ -148,7 +152,14 @@ def _cmd_query(args: argparse.Namespace) -> int:
             deadline_ms=args.deadline_ms,
             max_expanded_vertices=args.max_expansions,
         )
-    service = _make_service(database, args, trace=bool(args.trace_out))
+    journal = (
+        SlowQueryJournal(threshold_ms=args.slowlog_threshold_ms)
+        if args.slowlog
+        else None
+    )
+    service = _make_service(
+        database, args, trace=bool(args.trace_out), slowlog=journal
+    )
     if _uses_admission(args):
         # The admission-gated path: a shed query comes back error-marked
         # (never executed) instead of raising.
@@ -196,9 +207,27 @@ def _cmd_query(args: argparse.Namespace) -> int:
             f"scores <= {result.residual_bound:.4f} "
             f"(confirmed top-{len(result.confirmed_prefix())})"
         )
+    if journal is not None:
+        print()
+        print(journal.describe())
     if args.trace_out:
         count = service.tracer.export_jsonl(args.trace_out)
         print(f"wrote {count} trace(s) to {args.trace_out}")
+    return 0
+
+
+def _cmd_slowlog(args: argparse.Namespace) -> int:
+    database = _load_database(args.data, cache_size=args.cache_size)
+    query = _parse_query(args)
+    journal = SlowQueryJournal(
+        capacity=args.capacity, threshold_ms=args.threshold_ms
+    )
+    # Tracing on: admitted entries carry the stitched trace (including
+    # harvested worker spans on forked scatter paths) for --show-trace.
+    service = _make_service(database, args, trace=True, slowlog=journal)
+    for _ in range(args.repeat):
+        service.search(query, tenant=args.tenant, priority=args.priority)
+    print(journal.describe(top=args.top, include_trace=args.show_trace))
     return 0
 
 
@@ -224,7 +253,12 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     database = _load_database(args.data, cache_size=args.cache_size)
     query = _parse_query(args)
     registry = MetricsRegistry()
-    service = _make_service(database, args, metrics=registry)
+    # --slowlog turns the full diagnostics stack on so the dump carries
+    # the repro_slowlog_* and repro_trace_dropped_* series.
+    service = _make_service(
+        database, args, metrics=registry,
+        trace=args.slowlog, slowlog=args.slowlog or None,
+    )
     for _ in range(args.repeat):
         service.submit(query, tenant=args.tenant, priority=args.priority)
         if args.mutate > 0:
@@ -245,7 +279,10 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
 def _cmd_explain(args: argparse.Namespace) -> int:
     database = _load_database(args.data, cache_size=args.cache_size)
     query = _parse_query(args)
-    print(_make_service(database, args).explain(query))
+    service = _make_service(database, args)
+    for _ in range(args.repeat):
+        service.submit(query)
+    print(service.explain(query))
     return 0
 
 
@@ -443,12 +480,56 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-out", default=None, metavar="FILE",
         help="trace the query and write the span tree as JSONL to FILE",
     )
+    p.add_argument(
+        "--slowlog", action="store_true",
+        help="serve under a slow-query journal and print its entries "
+             "(fingerprint, plan, work counters, plan drift)",
+    )
+    p.add_argument(
+        "--slowlog-threshold-ms", type=float, default=0.0, metavar="MS",
+        help="journal only queries slower than MS (default 0: worst-N "
+             "of everything served)",
+    )
     p.set_defaults(func=_cmd_query)
+
+    p = sub.add_parser(
+        "slowlog",
+        help="serve a query repeatedly under the slow-query journal and "
+             "render the worst entries",
+    )
+    add_query_args(p)
+    p.add_argument(
+        "--repeat", type=int, default=3, metavar="N",
+        help="serve the query N times before rendering the journal",
+    )
+    p.add_argument(
+        "--threshold-ms", type=float, default=0.0, metavar="MS",
+        help="journal only queries slower than MS (default 0: worst-N)",
+    )
+    p.add_argument(
+        "--capacity", type=int, default=32, metavar="N",
+        help="worst-N journal slots",
+    )
+    p.add_argument(
+        "--top", type=int, default=5, metavar="N",
+        help="how many worst entries to render",
+    )
+    p.add_argument(
+        "--show-trace", action="store_true",
+        help="include each entry's stitched trace tree (worker spans "
+             "grafted under their owning shard/query spans)",
+    )
+    p.set_defaults(func=_cmd_slowlog)
 
     p = sub.add_parser(
         "explain", help="print a query's execution plan without running it"
     )
     add_query_args(p)
+    p.add_argument(
+        "--repeat", type=int, default=0, metavar="N",
+        help="serve the query N times first, so the plan carries the "
+             "observed plan-vs-actual drift for this algorithm",
+    )
     p.set_defaults(func=_cmd_explain)
 
     p = sub.add_parser(
@@ -478,6 +559,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="between repeats, remove and re-add N stored trajectories "
         "(exercises the scoped-invalidation series; needs "
         "--result-cache-size > 0 to register the listener)",
+    )
+    p.add_argument(
+        "--slowlog", action="store_true",
+        help="also bind a tracer and slow-query journal, so the dump "
+        "carries the repro_slowlog_* and repro_trace_dropped_* series",
     )
     p.add_argument(
         "--format", choices=["prometheus", "json"], default="prometheus",

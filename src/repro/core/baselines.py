@@ -120,7 +120,9 @@ class BruteForceSearcher:
         self, plan: QueryPlan, budget: SearchBudget | None = None
     ) -> SearchResult:
         """Run a previously built plan (trivial for brute force)."""
-        return self.search(plan.query, budget)
+        result = self.search(plan.query, budget)
+        result.stats.estimated_cost = plan.estimated_cost
+        return result
 
     def search(
         self, query: UOTSQuery, budget: SearchBudget | None = None
@@ -214,7 +216,9 @@ class TextFirstSearcher:
         self, plan: QueryPlan, budget: SearchBudget | None = None
     ) -> SearchResult:
         """Run a previously built plan."""
-        return self.search(plan.query, budget)
+        result = self.search(plan.query, budget)
+        result.stats.estimated_cost = plan.estimated_cost
+        return result
 
     def search(
         self, query: UOTSQuery, budget: SearchBudget | None = None

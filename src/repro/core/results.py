@@ -98,6 +98,12 @@ class SearchStats:
     shards_pruned: int = 0
     shard_seconds: float = 0.0
     shard_critical_seconds: float = 0.0
+    #: The served plan's ``estimated_cost`` (worst-case vertex settles +
+    #: text evaluations), stamped by the searcher that executed the plan;
+    #: 0.0 when the query ran without one (plan-less baseline ``search``
+    #: calls, cache hits).  The drift accounting compares it against the
+    #: measured ``expanded_vertices + similarity_evaluations``.
+    estimated_cost: float = 0.0
 
     def merge(self, other: "SearchStats") -> None:
         """Accumulate another stats record into this one (for batch runs)."""
@@ -126,6 +132,7 @@ class SearchStats:
         self.shards_pruned += other.shards_pruned
         self.shard_seconds += other.shard_seconds
         self.shard_critical_seconds += other.shard_critical_seconds
+        self.estimated_cost += other.estimated_cost
 
 
 @dataclass

@@ -287,6 +287,7 @@ class CollaborativeSearcher:
                 plan, query, budget, timer,
                 score_floor=score_floor, unseen_caps=unseen_caps,
             )
+            result.stats.estimated_cost = plan.estimated_cost
             if span is not None:
                 timer.attach_to(span)
                 annotate_search_span(span, result)

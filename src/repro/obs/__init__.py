@@ -7,10 +7,14 @@ Pure-stdlib measurement substrate for the plan/execute/serve stack:
 - :mod:`repro.obs.metrics` — counters / gauges / fixed-bucket histograms
   with Prometheus text exposition and a JSON snapshot;
 - :mod:`repro.obs.adapters` — collectors mirroring the existing stats
-  classes into the registry.
+  classes into the registry;
+- :mod:`repro.obs.harvest` — the cross-process telemetry harvest that
+  brings forked workers' spans and counter deltas home;
+- :mod:`repro.obs.slowlog` — the bounded worst-N slow-query journal.
 
 See DESIGN.md §8 for the span model, naming convention, and overhead
-budget.
+budget, and §13 for the harvest protocol, slow-query journal, and
+plan-drift accounting.
 """
 
 from repro.obs.adapters import (
@@ -21,10 +25,14 @@ from repro.obs.adapters import (
     bind_network_stats,
     bind_search_stats,
     bind_service_stats,
+    bind_slowlog,
+    bind_tracer,
     bind_trajectory_stats,
 )
+from repro.obs.harvest import HarvestCollector, WorkerTelemetry
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
+    LATENCY_BUCKETS,
     Counter,
     Gauge,
     Histogram,
@@ -32,6 +40,7 @@ from repro.obs.metrics import (
     get_registry,
     set_registry,
 )
+from repro.obs.slowlog import SlowLogEntry, SlowQueryJournal
 from repro.obs.trace import (
     Span,
     StageTimer,
@@ -53,10 +62,17 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "DEFAULT_BUCKETS",
+    "LATENCY_BUCKETS",
     "get_registry",
     "set_registry",
+    "WorkerTelemetry",
+    "HarvestCollector",
+    "SlowLogEntry",
+    "SlowQueryJournal",
     "bind_search_stats",
     "bind_service_stats",
+    "bind_tracer",
+    "bind_slowlog",
     "bind_buffer_stats",
     "bind_cache_stats",
     "bind_network_stats",

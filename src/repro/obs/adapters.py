@@ -24,6 +24,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, keeps import light
     from repro.core.results import SearchStats
     from repro.index.database import TrajectoryDatabase
     from repro.network.stats import NetworkStats
+    from repro.obs.slowlog import SlowQueryJournal
+    from repro.obs.trace import Tracer
     from repro.perf.cache import CacheStats
     from repro.perf.result_cache import ResultCache
     from repro.resilience.faults import FaultInjector
@@ -35,6 +37,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, keeps import light
 __all__ = [
     "bind_search_stats",
     "bind_service_stats",
+    "bind_tracer",
+    "bind_slowlog",
     "bind_admission",
     "bind_buffer_stats",
     "bind_cache_stats",
@@ -206,6 +210,30 @@ def bind_service_stats(
                 per_class.set_total(
                     lane["rejected"], priority=priority, outcome="rejected", **labels
                 )
+        if "plan_drift" in snapshot:
+            drift_queries = registry.counter(
+                "repro_plan_drift_queries_total",
+                "Executed queries with a drift-comparable plan estimate, "
+                "by algorithm",
+            )
+            drift_estimated = registry.counter(
+                "repro_plan_drift_estimated_units_total",
+                "Planner-estimated work units across drift-tracked queries",
+            )
+            drift_actual = registry.counter(
+                "repro_plan_drift_actual_units_total",
+                "Measured work units across drift-tracked queries",
+            )
+            for algorithm, lane in snapshot["plan_drift"].items():
+                drift_queries.set_total(
+                    lane["queries"], algorithm=algorithm, **labels
+                )
+                drift_estimated.set_total(
+                    lane["estimated_units"], algorithm=algorithm, **labels
+                )
+                drift_actual.set_total(
+                    lane["actual_units"], algorithm=algorithm, **labels
+                )
 
     registry.register_collector(collect)
 
@@ -214,6 +242,74 @@ def bind_service_stats(
         totals()
 
     return collect_both
+
+
+def bind_tracer(
+    tracer: "Tracer",
+    registry: MetricsRegistry | None = None,
+    **labels,
+) -> Collector:
+    """Mirror a tracer's lifetime drop counters into the registry.
+
+    Non-zero values mean the per-trace buffer caps truncated spans or
+    events — locally recorded or grafted from harvested workers — so an
+    exported trace is thinner than the work it describes.  A dashboard
+    line on these is the difference between "the query did little" and
+    "the trace dropped the evidence".
+    """
+    if registry is None:
+        registry = get_registry()
+    dropped_spans = registry.counter(
+        "repro_trace_dropped_spans_total",
+        "Spans dropped by per-trace buffer caps (local and grafted)",
+    )
+    dropped_events = registry.counter(
+        "repro_trace_dropped_events_total",
+        "Events dropped by per-trace buffer caps (local and grafted)",
+    )
+
+    def collect() -> None:
+        dropped_spans.set_total(tracer.dropped_spans_total, **labels)
+        dropped_events.set_total(tracer.dropped_events_total, **labels)
+
+    registry.register_collector(collect)
+    return collect
+
+
+def bind_slowlog(
+    journal: "SlowQueryJournal",
+    registry: MetricsRegistry | None = None,
+    **labels,
+) -> Collector:
+    """Mirror a :class:`SlowQueryJournal`'s admission counters and bounds."""
+    if registry is None:
+        registry = get_registry()
+    entries = registry.gauge(
+        "repro_slowlog_entries", "Slow-query journal entries currently retained"
+    )
+    recorded = registry.counter(
+        "repro_slowlog_recorded_total", "Queries admitted to the slow-query journal"
+    )
+    evicted = registry.counter(
+        "repro_slowlog_evicted_total",
+        "Journal entries evicted by a slower query under the worst-N bound",
+    )
+    threshold = registry.gauge(
+        "repro_slowlog_threshold_seconds", "Journal admission latency threshold"
+    )
+    worst = registry.gauge(
+        "repro_slowlog_worst_seconds", "Slowest latency currently journalled"
+    )
+
+    def collect() -> None:
+        entries.set(len(journal), **labels)
+        recorded.set_total(journal.recorded, **labels)
+        evicted.set_total(journal.evicted, **labels)
+        threshold.set(journal.threshold_seconds, **labels)
+        worst.set(journal.worst_seconds(), **labels)
+
+    registry.register_collector(collect)
+    return collect
 
 
 def bind_admission(

@@ -39,6 +39,8 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "DEFAULT_BUCKETS",
+    "LATENCY_BUCKETS",
+    "DRIFT_BUCKETS",
     "get_registry",
     "set_registry",
 ]
@@ -51,6 +53,18 @@ DEFAULT_BUCKETS = (
     0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
     0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
 )
+
+#: Service latency buckets: the defaults extended down to 10 microseconds.
+#: Result-cache hits serve in O(1) — tens of microseconds — and all landed
+#: in DEFAULT_BUCKETS' lowest (0.5 ms) bucket, making the hit path's
+#: latency distribution invisible.  Used by the per-query service latency
+#: histogram; other histograms keep the coarser defaults.
+LATENCY_BUCKETS = (0.00001, 0.000025, 0.00005, 0.0001, 0.00025) + DEFAULT_BUCKETS
+
+#: Buckets for plan-vs-actual drift ratios (measured work / estimated
+#: cost).  Estimates are worst-case bounds, so most mass sits well below
+#: 1.0; the >1.0 buckets catch genuine planner under-estimates.
+DRIFT_BUCKETS = (0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 10.0)
 
 _INF = float("inf")
 
@@ -320,6 +334,49 @@ class MetricsRegistry:
         """Run ``collector()`` before every export to publish pull values."""
         with self._lock:
             self._collectors.append(collector)
+
+    # ------------------------------------------------------ harvest seam
+    def counter_deltas(self) -> tuple:
+        """Serialize every counter as ``(name, help, ((labels, value), ...))``.
+
+        The worker half of the cross-process harvest protocol (see
+        :mod:`repro.obs.harvest`): a forked worker accumulates into a
+        *fresh* registry, so its counter values ARE the deltas its task
+        produced, and the tuples pickle cleanly back to the parent.
+        Gauges and histograms are deliberately excluded — only monotone
+        counts merge associatively across processes.
+        """
+        with self._lock:
+            counters = [
+                inst for inst in self._instruments.values()
+                if type(inst) is Counter
+            ]
+        out = []
+        for counter in sorted(counters, key=lambda c: c.name):
+            with counter._lock:
+                values = tuple(sorted(counter._values.items()))
+            out.append((counter.name, counter.help, values))
+        return tuple(out)
+
+    def merge_counter_deltas(self, deltas: tuple) -> None:
+        """Fold :meth:`counter_deltas` rows into this registry's counters.
+
+        The parent half of the harvest: additions per labelled series, so
+        merging commutes across workers and never collides with the
+        ``set_total`` collectors mirroring parent-side stats objects (the
+        harvested names live in their own ``repro_worker_*`` namespace).
+        Rows fold under the counter lock directly rather than through
+        ``inc``: the keys are verbatim ``_values`` keys from the worker's
+        :meth:`counter_deltas`, already canonical, and this merge sits on
+        the per-result serving path of every harvested query.
+        """
+        for name, help, values in deltas:
+            counter = self.counter(name, help)
+            with counter._lock:
+                counter_values = counter._values
+                for key, value in values:
+                    if value:
+                        counter_values[key] = counter_values.get(key, 0.0) + value
 
     # --------------------------------------------------------------- export
     def collect(self) -> None:

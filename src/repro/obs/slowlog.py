@@ -1,0 +1,233 @@
+"""The slow-query journal: a bounded ring of the worst queries served.
+
+Tail latency is diagnosed from examples, not averages.  A
+:class:`SlowQueryJournal` keeps the worst-``capacity`` queries whose
+latency crossed ``threshold_ms``, each entry carrying everything a
+post-hoc "why was this slow?" needs: the canonical query fingerprint
+(:func:`repro.perf.result_cache.query_fingerprint`), the plan the
+optimizer would build for it (``QueryPlan.describe()``), the merged work
+counters, the plan-vs-actual drift ratio, and — when the service traces —
+the stitched trace tree including harvested worker spans
+(:mod:`repro.obs.harvest`).
+
+Admission is worst-N, not first-N: a min-heap on latency evicts the
+mildest entry when a slower query arrives, so a long-running service
+converges on its true tail instead of whatever happened early.  Capture
+stays off the serving path twice over: callers gate entry construction
+behind the cheap :meth:`would_record` pre-check, and the one genuinely
+expensive artifact — re-planning the query for its describe text — is
+deferred to render time via ``plan_provider`` (an evicted entry never
+pays it at all).  The journal itself only ever stores bounded state.
+
+The journal is service-agnostic plumbing: :class:`~repro.service.service.
+QueryService` feeds it from its single recording path, ``repro slowlog``
+renders it, and :func:`repro.obs.adapters.bind_slowlog` mirrors it as
+``repro_slowlog_*`` metrics.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.results import SearchStats
+from repro.obs.trace import Span, format_trace
+
+__all__ = ["SlowLogEntry", "SlowQueryJournal"]
+
+
+@dataclass
+class SlowLogEntry:
+    """One journaled slow query (everything needed to re-diagnose it)."""
+
+    fingerprint: tuple
+    algorithm: str
+    latency_seconds: float
+    stats: SearchStats
+    plan_text: str = ""
+    #: Lazy describe: called (once) at render time when ``plan_text`` is
+    #: empty, so the serving path never pays a re-plan for an entry
+    #: nobody ever looks at.
+    plan_provider: Callable[[], str] | None = None
+    trace: Span | None = None
+    #: Measured work / ``estimated_cost`` (``None`` when the plan carried
+    #: no estimate or the query failed before doing accountable work).
+    drift_ratio: float | None = None
+    degradation_reason: str | None = None
+    error: str | None = None
+    recorded_at: float = field(default_factory=time.time)
+
+    def plan(self) -> str:
+        """The plan describe text, resolving the lazy provider once.
+
+        A failed provider (the query no longer plans — e.g. the database
+        mutated underneath it) degrades to an empty plan section rather
+        than poisoning the journal readout.
+        """
+        if not self.plan_text and self.plan_provider is not None:
+            try:
+                self.plan_text = self.plan_provider()
+            except Exception:
+                pass
+            self.plan_provider = None
+        return self.plan_text
+
+    def render(self, include_trace: bool = False) -> str:
+        """A human-readable block for the CLI / logs."""
+        lines = [
+            f"latency:      {self.latency_seconds * 1000.0:.3f} ms"
+            f"  ({self.algorithm})",
+            f"fingerprint:  {self.fingerprint}",
+        ]
+        if self.drift_ratio is not None:
+            lines.append(
+                f"plan drift:   actual/estimated = {self.drift_ratio:.3f} "
+                f"(estimated {self.stats.estimated_cost:.0f} units, "
+                f"measured {self.stats.expanded_vertices + self.stats.similarity_evaluations})"
+            )
+        if self.error is not None:
+            lines.append(f"error:        {self.error}")
+        elif self.degradation_reason is not None:
+            lines.append(f"degraded:     {self.degradation_reason}")
+        stats = self.stats
+        lines.append(
+            f"work:         {stats.visited_trajectories} visited, "
+            f"{stats.expanded_vertices} expanded, "
+            f"{stats.similarity_evaluations} evaluations, "
+            f"{stats.refinements} refinements"
+        )
+        if stats.shards_planned:
+            lines.append(
+                f"shards:       {stats.shards_planned} planned, "
+                f"{stats.shards_executed} executed, "
+                f"{stats.shards_pruned} pruned "
+                f"({stats.shard_seconds * 1000.0:.3f} ms summed)"
+            )
+        plan_text = self.plan()
+        if plan_text:
+            lines.append("plan:")
+            lines.extend(f"  {line}" for line in plan_text.splitlines())
+        if include_trace and self.trace is not None:
+            lines.append("trace:")
+            lines.extend(f"  {line}" for line in format_trace(self.trace).splitlines())
+        return "\n".join(lines)
+
+
+class SlowQueryJournal:
+    """Thread-safe bounded worst-N journal of slow queries.
+
+    Parameters
+    ----------
+    capacity:
+        Entries kept; the mildest is evicted when a slower query arrives.
+    threshold_ms:
+        Minimum latency to be considered at all.  ``0.0`` (the default)
+        journals the worst-N of *all* queries — useful on a fresh service
+        whose tail is not yet known.
+    """
+
+    def __init__(self, capacity: int = 32, threshold_ms: float = 0.0):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if threshold_ms < 0.0:
+            raise ValueError(f"threshold_ms must be >= 0, got {threshold_ms}")
+        self.capacity = capacity
+        self.threshold_seconds = threshold_ms / 1000.0
+        self._lock = threading.Lock()
+        # Min-heap of (latency, seq, entry): heap[0] is the mildest entry.
+        self._heap: list[tuple[float, int, SlowLogEntry]] = []
+        self._seq = 0
+        #: Entries ever admitted / evicted by a worse one (monotone; the
+        #: scrape surface for ``repro_slowlog_*_total``).
+        self.recorded = 0
+        self.evicted = 0
+
+    def would_record(self, latency_seconds: float) -> bool:
+        """Whether a query at this latency would be journaled *now*.
+
+        The cheap pre-check the service gates capture cost (plan describe,
+        trace serialization) behind; :meth:`record` re-checks under the
+        lock, so a lost race costs one wasted capture, never a bad entry.
+        """
+        if latency_seconds < self.threshold_seconds:
+            return False
+        with self._lock:
+            return (
+                len(self._heap) < self.capacity
+                or latency_seconds > self._heap[0][0]
+            )
+
+    def record(self, entry: SlowLogEntry) -> bool:
+        """Admit an entry (worst-N policy); returns whether it was kept."""
+        if entry.latency_seconds < self.threshold_seconds:
+            return False
+        with self._lock:
+            item = (entry.latency_seconds, self._seq, entry)
+            self._seq += 1
+            if len(self._heap) < self.capacity:
+                heapq.heappush(self._heap, item)
+            elif entry.latency_seconds > self._heap[0][0]:
+                heapq.heapreplace(self._heap, item)
+                self.evicted += 1
+            else:
+                return False
+            self.recorded += 1
+            return True
+
+    # -------------------------------------------------------------- readouts
+    def entries(self) -> list[SlowLogEntry]:
+        """Journaled entries, worst first."""
+        with self._lock:
+            items = list(self._heap)
+        return [
+            entry
+            for _, _, entry in sorted(items, key=lambda t: (-t[0], t[1]))
+        ]
+
+    def worst_seconds(self) -> float:
+        """Latency of the worst journaled query (0.0 while empty)."""
+        with self._lock:
+            return max((lat for lat, _, _ in self._heap), default=0.0)
+
+    def clear(self) -> None:
+        """Drop every entry (the monotone counters are unaffected)."""
+        with self._lock:
+            self._heap.clear()
+
+    def describe(self, top: int | None = None, include_trace: bool = False) -> str:
+        """Render the journal, worst first (the ``repro slowlog`` body)."""
+        entries = self.entries()
+        held = len(entries)
+        if top is not None:
+            entries = entries[:top]
+        if not entries:
+            return (
+                "slow-query journal: empty "
+                f"(threshold {self.threshold_seconds * 1000.0:.1f} ms)"
+            )
+        lines = [
+            f"slow-query journal: {held} of {self.capacity} slots, "
+            f"threshold {self.threshold_seconds * 1000.0:.1f} ms, "
+            f"{self.recorded} recorded, {self.evicted} evicted"
+        ]
+        for rank, entry in enumerate(entries, 1):
+            lines.append("")
+            lines.append(f"#{rank}")
+            lines.extend(
+                f"  {line}"
+                for line in entry.render(include_trace=include_trace).splitlines()
+            )
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._heap)
+
+    def __repr__(self) -> str:
+        return (
+            f"SlowQueryJournal({len(self)}/{self.capacity} entries, "
+            f"threshold {self.threshold_seconds * 1000.0:.1f} ms)"
+        )

@@ -26,8 +26,13 @@ Design constraints, in order:
   acceptance bar: within 10%).
 - **Fork-safe, like the caches.**  State is plain process memory shared
   copy-on-write; forked workers mutate their private copies and the parent
-  never sees them.  Export (:meth:`Tracer.export_jsonl`) is an explicit
-  parent-side call, so concurrent children never interleave writes.
+  never sees them *directly*.  Worker span trees come home through the
+  harvest protocol (:mod:`repro.obs.harvest`): each worker runs under its
+  own tracer, serializes its finished roots, and the parent grafts them
+  under the owning span via :meth:`Tracer.graft` — through the same
+  per-trace buffer caps as locally recorded spans.  Export
+  (:meth:`Tracer.export_jsonl`) is an explicit parent-side call, so
+  concurrent children never interleave writes.
 
 Activation is ambient: ``with activated(tracer): ...`` installs the tracer
 process-wide for the dynamic extent of a call, and instrumented layers pick
@@ -228,6 +233,11 @@ class Tracer:
         self.max_traces = max_traces
         #: Finished root spans, oldest first (bounded by ``max_traces``).
         self.traces: list[Span] = []
+        #: Lifetime dropped-overflow totals across every trace this tracer
+        #: produced (per-root counts evict with their traces; these do
+        #: not) — the scrape surface for ``repro_trace_dropped_*_total``.
+        self.dropped_spans_total = 0
+        self.dropped_events_total = 0
         # Per-thread open-span stack: concurrent submit() callers on one
         # service must not parent each other's spans.
         self._local = threading.local()
@@ -253,6 +263,7 @@ class Tracer:
             root = stack[0]
             if root._recorded_spans >= self.max_spans:
                 root.dropped_spans += 1
+                self.dropped_spans_total += 1
                 return None
             root._recorded_spans += 1
             span = Span(name, root._trace_started)
@@ -307,12 +318,89 @@ class Tracer:
         root = stack[0]
         if root._recorded_events >= self.max_events:
             root.dropped_events += 1
+            self.dropped_events_total += 1
             return
         root._recorded_events += 1
         record = {"name": name, "at_s": _perf_counter() - root._trace_started}
         if attributes:
             record.update(attributes)
         stack[-1].events.append(record)
+
+    # ------------------------------------------------------------- grafting
+    def graft(self, parent: Span | None, record: dict) -> Span | None:
+        """Materialise a serialized span tree as a child of ``parent``.
+
+        ``record`` is the :meth:`Span.to_dict` shape a forked worker
+        shipped home (see :mod:`repro.obs.harvest`).  Grafted spans pass
+        through the *current trace's* buffer caps exactly like locally
+        recorded ones: overflow is counted on the root (and the tracer's
+        lifetime totals), never stored.  Child timestamps are rebased so
+        the worker's trace start lines up with ``parent.started_s`` —
+        worker offsets stay internally consistent and sit inside the
+        parent span on the rendered timeline.
+
+        Returns the grafted root span, or ``None`` when disabled, capped,
+        or ``parent`` is ``None``.
+        """
+        if not self.enabled or parent is None:
+            return None
+        stack = self._stack()
+        root = stack[0] if stack else parent
+        return self._graft_node(root, parent, record, parent.started_s)
+
+    def _graft_node(
+        self, root: Span, parent: Span, record: dict, rebase: float
+    ) -> Span | None:
+        if root._recorded_spans >= self.max_spans:
+            # The whole subtree is over budget: count it without walking
+            # every node (the cap is about memory, not about exact census
+            # of work we refused to store).
+            root.dropped_spans += 1
+            self.dropped_spans_total += 1
+            return None
+        root._recorded_spans += 1
+        span = Span(record.get("name", "worker"), root._trace_started)
+        span.started_s = rebase + record.get("started_s", 0.0)
+        span.duration_s = record.get("duration_s", 0.0)
+        attributes = record.get("attributes")
+        if attributes:
+            span.attributes.update(attributes)
+        for event in record.get("events", ()):
+            if root._recorded_events >= self.max_events:
+                root.dropped_events += 1
+                self.dropped_events_total += 1
+                continue
+            root._recorded_events += 1
+            rebased = dict(event)
+            if "at_s" in rebased:
+                rebased["at_s"] = rebase + rebased["at_s"]
+            span.events.append(rebased)
+        # Drops the worker already counted stay attributed to its subtree.
+        self.count_remote_drops(
+            record.get("dropped_spans", 0), record.get("dropped_events", 0),
+            root=root,
+        )
+        parent.children.append(span)
+        for child in record.get("children", ()):
+            self._graft_node(root, span, child, rebase)
+        return span
+
+    def count_remote_drops(
+        self, spans: int, events: int, root: Span | None = None
+    ) -> None:
+        """Fold drop counts that happened in another process into this
+        tracer's totals (and the current root, so the rendered trace's
+        "buffers full" line tells the whole-query truth)."""
+        if not (spans or events):
+            return
+        self.dropped_spans_total += spans
+        self.dropped_events_total += events
+        if root is None:
+            stack = self._stack()
+            root = stack[0] if stack else None
+        if root is not None:
+            root.dropped_spans += spans
+            root.dropped_events += events
 
     # -------------------------------------------------------------- export
     def last_trace(self) -> Span | None:

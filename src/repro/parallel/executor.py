@@ -28,6 +28,17 @@ path), re-entrant use fails fast instead of silently mixing payloads, and
 each worker moves the inherited payload into its own ``_WORKER_STATE`` and
 clears the global so a nested ``parallel_search`` inside a worker starts
 from a clean slate.
+
+Telemetry harvest (:mod:`repro.obs.harvest`): when the parent traces (or a
+metric sink is installed), the handoff payload carries a harvest config
+and every worker task runs under its own tracer/registry, returning a
+picklable :class:`~repro.obs.harvest.WorkerTelemetry` alongside its
+result.  The parent grafts worker span trees under the owning span and
+merges counter deltas into the sink; tasks stranded by a crashed worker
+additionally emit a ``telemetry_lost`` event next to ``worker_crash`` —
+the diagnostics vanish with the worker, the trace says so explicitly.
+With harvest off (the default), workers return a ``None`` telemetry and
+the fork paths are byte-identical to the pre-harvest behaviour.
 """
 
 from __future__ import annotations
@@ -45,6 +56,7 @@ from repro.errors import QueryError, ReproError
 from repro.index.database import TrajectoryDatabase
 from repro.join.tsjoin import JoinResult, TwoPhaseJoin, _validate_theta
 from repro.matching.engine import DirectionalSearchEngine
+from repro.obs import harvest
 from repro.obs.trace import current_tracer
 from repro.resilience.budget import SearchBudget
 
@@ -125,10 +137,18 @@ def _safe_search(searcher, query: UOTSQuery, budget: SearchBudget | None) -> Sea
         return result
 
 
-def _search_worker(query: UOTSQuery) -> SearchResult:
+def _search_worker(
+    query: UOTSQuery,
+) -> tuple[SearchResult, "harvest.WorkerTelemetry | None"]:
     searcher = _WORKER_STATE["searcher"]
     budget = _WORKER_STATE.get("budget")
-    return _safe_search(searcher, query, budget)
+    config = _WORKER_STATE.get("harvest")
+    if not config:
+        return _safe_search(searcher, query, budget), None
+    with harvest.collecting(config) as collector:
+        result = _safe_search(searcher, query, budget)
+        collector.record_result(result, kind="search")
+    return result, collector.telemetry()
 
 
 def parallel_search(
@@ -174,7 +194,11 @@ def _fork_search_batch(
     pending = list(range(len(queries)))
     rounds_failed = 0
     tracer = current_tracer()
-    with _worker_handoff({"searcher": searcher, "budget": budget}):
+    config = harvest.harvest_config()
+    payload: dict[str, object] = {"searcher": searcher, "budget": budget}
+    if config is not None:
+        payload["harvest"] = config
+    with _worker_handoff(payload):
         while pending and rounds_failed <= max_task_retries:
             failed: list[int] = []
             with ProcessPoolExecutor(
@@ -188,9 +212,31 @@ def _fork_search_batch(
                 for future in as_completed(futures):
                     i = futures[future]
                     try:
-                        results[i] = future.result()
+                        results[i], telemetry = future.result()
                         results[i].stats.executor = "fork"
                         results[i].stats.retries = retry_counts[i]
+                        if telemetry is not None:
+                            harvest.merge_telemetry(telemetry)
+                            if tracer.enabled:
+                                # The owning per-query span the worker's
+                                # plan/execute roots graft under; it opened
+                                # after the fork returned, so its honest
+                                # duration is the worker-measured wall time.
+                                with tracer.span(
+                                    "query",
+                                    forked=True,
+                                    worker_pid=telemetry.pid,
+                                    elapsed_seconds=(
+                                        results[i].stats.elapsed_seconds
+                                    ),
+                                ) as qspan:
+                                    harvest.graft_telemetry(
+                                        tracer, qspan, telemetry
+                                    )
+                                if qspan is not None:
+                                    qspan.duration_s = (
+                                        results[i].stats.elapsed_seconds
+                                    )
                     except (BrokenProcessPool, OSError):
                         # A worker died; the task may be re-runnable.
                         failed.append(i)
@@ -204,6 +250,13 @@ def _fork_search_batch(
                 tracer.event(
                     "worker_crash", stranded=len(failed), round=rounds_failed
                 )
+                if config is not None:
+                    # The crashed workers' tracer/registry died with them:
+                    # whatever these tasks had recorded is gone for good
+                    # (a retry re-runs the task, it cannot replay drops).
+                    tracer.event(
+                        "telemetry_lost", tasks=len(failed), round=rounds_failed
+                    )
             pending = sorted(failed)
     # Pool kept dying: finish the stranded queries in-process so the batch
     # still completes (the documented last-resort degradation).
@@ -217,16 +270,28 @@ def _fork_search_batch(
 
 
 # -------------------------------------------------------- sharded scatter
-def _shard_worker(index: int) -> SearchResult:
+def _shard_worker(
+    index: int,
+) -> tuple[SearchResult, "harvest.WorkerTelemetry | None"]:
     searchers = _WORKER_STATE["shard_searchers"]
     plans = _WORKER_STATE["shard_plans"]
     caps = _WORKER_STATE["shard_caps"]
     floor = _WORKER_STATE["shard_floor"]
     maps = _WORKER_STATE["shard_maps"]
-    return searchers[index].execute(
-        plans[index], score_floor=floor, unseen_caps=caps[index],
-        distance_maps=maps,
-    )
+    config = _WORKER_STATE.get("harvest")
+    if not config:
+        result = searchers[index].execute(
+            plans[index], score_floor=floor, unseen_caps=caps[index],
+            distance_maps=maps,
+        )
+        return result, None
+    with harvest.collecting(config) as collector:
+        result = searchers[index].execute(
+            plans[index], score_floor=floor, unseen_caps=caps[index],
+            distance_maps=maps,
+        )
+        collector.record_result(result, kind="shard")
+    return result, collector.telemetry()
 
 
 def _fork_shard_batch(
@@ -237,7 +302,7 @@ def _fork_shard_batch(
     workers: int,
     max_task_retries: int,
     distance_maps=None,
-) -> list[SearchResult]:
+) -> tuple[list[SearchResult], list["harvest.WorkerTelemetry | None"]]:
     """Execute one scatter wave of shard searches across forked workers.
 
     Same containment contract as :func:`_fork_search_batch`, at shard
@@ -247,13 +312,21 @@ def _fork_shard_batch(
     loses a shard's results.  Library errors raised by a shard search
     propagate to the caller (exactly as the flat sequential path would
     raise them); they are not retried.
+
+    Returns ``(results, telemetries)`` in shard order.  Counter deltas are
+    merged into the harvest sink here; span grafting is the caller's —
+    only the sharded searcher knows which ``shard[i]`` span owns each
+    telemetry.  A shard answered by the sequential fallback carries
+    ``None`` telemetry (its spans recorded live into the parent trace).
     """
     context = multiprocessing.get_context("fork")
     results: list[SearchResult | None] = [None] * len(searchers)
+    telemetries: list["harvest.WorkerTelemetry | None"] = [None] * len(searchers)
     retry_counts = [0] * len(searchers)
     pending = list(range(len(searchers)))
     rounds_failed = 0
     tracer = current_tracer()
+    config = harvest.harvest_config()
     payload = {
         "shard_searchers": searchers,
         "shard_plans": plans,
@@ -263,6 +336,15 @@ def _fork_shard_batch(
         # copy like everything else in the payload (never pickled).
         "shard_maps": distance_maps,
     }
+    if config is not None:
+        payload["harvest"] = config
+
+    def _claim(i: int, outcome) -> None:
+        results[i], telemetries[i] = outcome
+        results[i].stats.executor = "fork"
+        results[i].stats.retries = retry_counts[i]
+        harvest.merge_telemetry(telemetries[i])
+
     with _worker_handoff(payload):
         while pending and rounds_failed <= max_task_retries:
             failed: list[int] = []
@@ -276,9 +358,7 @@ def _fork_shard_batch(
                     for future in as_completed(futures):
                         i = futures[future]
                         try:
-                            results[i] = future.result()
-                            results[i].stats.executor = "fork"
-                            results[i].stats.retries = retry_counts[i]
+                            _claim(i, future.result())
                         except (BrokenProcessPool, OSError):
                             # A worker died mid-shard; the shard is
                             # re-runnable.
@@ -295,9 +375,7 @@ def _fork_shard_batch(
                         initializer=_worker_init,
                     ) as pool:
                         try:
-                            results[i] = pool.submit(_shard_worker, i).result()
-                            results[i].stats.executor = "fork"
-                            results[i].stats.retries = retry_counts[i]
+                            _claim(i, pool.submit(_shard_worker, i).result())
                         except (BrokenProcessPool, OSError):
                             failed.append(i)
             if failed:
@@ -307,6 +385,13 @@ def _fork_shard_batch(
                 tracer.event(
                     "worker_crash", stranded=len(failed), round=rounds_failed
                 )
+                if config is not None:
+                    # Crashed workers take their tracer/registry with
+                    # them; the stitched trace records the loss instead
+                    # of being silently thin on these shards.
+                    tracer.event(
+                        "telemetry_lost", shards=len(failed), round=rounds_failed
+                    )
             pending = sorted(failed)
     if pending:
         tracer.event("sequential_fallback", shards=len(pending))
@@ -317,23 +402,34 @@ def _fork_shard_batch(
         )
         results[i].stats.executor = "sequential-fallback"
         results[i].stats.retries = retry_counts[i]
-    return results  # type: ignore[return-value]  # every slot is filled
+    return results, telemetries  # type: ignore[return-value]  # slots filled
 
 
 # -------------------------------------------------------------- join phase 1
-def _join_worker(trajectory_id: int) -> tuple[int, dict[int, float], SearchStats]:
+def _join_worker(
+    trajectory_id: int,
+) -> tuple[int, dict[int, float], SearchStats, "harvest.WorkerTelemetry | None"]:
     engine: DirectionalSearchEngine = _WORKER_STATE["engine"]
     database: TrajectoryDatabase = _WORKER_STATE["database"]
     lam: float = _WORKER_STATE["lam"]
     limit: float = _WORKER_STATE["limit"]
     trajectory = database.get(trajectory_id)
-    candidates = engine.threshold_search(
-        [(p.vertex, p.timestamp) for p in trajectory.points],
-        lam,
-        limit,
-        exclude_id=trajectory_id,
-    )
-    return trajectory_id, candidates.values, candidates.stats
+    points = [(p.vertex, p.timestamp) for p in trajectory.points]
+    config = _WORKER_STATE.get("harvest")
+    if not config:
+        candidates = engine.threshold_search(
+            points, lam, limit, exclude_id=trajectory_id
+        )
+        return trajectory_id, candidates.values, candidates.stats, None
+    with harvest.collecting(config) as collector:
+        # threshold_search is not span-instrumented; the task root gives
+        # the stitched join trace its per-trajectory timing.
+        with collector.tracer.span("join_task", trajectory_id=trajectory_id):
+            candidates = engine.threshold_search(
+                points, lam, limit, exclude_id=trajectory_id
+            )
+        collector.record_stats(candidates.stats, kind="join")
+    return trajectory_id, candidates.values, candidates.stats, collector.telemetry()
 
 
 def parallel_self_join(
@@ -359,18 +455,27 @@ def parallel_self_join(
     engine = DirectionalSearchEngine(database, sigma_t=sigma_t)
     ids = database.trajectories.ids()
     context = multiprocessing.get_context("fork")
-    with _worker_handoff(
-        {"engine": engine, "database": database, "lam": lam, "limit": theta - 1.0}
-    ):
+    payload = {
+        "engine": engine, "database": database, "lam": lam, "limit": theta - 1.0,
+    }
+    config = harvest.harvest_config()
+    if config is not None:
+        payload["harvest"] = config
+    with _worker_handoff(payload):
         with context.Pool(processes=workers, initializer=_worker_init) as pool:
             chunk = max(1, len(ids) // (workers * 8))
             rows = pool.map(_join_worker, ids, chunksize=chunk)
 
     result = JoinResult()
     sets: dict[int, dict[int, float]] = {}
-    for trajectory_id, values, stats in rows:
-        sets[trajectory_id] = values
-        result.stats.merge(stats)
+    tracer = current_tracer()
+    with tracer.span("parallel_join", workers=workers, tasks=len(rows)) as jspan:
+        for trajectory_id, values, stats, telemetry in rows:
+            sets[trajectory_id] = values
+            result.stats.merge(stats)
+            harvest.merge_telemetry(telemetry)
+            if telemetry is not None:
+                harvest.graft_telemetry(tracer, jspan, telemetry)
     eps = 1e-9
     for id1, candidates in sets.items():
         for id2, v12 in candidates.items():
@@ -389,17 +494,30 @@ def parallel_self_join(
 
 
 # ------------------------------------------------------- non-self join
-def _cross_join_worker(task: tuple[str, int]) -> tuple[str, int, dict[int, float], SearchStats]:
+def _cross_join_worker(
+    task: tuple[str, int],
+) -> tuple[str, int, dict[int, float], SearchStats, "harvest.WorkerTelemetry | None"]:
     side, trajectory_id = task
     engine: DirectionalSearchEngine = _WORKER_STATE[f"engine_{side}"]
     database: TrajectoryDatabase = _WORKER_STATE[f"database_{side}"]
     lam: float = _WORKER_STATE["lam"]
     limit: float = _WORKER_STATE["limit"]
     trajectory = database.get(trajectory_id)
-    candidates = engine.threshold_search(
-        [(p.vertex, p.timestamp) for p in trajectory.points], lam, limit
+    points = [(p.vertex, p.timestamp) for p in trajectory.points]
+    config = _WORKER_STATE.get("harvest")
+    if not config:
+        candidates = engine.threshold_search(points, lam, limit)
+        return side, trajectory_id, candidates.values, candidates.stats, None
+    with harvest.collecting(config) as collector:
+        with collector.tracer.span(
+            "join_task", trajectory_id=trajectory_id, side=side
+        ):
+            candidates = engine.threshold_search(points, lam, limit)
+        collector.record_stats(candidates.stats, kind="join")
+    return (
+        side, trajectory_id, candidates.values, candidates.stats,
+        collector.telemetry(),
     )
-    return side, trajectory_id, candidates.values, candidates.stats
 
 
 def parallel_join(
@@ -429,13 +547,15 @@ def parallel_join(
     tasks += [("q", tid) for tid in other.trajectories.ids()]
     context = multiprocessing.get_context("fork")
     # Side "p" trajectories search the Q engine and vice versa.
-    with _worker_handoff(
-        {
-            "engine_p": engine_q, "database_p": database,
-            "engine_q": engine_p, "database_q": other,
-            "lam": lam, "limit": theta - 1.0,
-        }
-    ):
+    payload = {
+        "engine_p": engine_q, "database_p": database,
+        "engine_q": engine_p, "database_q": other,
+        "lam": lam, "limit": theta - 1.0,
+    }
+    config = harvest.harvest_config()
+    if config is not None:
+        payload["harvest"] = config
+    with _worker_handoff(payload):
         with context.Pool(processes=workers, initializer=_worker_init) as pool:
             chunk = max(1, len(tasks) // (workers * 8))
             rows = pool.map(_cross_join_worker, tasks, chunksize=chunk)
@@ -443,9 +563,14 @@ def parallel_join(
     result = JoinResult()
     from_p: dict[int, dict[int, float]] = {}
     from_q: dict[int, dict[int, float]] = {}
-    for side, trajectory_id, values, stats in rows:
-        (from_p if side == "p" else from_q)[trajectory_id] = values
-        result.stats.merge(stats)
+    tracer = current_tracer()
+    with tracer.span("parallel_join", workers=workers, tasks=len(rows)) as jspan:
+        for side, trajectory_id, values, stats, telemetry in rows:
+            (from_p if side == "p" else from_q)[trajectory_id] = values
+            result.stats.merge(stats)
+            harvest.merge_telemetry(telemetry)
+            if telemetry is not None:
+                harvest.graft_telemetry(tracer, jspan, telemetry)
     eps = 1e-9
     for id1, candidates in from_p.items():
         for id2, v12 in candidates.items():

@@ -43,7 +43,7 @@ saturated, exactly as the sequential path would reject each query.
 from __future__ import annotations
 
 import time
-from contextlib import contextmanager
+from contextlib import ExitStack, contextmanager
 from dataclasses import replace
 from typing import Hashable, Sequence
 
@@ -53,13 +53,22 @@ from repro.core.registry import get_spec, make_searcher
 from repro.core.results import SearchResult
 from repro.errors import QueryError
 from repro.index.database import TrajectoryDatabase
+from repro.obs import harvest
 from repro.obs.adapters import (
     bind_admission,
     bind_database,
     bind_result_cache,
     bind_service_stats,
+    bind_slowlog,
+    bind_tracer,
 )
-from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.metrics import (
+    DRIFT_BUCKETS,
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+    get_registry,
+)
+from repro.obs.slowlog import SlowLogEntry, SlowQueryJournal
 from repro.obs.trace import Tracer, activated
 from repro.parallel.executor import _fork_search_batch, _safe_search, fork_available
 from repro.perf.result_cache import ResultCache, query_fingerprint
@@ -110,6 +119,15 @@ class QueryService:
         listener on the database so ``add``/``remove`` invalidate only
         the entries they can affect (see
         :meth:`~repro.perf.result_cache.ResultCache.on_event`).
+    slowlog:
+        ``None``/``False``/``0`` (default, no journal), a worst-N
+        capacity as an ``int``, ``True`` for the default capacity, or a
+        pre-built :class:`~repro.obs.slowlog.SlowQueryJournal` (e.g. one
+        with a latency threshold).  When set, every recorded query past
+        the journal's threshold is considered for the bounded worst-N
+        ring, capturing fingerprint, plan text, work counters, drift
+        ratio, and — when tracing — the stitched trace (read it back via
+        :attr:`slowlog` or ``repro slowlog``).
     **searcher_kwargs:
         Tuning kwargs forwarded to the registry factory (``alt=``,
         ``batch_size=``, ``refinement=``, ``scheduler=``).
@@ -123,6 +141,7 @@ class QueryService:
         trace: Tracer | bool | None = None,
         metrics: MetricsRegistry | bool | None = None,
         result_cache: ResultCache | int | bool | None = None,
+        slowlog: SlowQueryJournal | int | bool | None = None,
         **searcher_kwargs,
     ):
         self._database = database
@@ -134,6 +153,12 @@ class QueryService:
             else AdmissionController(admission)
         )
         self._stats = ServiceStats()
+        # The fingerprint pins the *resolved* serving configuration, so
+        # services sharing one result cache can never alias across tunings
+        # (and slowlog entries identify the exact query + tuning served).
+        self._tuning_key = tuple(
+            sorted(get_spec(algorithm).resolve_tuning(**searcher_kwargs).items())
+        )
         if result_cache is True:
             result_cache = ResultCache()
         elif not isinstance(result_cache, ResultCache):
@@ -143,14 +168,13 @@ class QueryService:
             result_cache = None
         self._result_cache: ResultCache | None = result_cache
         if result_cache is not None:
-            # The fingerprint pins the *resolved* serving configuration, so
-            # services sharing one cache can never alias across tunings.
-            self._tuning_key = tuple(
-                sorted(get_spec(algorithm).resolve_tuning(**searcher_kwargs).items())
-            )
             database.add_mutation_listener(self._on_mutation)
-        else:
-            self._tuning_key = ()
+        if slowlog is True:
+            slowlog = SlowQueryJournal()
+        elif not isinstance(slowlog, SlowQueryJournal):
+            # int capacity (0/None/False mean disabled, like the caches).
+            slowlog = SlowQueryJournal(int(slowlog)) if slowlog else None
+        self._slowlog: SlowQueryJournal | None = slowlog
         if trace is True:
             trace = Tracer()
         elif trace is False:
@@ -169,8 +193,21 @@ class QueryService:
             bind_database(database, self._metrics)
             if self._result_cache is not None:
                 bind_result_cache(self._result_cache, self._metrics)
+            if self._tracer is not None:
+                bind_tracer(self._tracer, self._metrics)
+            if self._slowlog is not None:
+                bind_slowlog(self._slowlog, self._metrics)
+            # Sub-millisecond buckets: result-cache hits and pruned-out
+            # queries finish far below DEFAULT_BUCKETS' lowest bound.
             self._latency = self._metrics.histogram(
-                "repro_service_latency_seconds", "Per-query service latency"
+                "repro_service_latency_seconds",
+                "Per-query service latency",
+                buckets=LATENCY_BUCKETS,
+            )
+            self._drift = self._metrics.histogram(
+                "repro_plan_drift_ratio",
+                "Measured work / planner-estimated cost, by algorithm",
+                buckets=DRIFT_BUCKETS,
             )
             self._executor_paths = self._metrics.counter(
                 "repro_executor_queries_total",
@@ -183,6 +220,7 @@ class QueryService:
             )
         else:
             self._latency = None
+            self._drift = None
             self._executor_paths = None
             self._executor_retries = None
 
@@ -227,6 +265,11 @@ class QueryService:
         """The service-level result cache (``None`` when disabled)."""
         return self._result_cache
 
+    @property
+    def slowlog(self) -> SlowQueryJournal | None:
+        """The slow-query journal (``None`` when disabled)."""
+        return self._slowlog
+
     # ------------------------------------------------------------- planning
     def plan(self, query: UOTSQuery) -> QueryPlan:
         """The searcher's plan, stamped with the *registry* name.
@@ -241,18 +284,41 @@ class QueryService:
         return plan
 
     def explain(self, query: UOTSQuery) -> str:
-        """Render the query's plan without executing it."""
-        return self.plan(query).describe()
+        """Render the query's plan without executing it.
+
+        Once the service has served drift-comparable queries under this
+        algorithm, the plan text gains an ``observed drift`` line — how
+        measured work has actually compared to estimates like this one.
+        """
+        text = self.plan(query).describe()
+        summary = self._stats.drift_summary(self._algorithm)
+        if summary is not None:
+            text += (
+                f"\nobserved drift: actual/estimated "
+                f"x{summary['mean_ratio']:.2f} mean "
+                f"({summary['min_ratio']:.2f}..{summary['max_ratio']:.2f}) "
+                f"over {summary['queries']} queries"
+            )
+        return text
 
     # ------------------------------------------------------------ execution
     @contextmanager
     def _traced(self, name: str, **attributes):
         """Run a block under the service tracer (a no-op when tracing is
-        off); yields the open span or ``None``."""
-        if self._tracer is None:
-            yield None
-            return
-        with activated(self._tracer):
+        off); yields the open span or ``None``.
+
+        When metrics are bound, the block also runs with the service
+        registry installed as the telemetry harvest sink, so counter
+        deltas from any forked workers under it merge into *this*
+        service's registry (``repro_worker_*`` series).
+        """
+        with ExitStack() as stack:
+            if self._metrics is not None:
+                stack.enter_context(harvest.sink_to(self._metrics))
+            if self._tracer is None:
+                yield None
+                return
+            stack.enter_context(activated(self._tracer))
             with self._tracer.span(name, **attributes) as span:
                 yield span
 
@@ -260,6 +326,7 @@ class QueryService:
         self,
         result: SearchResult,
         elapsed_seconds: float,
+        query: UOTSQuery | None = None,
         tenant: str | None = None,
         priority: str | None = None,
         policy_degraded: bool = False,
@@ -267,8 +334,9 @@ class QueryService:
         """THE recording path: every answered query — ``search``,
         ``submit``, both ``execute_many`` branches, result-cache hits —
         folds into the service stats (and live metrics) through here, so
-        outcome counters and the latency reservoir can never diverge
-        between single-process and forked execution.
+        outcome counters, the latency reservoir, drift accounting, and
+        the slow-query journal can never diverge between single-process
+        and forked execution.
         """
         self._stats.record(
             result,
@@ -277,6 +345,7 @@ class QueryService:
             priority=priority,
             policy_degraded=policy_degraded,
         )
+        drift = self._record_drift(result)
         if self._metrics is not None:
             self._latency.observe(elapsed_seconds)
             if result.stats.cache == "result":
@@ -286,6 +355,66 @@ class QueryService:
             self._executor_paths.inc(path=path)
             if result.stats.retries:
                 self._executor_retries.inc(result.stats.retries)
+        if (
+            self._slowlog is not None
+            and query is not None
+            and self._slowlog.would_record(elapsed_seconds)
+        ):
+            self._journal(query, result, elapsed_seconds, drift)
+
+    def _record_drift(self, result: SearchResult) -> float | None:
+        """Fold one executed query's plan-vs-actual comparison; returns the
+        drift ratio, or ``None`` when the query carries no comparable
+        estimate (result-cache hits, failures, plan-less search paths)."""
+        stats = result.stats
+        if (
+            result.error is not None
+            or stats.cache == "result"
+            or stats.estimated_cost <= 0.0
+        ):
+            return None
+        actual = float(stats.expanded_vertices + stats.similarity_evaluations)
+        self._stats.record_drift(self._algorithm, stats.estimated_cost, actual)
+        ratio = actual / stats.estimated_cost
+        if self._drift is not None:
+            self._drift.observe(ratio, algorithm=self._algorithm)
+        return ratio
+
+    def _journal(
+        self,
+        query: UOTSQuery,
+        result: SearchResult,
+        elapsed_seconds: float,
+        drift: float | None,
+    ) -> None:
+        """Admit one slow query to the journal (caller pre-checked
+        :meth:`~repro.obs.slowlog.SlowQueryJournal.would_record`).  The
+        describe text is deferred: re-planning a sharded query costs
+        milliseconds, so the entry carries a provider that renders it on
+        first read instead of taxing the serving path."""
+        trace = None
+        if self._tracer is not None:
+            root = self._tracer.last_trace()
+            # Only attach a root this query owns: forked-batch queries
+            # share one execute_many root, which must not be duplicated
+            # into every entry of the batch.
+            if root is not None and root.name == "query":
+                trace = root
+        self._slowlog.record(
+            SlowLogEntry(
+                fingerprint=query_fingerprint(
+                    query, self._algorithm, self._tuning_key
+                ),
+                algorithm=self._algorithm,
+                latency_seconds=elapsed_seconds,
+                stats=result.stats,
+                plan_provider=lambda: self.plan(query).describe(),
+                trace=trace,
+                drift_ratio=drift,
+                degradation_reason=result.degradation_reason,
+                error=result.error,
+            )
+        )
 
     # ------------------------------------------------------- result caching
     def _on_mutation(self, event) -> None:
@@ -339,7 +468,7 @@ class QueryService:
             pass  # no execution: the span marks the served hit
         elapsed = time.perf_counter() - started
         hit.stats.elapsed_seconds = elapsed
-        self._record(hit, elapsed, tenant=tenant, priority=priority)
+        self._record(hit, elapsed, query=query, tenant=tenant, priority=priority)
         return hit
 
     def _query_span_attrs(self, key: Hashable | None) -> dict:
@@ -414,7 +543,11 @@ class QueryService:
         if key is not None:
             self._result_cache.put(key, result, query=query)
         self._record(
-            result, time.perf_counter() - started, tenant=tenant, priority=priority
+            result,
+            time.perf_counter() - started,
+            query=query,
+            tenant=tenant,
+            priority=priority,
         )
         return result
 
@@ -523,6 +656,7 @@ class QueryService:
             self._record(
                 result,
                 time.perf_counter() - started,
+                query=query,
                 tenant=tenant,
                 priority=priority,
                 policy_degraded=policy_degraded,
@@ -651,6 +785,7 @@ class QueryService:
                     self._record(
                         result,
                         result.stats.elapsed_seconds,
+                        query=queries[i],
                         tenant=tenant,
                         priority=priority,
                     )

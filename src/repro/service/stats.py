@@ -110,6 +110,10 @@ class ServiceStats:
         #: Merged per-query work counters (:meth:`SearchStats.merge`).
         self.totals = SearchStats()
         self._latencies = LatencyReservoir(latency_capacity)
+        #: Per-algorithm plan-vs-actual drift lanes, created lazily on the
+        #: first executed query that carried a comparable plan estimate
+        #: (like the policy lanes, keys stay out of snapshots until then).
+        self.drift_lanes: dict[str, dict[str, float]] = {}
 
     # ------------------------------------------------------------ recording
     @staticmethod
@@ -164,6 +168,52 @@ class ServiceStats:
             self.invalidation_kinds[kind] = self.invalidation_kinds.get(kind, 0) + 1
             self.invalidation_entries_dropped += dropped
             self.invalidation_entries_retained += retained
+
+    def record_drift(self, algorithm: str, estimated: float, actual: float) -> None:
+        """Fold one query's plan-vs-actual work comparison into its lane.
+
+        ``estimated`` is the served plan's ``estimated_cost`` (worst-case
+        work units), ``actual`` the measured ``expanded_vertices +
+        similarity_evaluations``.  Callers skip queries with no comparable
+        estimate (cache hits, failures, plan-less paths); the lane tracks
+        the drift ratio ``actual / estimated`` — below 1.0 means pruning
+        beat the worst case, above 1.0 means the planner under-estimated.
+        """
+        with self._lock:
+            lane = self.drift_lanes.get(algorithm)
+            ratio = actual / estimated
+            if lane is None:
+                lane = self.drift_lanes[algorithm] = {
+                    "queries": 0,
+                    "estimated_units": 0.0,
+                    "actual_units": 0.0,
+                    "sum_ratio": 0.0,
+                    "min_ratio": ratio,
+                    "max_ratio": ratio,
+                }
+            lane["queries"] += 1
+            lane["estimated_units"] += estimated
+            lane["actual_units"] += actual
+            lane["sum_ratio"] += ratio
+            lane["min_ratio"] = min(lane["min_ratio"], ratio)
+            lane["max_ratio"] = max(lane["max_ratio"], ratio)
+
+    def drift_summary(self, algorithm: str) -> dict | None:
+        """One algorithm's drift lane in snapshot shape (``None`` if unseen)."""
+        with self._lock:
+            lane = self.drift_lanes.get(algorithm)
+            return self._drift_view(lane) if lane else None
+
+    @staticmethod
+    def _drift_view(lane: dict[str, float]) -> dict:
+        return {
+            "queries": int(lane["queries"]),
+            "estimated_units": lane["estimated_units"],
+            "actual_units": lane["actual_units"],
+            "mean_ratio": lane["sum_ratio"] / lane["queries"],
+            "min_ratio": lane["min_ratio"],
+            "max_ratio": lane["max_ratio"],
+        }
 
     def record_rejection(
         self,
@@ -277,6 +327,11 @@ class ServiceStats:
                     priority: dict(lane)
                     for priority, lane in sorted(self.priority_lanes.items())
                 }
+            if self.drift_lanes:
+                out["plan_drift"] = {
+                    algorithm: self._drift_view(lane)
+                    for algorithm, lane in sorted(self.drift_lanes.items())
+                }
             return out
 
     @staticmethod
@@ -336,4 +391,12 @@ class ServiceStats:
                 "priorities:      "
                 f"(served/rejected) {self._render_lanes(s['priorities'])}"
             )
+        if "plan_drift" in s:
+            drift = ", ".join(
+                f"{algorithm} x{lane['mean_ratio']:.2f} "
+                f"({lane['min_ratio']:.2f}..{lane['max_ratio']:.2f}, "
+                f"{lane['queries']} queries)"
+                for algorithm, lane in s["plan_drift"].items()
+            )
+            lines.append(f"plan drift:      actual/estimated {drift}")
         return "\n".join(lines)

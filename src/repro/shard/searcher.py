@@ -59,6 +59,7 @@ from repro.core.search import CollaborativeSearcher
 from repro.index.database import TrajectoryDatabase
 from repro.network.csr import sssp_arrays_batch
 from repro.network.landmarks import LandmarkIndex
+from repro.obs import harvest
 from repro.obs.trace import current_tracer
 from repro.parallel import executor as _executor
 from repro.resilience.budget import SearchBudget
@@ -152,6 +153,20 @@ class _ShardSearcher(CollaborativeSearcher):
             return super().execute(
                 plan, budget, score_floor=score_floor, unseen_caps=unseen_caps
             )
+        with execute_span("shard-scan") as span:
+            result = self._scan_execute(
+                plan, score_floor=score_floor, distance_maps=distance_maps
+            )
+            annotate_search_span(span, result)
+        return result
+
+    def _scan_execute(
+        self,
+        plan: QueryPlan,
+        *,
+        score_floor: float | None,
+        distance_maps: np.ndarray,
+    ) -> SearchResult:
         started = time.perf_counter()
         query: UOTSQuery = plan.query
         stats = SearchStats()
@@ -577,7 +592,7 @@ class ShardedSearcher(CollaborativeSearcher):
             shard_floor = floor - 2.0 * _EPS if floor > 0.0 else None
             if use_fork and len(survivors) > 1:
                 forked = True
-                results = _executor._fork_shard_batch(
+                results, telemetries = _executor._fork_shard_batch(
                     [s.searcher for s in survivors],
                     [shard_plans[s.shard_id] for s in survivors],
                     [caps[s.shard_id] for s in survivors],
@@ -587,15 +602,26 @@ class ShardedSearcher(CollaborativeSearcher):
                     distance_maps=distance_maps,
                 )
                 if tracer.enabled:
-                    for shard, result in zip(survivors, results):
+                    for shard, result, telemetry in zip(
+                        survivors, results, telemetries
+                    ):
+                        # The owning shard span; the worker's execute tree
+                        # (harvested telemetry) grafts underneath it, so a
+                        # stitched trace breaks the scatter down per shard.
                         with tracer.span(
                             f"shard[{shard.shard_id}]",
                             executed=True,
                             items=len(result.items),
                             elapsed_seconds=result.stats.elapsed_seconds,
+                            evaluations=result.stats.similarity_evaluations,
                             executor=result.stats.executor,
-                        ):
-                            pass
+                        ) as sspan:
+                            harvest.graft_telemetry(tracer, sspan, telemetry)
+                        if sspan is not None:
+                            # The wrapper span opened after the fork
+                            # returned; the shard's honest wall time is
+                            # what its worker measured.
+                            sspan.duration_s = result.stats.elapsed_seconds
             else:
                 results = []
                 for shard in survivors:
@@ -611,6 +637,10 @@ class ShardedSearcher(CollaborativeSearcher):
                             )
                             if sspan is not None:
                                 sspan.set("items", len(result.items))
+                                sspan.set(
+                                    "evaluations",
+                                    result.stats.similarity_evaluations,
+                                )
                     else:
                         result = shard.searcher.execute(
                             shard_plans[shard.shard_id],
@@ -641,6 +671,9 @@ class ShardedSearcher(CollaborativeSearcher):
         stats.text_candidates = len(text_scores)
         stats.executor = "fork" if forked else ""
         stats.cache = ""
+        # The merge above summed the member shards' (zero) estimates; the
+        # served estimate is the scheduled scatter cost of this plan.
+        stats.estimated_cost = plan.estimated_cost
         return SearchResult(items=topk.ranked(), stats=stats)
 
     # ------------------------------------------------------------- helpers

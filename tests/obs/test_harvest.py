@@ -1,0 +1,237 @@
+"""Cross-process telemetry harvest (tentpole contract).
+
+Worker span trees graft under their owning parent spans *through* the
+trace's buffer caps (a forked query obeys the same memory bounds as a
+sequential one, drop counts stay accurate), worker counter deltas merge
+into the sink with exact parity against the per-shard result stats, and a
+crashed worker leaves an explicit ``telemetry_lost`` event rather than a
+silently thin trace.
+"""
+
+import os
+
+import pytest
+
+from repro.core.query import UOTSQuery
+from repro.core.registry import make_searcher
+from repro.obs import harvest
+from repro.obs.harvest import WORKER_COUNTERS, HarvestCollector
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer, activated
+from repro.parallel.executor import fork_available
+
+QUERY = UOTSQuery.create([5, 210], [], lam=0.9, k=5)
+
+fork_only = pytest.mark.skipif(
+    not fork_available(), reason="fork start method not available"
+)
+
+
+def _worker_telemetry(spans_per_root=3, roots=1, max_spans=4096):
+    """Telemetry a worker task would produce: plan/execute-ish trees."""
+    collector = HarvestCollector(max_spans=max_spans, max_events=64)
+    for _ in range(roots):
+        root = collector.tracer.begin("execute", algorithm="shard-scan")
+        for i in range(spans_per_root - 1):
+            child = collector.tracer.begin("round", index=i)
+            collector.tracer.event("tick", at=i)
+            collector.tracer.end(child)
+        collector.tracer.end(root)
+    return collector.telemetry()
+
+
+class TestGraft:
+    def test_worker_tree_lands_under_the_owning_span(self):
+        telemetry = _worker_telemetry(spans_per_root=3)
+        tracer = Tracer()
+        with tracer.span("query") as root:
+            with tracer.span("shard[0]") as owner:
+                kept = harvest.graft_telemetry(tracer, owner, telemetry)
+        assert kept == 1
+        assert [c.name for c in owner.children] == ["execute"]
+        grafted = owner.children[0]
+        assert grafted.attributes["algorithm"] == "shard-scan"
+        assert [c.name for c in grafted.children] == ["round", "round"]
+        assert grafted.children[0].events[0]["name"] == "tick"
+        # Grafted spans count against the root's per-trace budget.
+        assert root._recorded_spans == 2 + 3
+
+    def test_grafted_spans_rebase_onto_parent_time(self):
+        telemetry = _worker_telemetry(spans_per_root=2)
+        tracer = Tracer()
+        with tracer.span("query") as root:
+            with tracer.span("shard[0]") as owner:
+                harvest.graft_telemetry(tracer, owner, telemetry)
+        grafted = owner.children[0]
+        # Worker offsets are relative to the worker's root; after the
+        # rebase they sit at-or-after the owning span's start.
+        assert grafted.started_s >= owner.started_s
+        assert grafted.children[0].started_s >= grafted.started_s
+        assert root is not None
+
+    def test_parent_caps_bound_grafted_spans_and_count_drops(self):
+        telemetry = _worker_telemetry(spans_per_root=10)
+        tracer = Tracer(max_spans=6)
+        with tracer.span("query") as root:
+            with tracer.span("shard[0]") as owner:
+                harvest.graft_telemetry(tracer, owner, telemetry)
+        # query + shard[0] + at most 4 grafted spans.
+        assert root._recorded_spans == 6
+        assert sum(1 for _ in root.walk()) == 6
+        assert root.dropped_spans == 6
+        assert tracer.dropped_spans_total == 6
+
+    def test_worker_side_drops_fold_into_the_parent_trace(self):
+        # The worker's own caps truncated its tree: those drops ride home
+        # embedded in the serialized roots and surface on the parent side.
+        telemetry = _worker_telemetry(spans_per_root=10, max_spans=4)
+        assert telemetry.dropped_spans == 6
+        tracer = Tracer()
+        with tracer.span("query") as root:
+            with tracer.span("shard[0]") as owner:
+                harvest.graft_telemetry(tracer, owner, telemetry)
+        assert root.dropped_spans == 6
+        assert tracer.dropped_spans_total == 6
+        # And they are not double-counted: only 4 spans were shipped.
+        assert root._recorded_spans == 2 + 4
+
+    def test_event_caps_apply_to_grafted_events(self):
+        telemetry = _worker_telemetry(spans_per_root=5)
+        tracer = Tracer(max_events=2)
+        with tracer.span("query") as root:
+            with tracer.span("shard[0]") as owner:
+                harvest.graft_telemetry(tracer, owner, telemetry)
+        assert root._recorded_events == 2
+        assert root.dropped_events == 2
+        assert tracer.dropped_events_total == 2
+
+    def test_graft_is_a_noop_when_disabled_or_unowned(self):
+        telemetry = _worker_telemetry()
+        disabled = Tracer(enabled=False)
+        assert harvest.graft_telemetry(disabled, None, telemetry) == 0
+        tracer = Tracer()
+        with tracer.span("query") as root:
+            assert harvest.graft_telemetry(tracer, root, None) == 0
+        assert root.children == []
+
+
+class TestCountersAndConfig:
+    def test_counter_deltas_roundtrip_through_the_sink(self):
+        collector = HarvestCollector()
+        class _Stats:
+            elapsed_seconds = 0.25
+            expanded_vertices = 7
+            visited_trajectories = 11
+            similarity_evaluations = 5
+            refinements = 2
+        collector.record_stats(_Stats(), kind="shard")
+        sink = MetricsRegistry()
+        with harvest.sink_to(sink):
+            harvest.merge_telemetry(collector.telemetry())
+        name, help_ = WORKER_COUNTERS["evaluations"]
+        assert sink.counter(name, help_).value(kind="shard") == 5
+        name, help_ = WORKER_COUNTERS["tasks"]
+        assert sink.counter(name, help_).value(kind="shard") == 1
+
+    def test_merge_without_a_sink_is_dropped(self):
+        collector = HarvestCollector()
+        class _Stats:
+            elapsed_seconds = 0.1
+            expanded_vertices = 1
+            visited_trajectories = 1
+            similarity_evaluations = 1
+            refinements = 0
+        collector.record_stats(_Stats(), kind="search")
+        harvest.merge_telemetry(collector.telemetry())  # no sink installed
+        assert harvest.current_sink() is None
+
+    def test_harvest_config_follows_tracer_and_sink(self):
+        assert harvest.harvest_config() is None
+        with activated(Tracer(max_spans=123, max_events=45)):
+            config = harvest.harvest_config()
+            assert config == {
+                "spans": True,
+                "metrics": False,
+                "max_spans": 123,
+                "max_events": 45,
+            }
+        with harvest.sink_to(MetricsRegistry()):
+            config = harvest.harvest_config()
+            assert config is not None
+            assert config["metrics"] is True and config["spans"] is False
+        assert harvest.harvest_config() is None
+
+
+@fork_only
+class TestScatterHarvest:
+    """An 8-shard traced scatter: worker spans come home, bounded."""
+
+    def _run(self, database, tracer, shards=8, workers=4):
+        sharded = make_searcher(database, "sharded", shards=shards, workers=workers)
+        sink = MetricsRegistry()
+        with activated(tracer), harvest.sink_to(sink):
+            result = sharded.search(QUERY)
+        assert result.stats.executor == "fork"
+        return result, tracer.last_trace(), sink
+
+    def test_worker_spans_graft_under_their_shard_spans(self, database):
+        _, trace, _ = self._run(database, Tracer())
+        forked = [
+            span
+            for span in trace.walk()
+            if span.name.startswith("shard[")
+            and span.attributes.get("executor") == "fork"
+        ]
+        assert forked, "no forked shard spans in the stitched trace"
+        for span in forked:
+            assert [c.name for c in span.children] == ["execute"], span.name
+            assert span.children[0].attributes["algorithm"] == "shard-scan"
+
+    def test_counter_deltas_match_the_shard_results_exactly(self, database):
+        _, trace, sink = self._run(database, Tracer())
+        forked = [
+            span
+            for span in trace.walk()
+            if span.name.startswith("shard[")
+            and span.attributes.get("executor") == "fork"
+        ]
+        name, help_ = WORKER_COUNTERS["evaluations"]
+        harvested = sink.counter(name, help_).value(kind="shard")
+        assert harvested == sum(s.attributes["evaluations"] for s in forked)
+        name, help_ = WORKER_COUNTERS["tasks"]
+        assert sink.counter(name, help_).value(kind="shard") == len(forked)
+
+    def test_trace_stays_bounded_and_drops_are_counted(self, database):
+        tracer = Tracer(max_spans=8)
+        _, trace, _ = self._run(database, tracer)
+        assert trace._recorded_spans <= 8
+        assert sum(1 for _ in trace.walk()) <= 8
+        assert trace.dropped_spans > 0
+        assert tracer.dropped_spans_total >= trace.dropped_spans
+
+    def test_crashed_worker_leaves_a_telemetry_lost_event(self, database):
+        sharded = make_searcher(database, "sharded", shards=8, workers=4)
+        parent_pid = os.getpid()
+        victim = sharded._collection.shards[4].searcher
+        real_execute = victim.execute
+
+        def crashing_execute(plan, budget=None, **kwargs):
+            if os.getpid() != parent_pid:
+                os._exit(17)
+            return real_execute(plan, budget, **kwargs)
+
+        victim.execute = crashing_execute
+        tracer = Tracer()
+        with activated(tracer):
+            result = sharded.search(QUERY)
+        assert result.ok
+        events = [
+            event
+            for span in tracer.last_trace().walk()
+            for event in span.events
+        ]
+        names = [event["name"] for event in events]
+        assert "worker_crash" in names
+        assert "telemetry_lost" in names
+        lost = [e for e in events if e["name"] == "telemetry_lost"]
+        assert all(e["shards"] >= 1 for e in lost)

@@ -42,6 +42,7 @@ SEARCH_STATS_FIELDS = (
     "shards_pruned",
     "shard_seconds",
     "shard_critical_seconds",
+    "estimated_cost",
 )
 
 #: The frozen key set of ServiceStats.snapshot().

@@ -360,11 +360,15 @@ class TestDefaultOffOracle:
     results and ``ServiceStats`` output are byte-identical to the
     pre-overload behaviour."""
 
+    # The pre-overload layout plus the always-on drift lane (every
+    # executed query carries a comparable plan estimate since the
+    # drift-accounting layer; policy keys still gate on use).
     LEGACY_SNAPSHOT_KEYS = [
         "queries_served", "exact_results", "degraded_results",
         "failed_queries", "rejected_queries", "result_cache_hits",
         "p50_ms", "p95_ms", "distance_cache_hit_rate",
         "text_cache_hit_rate", "expanded_vertices", "refinements",
+        "plan_drift",
     ]
 
     def test_snapshot_keys_and_describe_shape_unchanged(self, database):
@@ -378,7 +382,7 @@ class TestDefaultOffOracle:
         snapshot = service.stats.snapshot()
         assert list(snapshot) == self.LEGACY_SNAPSHOT_KEYS
         described = service.stats.describe()
-        assert len(described.splitlines()) == 4
+        assert len(described.splitlines()) == 5
         assert "shed" not in described
         assert "tenant" not in described
 
