@@ -6,8 +6,10 @@ plan without running it, ``repro trace`` runs a query with tracing on and
 prints its per-stage time breakdown, ``repro metrics`` dumps the metrics
 registry after serving a query, ``repro slowlog`` serves a query repeatedly
 under the slow-query journal and renders the worst entries, ``repro join``
-runs a similarity self join, and ``repro bench`` prints a quick benchmark
-battery — enough to exercise the whole system without writing Python.
+runs a similarity self join, ``repro bench`` prints a quick benchmark
+battery, and ``repro serve`` exposes the service over HTTP through the
+async gateway — enough to exercise the whole system without writing
+Python.
 """
 
 from __future__ import annotations
@@ -375,6 +377,62 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Serve the dataset over HTTP through the async gateway."""
+    import asyncio
+    import signal
+
+    from repro.gateway import AsyncQueryService, http_available
+
+    if not http_available():
+        print(
+            "error: repro serve needs pydantic for the HTTP wire schemas "
+            "(pip install pydantic)",
+            file=sys.stderr,
+        )
+        return 1
+    from repro.gateway.app import create_app
+    from repro.gateway.server import serve as serve_app
+    from repro.obs.metrics import get_registry
+
+    database = _load_database(args.data, cache_size=args.cache_size)
+    service = _make_service(database, args, metrics=get_registry())
+    gateway = AsyncQueryService(
+        service,
+        max_workers=args.gateway_workers,
+        max_pending=args.max_pending,
+    )
+    app = create_app(gateway)
+
+    async def run() -> None:
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except NotImplementedError:  # pragma: no cover - non-unix
+                pass
+
+        def on_ready(host: str, port: int) -> None:
+            print(f"serving on http://{host}:{port}", flush=True)
+
+        try:
+            await serve_app(
+                app,
+                host=args.host,
+                port=args.port,
+                use_uvicorn=False if args.no_uvicorn else None,
+                ready_callback=on_ready,
+                shutdown_event=stop,
+            )
+        finally:
+            await gateway.close()
+
+    asyncio.run(run())
+    print("shutdown complete")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -605,6 +663,59 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit machine-readable rows instead of the text table",
     )
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "serve",
+        help="serve the dataset over HTTP through the async gateway",
+    )
+    p.add_argument("--data", required=True, help="dataset directory")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8000, help="0 picks a free port")
+    p.add_argument(
+        "--algorithm", choices=sorted(ALGORITHMS), default="collaborative"
+    )
+    p.add_argument(
+        "--gateway-workers", type=int, default=8, metavar="N",
+        help="worker threads bridging searches off the event loop",
+    )
+    p.add_argument(
+        "--max-pending", type=int, default=None, metavar="N",
+        help="bound on bridged calls queued-or-running "
+             "(default 4x --gateway-workers; past it /query answers 503)",
+    )
+    p.add_argument(
+        "--no-uvicorn", action="store_true",
+        help="force the built-in asyncio HTTP server even when uvicorn "
+             "is installed",
+    )
+    p.add_argument(
+        "--no-alt", action="store_true",
+        help="disable landmark (ALT) bound tightening",
+    )
+    p.add_argument("--batch-size", type=int, default=None, metavar="N")
+    p.add_argument(
+        "--scheduler", choices=["heuristic", "round-robin"], default=None
+    )
+    p.add_argument("--shards", type=int, default=None, metavar="N")
+    p.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="parallel shard workers for --algorithm sharded",
+    )
+    p.add_argument("--cache-size", type=int, default=None, metavar="N")
+    p.add_argument(
+        "--result-cache-size", type=int, default=256, metavar="N",
+        help="service result cache answering identical repeats in O(1) "
+             "(0 disables; serving defaults it on, unlike one-shot query)",
+    )
+    p.add_argument(
+        "--max-inflight", type=int, default=None, metavar="N",
+        help="overload-policy in-flight cap (enables shedding + breaker)",
+    )
+    p.add_argument("--max-cost", type=float, default=None, metavar="COST")
+    p.add_argument(
+        "--degrade-headroom", type=float, default=None, metavar="FACTOR"
+    )
+    p.set_defaults(func=_cmd_serve)
     return parser
 
 

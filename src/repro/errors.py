@@ -109,6 +109,29 @@ class MutationDispatchError(ReproError):
         )
 
 
+class GatewayError(ReproError):
+    """Raised for HTTP-gateway-level failures (:mod:`repro.gateway`)."""
+
+
+class GatewaySaturatedError(GatewayError):
+    """Raised when the gateway's bounded bridge queue is full.
+
+    Distinct from an admission-policy rejection: admission control is the
+    *service's* load decision (it sees the query), while the gateway cap
+    bounds how many bridged calls may even wait for a worker thread.  The
+    HTTP layer maps this to 503 (try elsewhere/later), admission sheds to
+    429 (the service looked and said no).
+    """
+
+    def __init__(self, pending: int, limit: int):
+        self.pending = pending
+        self.limit = limit
+        super().__init__(
+            f"gateway bridge saturated: {pending} calls pending "
+            f"(limit {limit})"
+        )
+
+
 class BudgetExceededError(ReproError):
     """Raised when a strict :class:`~repro.resilience.SearchBudget` trips.
 

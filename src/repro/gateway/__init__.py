@@ -1,0 +1,49 @@
+"""The async HTTP serving gateway (DESIGN.md §14).
+
+Layered so the import cost matches what a caller actually uses:
+
+- ``repro.gateway`` (this module) and :mod:`repro.gateway.aservice` —
+  stdlib + ``repro.service`` only.  Importing the package never pulls
+  pydantic or a web framework, keeping the core import-light contract
+  intact (see ``tests/test_import_light.py``);
+- :mod:`repro.gateway.schemas` / :mod:`repro.gateway.app` — need
+  pydantic (the wire contract); gate on :func:`require_http_deps`;
+- :mod:`repro.gateway.server` — stdlib HTTP/1.1 server, uses uvicorn
+  opportunistically when installed.
+
+Typical embedding (what ``repro serve`` does)::
+
+    service = QueryService(database, "collaborative", metrics=True, ...)
+    gateway = AsyncQueryService(service, max_workers=8)
+    app = create_app(gateway)          # needs pydantic
+    await serve(app, host, port)       # stdlib server (or uvicorn)
+"""
+
+from __future__ import annotations
+
+from repro.gateway.aservice import AsyncQueryService
+
+__all__ = ["AsyncQueryService", "require_http_deps", "http_available"]
+
+
+def http_available() -> bool:
+    """Whether the HTTP layer's one dependency (pydantic) is importable."""
+    try:
+        import pydantic  # noqa: F401
+    except ModuleNotFoundError:
+        return False
+    return True
+
+
+def require_http_deps() -> None:
+    """Raise a friendly error when the HTTP layer cannot be imported.
+
+    The async bridge itself (:class:`AsyncQueryService`) has no optional
+    dependencies — only the wire schemas do.
+    """
+    if not http_available():
+        raise ModuleNotFoundError(
+            "the gateway's HTTP layer needs pydantic "
+            "(pip install pydantic); the AsyncQueryService bridge "
+            "works without it"
+        )

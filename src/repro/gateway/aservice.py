@@ -1,0 +1,279 @@
+"""The asyncio bridge: event-loop front half, thread-pool back half.
+
+:class:`AsyncQueryService` puts an ``await``-able face on a synchronous
+:class:`~repro.service.service.QueryService` without forking it.  The
+split follows the cost structure of one served query:
+
+- the **cheap, shared-state half** — result-cache probe, admission
+  decision (including the cost-policy plan) — runs directly on the event
+  loop via the service's ``_cache_key`` / ``_serve_hit`` /
+  ``_admit_decision`` / ``_reject`` seams.  These touch the service's
+  shared structures (result cache, admission counters, stats), all of
+  which are internally locked, and complete in microseconds, so they
+  never block the loop noticeably and rejected/cached queries never wait
+  behind a busy worker thread;
+- the **expensive, CPU-bound half** — the actual search — is bridged
+  onto a bounded :class:`~concurrent.futures.ThreadPoolExecutor` through
+  ``_execute_admitted``, which owns the admission slot it was handed and
+  releases it on every path.
+
+State-ownership rules (DESIGN.md §14): the event loop owns the gateway's
+own mutable state (the pending counter); the service's shared state is
+owned by its internal locks and may be touched from any thread; per-query
+state (the decision, the result) is owned by exactly one thread at a time
+and handed over through the executor future.
+
+Cancellation safety: the bridged call is wrapped in
+:func:`asyncio.shield`.  A disconnecting client cancels the *await*, not
+the search — an admitted query always runs to completion on its worker
+thread, so the admission slot is always released by ``_execute_admitted``
+'s ``finally`` and the in-flight gauge cannot leak.  (Abandoning the
+result is deliberate: it still warms the result cache.)
+
+The gateway adds one load bound of its own, ``max_pending``: the number
+of bridged calls allowed to be queued or running on the pool.  Admission
+control bounds what the *service* accepts; ``max_pending`` bounds how
+much work may even *wait* for a worker thread, so a stalled pool turns
+into fast 503s instead of an unbounded queue of growing latencies.
+
+This module imports only the stdlib and ``repro.service`` — no pydantic,
+no HTTP — so ``repro.gateway`` stays import-light (the HTTP layer in
+:mod:`repro.gateway.app` is what needs pydantic).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Sequence
+
+from repro.core.query import UOTSQuery
+from repro.core.results import SearchResult
+from repro.errors import GatewayError, GatewaySaturatedError
+from repro.resilience.budget import SearchBudget
+from repro.service.service import QueryService
+
+__all__ = ["AsyncQueryService"]
+
+#: Executor label stamped on results served through the async bridge
+#: (visible in ``SearchStats.executor`` and the per-path metrics).
+GATEWAY_EXECUTOR_LABEL = "gateway-thread"
+
+
+class AsyncQueryService:
+    """An ``await``-able front-end over one :class:`QueryService`.
+
+    Parameters
+    ----------
+    service:
+        The synchronous service to serve.  Shared: the same instance may
+        keep answering CLI/batch callers concurrently.
+    max_workers:
+        Worker threads for bridged searches (the HTTP serving
+        parallelism).  Defaults to 8 — enough to saturate a typical
+        multi-core box with CPU-bound searches while the GIL interleaves
+        the pure-Python sections.
+    max_pending:
+        Bound on bridged calls queued-or-running; ``None`` derives
+        ``4 * max_workers`` (a small queue smooths bursts without letting
+        latency grow unboundedly).  ``0`` is rejected — a gateway that can
+        never serve is a configuration error.
+    """
+
+    def __init__(
+        self,
+        service: QueryService,
+        max_workers: int = 8,
+        max_pending: int | None = None,
+    ):
+        if max_workers < 1:
+            raise GatewayError(f"max_workers must be >= 1, got {max_workers}")
+        if max_pending is None:
+            max_pending = 4 * max_workers
+        if max_pending < 1:
+            raise GatewayError(f"max_pending must be >= 1, got {max_pending}")
+        self._service = service
+        self._max_pending = max_pending
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="uots-gateway"
+        )
+        # Mutated only from event-loop callbacks (submit and the future's
+        # done-callback both run on the loop), so no lock is needed —
+        # single-threaded ownership is the loop's whole point.
+        self._pending = 0
+        self._closed = False
+
+    # ------------------------------------------------------------ properties
+    @property
+    def service(self) -> QueryService:
+        """The underlying synchronous service."""
+        return self._service
+
+    @property
+    def pending(self) -> int:
+        """Bridged calls currently queued or running on the pool."""
+        return self._pending
+
+    @property
+    def max_pending(self) -> int:
+        """The gateway's bridged-call bound."""
+        return self._max_pending
+
+    @property
+    def saturated(self) -> bool:
+        """Whether a new bridged call would be turned away right now."""
+        return self._pending >= self._max_pending
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run (no further submissions)."""
+        return self._closed
+
+    def healthy(self) -> bool:
+        """Liveness: the bridge can still accept work at all."""
+        return not self._closed
+
+    def ready(self) -> tuple[bool, str]:
+        """Readiness and a reason slug for the ``/readyz`` body.
+
+        Not ready when closed, when the service's circuit breaker is
+        open (the backend is failing; sending traffic here only feeds
+        the failure), or when the bridge is saturated.  A *half-open*
+        breaker keeps readiness: it is actively probing for recovery and
+        admission control already meters the probe volume.
+        """
+        if self._closed:
+            return False, "closed"
+        breaker = self._service.admission.breaker
+        if breaker is not None and breaker.state == "open":
+            return False, "breaker_open"
+        if self.saturated:
+            return False, "saturated"
+        return True, "ok"
+
+    # ------------------------------------------------------------- serving
+    async def submit(
+        self,
+        query: UOTSQuery,
+        budget: SearchBudget | None = None,
+        tenant: str | None = None,
+        priority: str | None = None,
+    ) -> SearchResult:
+        """Answer one query; the async sibling of :meth:`QueryService.submit`.
+
+        Semantics are identical (cache hits before admission, rejections
+        as error-marked results, library errors contained) — the only
+        differences are *where* the halves run (see the module docstring)
+        and that a saturated bridge raises
+        :class:`~repro.errors.GatewaySaturatedError` before any service
+        state is touched.
+        """
+        if self._closed:
+            raise GatewayError("gateway is closed")
+        service = self._service
+        started = time.perf_counter()
+        key = service._cache_key(query, budget)
+        if key is not None:
+            hit = service._result_cache.get(key)
+            if hit is not None:
+                return service._serve_hit(query, hit, started, tenant, priority)
+        if self.saturated:
+            raise GatewaySaturatedError(self._pending, self._max_pending)
+        decision = service._admit_decision(query, tenant, priority)
+        if not decision.admitted:
+            return service._reject(decision, started, query, tenant, priority)
+        return await self._bridge(
+            service._execute_admitted,
+            query,
+            budget,
+            decision,
+            key,
+            GATEWAY_EXECUTOR_LABEL,
+            tenant,
+            priority,
+        )
+
+    async def submit_many(
+        self,
+        queries: Sequence[UOTSQuery],
+        budget: SearchBudget | None = None,
+        workers: int | None = None,
+        tenant: str | None = None,
+        priority: str | None = None,
+    ) -> list[SearchResult]:
+        """Bridge a whole batch through :meth:`QueryService.execute_many`.
+
+        The batch rides as *one* bridged call so the fork-based fan-out
+        (``workers > 1`` on a fork platform) stays available to HTTP
+        batch endpoints — the worker thread drives the forked children
+        exactly as a CLI batch caller would.
+        """
+        if self._closed:
+            raise GatewayError("gateway is closed")
+        if self.saturated:
+            raise GatewaySaturatedError(self._pending, self._max_pending)
+        return await self._bridge(
+            self._service.execute_many,
+            list(queries),
+            budget,
+            1 if workers is None else workers,
+            2,  # max_task_retries: the service default
+            tenant,
+            priority,
+        )
+
+    async def explain(self, query: UOTSQuery) -> str:
+        """Bridge :meth:`QueryService.explain` (plans, never executes)."""
+        if self._closed:
+            raise GatewayError("gateway is closed")
+        if self.saturated:
+            raise GatewaySaturatedError(self._pending, self._max_pending)
+        return await self._bridge(self._service.explain, query)
+
+    async def _bridge(self, fn, *args):
+        """Run ``fn(*args)`` on the pool, shielded from caller cancellation.
+
+        The pending counter is incremented here and decremented by the
+        future's done-callback — both on the event loop — so the counter
+        tracks queued *and* running calls, including ones whose awaiter
+        has already been cancelled (the search still occupies a worker
+        thread, so it must still count against ``max_pending``).
+        """
+        loop = asyncio.get_running_loop()
+        self._pending += 1
+        future = loop.run_in_executor(self._executor, fn, *args)
+        future.add_done_callback(lambda _f: self._on_done())
+        try:
+            return await asyncio.shield(future)
+        except asyncio.CancelledError:
+            # Swallow nothing: the caller is cancelled, but the bridged
+            # call runs to completion on its thread (admission slots are
+            # released by _execute_admitted's finally, results still warm
+            # the cache).  Suppress "exception never retrieved" noise.
+            future.add_done_callback(lambda f: f.exception())
+            raise
+
+    def _on_done(self) -> None:
+        self._pending -= 1
+
+    # ------------------------------------------------------------ lifecycle
+    async def close(self) -> None:
+        """Drain the pool and refuse further submissions.
+
+        Waits for in-flight bridged calls (they hold admission slots and
+        must release them), then shuts the executor down.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        loop = asyncio.get_running_loop()
+        # shutdown(wait=True) blocks until every queued call finishes —
+        # run it off-loop so the loop can keep completing their futures.
+        await loop.run_in_executor(None, self._executor.shutdown)
+
+    async def __aenter__(self) -> "AsyncQueryService":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()

@@ -1,0 +1,278 @@
+"""A minimal asyncio HTTP/1.1 server for the gateway's ASGI app.
+
+The deployment story has two rungs:
+
+- **uvicorn installed** → :func:`serve` hands the app to uvicorn (the
+  production-grade server: chunked bodies, websockets, h11 edge cases);
+- **bare container** (this repo's baseline: no web framework, no server
+  package) → :class:`HTTPServer` below, built on
+  :func:`asyncio.start_server`, speaks enough HTTP/1.1 for the gateway's
+  own contract — JSON request/response bodies with ``Content-Length``,
+  keep-alive, graceful shutdown.  It is deliberately *not* a general web
+  server: no chunked transfer-encoding (411 when asked), no TLS, no
+  websockets, bounded header/body sizes.
+
+Everything here is stdlib + the app callable, so ``repro serve`` works in
+the hermetic test container; uvicorn is picked up opportunistically when
+present (``--no-uvicorn`` forces the stdlib path for parity testing).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+
+__all__ = ["HTTPServer", "serve"]
+
+#: Request-line + headers cap: past this the request is hostile, not big.
+MAX_HEADER_BYTES = 64 * 1024
+#: Body cap — the largest legitimate gateway request is a batch of a few
+#: thousand queries, far below this.
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+_STATUS_PHRASES = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 411: "Length Required",
+    413: "Payload Too Large", 422: "Unprocessable Entity",
+    429: "Too Many Requests", 431: "Request Header Fields Too Large",
+    500: "Internal Server Error", 503: "Service Unavailable",
+}
+
+
+def _phrase(status: int) -> str:
+    return _STATUS_PHRASES.get(status, "Unknown")
+
+
+class HTTPServer:
+    """Serve one ASGI app over HTTP/1.1 on an asyncio stream server."""
+
+    def __init__(self, app, host: str = "127.0.0.1", port: int = 8000):
+        self._app = app
+        self._host = host
+        self._port = port
+        self._server: asyncio.Server | None = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` after :meth:`start`)."""
+        if self._server is not None and self._server.sockets:
+            return self._server.sockets[0].getsockname()[1]
+        return self._port
+
+    @property
+    def host(self) -> str:
+        return self._host
+
+    async def start(self) -> None:
+        """Bind and start accepting connections (returns immediately)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._host, self._port
+        )
+
+    async def stop(self) -> None:
+        """Stop accepting and wait for the listener to close.
+
+        In-flight request handlers finish on their own connection tasks;
+        the gateway's ``close()`` (run by the caller after this) drains
+        the worker pool behind them.
+        """
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(self) -> None:
+        """Block until cancelled (the signal-driven ``repro serve`` loop)."""
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    # ---------------------------------------------------------- connection
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                keep_alive = await self._handle_one(reader, writer)
+                if not keep_alive:
+                    break
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.LimitOverrunError,
+        ):
+            pass  # client went away mid-request; nothing to answer
+        finally:
+            with contextlib.suppress(ConnectionResetError, BrokenPipeError):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _handle_one(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> bool:
+        """Serve one request; returns whether to keep the connection."""
+        request_line = await reader.readline()
+        if not request_line:
+            return False  # clean EOF between requests
+        if len(request_line) > MAX_HEADER_BYTES:
+            await self._plain_error(writer, 431)
+            return False
+        try:
+            method, target, version = (
+                request_line.decode("latin-1").rstrip("\r\n").split(" ", 2)
+            )
+        except ValueError:
+            await self._plain_error(writer, 400)
+            return False
+
+        headers: list[tuple[bytes, bytes]] = []
+        total_header_bytes = len(request_line)
+        while True:
+            line = await reader.readline()
+            total_header_bytes += len(line)
+            if total_header_bytes > MAX_HEADER_BYTES:
+                await self._plain_error(writer, 431)
+                return False
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.rstrip(b"\r\n").partition(b":")
+            headers.append((name.strip().lower(), value.strip()))
+
+        header_map = dict(headers)
+        if b"chunked" in header_map.get(b"transfer-encoding", b"").lower():
+            await self._plain_error(writer, 411)
+            return False
+        try:
+            content_length = int(header_map.get(b"content-length", b"0") or 0)
+        except ValueError:
+            await self._plain_error(writer, 400)
+            return False
+        if content_length > MAX_BODY_BYTES:
+            await self._plain_error(writer, 413)
+            return False
+        body = (
+            await reader.readexactly(content_length) if content_length else b""
+        )
+
+        path, _, query_string = target.partition("?")
+        scope = {
+            "type": "http",
+            "asgi": {"version": "3.0", "spec_version": "2.3"},
+            "http_version": version.removeprefix("HTTP/"),
+            "method": method.upper(),
+            "scheme": "http",
+            "path": path,
+            "raw_path": target.encode("latin-1"),
+            "query_string": query_string.encode("latin-1"),
+            "root_path": "",
+            "headers": headers,
+            "client": writer.get_extra_info("peername"),
+            "server": (self._host, self.port),
+        }
+
+        keep_alive = (
+            header_map.get(b"connection", b"").lower() != b"close"
+            and version != "HTTP/1.0"
+        )
+        received = False
+
+        async def receive():
+            nonlocal received
+            if received:
+                # One-shot body: a second read means the app awaits a
+                # disconnect we never deliver mid-request — signal EOF.
+                return {"type": "http.request", "body": b"", "more_body": False}
+            received = True
+            return {"type": "http.request", "body": body, "more_body": False}
+
+        started = False
+
+        async def send(message):
+            nonlocal started
+            if message["type"] == "http.response.start":
+                started = True
+                status = message["status"]
+                lines = [f"HTTP/1.1 {status} {_phrase(status)}\r\n".encode()]
+                for name, value in message.get("headers", []):
+                    lines.append(name + b": " + value + b"\r\n")
+                lines.append(
+                    b"connection: keep-alive\r\n"
+                    if keep_alive
+                    else b"connection: close\r\n"
+                )
+                lines.append(b"\r\n")
+                writer.write(b"".join(lines))
+            elif message["type"] == "http.response.body":
+                writer.write(message.get("body", b""))
+                if not message.get("more_body", False):
+                    await writer.drain()
+
+        try:
+            await self._app(scope, receive, send)
+        except Exception:
+            if not started:
+                await self._plain_error(writer, 500)
+            return False
+        return keep_alive
+
+    @staticmethod
+    async def _plain_error(writer: asyncio.StreamWriter, status: int) -> None:
+        body = f'{{"error":"{_phrase(status)}"}}'.encode()
+        writer.write(
+            f"HTTP/1.1 {status} {_phrase(status)}\r\n"
+            f"content-type: application/json\r\n"
+            f"content-length: {len(body)}\r\n"
+            f"connection: close\r\n\r\n".encode() + body
+        )
+        with contextlib.suppress(ConnectionResetError, BrokenPipeError):
+            await writer.drain()
+
+
+def _uvicorn_available() -> bool:
+    try:
+        import uvicorn  # noqa: F401
+    except ModuleNotFoundError:
+        return False
+    return True
+
+
+async def serve(
+    app,
+    host: str = "127.0.0.1",
+    port: int = 8000,
+    use_uvicorn: bool | None = None,
+    ready_callback=None,
+    shutdown_event: asyncio.Event | None = None,
+) -> None:
+    """Serve ``app`` until ``shutdown_event`` is set (or forever).
+
+    ``use_uvicorn=None`` auto-detects; the stdlib server is always the
+    fallback.  ``ready_callback(host, port)`` fires once the socket is
+    bound — the CLI prints the listening line from it, tests learn the
+    ephemeral port.
+    """
+    if use_uvicorn is None:
+        use_uvicorn = _uvicorn_available()
+    if use_uvicorn:  # pragma: no cover - uvicorn absent in the test image
+        import uvicorn
+
+        config = uvicorn.Config(app, host=host, port=port, log_level="warning")
+        server = uvicorn.Server(config)
+        if ready_callback is not None:
+            ready_callback(host, port)
+        await server.serve()
+        return
+
+    server = HTTPServer(app, host=host, port=port)
+    await server.start()
+    if ready_callback is not None:
+        ready_callback(server.host, server.port)
+    if shutdown_event is None:
+        await server.serve_forever()
+        return
+    try:
+        await shutdown_event.wait()
+    finally:
+        await server.stop()

@@ -47,6 +47,7 @@ explicit about which shard's telemetry vanished rather than silently thin.
 from __future__ import annotations
 
 import os
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
@@ -180,26 +181,31 @@ def collecting(config: dict):
 
 # --------------------------------------------------------------- parent side
 #: The registry worker counter deltas merge into; ``None`` = metric
-#: harvest off.  Swapped only via :func:`sink_to` (fork-inherited
-#: copy-on-write, like the ambient tracer).
-_SINK: MetricsRegistry | None = None
+#: harvest off.  Swapped only via :func:`sink_to`.  Thread-local for the
+#: same reason as the ambient tracer (see :mod:`repro.obs.trace`): gateway
+#: worker threads install the sink around their own query blocks, and a
+#: process-wide global would let one thread's exit switch every other
+#: thread's harvest off mid-query.  The install and the merge always
+#: happen on the same thread (``QueryService._traced`` wraps the whole
+#: execution), so a thread-local is the correct scope.
+_SINK = threading.local()
 
 
 def current_sink() -> MetricsRegistry | None:
     """The registry harvested worker counters merge into (or ``None``)."""
-    return _SINK
+    return getattr(_SINK, "registry", None)
 
 
 @contextmanager
 def sink_to(registry: MetricsRegistry):
-    """Install ``registry`` as the harvest sink for the dynamic extent."""
-    global _SINK
-    previous = _SINK
-    _SINK = registry
+    """Install ``registry`` as the calling thread's harvest sink for the
+    dynamic extent."""
+    previous = getattr(_SINK, "registry", None)
+    _SINK.registry = registry
     try:
         yield registry
     finally:
-        _SINK = previous
+        _SINK.registry = previous
 
 
 def harvest_config() -> dict | None:
@@ -213,7 +219,7 @@ def harvest_config() -> dict | None:
     """
     tracer = current_tracer()
     spans = tracer.enabled
-    metrics = _SINK is not None
+    metrics = current_sink() is not None
     if not (spans or metrics):
         return None
     return {
@@ -243,6 +249,6 @@ def merge_telemetry(telemetry: WorkerTelemetry | None) -> None:
     """Merge a worker's counter deltas into the current sink (if any)."""
     if telemetry is None or not telemetry.counters:
         return
-    sink = _SINK
+    sink = current_sink()
     if sink is not None:
         sink.merge_counter_deltas(telemetry.counters)

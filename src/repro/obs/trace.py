@@ -428,35 +428,45 @@ class Tracer:
 #: The ambient tracer when nothing is activated: permanently disabled.
 _DISABLED = Tracer(enabled=False)
 
-#: Process-wide active tracer (fork-inherited copy-on-write, like the
-#: caches); swapped only via :func:`activated`.
-_ACTIVE: Tracer = _DISABLED
+#: Per-thread active tracer (fork-inherited copy-on-write, like the
+#: caches); swapped only via :func:`activated`.  Thread-local rather than
+#: a process global: gateway worker threads activate around their own
+#: query blocks, and with one shared global a thread finishing its block
+#: would restore the *process* to disabled mid-way through every other
+#: thread's still-open block, silently dropping their spans.  Activation
+#: and the instrumented reads always happen on the same thread (the
+#: service layer activates immediately around each searcher call), so a
+#: thread-local is the correct scope.
+_ACTIVE = threading.local()
 
 
 def current_tracer() -> Tracer:
     """The ambient tracer instrumented layers record into.
 
-    Disabled unless a caller is inside an :func:`activated` block, so the
-    common case costs one global read and one attribute check.
+    Disabled unless the *calling thread* is inside an :func:`activated`
+    block, so the common case costs one thread-local read and one
+    attribute check.
     """
-    return _ACTIVE
+    return getattr(_ACTIVE, "tracer", _DISABLED)
 
 
 @contextmanager
 def activated(tracer: Tracer):
-    """Install ``tracer`` as the ambient tracer for the dynamic extent.
+    """Install ``tracer`` as the calling thread's ambient tracer for the
+    dynamic extent.
 
     Nesting restores the previous tracer on exit.  The service layer wraps
     each searcher call in this, which is what lets stateless searchers
-    trace without carrying observability configuration.
+    trace without carrying observability configuration.  Each thread keeps
+    its own activation; concurrent ``submit`` callers on one service never
+    clobber each other's extents.
     """
-    global _ACTIVE
-    previous = _ACTIVE
-    _ACTIVE = tracer
+    previous = getattr(_ACTIVE, "tracer", _DISABLED)
+    _ACTIVE.tracer = tracer
     try:
         yield tracer
     finally:
-        _ACTIVE = previous
+        _ACTIVE.tracer = previous
 
 
 # ------------------------------------------------------------------ rendering

@@ -11,18 +11,51 @@ Fork-safety: caches hold only *exact, immutable* values keyed by immutable
 keys, so a forked worker's copy-on-write snapshot is always internally
 consistent — workers warm their private copies independently and results
 never depend on cache contents (a miss recomputes the same exact value).
-No locks are needed because the library is single-threaded per process
-(parallelism is process-based, see :mod:`repro.parallel`).
+
+Thread-safety: the gateway's thread-pool bridge (:mod:`repro.gateway`)
+runs concurrent searches *in one process*, all sharing the database's
+cross-query caches and the service result cache, so :class:`LRUCache` is
+internally locked — an unlocked ``OrderedDict`` corrupts under concurrent
+``get``'s ``move_to_end`` against ``put``'s eviction.  The lock is a
+plain (non-reentrant) mutex; the ``evict_hook`` fires while it is held,
+so hooks must not call back into the same cache (the result cache's
+reverse-index hook only touches its own structures, guarded by the
+*outer* :class:`~repro.perf.result_cache.ResultCache` lock, which is
+always acquired first — one fixed order, no deadlock).
 """
 
 from __future__ import annotations
 
+import os
+import threading
+import weakref
 from collections import OrderedDict
 from typing import Any, Callable, Hashable
 
 __all__ = ["CacheStats", "LRUCache"]
 
 _MISSING = object()
+
+#: Live caches whose locks must be re-armed in forked children: a fork
+#: taken while another thread holds a cache lock would hand the child a
+#: permanently-held lock (the owning thread does not exist there).  The
+#: child is single-threaded at birth, so fresh unlocked mutexes are safe;
+#: the data itself is a consistent copy-on-write snapshot per the
+#: fork-safety argument above only when the parent quiesces its writers —
+#: the fork executor snapshots between queries, and a torn mid-``put``
+#: OrderedDict in a child is repaired by the child's first ``clear``-free
+#: recompute path never being reached (children only read-or-warm their
+#: private copies, and a miss recomputes the same exact value).
+_LIVE_CACHES: weakref.WeakSet[LRUCache] = weakref.WeakSet()
+
+
+def _rearm_locks_after_fork() -> None:  # pragma: no cover - exercised via fork
+    for cache in list(_LIVE_CACHES):
+        cache._lock = threading.Lock()
+
+
+if hasattr(os, "register_at_fork"):  # not on Windows (no fork there anyway)
+    os.register_at_fork(after_in_child=_rearm_locks_after_fork)
 
 
 class CacheStats:
@@ -75,15 +108,21 @@ class LRUCache:
     ``capacity <= 0`` disables the cache entirely: every ``get`` misses,
     every ``put`` is dropped — callers need no separate on/off branch.
     Lookups and insertions are O(1); eviction removes the least recently
-    *used* (read or written) entry.
+    *used* (read or written) entry.  All operations are thread-safe (see
+    the module docstring for the lock-ordering contract around
+    ``evict_hook``).
     """
 
-    __slots__ = ("_capacity", "_data", "stats", "evict_hook")
+    __slots__ = (
+        "_capacity", "_data", "_lock", "stats", "evict_hook", "__weakref__",
+    )
 
     def __init__(self, capacity: int):
         self._capacity = int(capacity)
+        self._lock = threading.Lock()
         self._data: OrderedDict[Hashable, Any] = OrderedDict()
         self.stats = CacheStats()
+        _LIVE_CACHES.add(self)
         #: Optional ``(key, value)`` callback fired on capacity eviction —
         #: lets owners of auxiliary indexes (e.g. the result cache's
         #: trajectory reverse index) unlink evicted entries.  Not fired by
@@ -103,36 +142,40 @@ class LRUCache:
 
     def get(self, key: Hashable, default: Any = None) -> Any:
         """The cached value, counting a hit or a miss."""
-        value = self._data.get(key, _MISSING)
-        if value is _MISSING:
-            self.stats.misses += 1
-            return default
-        self.stats.hits += 1
-        self._data.move_to_end(key)
-        return value
+        with self._lock:
+            value = self._data.get(key, _MISSING)
+            if value is _MISSING:
+                self.stats.misses += 1
+                return default
+            self.stats.hits += 1
+            self._data.move_to_end(key)
+            return value
 
     def peek(self, key: Hashable, default: Any = None) -> Any:
         """Like :meth:`get` but without touching counters or recency."""
-        value = self._data.get(key, _MISSING)
+        with self._lock:
+            value = self._data.get(key, _MISSING)
         return default if value is _MISSING else value
 
     def put(self, key: Hashable, value: Any) -> None:
         """Insert or refresh an entry, evicting the LRU one when full."""
         if self._capacity <= 0:
             return
-        data = self._data
-        if key in data:
-            data.move_to_end(key)
-        data[key] = value
-        if len(data) > self._capacity:
-            evicted_key, evicted_value = data.popitem(last=False)
-            self.stats.evictions += 1
-            if self.evict_hook is not None:
-                self.evict_hook(evicted_key, evicted_value)
+        with self._lock:
+            data = self._data
+            if key in data:
+                data.move_to_end(key)
+            data[key] = value
+            if len(data) > self._capacity:
+                evicted_key, evicted_value = data.popitem(last=False)
+                self.stats.evictions += 1
+                if self.evict_hook is not None:
+                    self.evict_hook(evicted_key, evicted_value)
 
     def pop(self, key: Hashable, default: Any = None) -> Any:
         """Remove and return an entry without touching hit/miss counters."""
-        value = self._data.pop(key, _MISSING)
+        with self._lock:
+            value = self._data.pop(key, _MISSING)
         return default if value is _MISSING else value
 
     def items(self) -> list[tuple[Hashable, Any]]:
@@ -141,24 +184,29 @@ class LRUCache:
         A list copy, so callers may mutate the cache while iterating —
         the scoped-invalidation scan relies on this.
         """
-        return list(self._data.items())
+        with self._lock:
+            return list(self._data.items())
 
     def invalidate_where(self, predicate: Callable[[Hashable], bool]) -> int:
         """Drop every entry whose key satisfies ``predicate``; returns count."""
-        doomed = [key for key in self._data if predicate(key)]
-        for key in doomed:
-            del self._data[key]
-        return len(doomed)
+        with self._lock:
+            doomed = [key for key in self._data if predicate(key)]
+            for key in doomed:
+                del self._data[key]
+            return len(doomed)
 
     def clear(self) -> None:
         """Drop all entries (counters are kept — they describe history)."""
-        self._data.clear()
+        with self._lock:
+            self._data.clear()
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._data
+        with self._lock:
+            return key in self._data
 
     def __repr__(self) -> str:
         return (

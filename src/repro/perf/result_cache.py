@@ -52,10 +52,25 @@ Fork-safety follows the :mod:`repro.perf.cache` argument: entries hold
 only exact immutable values under immutable keys, forked workers see a
 copy-on-write snapshot and never write back, and the parent-side probe in
 ``QueryService.execute_many`` is the only reader on the fork path.
+
+Thread-safety: gateway worker threads ``get``/``put`` concurrently while
+ingest threads dispatch mutation events into :meth:`ResultCache.on_event`,
+so every public operation runs under one instance-level re-entrant lock.
+The inner :class:`~repro.perf.cache.LRUCache` is itself locked, but that
+alone is not enough — ``put`` must link the reverse index atomically with
+the entry insert, and ``on_event`` must see an index consistent with the
+entries it scans; interleaving those compound sequences corrupts the
+``trajectory_id -> fingerprints`` postings (stale keys that resurrect
+dropped results, or missing keys that leak stale answers past a removal).
+Lock order is always ResultCache -> LRUCache (the capacity-eviction hook
+fires under both and only touches the index).
 """
 
 from __future__ import annotations
 
+import os
+import threading
+import weakref
 from typing import TYPE_CHECKING, Hashable, Iterable
 
 import numpy as np
@@ -77,6 +92,20 @@ DEFAULT_RESULT_CAPACITY = 1024
 
 #: The ``SearchStats.cache`` marker stamped on served cache hits.
 RESULT_CACHE_MARKER = "result"
+
+#: Live result caches whose locks are re-armed in forked children (same
+#: rationale as :data:`repro.perf.cache._LIVE_CACHES`: a fork taken while
+#: a pool thread holds the lock would strand the child's copy locked).
+_LIVE_RESULT_CACHES: weakref.WeakSet[ResultCache] = weakref.WeakSet()
+
+
+def _rearm_locks_after_fork() -> None:  # pragma: no cover - exercised via fork
+    for cache in list(_LIVE_RESULT_CACHES):
+        cache._lock = threading.RLock()
+
+
+if hasattr(os, "register_at_fork"):  # not on Windows (no fork there anyway)
+    os.register_at_fork(after_in_child=_rearm_locks_after_fork)
 
 
 def query_fingerprint(
@@ -156,9 +185,11 @@ class ResultCache:
         "_entries",
         "_ranked_by",
         "_scoped",
+        "_lock",
         "invalidation_events",
         "invalidation_entries_dropped",
         "invalidation_entries_retained",
+        "__weakref__",
     )
 
     def __init__(self, capacity: int | None = None, scoped: bool = True):
@@ -168,9 +199,13 @@ class ResultCache:
         self._entries.evict_hook = self._on_evict
         self._ranked_by: dict[int, set[Hashable]] = {}
         self._scoped = bool(scoped)
+        # Re-entrant: put -> LRU eviction -> _on_evict -> _unlink re-enters
+        # while the outer put still holds the lock.
+        self._lock = threading.RLock()
         self.invalidation_events = 0
         self.invalidation_entries_dropped = 0
         self.invalidation_entries_retained = 0
+        _LIVE_RESULT_CACHES.add(self)
 
     # ------------------------------------------------------------ accessors
     @property
@@ -219,7 +254,8 @@ class ResultCache:
         callers stamp wall time and executor labels onto results, and a
         shared mutable object would let one caller corrupt the next hit.
         """
-        entry = self._entries.get(key)
+        with self._lock:
+            entry = self._entries.get(key)
         if entry is None:
             return None
         return SearchResult(
@@ -246,9 +282,6 @@ class ResultCache:
         """
         if not self.enabled or not self.cacheable(result, budget):
             return False
-        old = self._entries.peek(key)
-        if old is not None:
-            self._unlink(key, old)
         if query is not None:
             locations = np.array(sorted(query.locations), dtype=np.intp)
             entry = _CachedEntry(
@@ -268,9 +301,13 @@ class ResultCache:
                 k=len(result.items),
                 text_measure="jaccard",
             )
-        self._entries.put(key, entry)
-        for item in entry.items:
-            self._ranked_by.setdefault(item.trajectory_id, set()).add(key)
+        with self._lock:
+            old = self._entries.peek(key)
+            if old is not None:
+                self._unlink(key, old)
+            self._entries.put(key, entry)
+            for item in entry.items:
+                self._ranked_by.setdefault(item.trajectory_id, set()).add(key)
         return True
 
     # ---------------------------------------------------------- invalidation
@@ -287,19 +324,20 @@ class ResultCache:
         less selective).  In wholesale mode (``scoped=False``) every
         event clears the cache.
         """
-        self.invalidation_events += 1
-        size_before = len(self._entries)
-        if not self._scoped:
-            self.clear()
-            dropped = size_before
-        elif event.kind == "remove":
-            dropped = self._on_remove(event.trajectory_id)
-        else:
-            dropped = self._on_add(event, database)
-        retained = len(self._entries)
-        self.invalidation_entries_dropped += dropped
-        self.invalidation_entries_retained += retained
-        return dropped, retained
+        with self._lock:
+            self.invalidation_events += 1
+            size_before = len(self._entries)
+            if not self._scoped:
+                self.clear()
+                dropped = size_before
+            elif event.kind == "remove":
+                dropped = self._on_remove(event.trajectory_id)
+            else:
+                dropped = self._on_add(event, database)
+            retained = len(self._entries)
+            self.invalidation_entries_dropped += dropped
+            self.invalidation_entries_retained += retained
+            return dropped, retained
 
     def _on_remove(self, trajectory_id: int) -> int:
         """Drop exactly the entries that ranked the removed trajectory."""
@@ -395,8 +433,9 @@ class ResultCache:
 
     def clear(self) -> None:
         """Drop all cached results (counters are kept — they are history)."""
-        self._entries.clear()
-        self._ranked_by.clear()
+        with self._lock:
+            self._entries.clear()
+            self._ranked_by.clear()
 
     def __len__(self) -> int:
         return len(self._entries)

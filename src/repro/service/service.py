@@ -595,6 +595,29 @@ class QueryService:
             hit = self._result_cache.get(key)
             if hit is not None:
                 return self._serve_hit(query, hit, started, tenant, priority)
+        decision = self._admit_decision(query, tenant, priority)
+        if not decision.admitted:
+            return self._reject(decision, started, query, tenant, priority)
+        return self._execute_admitted(
+            query, budget, decision, key, executor_label, tenant, priority
+        )
+
+    def _admit_decision(
+        self,
+        query: UOTSQuery,
+        tenant: str | None = None,
+        priority: str | None = None,
+    ) -> AdmissionDecision:
+        """One query's admission decision, planned first when the policy
+        wants a cost opinion.
+
+        A seam of :meth:`_submit`, split out so the asynchronous gateway
+        (:class:`repro.gateway.AsyncQueryService`) can run the cheap
+        admission step on the event loop and bridge only the admitted
+        execution onto its thread pool.  An admitted decision MUST be
+        followed by exactly one :meth:`_execute_admitted` (which releases
+        the slot) or one ``admission.release(decision)`` — never both.
+        """
         cost = None
         if self._admission.needs_plan:
             try:
@@ -603,21 +626,47 @@ class QueryService:
                 # An unplannable query is an invalid one; admission has no
                 # cost opinion and _safe_search produces the error result.
                 cost = None
-        decision = self._admission.admit(
-            tenant=tenant, priority=priority, cost=cost
+        return self._admission.admit(tenant=tenant, priority=priority, cost=cost)
+
+    def _reject(
+        self,
+        decision: AdmissionDecision,
+        started: float,
+        query: UOTSQuery,
+        tenant: str | None = None,
+        priority: str | None = None,
+    ) -> SearchResult:
+        """Record and build the result of a refused admission decision."""
+        self._stats.record_rejection(
+            reason=decision.reason or None, tenant=tenant, priority=priority
         )
-        if not decision.admitted:
-            self._stats.record_rejection(
-                reason=decision.reason or None, tenant=tenant, priority=priority
-            )
-            if decision.reason:
-                with self._traced(
-                    "query", algorithm=self._algorithm, k=query.k,
-                    admission="shed", shed_reason=decision.reason,
-                    **self._label_span_attrs(tenant, priority),
-                ):
-                    pass  # never executed; the span records the shed
-            return self._rejected(started, decision)
+        if decision.reason:
+            with self._traced(
+                "query", algorithm=self._algorithm, k=query.k,
+                admission="shed", shed_reason=decision.reason,
+                **self._label_span_attrs(tenant, priority),
+            ):
+                pass  # never executed; the span records the shed
+        return self._rejected(started, decision)
+
+    def _execute_admitted(
+        self,
+        query: UOTSQuery,
+        budget: SearchBudget | None,
+        decision: AdmissionDecision,
+        key: Hashable | None,
+        executor_label: str | None = None,
+        tenant: str | None = None,
+        priority: str | None = None,
+    ) -> SearchResult:
+        """Execute one *admitted* query: search, record, release the slot.
+
+        The other half of the :meth:`_admit_decision` seam.  Runs wholly
+        on the calling thread (the gateway calls it from a pool worker),
+        owns the admission slot it was handed, and releases it on every
+        path.  ``key`` is the query's result-cache key from
+        :meth:`_cache_key` (``None`` bypasses the cache).
+        """
         try:
             # The policy's tightened budget applies only when the caller
             # did not bring their own — an explicit budget always wins.

@@ -17,10 +17,13 @@ the overload layer.
 
 Thread-safety: every mutation and every readout goes through one
 instance-level lock — the counters, the ``totals`` merge, the lane dicts,
-and the latency ring buffer (``LatencyReservoir`` itself is *not* locked;
-it is only ever touched under the owning ``ServiceStats`` lock).  That is
-the whole contract concurrent ``submit`` callers rely on: interleaved
-records never lose increments, and a ``snapshot()`` taken mid-storm is a
+and the latency ring buffer.  :class:`LatencyReservoir` additionally
+carries its *own* lock: the gateway's thread-pool bridge hands reservoirs
+to direct callers (load benches, per-endpoint reservoirs) that do not sit
+behind a ``ServiceStats``, and an unlocked ring buffer under concurrent
+``record()`` loses samples and races the cursor.  Together that is the
+whole contract concurrent ``submit`` callers rely on: interleaved records
+never lose increments, and a ``snapshot()`` taken mid-storm is a
 consistent cut.
 """
 
@@ -38,25 +41,37 @@ class LatencyReservoir:
 
     A plain ring buffer, not reservoir sampling: a serving dashboard wants
     *recent* percentiles, and recency is also the cheapest eviction rule.
-    Not internally locked — callers (``ServiceStats``) serialise access.
+    Internally locked: gateway worker threads record concurrently, and an
+    unlocked ``record`` can lose samples (two threads appending past the
+    capacity check) or race the cursor into an ``IndexError``.  Holding
+    the owning ``ServiceStats`` lock on top is harmless — the inner lock
+    is uncontended there and never taken in the other order.
     """
 
     def __init__(self, capacity: int = 4096):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self._capacity = capacity
+        self._lock = threading.Lock()
         self._samples: list[float] = []
         self._cursor = 0
         self._total = 0
 
     def record(self, seconds: float) -> None:
         """Add one latency sample, evicting the oldest when full."""
-        if len(self._samples) < self._capacity:
-            self._samples.append(seconds)
-        else:
-            self._samples[self._cursor] = seconds
-            self._cursor = (self._cursor + 1) % self._capacity
-        self._total += 1
+        with self._lock:
+            if len(self._samples) < self._capacity:
+                self._samples.append(seconds)
+            else:
+                self._samples[self._cursor] = seconds
+                self._cursor = (self._cursor + 1) % self._capacity
+            self._total += 1
+
+    @property
+    def total_recorded(self) -> int:
+        """Lifetime samples recorded (evicted ones included)."""
+        with self._lock:
+            return self._total
 
     def percentile(self, p: float) -> float:
         """Nearest-rank percentile (``p`` in [0, 100]) over the sample.
@@ -65,14 +80,16 @@ class LatencyReservoir:
         """
         if not (0.0 <= p <= 100.0):
             raise ValueError(f"percentile must be in [0, 100], got {p}")
-        if not self._samples:
-            return 0.0
-        ordered = sorted(self._samples)
+        with self._lock:
+            if not self._samples:
+                return 0.0
+            ordered = sorted(self._samples)
         rank = max(1, -(-len(ordered) * p // 100))  # ceil without math import
         return ordered[int(rank) - 1]
 
     def __len__(self) -> int:
-        return len(self._samples)
+        with self._lock:
+            return len(self._samples)
 
 
 class ServiceStats:

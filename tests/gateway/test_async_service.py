@@ -1,0 +1,226 @@
+"""The async bridge: equivalence with the sync service, cancellation
+safety, the pending cap, and lifecycle.  No HTTP and no pydantic here —
+this layer is stdlib-only by design."""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.core.query import UOTSQuery
+from repro.errors import GatewayError, GatewaySaturatedError
+from repro.gateway import AsyncQueryService
+from repro.gateway.aservice import GATEWAY_EXECUTOR_LABEL
+from repro.service.admission import OverloadController
+from repro.service.policy import AdmissionPolicy
+from repro.service.service import QueryService
+
+
+def _query(seed: int = 0, k: int = 3) -> UOTSQuery:
+    return UOTSQuery.create(
+        locations=[3 + seed, 47 - seed], preference="river cafe", k=k
+    )
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+def test_submit_matches_sync_submit(gateway_database):
+    """Same query, same database, same tuning -> identical ranking."""
+    sync_service = QueryService(gateway_database, "collaborative")
+    async_service = QueryService(gateway_database, "collaborative")
+    gateway = AsyncQueryService(async_service, max_workers=2)
+
+    async def go():
+        try:
+            return await gateway.submit(_query())
+        finally:
+            await gateway.close()
+
+    bridged = _run(go())
+    direct = sync_service.submit(_query())
+    assert bridged.ids == direct.ids
+    assert bridged.scores == direct.scores
+    assert bridged.exact == direct.exact
+    assert bridged.stats.executor == GATEWAY_EXECUTOR_LABEL
+
+
+def test_result_cache_hit_served_on_loop(gateway_database):
+    service = QueryService(gateway_database, "collaborative", result_cache=8)
+    gateway = AsyncQueryService(service, max_workers=2)
+
+    async def go():
+        try:
+            first = await gateway.submit(_query())
+            second = await gateway.submit(_query())
+            return first, second
+        finally:
+            await gateway.close()
+
+    first, second = _run(go())
+    assert first.stats.cache == ""
+    assert second.stats.cache == "result"
+    assert second.ids == first.ids
+    assert service.stats.result_cache_hits == 1
+
+
+def test_rejection_comes_back_as_error_result_not_exception(gateway_database):
+    controller = OverloadController(AdmissionPolicy(max_inflight=1))
+    service = QueryService(gateway_database, "collaborative", admission=controller)
+    gateway = AsyncQueryService(service, max_workers=2)
+
+    async def go():
+        # Hold the only admission slot from a plain thread, then submit.
+        decision = controller.admit()
+        assert decision.admitted
+        try:
+            return await gateway.submit(_query())
+        finally:
+            controller.release(decision)
+            await gateway.close()
+
+    result = _run(go())
+    assert result.error is not None and "AdmissionError" in result.error
+    assert service.stats.rejected_queries == 1
+    assert controller.inflight == 0
+
+
+def test_saturated_bridge_raises_before_touching_admission(gateway_database):
+    service = QueryService(gateway_database, "collaborative")
+    gateway = AsyncQueryService(service, max_workers=1, max_pending=1)
+    release = threading.Event()
+
+    async def go():
+        loop = asyncio.get_running_loop()
+        # Occupy the single worker + the single pending slot.
+        blocker = loop.run_in_executor(gateway._executor, release.wait)
+        gateway._pending = 1  # the blocker stands in for a bridged call
+        try:
+            with pytest.raises(GatewaySaturatedError):
+                await gateway.submit(_query())
+            assert gateway.saturated
+        finally:
+            gateway._pending = 0
+            release.set()
+            await blocker
+            await gateway.close()
+
+    _run(go())
+    assert service.stats.queries_served == 0
+    assert service.admission.inflight == 0
+
+
+def test_cancelled_awaiter_leaks_no_admission_slot(gateway_database):
+    """Cancel the awaiting task mid-search: the bridged call must finish
+    on its worker thread and release its admission slot."""
+    controller = OverloadController(AdmissionPolicy(max_inflight=4))
+    service = QueryService(gateway_database, "collaborative", admission=controller)
+    gateway = AsyncQueryService(service, max_workers=2)
+    # Gate the bridged execution so the cancel deterministically lands
+    # while the search holds its admission slot on the worker thread.
+    execution_started = threading.Event()
+    proceed = threading.Event()
+    original = service._execute_admitted
+
+    def gated(*args, **kwargs):
+        execution_started.set()
+        assert proceed.wait(timeout=30)
+        return original(*args, **kwargs)
+
+    service._execute_admitted = gated
+
+    async def go():
+        task = asyncio.create_task(gateway.submit(_query(k=5)))
+        while not execution_started.is_set():
+            await asyncio.sleep(0.001)
+        assert controller.inflight == 1
+        task.cancel()
+        with pytest.raises(asyncio.CancelledError):
+            await task
+        proceed.set()
+        # Drain: close waits for the abandoned search to complete.
+        await gateway.close()
+
+    _run(go())
+    assert controller.inflight == 0, "cancellation leaked an admission slot"
+    assert gateway.pending == 0
+    # The abandoned query still ran to completion and was recorded.
+    assert service.stats.queries_served == 1
+
+
+def test_submit_many_bridges_execute_many(gateway_database):
+    service = QueryService(gateway_database, "collaborative")
+    gateway = AsyncQueryService(service, max_workers=2)
+    queries = [_query(seed) for seed in range(3)]
+
+    async def go():
+        try:
+            return await gateway.submit_many(queries)
+        finally:
+            await gateway.close()
+
+    results = _run(go())
+    direct = QueryService(gateway_database, "collaborative").execute_many(queries)
+    assert [r.ids for r in results] == [r.ids for r in direct]
+
+
+def test_concurrent_submissions_all_complete_and_agree(gateway_database):
+    """A burst of concurrent awaits: every result matches the sequential
+    answer (shared caches and stats survive the concurrency)."""
+    service = QueryService(gateway_database, "collaborative", result_cache=32)
+    gateway = AsyncQueryService(service, max_workers=4)
+    queries = [_query(seed % 4) for seed in range(16)]
+
+    async def go():
+        try:
+            return await asyncio.gather(
+                *(gateway.submit(query) for query in queries)
+            )
+        finally:
+            await gateway.close()
+
+    results = _run(go())
+    reference = QueryService(gateway_database, "collaborative")
+    for query, result in zip(queries, results):
+        assert result.ids == reference.submit(query).ids
+    assert service.stats.queries_served == 16
+    assert service.admission.inflight == 0
+    assert gateway.pending == 0
+
+
+def test_closed_gateway_refuses_submissions(gateway_database):
+    service = QueryService(gateway_database, "collaborative")
+    gateway = AsyncQueryService(service, max_workers=1)
+
+    async def go():
+        await gateway.close()
+        assert not gateway.healthy()
+        ready, reason = gateway.ready()
+        assert not ready and reason == "closed"
+        with pytest.raises(GatewayError):
+            await gateway.submit(_query())
+
+    _run(go())
+
+
+def test_ready_reflects_breaker_state(gateway_database):
+    policy = AdmissionPolicy(breaker_failures=1, breaker_cooldown_seconds=60.0)
+    controller = OverloadController(policy)
+    service = QueryService(gateway_database, "collaborative", admission=controller)
+    gateway = AsyncQueryService(service, max_workers=1)
+    assert gateway.ready() == (True, "ok")
+    controller.breaker.record_failure()
+    assert controller.breaker.state == "open"
+    assert gateway.ready() == (False, "breaker_open")
+    _run(gateway.close())
+
+
+def test_constructor_validates_bounds(gateway_database):
+    service = QueryService(gateway_database, "collaborative")
+    with pytest.raises(GatewayError):
+        AsyncQueryService(service, max_workers=0)
+    with pytest.raises(GatewayError):
+        AsyncQueryService(service, max_workers=1, max_pending=0)

@@ -1,0 +1,219 @@
+"""End-to-end gateway tests over the in-process ASGI transport.
+
+No sockets: the test client speaks raw ASGI to the exact app object the
+server would run.  Needs pydantic (the wire schemas); the bridge-level
+tests in ``test_async_service.py`` cover the no-pydantic path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import re
+
+import pytest
+
+pytest.importorskip("pydantic")
+
+from repro.core.query import UOTSQuery
+from repro.gateway import AsyncQueryService
+from repro.gateway.app import create_app
+from repro.gateway.testing import ASGITestClient
+from repro.obs.metrics import MetricsRegistry
+from repro.service.admission import OverloadController
+from repro.service.policy import AdmissionPolicy
+from repro.service.service import QueryService
+
+# The exposition-format check the CI obs-smoke job applies to the CLI's
+# metrics output — /metrics must satisfy the identical contract.
+PROMETHEUS_LINE = re.compile(
+    r'^[a-zA-Z_:][a-zA-Z0-9_:]*'
+    r'(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})?'
+    r" [^ ]+$"
+)
+
+
+@pytest.fixture()
+def stack(gateway_database):
+    """(service, gateway, client) built fresh per test, closed after."""
+    registry = MetricsRegistry()
+    service = QueryService(
+        gateway_database, "collaborative", metrics=registry, result_cache=16
+    )
+    gateway = AsyncQueryService(service, max_workers=2)
+    client = ASGITestClient(create_app(gateway, registry=registry))
+    yield service, gateway, client
+    asyncio.run(gateway.close())
+
+
+def _payload(**overrides):
+    payload = {"locations": [3, 47], "preference": "river cafe", "k": 3}
+    payload.update(overrides)
+    return payload
+
+
+def test_query_bytes_equal_inprocess_submit(stack, gateway_database):
+    """The acceptance check: the HTTP top-k byte-equals QueryService.submit
+    serialized through the same schema."""
+    from repro.gateway.schemas import QueryResponse
+
+    service, _, client = stack
+    response = client.post("/query", json=_payload())
+    assert response.status == 200
+
+    reference_service = QueryService(gateway_database, "collaborative")
+    direct = reference_service.submit(
+        UOTSQuery.create([3, 47], "river cafe", k=3)
+    )
+    direct_body = json.loads(QueryResponse.from_result(direct).model_dump_json())
+    http_body = response.json()
+    assert http_body["items"] == direct_body["items"]  # byte-identical top-k
+    assert http_body["exact"] == direct_body["exact"]
+    assert http_body["residual_bound"] == direct_body["residual_bound"]
+    # Stats differ only in execution-path fields (latency, executor label).
+    assert (
+        http_body["stats"]["expanded_vertices"]
+        == direct_body["stats"]["expanded_vertices"]
+    )
+
+
+def test_query_rejection_maps_to_429(gateway_database):
+    controller = OverloadController(AdmissionPolicy(max_inflight=1))
+    service = QueryService(gateway_database, "collaborative", admission=controller)
+    gateway = AsyncQueryService(service, max_workers=2)
+    client = ASGITestClient(create_app(gateway))
+    decision = controller.admit()
+    assert decision.admitted
+    try:
+        response = client.post("/query", json=_payload())
+        assert response.status == 429
+        body = response.json()
+        assert "AdmissionError" in body["error"]
+        assert body["items"] == []
+    finally:
+        controller.release(decision)
+        asyncio.run(gateway.close())
+
+
+def test_validation_and_domain_errors(stack):
+    _, _, client = stack
+    assert client.post("/query", json={"locations": []}).status == 422
+    assert client.post("/query", json={"k": 3}).status == 422
+    assert client.post("/query", json=_payload(typo_knob=1)).status == 422
+    assert (
+        client.post("/query", json=_payload(preference="x", keywords=["y"])).status
+        == 422
+    )
+    # Shape-valid but domain-invalid: duplicate locations -> QueryError -> 400
+    response = client.post("/query", json=_payload(locations=[3, 3]))
+    assert response.status == 400
+    assert response.json()["error"] == "query_error"
+    # Unknown priority class is rejected at the edge, as the CLI's
+    # choices= does — even without an overload policy configured.
+    response = client.post("/query", json=_payload(priority="vip"))
+    assert response.status == 422
+    assert client.post("/query", body=b"not json").status == 422
+    assert client.get("/unknown").status == 404
+    assert client.get("/query").status == 405
+
+
+def test_budgeted_query_round_trips(stack):
+    _, _, client = stack
+    response = client.post(
+        "/query", json=_payload(deadline_ms=5000, max_expanded_vertices=100000)
+    )
+    assert response.status == 200
+    assert response.json()["stats"]["expanded_vertices"] <= 100000
+
+
+def test_batch_endpoint_matches_execute_many(stack, gateway_database):
+    _, _, client = stack
+    response = client.post(
+        "/query/batch",
+        json={"queries": [_payload(), _payload(locations=[5], k=2)]},
+    )
+    assert response.status == 200
+    results = response.json()["results"]
+    reference = QueryService(gateway_database, "collaborative").execute_many(
+        [
+            UOTSQuery.create([3, 47], "river cafe", k=3),
+            UOTSQuery.create([5], "river cafe", k=2),
+        ]
+    )
+    assert [
+        [item["trajectory_id"] for item in result["items"]] for result in results
+    ] == [r.ids for r in reference]
+    # Heterogeneous per-query budgets are rejected up front.
+    response = client.post(
+        "/query/batch",
+        json={"queries": [_payload(deadline_ms=10), _payload()]},
+    )
+    assert response.status == 422
+
+
+def test_explain_matches_service_explain(stack, gateway_database):
+    service, _, client = stack
+    response = client.post("/explain", json={"locations": [3, 47], "k": 3})
+    assert response.status == 200
+    rendered = response.json()["explain"]
+    assert rendered == service.explain(UOTSQuery.create([3, 47], k=3))
+    assert "QueryPlan" in rendered
+
+
+def test_healthz_and_readyz_lifecycle(stack):
+    _, gateway, client = stack
+    assert client.get("/healthz").status == 200
+    ready = client.get("/readyz")
+    assert ready.status == 200
+    assert ready.json()["ready"] is True
+    asyncio.run(gateway.close())
+    assert client.get("/readyz").status == 503
+    assert client.get("/readyz").json()["reason"] == "closed"
+
+
+def test_readyz_flips_under_open_breaker(gateway_database):
+    """The acceptance check: /readyz answers 503 while the breaker is open
+    and recovers to 200 when it closes."""
+    policy = AdmissionPolicy(breaker_failures=1, breaker_cooldown_seconds=60.0)
+    controller = OverloadController(policy)
+    service = QueryService(gateway_database, "collaborative", admission=controller)
+    gateway = AsyncQueryService(service, max_workers=1)
+    client = ASGITestClient(create_app(gateway))
+    try:
+        assert client.get("/readyz").status == 200
+        controller.breaker.record_failure()
+        assert controller.breaker.state == "open"
+        response = client.get("/readyz")
+        assert response.status == 503
+        assert response.json()["reason"] == "breaker_open"
+        # Queries still pass through (and come back shed by the breaker) —
+        # readiness is advisory for the load balancer, not a hard gate.
+        assert client.post("/query", json=_payload()).status == 429
+    finally:
+        asyncio.run(gateway.close())
+
+
+def test_metrics_endpoint_passes_line_format_check(stack):
+    service, _, client = stack
+    assert client.post("/query", json=_payload()).status == 200
+    response = client.get("/metrics")
+    assert response.status == 200
+    assert response.headers["content-type"].startswith("text/plain")
+    lines = [
+        line
+        for line in response.text.splitlines()
+        if line and not line.startswith("#")
+    ]
+    assert lines, "metrics exposition is empty after a served query"
+    for line in lines:
+        assert PROMETHEUS_LINE.match(line), f"bad exposition line: {line!r}"
+    assert any(line.startswith("repro_service_queries_total") for line in lines)
+
+
+def test_result_cache_hit_visible_through_http(stack):
+    _, _, client = stack
+    first = client.post("/query", json=_payload())
+    second = client.post("/query", json=_payload())
+    assert first.json()["stats"]["cache"] == ""
+    assert second.json()["stats"]["cache"] == "result"
+    assert second.json()["items"] == first.json()["items"]

@@ -1,0 +1,111 @@
+"""The stdlib HTTP/1.1 server over a real loopback socket.
+
+One test module with real sockets (ephemeral ports, loopback only): the
+ASGI-level behaviour is covered socket-free in ``test_gateway_e2e.py``,
+so these tests focus on what only a wire exercises — request parsing,
+keep-alive, Content-Length framing, protocol errors, shutdown.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+
+import pytest
+
+pytest.importorskip("pydantic")
+
+from repro.gateway import AsyncQueryService
+from repro.gateway.app import create_app
+from repro.gateway.server import HTTPServer
+from repro.service.service import QueryService
+
+
+def _serve(gateway_database, client_fn):
+    """Run the server on an ephemeral port, drive it with ``client_fn``
+    (called in a worker thread with the port), and shut down cleanly."""
+
+    async def main():
+        service = QueryService(gateway_database, "collaborative", result_cache=8)
+        gateway = AsyncQueryService(service, max_workers=2)
+        server = HTTPServer(create_app(gateway), "127.0.0.1", 0)
+        await server.start()
+        loop = asyncio.get_running_loop()
+        try:
+            return await loop.run_in_executor(None, client_fn, server.port)
+        finally:
+            await server.stop()
+            await gateway.close()
+
+    return asyncio.run(main())
+
+
+def test_query_and_keepalive_over_real_socket(gateway_database):
+    def drive(port: int):
+        connection = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+        body = json.dumps({"locations": [3, 47], "preference": "river", "k": 3})
+        statuses, caches = [], []
+        for _ in range(2):  # same connection: keep-alive must hold
+            connection.request(
+                "POST", "/query", body=body,
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            payload = json.loads(response.read())
+            statuses.append(response.status)
+            caches.append(payload["stats"]["cache"])
+        connection.request("GET", "/readyz")
+        ready = connection.getresponse()
+        ready_status, ready_body = ready.status, json.loads(ready.read())
+        connection.close()
+        return statuses, caches, ready_status, ready_body
+
+    statuses, caches, ready_status, ready_body = _serve(gateway_database, drive)
+    assert statuses == [200, 200]
+    assert caches == ["", "result"]  # the repeat hit the result cache
+    assert ready_status == 200 and ready_body["ready"] is True
+
+
+def test_protocol_errors_over_real_socket(gateway_database):
+    def drive(port: int):
+        results = {}
+        connection = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+        connection.request("GET", "/nope")
+        results["not_found"] = connection.getresponse().status
+        connection.close()
+
+        connection = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+        connection.request("POST", "/query", body=b"{broken")
+        results["bad_json"] = connection.getresponse().status
+        connection.close()
+
+        # Chunked transfer-encoding is out of scope: 411, not a hang.
+        connection = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+        connection.putrequest("POST", "/query", skip_accept_encoding=True)
+        connection.putheader("Transfer-Encoding", "chunked")
+        connection.endheaders()
+        results["chunked"] = connection.getresponse().status
+        connection.close()
+        return results
+
+    results = _serve(gateway_database, drive)
+    assert results["not_found"] == 404
+    assert results["bad_json"] == 422
+    assert results["chunked"] == 411
+
+
+def test_connection_close_honored(gateway_database):
+    def drive(port: int):
+        connection = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+        connection.request("GET", "/healthz", headers={"Connection": "close"})
+        response = connection.getresponse()
+        status = response.status
+        header = response.getheader("connection")
+        response.read()
+        connection.close()
+        return status, header
+
+    status, header = _serve(gateway_database, drive)
+    assert status == 200
+    assert header == "close"

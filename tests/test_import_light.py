@@ -40,6 +40,46 @@ def test_import_stays_scipy_free(module):
     assert proc.returncode == 0, proc.stderr
 
 
+_NO_HTTP_DEPS_PROBE = """\
+import sys
+
+class _Blocker:
+    blocked = {"pydantic", "fastapi", "uvicorn", "starlette", "httpx"}
+    def find_spec(self, name, path=None, target=None):
+        if name.split(".")[0] in self.blocked:
+            raise ModuleNotFoundError(f"No module named {name!r} (blocked)")
+        return None
+
+sys.meta_path.insert(0, _Blocker())
+import repro.core.search   # noqa: F401
+import repro.service       # noqa: F401
+import repro.gateway       # noqa: F401 - the bridge works without HTTP deps
+import repro.gateway.aservice  # noqa: F401
+import repro.gateway.server    # noqa: F401 - stdlib HTTP server
+import repro.gateway.testing   # noqa: F401
+from repro.gateway import http_available
+assert not http_available(), "blocker failed: pydantic imported anyway"
+leaked = sorted(
+    name for name in sys.modules
+    if name.split(".")[0] in _Blocker.blocked
+)
+assert not leaked, f"serving imports pulled in HTTP deps: {leaked}"
+"""
+
+
+def test_core_and_gateway_import_without_http_deps():
+    """The HTTP layer's deps are optional: with pydantic/fastapi/uvicorn
+    blocked outright, the core, the service layer, the async bridge, and
+    the stdlib server must all still import (only ``repro.gateway.app``
+    and ``schemas`` may require pydantic)."""
+    proc = subprocess.run(
+        [sys.executable, "-c", _NO_HTTP_DEPS_PROBE],
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stderr
+
+
 def test_scipy_tier_still_reachable_after_lazy_resolution():
     """Laziness must not cost the accelerator: first kernel use resolves it."""
     pytest.importorskip("scipy")
